@@ -1,0 +1,100 @@
+// Package repro's root test file hosts the benchmark harness: one
+// testing.B benchmark per figure (F1–F8) and per quantitative claim
+// (C1–C10) of the paper, as indexed in DESIGN.md §3. Each benchmark prints
+// the same series the corresponding experiment reports; EXPERIMENTS.md
+// records the measured shapes against the paper's claims.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or a single experiment with e.g. -bench=BenchmarkF1.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// benchOpts keeps `go test -bench` runs short; cmd/replbench uses longer
+// windows for smoother numbers.
+var benchOpts = bench.Options{Measure: 300 * time.Millisecond, Clients: 4}
+
+// runExperiment executes one experiment per benchmark iteration and reports
+// its rows through b.Log so the series lands in the bench output.
+func runExperiment(b *testing.B, fn func(bench.Options) ([]bench.Row, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := fn(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Log(r.Format())
+			}
+		}
+	}
+}
+
+// BenchmarkF1ScaleOutReads — Figure 1 (§2.1): read throughput vs slaves.
+func BenchmarkF1ScaleOutReads(b *testing.B) { runExperiment(b, bench.F1ScaleOutReads) }
+
+// BenchmarkF2PartitionedWrites — Figure 2 (§2.1): write throughput vs
+// partitions.
+func BenchmarkF2PartitionedWrites(b *testing.B) { runExperiment(b, bench.F2PartitionedWrites) }
+
+// BenchmarkF3HotStandbyFailover — Figure 3 (§2.2): 1-safe vs 2-safe commit
+// latency, failover time, lost transactions.
+func BenchmarkF3HotStandbyFailover(b *testing.B) { runExperiment(b, bench.F3HotStandbyFailover) }
+
+// BenchmarkF4WANReplication — Figure 4 (§2.2): local vs remote write
+// latency across WAN delays.
+func BenchmarkF4WANReplication(b *testing.B) { runExperiment(b, bench.F4WANReplication) }
+
+// BenchmarkF5EngineIntercept — Figure 5 (§3.1): engine-level interception
+// overhead.
+func BenchmarkF5EngineIntercept(b *testing.B) { runExperiment(b, bench.F5EngineIntercept) }
+
+// BenchmarkF6ProtocolProxy — Figure 6 (§3.1): native-protocol proxy hop.
+func BenchmarkF6ProtocolProxy(b *testing.B) { runExperiment(b, bench.F6ProtocolProxy) }
+
+// BenchmarkF7DriverIntercept — Figure 7 (§3.1): driver-level middleware
+// protocol.
+func BenchmarkF7DriverIntercept(b *testing.B) { runExperiment(b, bench.F7DriverIntercept) }
+
+// BenchmarkF8LayerAblation — Figure 8 (§4): per-layer latency contribution.
+func BenchmarkF8LayerAblation(b *testing.B) { runExperiment(b, bench.F8LayerAblation) }
+
+// BenchmarkC1TicketBroker — §1: 95/5 broker workload, async vs sync.
+func BenchmarkC1TicketBroker(b *testing.B) { runExperiment(b, bench.C1TicketBroker) }
+
+// BenchmarkC2MultiMasterSaturation — §2.1: multi-master write saturation.
+func BenchmarkC2MultiMasterSaturation(b *testing.B) { runExperiment(b, bench.C2MultiMasterSaturation) }
+
+// BenchmarkC3SlaveLag — §2.2: slave lag vs master load.
+func BenchmarkC3SlaveLag(b *testing.B) { runExperiment(b, bench.C3SlaveLag) }
+
+// BenchmarkC4LoadBalancing — §3.2/§4.1.3: balancing policies under a
+// degraded replica.
+func BenchmarkC4LoadBalancing(b *testing.B) { runExperiment(b, bench.C4LoadBalancing) }
+
+// BenchmarkC5CertifierSPOF — §3.2: centralized certifier outage + rebuild.
+func BenchmarkC5CertifierSPOF(b *testing.B) { runExperiment(b, bench.C5CertifierSPOF) }
+
+// BenchmarkC6StatementVsWriteset — §4.3.2: divergence matrix.
+func BenchmarkC6StatementVsWriteset(b *testing.B) { runExperiment(b, bench.C6StatementVsWriteset) }
+
+// BenchmarkC7FailureDetection — §4.3.4.2: keepalive vs heartbeat detection.
+func BenchmarkC7FailureDetection(b *testing.B) { runExperiment(b, bench.C7FailureDetection) }
+
+// BenchmarkC8ReplicaResync — §4.4.2: serial vs parallel log replay.
+func BenchmarkC8ReplicaResync(b *testing.B) { runExperiment(b, bench.C8ReplicaResync) }
+
+// BenchmarkC9LowLoadLatency — §4.4.5: low-load replication penalty.
+func BenchmarkC9LowLoadLatency(b *testing.B) { runExperiment(b, bench.C9LowLoadLatency) }
+
+// BenchmarkC10GroupComm — §4.3.4.1: TOB throughput vs group size.
+func BenchmarkC10GroupComm(b *testing.B) { runExperiment(b, bench.C10GroupComm) }

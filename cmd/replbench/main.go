@@ -1,0 +1,78 @@
+// Command replbench regenerates the paper's experiment series: every figure
+// (F1–F8) and quantified claim (C1–C10) indexed in DESIGN.md. It prints the
+// same tables the benchmarks in bench_test.go emit, but with a longer
+// measurement window for smoother numbers.
+//
+// Usage:
+//
+//	replbench                # run everything
+//	replbench -exp F1,C7     # run selected experiments
+//	replbench -measure 2s    # longer windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+type experiment struct {
+	id    string
+	title string
+	fn    func(bench.Options) ([]bench.Row, error)
+}
+
+var experiments = []experiment{
+	{"F1", "Figure 1 — master-slave read scale-out", bench.F1ScaleOutReads},
+	{"F2", "Figure 2 — partitioned write scaling", bench.F2PartitionedWrites},
+	{"F3", "Figure 3 — hot standby: 1-safe vs 2-safe, failover, lost txns", bench.F3HotStandbyFailover},
+	{"F4", "Figure 4 — WAN multi-way master/slave write latency", bench.F4WANReplication},
+	{"F5", "Figure 5 — engine-level interception overhead", bench.F5EngineIntercept},
+	{"F6", "Figure 6 — native-protocol proxy overhead", bench.F6ProtocolProxy},
+	{"F7", "Figure 7 — driver-level middleware overhead", bench.F7DriverIntercept},
+	{"F8", "Figure 8 — per-layer latency ablation", bench.F8LayerAblation},
+	{"C1", "§1 — ticket broker 95/5: async vs sync replication", bench.C1TicketBroker},
+	{"C2", "§2.1 — multi-master write saturation", bench.C2MultiMasterSaturation},
+	{"C3", "§2.2 — slave lag vs master load", bench.C3SlaveLag},
+	{"C4", "§3.2/§4.1.3 — load balancing with a degraded replica", bench.C4LoadBalancing},
+	{"C5", "§3.2 — centralized certifier SPOF", bench.C5CertifierSPOF},
+	{"C6", "§4.3.2 — statement vs write-set divergence", bench.C6StatementVsWriteset},
+	{"C7", "§4.3.4.2 — failure detection: keepalive vs heartbeat", bench.C7FailureDetection},
+	{"C8", "§4.4.2 — replica resync: serial vs parallel replay", bench.C8ReplicaResync},
+	{"C9", "§4.4.5 — low-load latency penalty", bench.C9LowLoadLatency},
+	{"C10", "§4.3.4.1 — group communication throughput vs group size", bench.C10GroupComm},
+}
+
+func main() {
+	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	measure := flag.Duration("measure", time.Second, "measurement window per data point")
+	clients := flag.Int("clients", 4, "closed-loop clients per replica")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	opts := bench.Options{Measure: *measure, Clients: *clients}
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("== %s: %s\n", e.id, e.title)
+		start := time.Now()
+		rows, err := e.fn(opts)
+		if err != nil {
+			log.Fatalf("%s: %v", e.id, err)
+		}
+		for _, r := range rows {
+			fmt.Println("   " + r.Format())
+		}
+		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,100 @@
+// Command replctl is a wire-protocol client: it connects to a repld (or any
+// wire server) and executes SQL statements, printing results as aligned
+// text. With no statement arguments it reads statements from stdin, one per
+// line.
+//
+// Usage:
+//
+//	replctl -addr 127.0.0.1:5455 -db shop "SELECT * FROM items"
+//	echo "SHOW DATABASES" | replctl -addr 127.0.0.1:5455
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5455", "server address")
+	db := flag.String("db", "", "database to USE on connect")
+	user := flag.String("user", "replctl", "user name")
+	password := flag.String("password", "", "password")
+	heartbeat := flag.Duration("heartbeat", 250*time.Millisecond, "driver heartbeat interval (0 = rely on keepalive timeouts)")
+	flag.Parse()
+
+	conn, err := wire.Dial(*addr, wire.DriverConfig{
+		User: *user, Password: *password, Database: *db,
+		HeartbeatInterval: *heartbeat,
+	})
+	if err != nil {
+		log.Fatalf("replctl: connect: %v", err)
+	}
+	defer conn.Close()
+
+	run := func(sql string) {
+		sql = strings.TrimSpace(sql)
+		if sql == "" {
+			return
+		}
+		resp, err := conn.Exec(sql)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		printResponse(resp)
+	}
+
+	if flag.NArg() > 0 {
+		for _, sql := range flag.Args() {
+			run(sql)
+		}
+		return
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	for scanner.Scan() {
+		run(scanner.Text())
+	}
+}
+
+func printResponse(resp *wire.Response) {
+	if len(resp.Columns) == 0 {
+		fmt.Printf("OK (%d rows affected", resp.RowsAffected)
+		if resp.LastInsertID != 0 {
+			fmt.Printf(", last id %d", resp.LastInsertID)
+		}
+		fmt.Println(")")
+		return
+	}
+	widths := make([]int, len(resp.Columns))
+	for i, c := range resp.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(resp.Rows))
+	for r, row := range resp.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			cells[r][i] = v.Str()
+			if len(cells[r][i]) > widths[i] {
+				widths[i] = len(cells[r][i])
+			}
+		}
+	}
+	for i, c := range resp.Columns {
+		fmt.Printf("%-*s  ", widths[i], c)
+	}
+	fmt.Println()
+	for _, row := range cells {
+		for i, v := range row {
+			fmt.Printf("%-*s  ", widths[i], v)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(resp.Rows))
+}

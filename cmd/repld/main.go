@@ -1,0 +1,108 @@
+// Command repld is the replication middleware daemon: it builds a
+// master-slave cluster of embedded replicas and serves it over the wire
+// protocol, so any wire client (cmd/replctl, application drivers) can use
+// the replicated database as a single logical endpoint (Figure 7's
+// deployment).
+//
+// Usage:
+//
+//	repld -listen 127.0.0.1:5455 -slaves 2 -consistency session
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/sqltypes"
+	"repro/internal/wire"
+	"repro/replication"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5455", "wire protocol listen address")
+	slaves := flag.Int("slaves", 2, "number of slave replicas")
+	consistency := flag.String("consistency", "session", "read consistency: any | session | strong")
+	twoSafe := flag.Bool("two-safe", false, "wait for slave receipt before acking commits")
+	readCost := flag.Duration("read-cost", 0, "modelled per-read service time")
+	writeCost := flag.Duration("write-cost", 0, "modelled per-write service time")
+	monitorEvery := flag.Duration("monitor", 10*time.Millisecond, "health monitor poll interval")
+	flag.Parse()
+
+	var cons replication.MasterSlaveConfig
+	switch *consistency {
+	case "any":
+		cons.Consistency = replication.ReadAny
+	case "session":
+		cons.Consistency = replication.SessionConsistent
+	case "strong":
+		cons.Consistency = replication.StrongConsistent
+	default:
+		log.Fatalf("unknown consistency %q", *consistency)
+	}
+	if *twoSafe {
+		cons.Safety = replication.TwoSafe
+	}
+	cons.TransparentFailover = true
+
+	mk := func(name string) *replication.Replica {
+		return replication.NewReplica(replication.ReplicaConfig{
+			Name: name, ReadCost: *readCost, WriteCost: *writeCost,
+		})
+	}
+	master := mk("master")
+	var slaveReps []*replication.Replica
+	for i := 0; i < *slaves; i++ {
+		slaveReps = append(slaveReps, mk(fmt.Sprintf("slave-%d", i+1)))
+	}
+	cluster := replication.NewMasterSlave(master, slaveReps, cons)
+	defer cluster.Close()
+
+	monitor := replication.NewMonitor(cluster, *monitorEvery)
+	monitor.Start()
+	defer monitor.Stop()
+
+	srv, err := wire.NewServer(*listen, clusterBackend{cluster})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("repld: serving %d-replica cluster on %s (consistency=%s two-safe=%v)",
+		*slaves+1, srv.Addr(), *consistency, *twoSafe)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("repld: shutting down; availability: %s", monitor.Availability())
+}
+
+// clusterBackend adapts the master-slave cluster to the wire protocol.
+type clusterBackend struct{ ms *replication.MasterSlave }
+
+func (b clusterBackend) Authenticate(user, password string) error { return nil }
+
+func (b clusterBackend) OpenSession(user, database string) (wire.SessionHandler, error) {
+	s := b.ms.NewSession(user)
+	if database != "" {
+		if _, err := s.Exec("USE " + database); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return clusterSession{s}, nil
+}
+
+type clusterSession struct{ s *replication.MSSession }
+
+func (cs clusterSession) Exec(sql string, args []sqltypes.Value) (*wire.Response, error) {
+	res, err := cs.s.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return wire.FromEngineResult(res), nil
+}
+
+func (cs clusterSession) Close() { cs.s.Close() }

@@ -1,0 +1,24 @@
+// Command scaleout demonstrates Figure 1 of the paper: read throughput of
+// a master-slave cluster scales with the number of slaves while the master
+// absorbs all writes. It prints the throughput series for 1–4 slaves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fmt.Println("Figure 1 — master-slave read scale-out (closed loop, 4 clients/slave)")
+	rows, err := bench.F1ScaleOutReads(bench.Options{Measure: 600 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Println("  " + r.Format())
+	}
+	fmt.Println("expected shape: near-linear growth in reads/s with slave count")
+}

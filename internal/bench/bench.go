@@ -1,0 +1,350 @@
+// Package bench implements the paper's experiment suite: one function per
+// figure (F1–F8) and per quantitative claim (C1–C10) of DESIGN.md. Each
+// returns printable rows so both `go test -bench` and cmd/replbench can
+// regenerate the series. EXPERIMENTS.md records paper-vs-measured.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Row is one line of an experiment's output table.
+type Row struct {
+	Label  string
+	Values map[string]float64
+	Order  []string // column order
+}
+
+// Format renders the row for terminal output.
+func (r Row) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s", r.Label)
+	for _, k := range r.Order {
+		fmt.Fprintf(&sb, " %s=%.2f", k, r.Values[k])
+	}
+	return sb.String()
+}
+
+// Options tunes experiment scale so `go test` stays fast while replbench
+// can run longer windows.
+type Options struct {
+	// Measure is the measurement window per data point (default 400 ms).
+	Measure time.Duration
+	// Clients is the closed-loop client count per replica (default 4).
+	Clients int
+}
+
+func (o Options) fill() Options {
+	if o.Measure == 0 {
+		o.Measure = 400 * time.Millisecond
+	}
+	if o.Clients == 0 {
+		o.Clients = 4
+	}
+	return o
+}
+
+// replicaCfg is the standard modelled replica: 4 ms reads, 6 ms writes,
+// 4 concurrent workers (≈1000 reads/s of capacity per replica). Costs are
+// deliberately large relative to the host's real per-statement CPU cost so
+// that scalability shapes reflect modelled replica capacity, not the test
+// machine (see DESIGN.md "service-time model").
+func replicaCfg(name string) core.ReplicaConfig {
+	return core.ReplicaConfig{
+		Name:        name,
+		Concurrency: 4,
+		ReadCost:    4 * time.Millisecond,
+		WriteCost:   6 * time.Millisecond,
+	}
+}
+
+func buildReplicas(n int, cost bool) []*core.Replica {
+	out := make([]*core.Replica, n)
+	for i := range out {
+		cfg := replicaCfg(fmt.Sprintf("r%d", i+1))
+		if !cost {
+			cfg.ReadCost, cfg.WriteCost = 0, 0
+		}
+		cfg.Engine.RandSeed = int64(i + 1)
+		out[i] = core.NewReplica(cfg)
+	}
+	return out
+}
+
+const benchTable = "bookings"
+
+func setupMS(nSlaves int, cfg core.MasterSlaveConfig, keys int) (*core.MasterSlave, error) {
+	return setupMSCost(nSlaves, cfg, keys, true)
+}
+
+// setupMSCost optionally disables modelled service time: the interception
+// experiments (F5–F8) measure pure layer overhead, so their replicas must
+// not sleep.
+func setupMSCost(nSlaves int, cfg core.MasterSlaveConfig, keys int, cost bool) (*core.MasterSlave, error) {
+	reps := buildReplicas(nSlaves+1, cost)
+	ms := core.NewMasterSlave(reps[0], reps[1:], cfg)
+	sess := ms.NewSession("setup")
+	defer sess.Close()
+	if _, err := sess.Exec("CREATE DATABASE app"); err != nil {
+		return nil, err
+	}
+	if _, err := sess.Exec("USE app"); err != nil {
+		return nil, err
+	}
+	mix := workload.Mix{Table: benchTable, Keys: keys}
+	if err := mix.Setup(clientOf(sess), keys); err != nil {
+		return nil, err
+	}
+	// Wait for slaves before measuring.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		max := uint64(0)
+		for _, l := range ms.SlaveLag() {
+			if l > max {
+				max = l
+			}
+		}
+		if max == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return ms, nil
+}
+
+type execer interface {
+	Exec(sql string) (*engine.Result, error)
+}
+
+func clientOf(e execer) workload.Client {
+	return workload.ClientFunc(func(sql string) (*engine.Result, error) { return e.Exec(sql) })
+}
+
+func msClientFactory(ms *core.MasterSlave) func(int) (workload.Client, error) {
+	return func(int) (workload.Client, error) {
+		s := ms.NewSession(fmt.Sprintf("c"))
+		if _, err := s.Exec("USE app"); err != nil {
+			return nil, err
+		}
+		return clientOf(s), nil
+	}
+}
+
+// F1ScaleOutReads measures read throughput versus slave count for
+// asynchronous master-slave replication (Figure 1: "the system can scale
+// linearly by merely adding more slave nodes").
+func F1ScaleOutReads(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	var rows []Row
+	for _, slaves := range []int{1, 2, 3, 4} {
+		ms, err := setupMS(slaves, core.MasterSlaveConfig{Consistency: core.ReadAny}, 25)
+		if err != nil {
+			return nil, err
+		}
+		mix := workload.Mix{ReadFraction: 1.0, Keys: 25, Table: benchTable}
+		res, err := workload.RunClosed(msClientFactory(ms), opts.Clients*slaves, mix, opts.Measure)
+		ms.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Label:  fmt.Sprintf("slaves=%d", slaves),
+			Values: map[string]float64{"reads/s": res.ThroughputTotal, "p95_ms": float64(res.ReadLatency.Percentile(95)) / 1e6},
+			Order:  []string{"reads/s", "p95_ms"},
+		})
+	}
+	return rows, nil
+}
+
+// F2PartitionedWrites measures write throughput versus partition count
+// (Figure 2: "updates can be done in parallel to partitioned data
+// segments") against a fully replicated single cluster of the same size.
+func F2PartitionedWrites(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	var rows []Row
+	for _, parts := range []int{1, 2, 3, 4} {
+		clusters := make([]*core.MasterSlave, parts)
+		for i := range clusters {
+			reps := buildReplicas(1, true)
+			clusters[i] = core.NewMasterSlave(reps[0], nil, core.MasterSlaveConfig{ReadFromMaster: true})
+		}
+		pc, err := core.NewPartitioned(clusters, []*core.PartitionRule{{
+			Table: benchTable, Column: "id", Strategy: core.HashPartition,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		boot := pc.NewSession("setup")
+		if _, err := boot.Exec("CREATE DATABASE app"); err != nil {
+			return nil, err
+		}
+		if _, err := boot.Exec("USE app"); err != nil {
+			return nil, err
+		}
+		if _, err := boot.Exec(fmt.Sprintf("CREATE TABLE %s (id INTEGER PRIMARY KEY, name TEXT, price FLOAT DEFAULT 1, stock INTEGER DEFAULT 1000000)", benchTable)); err != nil {
+			return nil, err
+		}
+		for id := 1; id <= 120; id++ {
+			if _, err := boot.Exec(fmt.Sprintf("INSERT INTO %s (id, name) VALUES (%d, 'x')", benchTable, id)); err != nil {
+				return nil, err
+			}
+		}
+		boot.Close()
+		mkClient := func(int) (workload.Client, error) {
+			s := pc.NewSession("c")
+			if _, err := s.Exec("USE app"); err != nil {
+				return nil, err
+			}
+			return clientOf(s), nil
+		}
+		mix := workload.Mix{ReadFraction: 0, Keys: 120, Table: benchTable}
+		res, err := workload.RunClosed(mkClient, opts.Clients*parts, mix, opts.Measure)
+		pc.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Label:  fmt.Sprintf("partitions=%d", parts),
+			Values: map[string]float64{"writes/s": res.ThroughputTotal, "p95_ms": float64(res.WriteLatency.Percentile(95)) / 1e6},
+			Order:  []string{"writes/s", "p95_ms"},
+		})
+	}
+	return rows, nil
+}
+
+// F3HotStandbyFailover measures the hot-standby pipeline of Figure 3:
+// commit latency under 1-safe vs 2-safe, then failover time and lost
+// transactions when the master crashes with a lagging slave.
+func F3HotStandbyFailover(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	var rows []Row
+	for _, safety := range []core.SafetyMode{core.OneSafe, core.TwoSafe} {
+		label := "1-safe"
+		if safety == core.TwoSafe {
+			label = "2-safe"
+		}
+		ms, err := setupMS(1, core.MasterSlaveConfig{
+			Safety:     safety,
+			ApplyDelay: 2 * time.Millisecond,
+		}, 50)
+		if err != nil {
+			return nil, err
+		}
+		mon := core.NewMonitor(ms, time.Millisecond)
+		mon.Start()
+
+		sess := ms.NewSession("bench")
+		if _, err := sess.Exec("USE app"); err != nil {
+			return nil, err
+		}
+		lat := time.Duration(0)
+		const commits = 50
+		for i := 0; i < commits; i++ {
+			t0 := time.Now()
+			if _, err := sess.Exec(fmt.Sprintf("UPDATE %s SET stock = stock - 1 WHERE id = %d", benchTable, i%50+1)); err != nil {
+				return nil, err
+			}
+			lat += time.Since(t0)
+		}
+		// Crash the master; the monitor detects and promotes.
+		old := ms.Master()
+		crash := time.Now()
+		old.Fail()
+		deadline := time.Now().Add(5 * time.Second)
+		for ms.Master() == old && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+		failoverTime := time.Since(crash)
+		lost := ms.LostTransactions()
+		mon.Stop()
+		sess.Close()
+		ms.Close()
+		rows = append(rows, Row{
+			Label: label,
+			Values: map[string]float64{
+				"commit_ms":   float64(lat/commits) / 1e6,
+				"failover_ms": float64(failoverTime) / 1e6,
+				"lost_txns":   float64(lost),
+			},
+			Order: []string{"commit_ms", "failover_ms", "lost_txns"},
+		})
+	}
+	return rows, nil
+}
+
+// F4WANReplication measures Figure 4's 3-site multi-way master/slave:
+// local-owner vs remote-owner write latency under WAN delays.
+func F4WANReplication(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	var rows []Row
+	for _, wanLat := range []time.Duration{20 * time.Millisecond, 60 * time.Millisecond, 120 * time.Millisecond} {
+		sites := []*core.SiteConfig{}
+		for _, n := range []string{"eu", "us", "asia"} {
+			reps := buildReplicas(1, true)
+			cluster := core.NewMasterSlave(reps[0], nil, core.MasterSlaveConfig{ReadFromMaster: true})
+			boot := cluster.NewSession("boot")
+			if _, err := boot.Exec("CREATE DATABASE app"); err != nil {
+				return nil, err
+			}
+			if _, err := boot.Exec("USE app"); err != nil {
+				return nil, err
+			}
+			if _, err := boot.Exec("CREATE TABLE bookings (id INTEGER PRIMARY KEY AUTO_INCREMENT, region TEXT, what TEXT)"); err != nil {
+				return nil, err
+			}
+			boot.Close()
+			sites = append(sites, &core.SiteConfig{Name: n, Cluster: cluster, OwnedKeys: []core.Value{core.NewStringValue(n)}})
+		}
+		w, err := core.NewWAN(sites, core.WANConfig{Table: "bookings", Column: "region", Latency: wanLat})
+		if err != nil {
+			return nil, err
+		}
+		sess, err := w.NewSession("eu", "bench")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sess.Exec("USE app"); err != nil {
+			return nil, err
+		}
+		measure := func(region string) (time.Duration, error) {
+			const n = 5
+			var total time.Duration
+			for i := 0; i < n; i++ {
+				t0 := time.Now()
+				if _, err := sess.Exec(fmt.Sprintf("INSERT INTO bookings (region, what) VALUES ('%s', 'x')", region)); err != nil {
+					return 0, err
+				}
+				total += time.Since(t0)
+			}
+			return total / n, nil
+		}
+		local, err := measure("eu")
+		if err != nil {
+			return nil, err
+		}
+		remote, err := measure("asia")
+		if err != nil {
+			return nil, err
+		}
+		sess.Close()
+		w.Close()
+		for _, s := range sites {
+			s.Cluster.Close()
+		}
+		rows = append(rows, Row{
+			Label: fmt.Sprintf("wan=%v", wanLat),
+			Values: map[string]float64{
+				"local_ms":  float64(local) / 1e6,
+				"remote_ms": float64(remote) / 1e6,
+			},
+			Order: []string{"local_ms", "remote_ms"},
+		})
+	}
+	return rows, nil
+}

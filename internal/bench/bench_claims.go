@@ -1,0 +1,549 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gcs"
+	"repro/internal/lb"
+	"repro/internal/recoverylog"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// setupMM builds a multi-master cluster with the bench schema.
+func setupMM(n int, cfg core.MultiMasterConfig, keys int, cost bool) (*core.MultiMaster, *core.LocalOrderer, error) {
+	reps := buildReplicas(n, cost)
+	ord := core.NewLocalOrderer()
+	mm, err := core.NewMultiMaster(reps, []core.Orderer{ord}, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	boot, err := mm.NewSession("setup")
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := boot.Exec("CREATE DATABASE app"); err != nil {
+		return nil, nil, err
+	}
+	if _, err := boot.Exec("USE app"); err != nil {
+		return nil, nil, err
+	}
+	mix := workload.Mix{Table: benchTable, Keys: keys}
+	if err := mix.Setup(clientOf(boot), keys); err != nil {
+		return nil, nil, err
+	}
+	boot.Close()
+	// Wait for all replicas to apply the bootstrap.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		head := mm.Head()
+		ok := true
+		for _, r := range mm.Replicas() {
+			if r.AppliedSeq() < head {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return mm, ord, nil
+}
+
+func mmClientFactory(mm *core.MultiMaster) func(int) (workload.Client, error) {
+	return func(int) (workload.Client, error) {
+		s, err := mm.NewSession("c")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.Exec("USE app"); err != nil {
+			return nil, err
+		}
+		return clientOf(s), nil
+	}
+}
+
+// C1TicketBroker reproduces the §1 case study: a 95 % read workload where
+// the 5 % writes arrive at high rate. Asynchronous (1-safe) master-slave
+// sustains it; making every commit synchronous (2-safe to all replicas,
+// i.e. the 2PC-like configuration) collapses throughput — "a system using
+// 2-phase-commit ... would fail to meet customer performance requirements".
+func C1TicketBroker(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	var rows []Row
+	for _, mode := range []string{"async 1-safe", "sync 2-safe-all"} {
+		cfg := core.MasterSlaveConfig{Consistency: core.SessionConsistent}
+		if mode != "async 1-safe" {
+			cfg.Safety = core.TwoSafe
+			cfg.ApplyDelay = time.Millisecond // sync ack behind a loaded slave
+		}
+		ms, err := setupMS(3, cfg, 200)
+		if err != nil {
+			return nil, err
+		}
+		mix := workload.TicketBroker(200)
+		mix.Table = benchTable
+		res, err := workload.RunClosed(msClientFactory(ms), opts.Clients*4, mix, opts.Measure)
+		ms.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Label: mode,
+			Values: map[string]float64{
+				"ops/s":       res.ThroughputTotal,
+				"write_p95ms": float64(res.WriteLatency.Percentile(95)) / 1e6,
+			},
+			Order: []string{"ops/s", "write_p95ms"},
+		})
+	}
+	return rows, nil
+}
+
+// C2MultiMasterSaturation measures multi-master throughput versus replica
+// count at two write fractions: read-heavy scales, write-heavy saturates
+// because "every replica has to perform all updates" (§2.1).
+func C2MultiMasterSaturation(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	var rows []Row
+	for _, writeFrac := range []float64{0.05, 0.5} {
+		for _, n := range []int{1, 2, 3, 4} {
+			mm, ord, err := setupMM(n, core.MultiMasterConfig{Mode: core.StatementMode}, 100, true)
+			if err != nil {
+				return nil, err
+			}
+			mix := workload.Mix{ReadFraction: 1 - writeFrac, Keys: 100, Table: benchTable}
+			res, err := workload.RunClosed(mmClientFactory(mm), opts.Clients*n, mix, opts.Measure)
+			mm.Close()
+			ord.Close()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{
+				Label:  fmt.Sprintf("writes=%.0f%% replicas=%d", writeFrac*100, n),
+				Values: map[string]float64{"ops/s": res.ThroughputTotal},
+				Order:  []string{"ops/s"},
+			})
+		}
+	}
+	return rows, nil
+}
+
+// C3SlaveLag drives the master at increasing load and measures how far the
+// serially-applying slave falls behind (§2.2: "the lag between the master
+// and slave node can become significant ... trailing updates are applied
+// serially at the slave, whereas the master processes them in parallel").
+func C3SlaveLag(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	var rows []Row
+	for _, clients := range []int{1, 4, 8} {
+		ms, err := setupMS(1, core.MasterSlaveConfig{
+			ApplyDelay: 2 * time.Millisecond, // extra serial per-event cost at the slave
+		}, 100)
+		if err != nil {
+			return nil, err
+		}
+		mix := workload.Mix{ReadFraction: 0, Keys: 100, Table: benchTable}
+		res, err := workload.RunClosed(msClientFactory(ms), clients, mix, opts.Measure)
+		if err != nil {
+			return nil, err
+		}
+		lag := ms.SlaveLag()["r2"]
+		ms.Close()
+		rows = append(rows, Row{
+			Label: fmt.Sprintf("writers=%d", clients),
+			Values: map[string]float64{
+				"writes/s":   res.ThroughputTotal,
+				"lag_events": float64(lag),
+			},
+			Order: []string{"writes/s", "lag_events"},
+		})
+	}
+	return rows, nil
+}
+
+// C4LoadBalancing compares balancing policies and levels on a cluster with
+// one degraded replica (the §4.1.3 heterogeneity scenario).
+func C4LoadBalancing(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	type variant struct {
+		label  string
+		policy lb.Policy
+		level  lb.Level
+	}
+	variants := []variant{
+		{"connection-level RR", lb.NewRoundRobin(), lb.ConnectionLevel},
+		{"query-level RR", lb.NewRoundRobin(), lb.QueryLevel},
+		{"query-level LPRF", lb.NewLPRF(), lb.QueryLevel},
+	}
+	var rows []Row
+	for _, v := range variants {
+		ms, err := setupMS(3, core.MasterSlaveConfig{
+			Consistency: core.ReadAny,
+			ReadPolicy:  v.policy,
+			ReadLevel:   v.level,
+		}, 100)
+		if err != nil {
+			return nil, err
+		}
+		// Degrade one slave 4x: the dead-RAID-battery node.
+		ms.Slaves()[0].SetSlowFactor(4)
+		mix := workload.Mix{ReadFraction: 1, Keys: 100, Table: benchTable}
+		res, err := workload.RunClosed(msClientFactory(ms), opts.Clients*3, mix, opts.Measure)
+		ms.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Label: v.label,
+			Values: map[string]float64{
+				"reads/s": res.ThroughputTotal,
+				"p95_ms":  float64(res.ReadLatency.Percentile(95)) / 1e6,
+			},
+			Order: []string{"reads/s", "p95_ms"},
+		})
+	}
+	return rows, nil
+}
+
+// C5CertifierSPOF measures the centralized certifier failure (§3.2): writes
+// stall during the outage; recovery requires rebuilding soft state from the
+// committed history.
+func C5CertifierSPOF(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	cert := core.NewCertifier()
+	mm, ord, err := setupMM(2, core.MultiMasterConfig{
+		Mode: core.CertificationMode, Certifier: cert,
+		CommitTimeout: 150 * time.Millisecond,
+	}, 100, false)
+	if err != nil {
+		return nil, err
+	}
+	defer mm.Close()
+	defer ord.Close()
+	s, err := mm.NewSession("bench")
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if _, err := s.Exec("USE app"); err != nil {
+		return nil, err
+	}
+	// Normal operation.
+	for i := 0; i < 20; i++ {
+		if _, err := s.Exec(fmt.Sprintf("UPDATE %s SET stock = stock - 1 WHERE id = %d", benchTable, i+1)); err != nil {
+			return nil, err
+		}
+	}
+	// Certifier crashes: every commit fails until repair.
+	cert.Fail()
+	outageStart := time.Now()
+	failed := 0
+	for i := 0; i < 5; i++ {
+		if _, err := s.Exec(fmt.Sprintf("UPDATE %s SET stock = stock - 1 WHERE id = %d", benchTable, i+1)); err != nil {
+			failed++
+		}
+	}
+	// Recovery: rebuild soft state from the origin replica's binlog, then
+	// resume.
+	events, _ := mm.Replicas()[0].Engine().Binlog().ReadFrom(0, 0)
+	rebuildStart := time.Now()
+	scanned := cert.RebuildFromLog(events, mm.Head())
+	rebuild := time.Since(rebuildStart)
+	cert.Repair()
+	outage := time.Since(outageStart)
+	if _, err := s.Exec(fmt.Sprintf("UPDATE %s SET stock = stock - 1 WHERE id = 1", benchTable)); err != nil {
+		return nil, fmt.Errorf("post-repair write failed: %w", err)
+	}
+	return []Row{{
+		Label: "centralized certifier crash",
+		Values: map[string]float64{
+			"failed_commits": float64(failed),
+			"outage_ms":      float64(outage) / 1e6,
+			"rebuild_ms":     float64(rebuild) / 1e6,
+			"state_entries":  float64(scanned),
+		},
+		Order: []string{"failed_commits", "outage_ms", "rebuild_ms", "state_entries"},
+	}}, nil
+}
+
+// C6StatementVsWriteset reproduces the §4.3.2 divergence matrix: the same
+// workload (time macros, rand(), LIMIT-without-ORDER updates) under
+// statement replication with rewriting vs write-set replication.
+func C6StatementVsWriteset(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	type variant struct {
+		label string
+		cfg   core.MultiMasterConfig
+	}
+	variants := []variant{
+		{"statements, rewrite+allow", core.MultiMasterConfig{Mode: core.StatementMode, NonDeterminism: core.RewriteAndAllow}},
+		{"statements, rewrite+reject", core.MultiMasterConfig{Mode: core.StatementMode, NonDeterminism: core.RewriteAndReject}},
+		{"writesets (certification)", core.MultiMasterConfig{Mode: core.CertificationMode}},
+	}
+	var rows []Row
+	for _, v := range variants {
+		mm, ord, err := setupMM(2, v.cfg, 20, false)
+		if err != nil {
+			return nil, err
+		}
+		s, err := mm.NewSession("bench")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.Exec("USE app"); err != nil {
+			return nil, err
+		}
+		hazardous := []string{
+			fmt.Sprintf("UPDATE %s SET name = 'seen' WHERE id = 1 AND NOW() > 0", benchTable),
+			fmt.Sprintf("UPDATE %s SET price = RAND() WHERE id <= 10", benchTable),
+			fmt.Sprintf("UPDATE %s SET name = 'lim' WHERE id IN (SELECT id FROM %s WHERE stock > 0 LIMIT 3)", benchTable, benchTable),
+		}
+		rejected := 0
+		for _, sql := range hazardous {
+			if _, err := s.Exec(sql); err != nil {
+				if errors.Is(err, core.ErrNonDeterministic) {
+					rejected++
+					continue
+				}
+				return nil, err
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+		rep, err := core.CheckDivergence(mm.Replicas(), "app")
+		if err != nil {
+			return nil, err
+		}
+		s.Close()
+		mm.Close()
+		ord.Close()
+		rows = append(rows, Row{
+			Label: v.label,
+			Values: map[string]float64{
+				"diverged_tables": float64(len(rep.Tables())),
+				"rejected_stmts":  float64(rejected),
+			},
+			Order: []string{"diverged_tables", "rejected_stmts"},
+		})
+	}
+	return rows, nil
+}
+
+// C7FailureDetection measures client-observed failure detection latency:
+// TCP-keepalive-style timeouts versus application heartbeats (§4.3.4.2).
+// The keepalive values are scaled (s -> ms) to keep the bench fast; the
+// ratio is what matters.
+func C7FailureDetection(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	e, _, err := rawEngine(10)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := wire.NewServer("127.0.0.1:0", &wire.EngineBackend{Engine: e})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	type variant struct {
+		label string
+		cfg   wire.DriverConfig
+	}
+	variants := []variant{
+		{"keepalive 30s (scaled: 300ms)", wire.DriverConfig{User: "b", Database: "app", KeepAliveTimeout: 300 * time.Millisecond}},
+		{"keepalive 2h (scaled: 2s)", wire.DriverConfig{User: "b", Database: "app", KeepAliveTimeout: 2 * time.Second}},
+		{"heartbeat 20ms", wire.DriverConfig{User: "b", Database: "app",
+			KeepAliveTimeout: 2 * time.Second, HeartbeatInterval: 20 * time.Millisecond, HeartbeatTimeout: 40 * time.Millisecond}},
+	}
+	var rows []Row
+	for _, v := range variants {
+		proxy, err := wire.NewProxy("127.0.0.1:0", srv.Addr())
+		if err != nil {
+			return nil, err
+		}
+		conn, err := wire.Dial(proxy.Addr(), v.cfg)
+		if err != nil {
+			return nil, err
+		}
+		proxy.Freeze()
+		start := time.Now()
+		_, execErr := conn.Exec(fmt.Sprintf("SELECT COUNT(*) FROM %s", benchTable))
+		detect := time.Since(start)
+		if execErr == nil {
+			return nil, fmt.Errorf("frozen link should fail the call")
+		}
+		conn.Close()
+		proxy.Close()
+		rows = append(rows, Row{
+			Label:  v.label,
+			Values: map[string]float64{"detect_ms": float64(detect) / 1e6},
+			Order:  []string{"detect_ms"},
+		})
+	}
+	return rows, nil
+}
+
+// C8ReplicaResync measures recovery-log replay: serial versus parallel
+// catch-up of a new replica, and the §4.4.2 "never catches up" regime when
+// the ongoing update rate exceeds serial replay speed.
+func C8ReplicaResync(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	// Build a history of interleaved updates across 8 tables.
+	log := recoverylog.New()
+	log.Append([]string{"CREATE DATABASE app"}, nil, true)
+	for i := 0; i < 8; i++ {
+		log.Append([]string{fmt.Sprintf("CREATE TABLE app.t%d (id INTEGER PRIMARY KEY, v INTEGER)", i)}, nil, true)
+	}
+	const history = 400
+	for i := 0; i < history; i++ {
+		tab := i % 8
+		log.Append(
+			[]string{fmt.Sprintf("INSERT INTO app.t%d (id, v) VALUES (%d, %d)", tab, i/8+1, i)},
+			[]string{fmt.Sprintf("app.t%d", tab)}, false)
+	}
+	prov := core.NewProvisioner(log)
+	var rows []Row
+	for _, parallel := range []bool{false, true} {
+		rep := core.NewReplica(core.ReplicaConfig{Name: fmt.Sprintf("fresh-%v", parallel)})
+		start := time.Now()
+		res, err := prov.Resync(rep, 0, core.ResyncOptions{
+			Parallel:  parallel,
+			Workers:   8,
+			ApplyCost: 300 * time.Microsecond,
+			BatchWait: 5 * time.Millisecond,
+		}, 60*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		label := "serial replay"
+		if parallel {
+			label = "parallel replay (8 workers)"
+		}
+		rows = append(rows, Row{
+			Label: label,
+			Values: map[string]float64{
+				"catchup_ms": float64(time.Since(start)) / 1e6,
+				"replayed":   float64(res.Replayed),
+			},
+			Order: []string{"catchup_ms", "replayed"},
+		})
+	}
+	return rows, nil
+}
+
+// C9LowLoadLatency measures the §4.4.5 penalty: per-query latency of a
+// single engine versus a replicated cluster at low load, for sub-ms OLTP
+// queries and for a sequential batch update script.
+func C9LowLoadLatency(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	const keys = 50
+	// Single database.
+	_, raw, err := rawEngine(keys)
+	if err != nil {
+		return nil, err
+	}
+	singleRead, err := measureLatency(clientOf(raw), 200, keys)
+	if err != nil {
+		return nil, err
+	}
+	batchSingle := time.Now()
+	for i := 0; i < 100; i++ {
+		if _, err := raw.Exec(fmt.Sprintf("UPDATE %s SET stock = stock - 1 WHERE id = %d", benchTable, i%keys+1)); err != nil {
+			return nil, err
+		}
+	}
+	singleBatch := time.Since(batchSingle)
+
+	// Replicated multi-master (statement mode, 3 replicas): every write
+	// pays ordering plus cluster-wide execution.
+	mm, ord, err := setupMM(3, core.MultiMasterConfig{Mode: core.StatementMode}, keys, false)
+	if err != nil {
+		return nil, err
+	}
+	defer mm.Close()
+	defer ord.Close()
+	s, err := mm.NewSession("bench")
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if _, err := s.Exec("USE app"); err != nil {
+		return nil, err
+	}
+	replRead, err := measureLatency(clientOf(s), 200, keys)
+	if err != nil {
+		return nil, err
+	}
+	batchRepl := time.Now()
+	for i := 0; i < 100; i++ {
+		if _, err := s.Exec(fmt.Sprintf("UPDATE %s SET stock = stock - 1 WHERE id = %d", benchTable, i%keys+1)); err != nil {
+			return nil, err
+		}
+	}
+	replBatch := time.Since(batchRepl)
+
+	return []Row{
+		{Label: "single DB point read", Values: map[string]float64{"latency_us": float64(singleRead) / 1e3}, Order: []string{"latency_us"}},
+		{Label: "replicated point read", Values: map[string]float64{"latency_us": float64(replRead) / 1e3}, Order: []string{"latency_us"}},
+		{Label: "single DB batch (100 upd)", Values: map[string]float64{"total_ms": float64(singleBatch) / 1e6}, Order: []string{"total_ms"}},
+		{Label: "replicated batch (100 upd)", Values: map[string]float64{"total_ms": float64(replBatch) / 1e6}, Order: []string{"total_ms"}},
+	}, nil
+}
+
+// C10GroupComm measures totally-ordered broadcast throughput versus group
+// size for both protocols, then quorum behaviour under a partition
+// (§4.3.4.1, §4.3.4.3).
+func C10GroupComm(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	var rows []Row
+	for _, ordering := range []gcs.Ordering{gcs.Sequencer, gcs.TokenRing} {
+		name := "sequencer"
+		if ordering == gcs.TokenRing {
+			name = "token-ring"
+		}
+		for _, n := range []int{2, 4, 6} {
+			net, orderers := core.BuildGCSCluster(n, gcs.Config{
+				Ordering:          ordering,
+				HeartbeatInterval: 5 * time.Millisecond,
+				SuspectTimeout:    50 * time.Millisecond,
+			}, 1)
+			subs := make([]<-chan core.Ordered, n)
+			for i, o := range orderers {
+				subs[i] = o.Subscribe()
+			}
+			const msgs = 200
+			start := time.Now()
+			go func() {
+				for i := 0; i < msgs; i++ {
+					_ = orderers[i%n].Submit(i)
+				}
+			}()
+			// Wait for full delivery at node 0.
+			got := 0
+			timeout := time.After(20 * time.Second)
+			for got < msgs {
+				select {
+				case <-subs[0]:
+					got++
+				case <-timeout:
+					return nil, fmt.Errorf("%s n=%d: only %d/%d delivered", name, n, got, msgs)
+				}
+			}
+			elapsed := time.Since(start)
+			for _, o := range orderers {
+				o.Close()
+			}
+			net.Close()
+			rows = append(rows, Row{
+				Label:  fmt.Sprintf("%s group=%d", name, n),
+				Values: map[string]float64{"msgs/s": float64(msgs) / elapsed.Seconds()},
+				Order:  []string{"msgs/s"},
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sqltypes"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// measureLatency runs n sequential point reads and returns the mean.
+func measureLatency(c workload.Client, n int, keys int) (time.Duration, error) {
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		sql := fmt.Sprintf("SELECT id, name FROM %s WHERE id = %d", benchTable, i%keys+1)
+		t0 := time.Now()
+		if _, err := c.Exec(sql); err != nil {
+			return 0, err
+		}
+		total += time.Since(t0)
+	}
+	return total / time.Duration(n), nil
+}
+
+// rawEngine builds a bare engine with the bench table.
+func rawEngine(keys int) (*engine.Engine, *engine.Session, error) {
+	e := engine.New(engine.Config{})
+	s := e.NewSession("bench")
+	if _, err := s.Exec("CREATE DATABASE app"); err != nil {
+		return nil, nil, err
+	}
+	if _, err := s.Exec("USE app"); err != nil {
+		return nil, nil, err
+	}
+	mix := workload.Mix{Table: benchTable, Keys: keys}
+	if err := mix.Setup(clientOf(s), keys); err != nil {
+		return nil, nil, err
+	}
+	return e, s, nil
+}
+
+// F5EngineIntercept measures in-process (engine-level, Figure 5)
+// interception: the middleware shares the process with the engine, so the
+// only overhead is routing and parsing.
+func F5EngineIntercept(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	const keys = 50
+	_, raw, err := rawEngine(keys)
+	if err != nil {
+		return nil, err
+	}
+	rawLat, err := measureLatency(clientOf(raw), 300, keys)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := setupMSCost(0, core.MasterSlaveConfig{ReadFromMaster: true}, keys, false)
+	if err != nil {
+		return nil, err
+	}
+	defer ms.Close()
+	sess := ms.NewSession("bench")
+	defer sess.Close()
+	if _, err := sess.Exec("USE app"); err != nil {
+		return nil, err
+	}
+	mwLat, err := measureLatency(clientOf(sess), 300, keys)
+	if err != nil {
+		return nil, err
+	}
+	return []Row{
+		{Label: "raw engine", Values: map[string]float64{"latency_us": float64(rawLat) / 1e3}, Order: []string{"latency_us"}},
+		{Label: "engine-level middleware", Values: map[string]float64{"latency_us": float64(mwLat) / 1e3}, Order: []string{"latency_us"}},
+	}, nil
+}
+
+// wireClient adapts a wire connection to the workload Client interface.
+type wireClient struct{ c *wire.Conn }
+
+func (w wireClient) Exec(sql string) (*engine.Result, error) {
+	resp, err := w.c.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &engine.Result{
+		Columns: resp.Columns, Rows: resp.Rows,
+		RowsAffected: resp.RowsAffected, LastInsertID: resp.LastInsertID,
+	}, nil
+}
+
+// F6ProtocolProxy measures native-protocol interception (Figure 6): the
+// client talks the wire protocol to a proxy middleware in front of the
+// engine's own wire server, paying one extra network hop.
+func F6ProtocolProxy(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	const keys = 50
+	e, _, err := rawEngine(keys)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := wire.NewServer("127.0.0.1:0", &wire.EngineBackend{Engine: e})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	direct, err := wire.Dial(srv.Addr(), wire.DriverConfig{User: "bench", Database: "app"})
+	if err != nil {
+		return nil, err
+	}
+	defer direct.Close()
+	directLat, err := measureLatency(wireClient{direct}, 200, keys)
+	if err != nil {
+		return nil, err
+	}
+
+	proxy, err := wire.NewProxy("127.0.0.1:0", srv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer proxy.Close()
+	proxied, err := wire.Dial(proxy.Addr(), wire.DriverConfig{User: "bench", Database: "app"})
+	if err != nil {
+		return nil, err
+	}
+	defer proxied.Close()
+	proxyLat, err := measureLatency(wireClient{proxied}, 200, keys)
+	if err != nil {
+		return nil, err
+	}
+	return []Row{
+		{Label: "native protocol direct", Values: map[string]float64{"latency_us": float64(directLat) / 1e3}, Order: []string{"latency_us"}},
+		{Label: "protocol-level proxy", Values: map[string]float64{"latency_us": float64(proxyLat) / 1e3}, Order: []string{"latency_us"}},
+	}, nil
+}
+
+// msBackend adapts a master-slave cluster to the wire Backend interface —
+// the JDBC-style driver interception of Figure 7: clients speak the
+// middleware protocol; the middleware fans out to replicas.
+type msBackend struct{ ms *core.MasterSlave }
+
+func (b msBackend) Authenticate(user, password string) error { return nil }
+
+func (b msBackend) OpenSession(user, database string) (wire.SessionHandler, error) {
+	s := b.ms.NewSession(user)
+	if database != "" {
+		if _, err := s.Exec("USE " + database); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return msWireSession{s}, nil
+}
+
+type msWireSession struct{ s *core.MSSession }
+
+func (w msWireSession) Exec(sql string, args []sqltypes.Value) (*wire.Response, error) {
+	res, err := w.s.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return wire.FromEngineResult(res), nil
+}
+
+func (w msWireSession) Close() { w.s.Close() }
+
+// F7DriverIntercept measures driver-level (JDBC-style, Figure 7)
+// interception: the client's driver speaks the middleware protocol over
+// TCP; the middleware routes to replicas in-process.
+func F7DriverIntercept(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	const keys = 50
+	ms, err := setupMSCost(1, core.MasterSlaveConfig{Consistency: core.ReadAny}, keys, false)
+	if err != nil {
+		return nil, err
+	}
+	defer ms.Close()
+	srv, err := wire.NewServer("127.0.0.1:0", msBackend{ms})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	conn, err := wire.Dial(srv.Addr(), wire.DriverConfig{User: "bench", Database: "app"})
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	lat, err := measureLatency(wireClient{conn}, 200, keys)
+	if err != nil {
+		return nil, err
+	}
+	return []Row{
+		{Label: "driver-level middleware", Values: map[string]float64{"latency_us": float64(lat) / 1e3}, Order: []string{"latency_us"}},
+	}, nil
+}
+
+// F8LayerAblation decomposes per-read latency across the stack of Figure 8:
+// engine, +SQL routing middleware, +wire protocol, +replication fan-out.
+func F8LayerAblation(opts Options) ([]Row, error) {
+	opts = opts.fill()
+	const keys = 50
+
+	// Layer 1: raw engine.
+	_, raw, err := rawEngine(keys)
+	if err != nil {
+		return nil, err
+	}
+	l1, err := measureLatency(clientOf(raw), 300, keys)
+	if err != nil {
+		return nil, err
+	}
+
+	// Layer 2: + middleware routing (single replica, in-proc).
+	ms0, err := setupMSCost(0, core.MasterSlaveConfig{ReadFromMaster: true}, keys, false)
+	if err != nil {
+		return nil, err
+	}
+	defer ms0.Close()
+	s2 := ms0.NewSession("bench")
+	defer s2.Close()
+	if _, err := s2.Exec("USE app"); err != nil {
+		return nil, err
+	}
+	l2, err := measureLatency(clientOf(s2), 300, keys)
+	if err != nil {
+		return nil, err
+	}
+
+	// Layer 3: + replication (1 master + 2 slaves, reads balanced).
+	ms2, err := setupMSCost(2, core.MasterSlaveConfig{Consistency: core.ReadAny}, keys, false)
+	if err != nil {
+		return nil, err
+	}
+	defer ms2.Close()
+	s3 := ms2.NewSession("bench")
+	defer s3.Close()
+	if _, err := s3.Exec("USE app"); err != nil {
+		return nil, err
+	}
+	l3, err := measureLatency(clientOf(s3), 300, keys)
+	if err != nil {
+		return nil, err
+	}
+
+	// Layer 4: + wire protocol in front of the replicated cluster.
+	srv, err := wire.NewServer("127.0.0.1:0", msBackend{ms2})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	conn, err := wire.Dial(srv.Addr(), wire.DriverConfig{User: "bench", Database: "app"})
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	l4, err := measureLatency(wireClient{conn}, 200, keys)
+	if err != nil {
+		return nil, err
+	}
+
+	mk := func(label string, d time.Duration) Row {
+		return Row{Label: label, Values: map[string]float64{"latency_us": float64(d) / 1e3}, Order: []string{"latency_us"}}
+	}
+	return []Row{
+		mk("engine only", l1),
+		mk("+ middleware routing", l2),
+		mk("+ replication (3 replicas)", l3),
+		mk("+ wire protocol", l4),
+	}, nil
+}

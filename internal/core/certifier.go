@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Certifier implements first-committer-wins certification over the totally
+// ordered write-set stream (§3.3: the Postgres-R / Middle-R family).
+//
+// Deployed replicated (one instance per replica, fed identical ordered
+// input, reaching identical decisions) it has no single point of failure.
+// Deployed centralized (one shared instance) it is the SPOF whose outage
+// and state-rebuild cost §3.2 complains about; Fail/Repair/RebuildFromLog
+// model exactly that.
+type Certifier struct {
+	mu sync.Mutex
+	// lastWriter maps a row key to the ordered position that last wrote
+	// it (the certifier's "soft state").
+	lastWriter map[string]uint64
+	// decided caches per-position decisions: a centralized certifier is
+	// consulted once per replica for the same ordered transaction and
+	// must answer identically every time.
+	decided   map[uint64]bool
+	failed    bool
+	decisions uint64
+}
+
+// ErrCertifierDown is returned while a centralized certifier is failed —
+// which stalls every commit in the cluster (§3.2).
+var ErrCertifierDown = errors.New("core: certifier is down")
+
+// NewCertifier creates an empty certifier.
+func NewCertifier() *Certifier {
+	return &Certifier{lastWriter: make(map[string]uint64), decided: make(map[uint64]bool)}
+}
+
+// Certify decides one transaction: it commits iff no key in its write set
+// was written by a transaction certified after the submitter's snapshot
+// position. On commit the certifier records the write positions.
+func (c *Certifier) Certify(seq, snapshot uint64, ws *engine.WriteSet) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed {
+		return false, ErrCertifierDown
+	}
+	if d, ok := c.decided[seq]; ok {
+		return d, nil // repeat consultation for the same ordered txn
+	}
+	c.decisions++
+	commit := true
+	for _, key := range ws.Keys() {
+		if last, ok := c.lastWriter[key]; ok && last > snapshot {
+			commit = false
+			break
+		}
+	}
+	if commit {
+		for _, key := range ws.Keys() {
+			c.lastWriter[key] = seq
+		}
+	}
+	c.decided[seq] = commit
+	return commit, nil
+}
+
+// Decisions returns the number of certifications performed.
+func (c *Certifier) Decisions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.decisions
+}
+
+// StateSize returns the number of tracked keys (the soft state that must be
+// rebuilt after a centralized certifier failure).
+func (c *Certifier) StateSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.lastWriter)
+}
+
+// Fail takes the certifier down and discards its soft state — the
+// centralized-component failure of §3.2.
+func (c *Certifier) Fail() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failed = true
+	c.lastWriter = make(map[string]uint64)
+	c.decided = make(map[uint64]bool)
+}
+
+// Repair brings the certifier back up (empty-brained; call RebuildFromLog
+// first for correct conflict detection of in-flight snapshots).
+func (c *Certifier) Repair() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failed = false
+}
+
+// RebuildFromLog reconstructs the soft state by replaying certified write
+// sets (e.g. from the recovery log or a replica's binlog): "the recovery
+// procedure requires retrieving state from every replica to rebuild the
+// load balancer's soft state" (§3.2). All recovered keys are stamped with
+// asOf — the recovery point in ordered-stream positions — which forces any
+// transaction whose snapshot predates the outage to abort (the safe
+// post-recovery policy). It returns the number of entries scanned so
+// callers can account the rebuild cost.
+func (c *Certifier) RebuildFromLog(events []engine.Event, asOf uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ev := range events {
+		if ev.WriteSet == nil {
+			continue
+		}
+		for _, key := range ev.WriteSet.Keys() {
+			c.lastWriter[key] = asOf
+		}
+		n++
+	}
+	return n
+}

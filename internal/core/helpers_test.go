@@ -1,0 +1,14 @@
+package core
+
+import (
+	"repro/internal/recoverylog"
+	"repro/internal/sqltypes"
+)
+
+// Aliases keeping test tables readable.
+type sqltypesValue = sqltypes.Value
+
+func sqlInt(i int64) sqltypes.Value  { return sqltypes.NewInt(i) }
+func sqlStr(s string) sqltypes.Value { return sqltypes.NewString(s) }
+
+func newRecoveryLog() *recoverylog.Log { return recoverylog.New() }

@@ -1,0 +1,638 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/lb"
+	"repro/internal/sqlparse"
+)
+
+// SafetyMode is the commit durability contract of §2.2.
+type SafetyMode int
+
+// Safety modes.
+const (
+	// OneSafe commits at the master without consulting slaves: fast, but
+	// transactions can be lost on failover.
+	OneSafe SafetyMode = iota
+	// TwoSafe delays commit acknowledgement until the required number of
+	// slaves confirmed *receipt* of the update (they need not have
+	// applied or persisted it) — "avoids transaction loss, but increases
+	// latency".
+	TwoSafe
+)
+
+// ShipMode selects what the master ships to slaves (§4.3.2).
+type ShipMode int
+
+// Shipping modes.
+const (
+	// ShipStatements re-executes the SQL on each slave.
+	ShipStatements ShipMode = iota
+	// ShipWriteSets applies captured row changes.
+	ShipWriteSets
+)
+
+// Consistency is the read routing guarantee (§3.3).
+type Consistency int
+
+// Read consistency levels.
+const (
+	// ReadAny routes reads to any healthy replica regardless of lag
+	// (loose consistency with no freshness guarantee).
+	ReadAny Consistency = iota
+	// SessionConsistent guarantees read-your-writes: reads go to replicas
+	// that have applied this session's last write (strong session SI).
+	SessionConsistent
+	// StrongConsistent guarantees reads observe the globally latest
+	// commit (global strong SI / RSI-PC): only fully caught-up slaves or
+	// the master qualify.
+	StrongConsistent
+)
+
+// MasterSlaveConfig configures a master-slave (hot standby / scale-out)
+// cluster.
+type MasterSlaveConfig struct {
+	Safety SafetyMode
+	Ship   ShipMode
+	// TwoSafeAcks is how many slaves must confirm receipt before a commit
+	// returns under TwoSafe; zero means all slaves.
+	TwoSafeAcks int
+	// ApplyDelay adds per-event latency at slaves (models the apply lag
+	// whose consequences §2.2 describes).
+	ApplyDelay time.Duration
+	// ReadPolicy balances reads over slaves; nil means LPRF.
+	ReadPolicy lb.Policy
+	// ReadLevel is the balancing granularity; the default QueryLevel
+	// rebalances every read.
+	ReadLevel lb.Level
+	// ReadFromMaster additionally allows routing reads to the master.
+	ReadFromMaster bool
+	// Consistency is the default read guarantee for sessions.
+	Consistency Consistency
+	// FreshnessBound, when > 0 and Consistency is ReadAny, restricts
+	// reads to slaves lagging at most this many events ("a freshness
+	// guarantee", §2.1).
+	FreshnessBound uint64
+	// TransparentFailover replays the in-flight transaction on the new
+	// master after failover (Sequoia-style, §4.3.3). Only sound with
+	// deterministic statements.
+	TransparentFailover bool
+	// FailoverTimeout bounds how long sessions wait for a promotion
+	// before giving up; zero means 5 s.
+	FailoverTimeout time.Duration
+}
+
+// MasterSlave is a master-slave replication controller (Figures 1 and 3).
+type MasterSlave struct {
+	cfg MasterSlaveConfig
+
+	mu       sync.Mutex
+	master   *Replica
+	slaves   []*Replica
+	appliers map[string]*slaveApplier
+	policy   lb.Policy
+	epoch    uint64 // bumped at each failover
+
+	lostOnLastFailover uint64
+}
+
+// slaveApplier consumes the master binlog serially into one slave.
+type slaveApplier struct {
+	slave   *Replica
+	session *engine.Session
+	delay   time.Duration
+	ship    ShipMode
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewMasterSlave wires a master and its slaves and starts binlog shipping.
+func NewMasterSlave(master *Replica, slaves []*Replica, cfg MasterSlaveConfig) *MasterSlave {
+	if cfg.ReadPolicy == nil {
+		cfg.ReadPolicy = lb.NewLPRF()
+	}
+	if cfg.FailoverTimeout == 0 {
+		cfg.FailoverTimeout = 5 * time.Second
+	}
+	ms := &MasterSlave{
+		cfg:      cfg,
+		master:   master,
+		slaves:   append([]*Replica(nil), slaves...),
+		appliers: make(map[string]*slaveApplier),
+		policy:   cfg.ReadPolicy,
+	}
+	for _, sl := range ms.slaves {
+		ms.startApplier(sl, 0)
+	}
+	return ms
+}
+
+// Master returns the current master replica.
+func (ms *MasterSlave) Master() *Replica {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.master
+}
+
+// Slaves returns the current slave set.
+func (ms *MasterSlave) Slaves() []*Replica {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return append([]*Replica(nil), ms.slaves...)
+}
+
+// MasterSeq returns the master's current binlog head.
+func (ms *MasterSlave) MasterSeq() uint64 {
+	return ms.Master().Engine().Binlog().Head()
+}
+
+// SlaveLag returns how many events each slave still has to apply.
+func (ms *MasterSlave) SlaveLag() map[string]uint64 {
+	head := ms.MasterSeq()
+	out := make(map[string]uint64)
+	for _, sl := range ms.Slaves() {
+		applied := sl.AppliedSeq()
+		if head > applied {
+			out[sl.Name()] = head - applied
+		} else {
+			out[sl.Name()] = 0
+		}
+	}
+	return out
+}
+
+// startApplier begins shipping the master binlog into a slave from position
+// `from`. Caller must not hold ms.mu... it only reads ms.master once.
+func (ms *MasterSlave) startApplier(sl *Replica, from uint64) {
+	ms.mu.Lock()
+	master := ms.master
+	a := &slaveApplier{
+		slave:   sl,
+		session: sl.Engine().NewSession("replication"),
+		delay:   ms.cfg.ApplyDelay,
+		ship:    ms.cfg.Ship,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	ms.appliers[sl.Name()] = a
+	ms.mu.Unlock()
+	go a.run(master.Engine(), from)
+}
+
+// run ships events serially: receive (ack position), then apply with the
+// slave's write service cost. This serial application is exactly why a
+// loaded slave lags a parallel master (§2.2, experiment C3).
+func (a *slaveApplier) run(masterEng *engine.Engine, from uint64) {
+	defer close(a.done)
+	pos := from
+	if pos == 0 {
+		pos = a.slave.AppliedSeq()
+	}
+	for {
+		select {
+		case <-a.stop:
+			return
+		default:
+		}
+		events, trimmed := masterEng.Binlog().ReadFrom(pos, 64)
+		if trimmed {
+			return // needs full resync from backup (§4.4.2)
+		}
+		if len(events) == 0 {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		for _, ev := range events {
+			select {
+			case <-a.stop:
+				return
+			default:
+			}
+			a.slave.receivedSeq.Store(ev.Seq)
+			if a.delay > 0 {
+				time.Sleep(a.delay)
+			}
+			a.slave.serviceSleep(false)
+			if err := applyEvent(a.session, a.slave.Engine(), ev, a.ship); err != nil {
+				// Apply errors stall the slave (like a broken replica);
+				// operators must intervene — matching field behaviour.
+				return
+			}
+			pos = ev.Seq
+			a.slave.appliedSeq.Store(ev.Seq)
+		}
+	}
+}
+
+func (a *slaveApplier) halt() {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	<-a.done
+	a.session.Close()
+}
+
+// applyEvent applies one binlog event to a replica engine, preserving the
+// one-event-one-commit alignment that keeps binlog positions comparable
+// across replicas.
+func applyEvent(s *engine.Session, eng *engine.Engine, ev engine.Event, ship ShipMode) error {
+	if ev.DDL {
+		if ev.Database != "" {
+			if _, err := s.Exec("USE " + ev.Database); err != nil && !isUnknownDB(err) {
+				return err
+			}
+		}
+		_, err := s.Exec(ev.Stmts[0])
+		return err
+	}
+	if ship == ShipWriteSets && ev.WriteSet != nil {
+		return eng.ApplyWriteSet(ev.WriteSet, engine.ApplyOptions{})
+	}
+	if ev.Database != "" {
+		if _, err := s.Exec("USE " + ev.Database); err != nil {
+			return err
+		}
+	}
+	if len(ev.Stmts) == 0 {
+		return nil
+	}
+	if len(ev.Stmts) == 1 {
+		_, err := s.Exec(ev.Stmts[0])
+		return err
+	}
+	if _, err := s.Exec("BEGIN"); err != nil {
+		return err
+	}
+	for _, sql := range ev.Stmts {
+		if _, err := s.Exec(sql); err != nil {
+			_, _ = s.Exec("ROLLBACK")
+			return err
+		}
+	}
+	_, err := s.Exec("COMMIT")
+	return err
+}
+
+func isUnknownDB(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "unknown database")
+}
+
+// waitTwoSafe blocks until enough slaves confirmed receipt of seq.
+func (ms *MasterSlave) waitTwoSafe(seq uint64) error {
+	need := ms.cfg.TwoSafeAcks
+	slaves := ms.Slaves()
+	if need <= 0 || need > len(slaves) {
+		need = len(slaves)
+	}
+	deadline := time.Now().Add(ms.cfg.FailoverTimeout)
+	for {
+		acked := 0
+		for _, sl := range slaves {
+			if sl.ReceivedSeq() >= seq {
+				acked++
+			}
+		}
+		if acked >= need {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: 2-safe commit timed out waiting for %d acks at seq %d", need, seq)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// pickReadReplica selects a replica for a read under the session's
+// consistency requirement.
+func (ms *MasterSlave) pickReadReplica(lastWriteSeq uint64) (*Replica, error) {
+	ms.mu.Lock()
+	master := ms.master
+	slaves := append([]*Replica(nil), ms.slaves...)
+	ms.mu.Unlock()
+
+	head := master.Engine().Binlog().Head()
+	var candidates []lb.Target
+	for _, sl := range slaves {
+		if !sl.Healthy() {
+			continue
+		}
+		ok := false
+		switch ms.cfg.Consistency {
+		case ReadAny:
+			ok = ms.cfg.FreshnessBound == 0 || head-min64(sl.AppliedSeq(), head) <= ms.cfg.FreshnessBound
+		case SessionConsistent:
+			ok = sl.AppliedSeq() >= lastWriteSeq
+		case StrongConsistent:
+			ok = sl.AppliedSeq() >= head
+		}
+		if ok {
+			candidates = append(candidates, sl)
+		}
+	}
+	if ms.cfg.ReadFromMaster && master.Healthy() {
+		candidates = append(candidates, master)
+	}
+	if len(candidates) == 0 {
+		// Fall back to the master: it always satisfies every guarantee.
+		if master.Healthy() {
+			return master, nil
+		}
+		return nil, ErrReplicaDown
+	}
+	t := ms.policy.Pick(candidates)
+	if t == nil {
+		return nil, ErrReplicaDown
+	}
+	return t.(*Replica), nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LostTransactions reports how many committed-but-unshipped events the last
+// failover lost (1-safe's exposure, §2.2).
+func (ms *MasterSlave) LostTransactions() uint64 {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.lostOnLastFailover
+}
+
+// Epoch identifies the current master incarnation.
+func (ms *MasterSlave) Epoch() uint64 {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.epoch
+}
+
+// Failover promotes the most-up-to-date healthy slave to master and rewires
+// shipping. It returns the new master. The failed master's unshipped suffix
+// is counted as lost transactions.
+func (ms *MasterSlave) Failover() (*Replica, error) {
+	ms.mu.Lock()
+	oldMaster := ms.master
+	var best *Replica
+	for _, sl := range ms.slaves {
+		if !sl.Healthy() {
+			continue
+		}
+		if best == nil || sl.AppliedSeq() > best.AppliedSeq() {
+			best = sl
+		}
+	}
+	if best == nil {
+		ms.mu.Unlock()
+		return nil, fmt.Errorf("core: no healthy slave to promote")
+	}
+	remaining := make([]*Replica, 0, len(ms.slaves))
+	for _, sl := range ms.slaves {
+		if sl != best {
+			remaining = append(remaining, sl)
+		}
+	}
+	appliers := ms.appliers
+	ms.appliers = make(map[string]*slaveApplier)
+	ms.master = best
+	ms.slaves = remaining
+	ms.epoch++
+	// Lost transactions: committed on the old master but never applied by
+	// the promoted slave. (We can inspect the in-memory binlog; in the
+	// field this is "a manual procedure requiring careful inspection of
+	// the master's transaction log", §2.2.)
+	oldHead := oldMaster.Engine().Binlog().Head()
+	applied := best.AppliedSeq()
+	if oldHead > applied {
+		ms.lostOnLastFailover = oldHead - applied
+	} else {
+		ms.lostOnLastFailover = 0
+	}
+	ms.mu.Unlock()
+
+	// Stop all shipping from the dead master.
+	for _, a := range appliers {
+		a.halt()
+	}
+	// Re-point remaining slaves at the new master, resuming from their
+	// own positions (binlog positions are aligned one-event-one-commit).
+	for _, sl := range remaining {
+		from := sl.AppliedSeq()
+		if from > applied {
+			// The slave is ahead of the new master: its extra events were
+			// lost on a master that no longer exists. Re-align down.
+			from = applied
+		}
+		ms.startApplier(sl, from)
+	}
+	return best, nil
+}
+
+// Failback re-adds a recovered replica as a slave, resynchronizing it from
+// the current master's binlog (or reporting that a backup-based resync is
+// required when the binlog was trimmed, §4.4.2).
+func (ms *MasterSlave) Failback(rep *Replica, from uint64) error {
+	rep.Recover()
+	ms.mu.Lock()
+	for _, sl := range ms.slaves {
+		if sl == rep {
+			ms.mu.Unlock()
+			return fmt.Errorf("core: replica %s already attached", rep.Name())
+		}
+	}
+	ms.slaves = append(ms.slaves, rep)
+	ms.mu.Unlock()
+	rep.appliedSeq.Store(from)
+	rep.receivedSeq.Store(from)
+	ms.startApplier(rep, from)
+	return nil
+}
+
+// Close stops all shipping.
+func (ms *MasterSlave) Close() {
+	ms.mu.Lock()
+	appliers := ms.appliers
+	ms.appliers = make(map[string]*slaveApplier)
+	ms.mu.Unlock()
+	for _, a := range appliers {
+		a.halt()
+	}
+}
+
+// ---- client sessions ----
+
+// MSSession is a client session against a master-slave cluster.
+type MSSession struct {
+	ms   *MasterSlave
+	pool *sessionPool
+
+	mu           sync.Mutex
+	lastWriteSeq uint64
+	pinned       *Replica // connection-level read pinning
+	epoch        uint64
+	txnLog       []string // for transparent failover replay
+	inTxn        bool
+}
+
+// NewSession opens a client session on the cluster.
+func (ms *MasterSlave) NewSession(user string) *MSSession {
+	return &MSSession{ms: ms, pool: newSessionPool(user), epoch: ms.Epoch()}
+}
+
+// Close releases the session.
+func (cs *MSSession) Close() { cs.pool.closeAll() }
+
+// Exec routes one statement.
+func (cs *MSSession) Exec(sql string) (*engine.Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return cs.ExecStmt(st)
+}
+
+// ExecStmt routes a pre-parsed statement.
+func (cs *MSSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	switch s := st.(type) {
+	case *sqlparse.UseDatabase:
+		if err := cs.pool.setDB(s.Name); err != nil {
+			return nil, err
+		}
+		return &engine.Result{}, nil
+	}
+	if st.IsRead() && !cs.inTxn {
+		return cs.execRead(st)
+	}
+	return cs.execWrite(st)
+}
+
+// execRead routes a read per the configured level/policy/consistency.
+func (cs *MSSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
+	var target *Replica
+	if cs.ms.cfg.ReadLevel == lb.ConnectionLevel && cs.pinned != nil && cs.pinned.Healthy() {
+		target = cs.pinned
+	} else {
+		t, err := cs.ms.pickReadReplica(cs.lastWriteSeq)
+		if err != nil {
+			return nil, err
+		}
+		target = t
+		if cs.ms.cfg.ReadLevel == lb.ConnectionLevel {
+			cs.pinned = target
+		}
+	}
+	sess, err := cs.pool.get(target)
+	if err != nil {
+		return nil, err
+	}
+	return target.ExecOn(sess, st.SQL(), true)
+}
+
+// execWrite sends the statement to the master, handling safety mode and
+// (optionally) transparent failover.
+func (cs *MSSession) execWrite(st sqlparse.Statement) (*engine.Result, error) {
+	for attempt := 0; ; attempt++ {
+		master := cs.ms.Master()
+		sess, err := cs.pool.get(master)
+		if err != nil {
+			return nil, err
+		}
+		res, err := master.ExecOn(sess, st.SQL(), false)
+		if err != nil {
+			if errors.Is(err, ErrReplicaDown) && attempt == 0 {
+				if rerr := cs.recoverFromMasterFailure(master); rerr == nil {
+					continue
+				}
+			}
+			return nil, err
+		}
+		cs.trackTxn(st)
+		if !cs.inTxn && !st.IsRead() {
+			seq := master.Engine().Binlog().Head()
+			cs.lastWriteSeq = seq
+			if cs.ms.cfg.Safety == TwoSafe {
+				if err := cs.ms.waitTwoSafe(seq); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return res, nil
+	}
+}
+
+// trackTxn maintains explicit-transaction state and the replay log.
+func (cs *MSSession) trackTxn(st sqlparse.Statement) {
+	switch st.(type) {
+	case *sqlparse.BeginTxn:
+		cs.inTxn = true
+		cs.txnLog = cs.txnLog[:0]
+		cs.txnLog = append(cs.txnLog, "BEGIN")
+	case *sqlparse.CommitTxn:
+		cs.inTxn = false
+		cs.txnLog = nil
+		master := cs.ms.Master()
+		cs.lastWriteSeq = master.Engine().Binlog().Head()
+		if cs.ms.cfg.Safety == TwoSafe {
+			_ = cs.ms.waitTwoSafe(cs.lastWriteSeq)
+		}
+	case *sqlparse.RollbackTxn:
+		cs.inTxn = false
+		cs.txnLog = nil
+	default:
+		if cs.inTxn {
+			cs.txnLog = append(cs.txnLog, st.SQL())
+		}
+	}
+}
+
+// recoverFromMasterFailure waits for a promotion and, when configured,
+// replays the in-flight transaction on the new master (§4.3.3: without this
+// cooperation "the entire transaction has to be replayed ... which cannot
+// succeed without the cooperation of the application").
+func (cs *MSSession) recoverFromMasterFailure(failed *Replica) error {
+	deadline := time.Now().Add(cs.ms.cfg.FailoverTimeout)
+	for {
+		m := cs.ms.Master()
+		if m != failed && m.Healthy() {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: no failover within %v", cs.ms.cfg.FailoverTimeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cs.pool.drop(failed.Name())
+	if !cs.inTxn {
+		return nil
+	}
+	if !cs.ms.cfg.TransparentFailover {
+		cs.inTxn = false
+		cs.txnLog = nil
+		return fmt.Errorf("core: transaction lost by master failover (session failover only, §4.3.3)")
+	}
+	// Replay the transaction context on the new master.
+	master := cs.ms.Master()
+	sess, err := cs.pool.get(master)
+	if err != nil {
+		return err
+	}
+	for _, sql := range cs.txnLog {
+		if _, err := master.ExecOn(sess, sql, false); err != nil {
+			cs.inTxn = false
+			cs.txnLog = nil
+			return fmt.Errorf("core: transparent failover replay failed: %w", err)
+		}
+	}
+	return nil
+}

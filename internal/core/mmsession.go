@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/lb"
+	"repro/internal/sqlparse"
+)
+
+// MMSession is a client session on a multi-master cluster. Reads execute on
+// a load-balanced replica; writes go through total order. Transactions run
+// interactively on the session's home replica as a dry run (so reads see
+// the transaction's own writes), then are rolled back and re-executed in
+// total order at commit — the conservative re-execution that makes
+// statement replication 1-copy-serializable when statements are
+// deterministic.
+type MMSession struct {
+	mm   *MultiMaster
+	pool *sessionPool
+	user string
+
+	home         *Replica
+	db           string
+	lastWriteSeq uint64
+	pinnedRead   *Replica
+
+	inTxn   bool
+	txnSQL  []string // rewritten scripts for replay
+	dryRun  *engine.Session
+	snapSeq uint64 // certification: home position at BEGIN
+}
+
+// NewSession opens a session. The home replica (where transactions execute
+// before ordering) is picked by the balancing policy.
+func (mm *MultiMaster) NewSession(user string) (*MMSession, error) {
+	home, err := mm.pickHome()
+	if err != nil {
+		return nil, err
+	}
+	return &MMSession{mm: mm, pool: newSessionPool(user), user: user, home: home}, nil
+}
+
+// Home returns the session's home replica.
+func (s *MMSession) Home() *Replica { return s.home }
+
+// Close releases the session.
+func (s *MMSession) Close() {
+	if s.dryRun != nil {
+		s.dryRun.Rollback()
+		s.dryRun = nil
+	}
+	s.pool.closeAll()
+}
+
+// Exec parses and routes one statement.
+func (s *MMSession) Exec(sql string) (*engine.Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(st)
+}
+
+// ExecStmt routes a pre-parsed statement.
+func (s *MMSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
+	switch stmt := st.(type) {
+	case *sqlparse.UseDatabase:
+		s.db = stmt.Name
+		if err := s.pool.setDB(stmt.Name); err != nil {
+			return nil, err
+		}
+		return &engine.Result{}, nil
+	case *sqlparse.BeginTxn:
+		return s.begin()
+	case *sqlparse.CommitTxn:
+		return s.commit()
+	case *sqlparse.RollbackTxn:
+		return s.rollback()
+	}
+	if s.inTxn {
+		return s.execInTxn(st)
+	}
+	if st.IsRead() {
+		return s.execRead(st)
+	}
+	return s.execAutocommitWrite(st)
+}
+
+func (s *MMSession) begin() (*engine.Result, error) {
+	if s.inTxn {
+		return nil, fmt.Errorf("core: transaction already in progress")
+	}
+	sess, err := s.pool.get(s.home)
+	if err != nil {
+		return nil, err
+	}
+	if s.mm.cfg.Mode == CertificationMode {
+		if !sess.InTxn() && sess.Isolation() != engine.Snapshot {
+			if _, err := sess.Exec("SET ISOLATION LEVEL SNAPSHOT"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s.snapSeq = s.home.AppliedSeq()
+	if _, err := sess.Exec("BEGIN"); err != nil {
+		return nil, err
+	}
+	s.inTxn = true
+	s.dryRun = sess
+	s.txnSQL = s.txnSQL[:0]
+	return &engine.Result{}, nil
+}
+
+// isDDL reports whether the statement changes schema/catalog objects.
+func isDDL(st sqlparse.Statement) bool {
+	switch st.(type) {
+	case *sqlparse.CreateDatabase, *sqlparse.DropDatabase,
+		*sqlparse.CreateTable, *sqlparse.DropTable,
+		*sqlparse.CreateSequence, *sqlparse.DropSequence,
+		*sqlparse.CreateTrigger, *sqlparse.DropTrigger,
+		*sqlparse.CreateProcedure, *sqlparse.DropProcedure,
+		*sqlparse.CreateUser, *sqlparse.Grant:
+		return true
+	}
+	return false
+}
+
+// execInTxn runs a statement inside the interactive transaction.
+func (s *MMSession) execInTxn(st sqlparse.Statement) (*engine.Result, error) {
+	if isDDL(st) {
+		// DDL is non-transactional (§4.1.2) and would double-execute on
+		// the home replica during script replay.
+		return nil, fmt.Errorf("core: DDL inside explicit transactions is not supported on multi-master clusters")
+	}
+	sql := st.SQL()
+	if !st.IsRead() {
+		if s.mm.cfg.Mode == StatementMode {
+			rewritten, err := s.prepareStatement(st)
+			if err != nil {
+				return nil, err
+			}
+			sql = rewritten
+			s.txnSQL = append(s.txnSQL, sql)
+		}
+	}
+	res, err := s.home.ExecOn(s.dryRun, sql, st.IsRead())
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// prepareStatement applies the non-determinism policy (§4.3.2): time macros
+// are pinned, unsafe statements are rejected or (dangerously) allowed.
+func (s *MMSession) prepareStatement(st sqlparse.Statement) (string, error) {
+	switch sqlparse.Classify(st) {
+	case sqlparse.Deterministic:
+		return st.SQL(), nil
+	case sqlparse.RewritableNonDeterministic:
+		rewritten, _ := sqlparse.RewriteTimeFuncs(st, time.Now())
+		return rewritten.SQL(), nil
+	default:
+		if s.mm.cfg.NonDeterminism == RewriteAndAllow {
+			rewritten, _ := sqlparse.RewriteTimeFuncs(st, time.Now())
+			return rewritten.SQL(), nil
+		}
+		return "", fmt.Errorf("%w: %s", ErrNonDeterministic, st.SQL())
+	}
+}
+
+func (s *MMSession) commit() (*engine.Result, error) {
+	if !s.inTxn {
+		return nil, fmt.Errorf("core: no transaction in progress")
+	}
+	defer func() {
+		s.inTxn = false
+		s.dryRun = nil
+		s.txnSQL = nil
+	}()
+	switch s.mm.cfg.Mode {
+	case StatementMode:
+		// Discard the dry run; re-execute the script in total order.
+		s.dryRun.Rollback()
+		if len(s.txnSQL) == 0 {
+			return &engine.Result{}, nil // read-only transaction
+		}
+		return s.submitScript(s.txnSQL)
+	default: // CertificationMode
+		ws, _, err := s.dryRun.PendingWriteSet()
+		if err != nil {
+			s.dryRun.Rollback()
+			return nil, err
+		}
+		s.dryRun.Rollback()
+		if len(ws.Ops) == 0 {
+			return &engine.Result{}, nil
+		}
+		txn := mmTxn{
+			ID:       s.mm.nextTxn.Add(1),
+			Origin:   s.home.Name(),
+			Database: s.db,
+			WS:       ws,
+			Snapshot: s.snapSeq,
+			User:     s.user,
+		}
+		res, err := s.mm.submitAndWait(s.mm.ordererFor(s.home), s.home, txn)
+		if err == nil {
+			s.lastWriteSeq = s.home.AppliedSeq()
+		}
+		return res, err
+	}
+}
+
+func (s *MMSession) rollback() (*engine.Result, error) {
+	if !s.inTxn {
+		return nil, fmt.Errorf("core: no transaction in progress")
+	}
+	s.dryRun.Rollback()
+	s.inTxn = false
+	s.dryRun = nil
+	s.txnSQL = nil
+	return &engine.Result{}, nil
+}
+
+// execAutocommitWrite orders a single write statement.
+func (s *MMSession) execAutocommitWrite(st sqlparse.Statement) (*engine.Result, error) {
+	if isDDL(st) {
+		// Schema changes replicate as ordered statements in either mode:
+		// write sets cannot carry DDL (§4.3.2).
+		return s.submitScript([]string{st.SQL()})
+	}
+	if s.mm.cfg.Mode == CertificationMode {
+		// An autocommit write is a one-statement transaction.
+		if _, err := s.begin(); err != nil {
+			return nil, err
+		}
+		if _, err := s.execInTxn(st); err != nil {
+			_, _ = s.rollback()
+			return nil, err
+		}
+		return s.commit()
+	}
+	sql, err := s.prepareStatement(st)
+	if err != nil {
+		return nil, err
+	}
+	return s.submitScript([]string{sql})
+}
+
+func (s *MMSession) submitScript(stmts []string) (*engine.Result, error) {
+	txn := mmTxn{
+		ID:       s.mm.nextTxn.Add(1),
+		Origin:   s.home.Name(),
+		Database: s.db,
+		Stmts:    append([]string(nil), stmts...),
+		User:     s.user,
+	}
+	res, err := s.mm.submitAndWait(s.mm.ordererFor(s.home), s.home, txn)
+	if err == nil {
+		s.lastWriteSeq = s.home.AppliedSeq()
+	}
+	return res, err
+}
+
+// execRead balances a read per level/policy/consistency.
+func (s *MMSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
+	var target *Replica
+	if s.mm.cfg.ReadLevel == lb.ConnectionLevel && s.pinnedRead != nil && s.pinnedRead.Healthy() {
+		target = s.pinnedRead
+	} else {
+		t, err := s.mm.pickRead(s.lastWriteSeq)
+		if err != nil {
+			return nil, err
+		}
+		target = t
+		if s.mm.cfg.ReadLevel == lb.ConnectionLevel {
+			s.pinnedRead = target
+		}
+	}
+	sess, err := s.pool.get(target)
+	if err != nil {
+		return nil, err
+	}
+	return target.ExecOn(sess, st.SQL(), true)
+}

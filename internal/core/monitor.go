@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Monitor watches replica health and drives automatic failover of a
+// master-slave cluster, recording availability (MTTF/MTTR) as it goes —
+// the measurement discipline §3.4 asks for.
+type Monitor struct {
+	ms       *MasterSlave
+	interval time.Duration
+
+	mu           sync.Mutex
+	avail        *metrics.Availability
+	lastFailover time.Duration // how long the last failover took
+	failovers    int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewMonitor creates (but does not start) a monitor polling at the given
+// interval. The interval is the failure detection bound: halving it halves
+// worst-case detection latency, at the cost of more probe traffic — the
+// §4.3.4 trade-off.
+func NewMonitor(ms *MasterSlave, interval time.Duration) *Monitor {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	return &Monitor{
+		ms:       ms,
+		interval: interval,
+		avail:    metrics.NewAvailability(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the health loop.
+func (m *Monitor) Start() {
+	go m.run()
+}
+
+// Stop terminates the monitor.
+func (m *Monitor) Stop() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	<-m.done
+}
+
+// Availability returns the availability record (master writability).
+func (m *Monitor) Availability() *metrics.Availability { return m.avail }
+
+// LastFailoverDuration returns how long the most recent failover took from
+// detection to promotion.
+func (m *Monitor) LastFailoverDuration() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastFailover
+}
+
+// Failovers returns how many promotions the monitor has performed.
+func (m *Monitor) Failovers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failovers
+}
+
+func (m *Monitor) run() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		master := m.ms.Master()
+		if master.Healthy() {
+			continue
+		}
+		// Detected a dead master: the system is down for writes until a
+		// slave is promoted.
+		m.avail.MarkDown()
+		start := time.Now()
+		if _, err := m.ms.Failover(); err != nil {
+			// No promotable slave: remain down; keep polling for one.
+			continue
+		}
+		m.avail.MarkUp()
+		m.mu.Lock()
+		m.lastFailover = time.Since(start)
+		m.failovers++
+		m.mu.Unlock()
+	}
+}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/lb"
+)
+
+// MMMode selects between the two multi-master replication designs of
+// §4.3.2.
+type MMMode int
+
+// Multi-master modes.
+const (
+	// StatementMode multicasts every update (or transaction script) in
+	// total order; every replica executes every write.
+	StatementMode MMMode = iota
+	// CertificationMode executes a transaction at one replica, then
+	// broadcasts its write set for certification (first-committer-wins
+	// against concurrent certified transactions) and remote application.
+	CertificationMode
+)
+
+// NonDetPolicy is what statement replication does with non-deterministic
+// statements (§4.3.2).
+type NonDetPolicy int
+
+// Non-determinism handling policies.
+const (
+	// RewriteAndReject pins now()/current_timestamp to a constant and
+	// rejects statements that cannot be fixed by rewriting (rand(),
+	// LIMIT without ORDER BY feeding updates): the safe configuration.
+	RewriteAndReject NonDetPolicy = iota
+	// RewriteAndAllow rewrites what it can and broadcasts the rest
+	// verbatim — the configuration that diverges clusters in the field,
+	// kept so experiment C6 can measure exactly that.
+	RewriteAndAllow
+)
+
+// ErrNonDeterministic is returned when a statement is rejected under
+// RewriteAndReject.
+var ErrNonDeterministic = errors.New("core: statement is not deterministic under statement replication (§4.3.2)")
+
+// ErrCertificationAbort is returned when certification detects a
+// write-write conflict with a concurrently committed transaction.
+var ErrCertificationAbort = errors.New("core: transaction aborted by certification (first-committer-wins)")
+
+// ErrNoQuorum is returned for writes submitted from a minority partition
+// (the replicated database "must favor C and A over P", §4.3.4.3).
+var ErrNoQuorum = errors.New("core: no quorum — writes refused in minority partition")
+
+// MultiMasterConfig configures a multi-master cluster.
+type MultiMasterConfig struct {
+	Mode MMMode
+	// NonDeterminism only applies in StatementMode.
+	NonDeterminism NonDetPolicy
+	// ReadPolicy balances reads; nil means LPRF.
+	ReadPolicy lb.Policy
+	// ReadLevel is the balancing granularity for reads.
+	ReadLevel lb.Level
+	// Consistency is the read guarantee.
+	Consistency Consistency
+	// Certifier handles CertificationMode conflicts; nil means a
+	// replicated certifier (one deterministic instance per replica, no
+	// SPOF). Set a shared *Certifier for the centralized variant whose
+	// SPOF behaviour C5 measures.
+	Certifier *Certifier
+	// CommitTimeout bounds how long a session waits for its transaction
+	// to come back ordered and applied; zero means 10 s.
+	CommitTimeout time.Duration
+	// QuorumOf, when > 0, is the total group size; writes require a
+	// majority view (only meaningful with GCS orderers).
+	QuorumOf int
+}
+
+// mmTxn is the ordered payload: either a statement script or a write set.
+type mmTxn struct {
+	ID       uint64
+	Origin   string // home replica name
+	Database string
+	Stmts    []string         // StatementMode
+	WS       *engine.WriteSet // CertificationMode
+	Snapshot uint64           // certification: position the txn read at
+	User     string
+}
+
+// txnOutcome reports a transaction's fate back to the waiting session.
+type txnOutcome struct {
+	res *engine.Result
+	err error
+}
+
+// MultiMaster is a multi-master replication controller (§2.1).
+type MultiMaster struct {
+	cfg      MultiMasterConfig
+	replicas []*Replica
+	orderers []Orderer // one per replica, or a single shared local orderer
+	policy   lb.Policy
+
+	// certifiers: one per replica in replicated mode; all pointing at
+	// cfg.Certifier in centralized mode.
+	certifiers []*Certifier
+
+	mu      sync.Mutex
+	waiters map[uint64]*txnWaiter
+	nextTxn atomic.Uint64
+	head    atomic.Uint64 // highest ordered seq seen by any applier
+
+	stopped bool
+	stops   []chan struct{}
+	wg      sync.WaitGroup
+
+	// aborts counts certification aborts (for Gray's-law experiments).
+	aborts atomic.Uint64
+	// commits counts certified/applied transactions.
+	commits atomic.Uint64
+}
+
+type txnWaiter struct {
+	home string
+	ch   chan txnOutcome
+}
+
+// NewMultiMaster builds a multi-master cluster. orderers must be either a
+// single shared Orderer (in-process deployment) or exactly one per replica
+// (distributed deployment over gcs).
+func NewMultiMaster(replicas []*Replica, orderers []Orderer, cfg MultiMasterConfig) (*MultiMaster, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("core: no replicas")
+	}
+	if len(orderers) != 1 && len(orderers) != len(replicas) {
+		return nil, fmt.Errorf("core: need 1 shared orderer or one per replica (%d replicas, %d orderers)", len(replicas), len(orderers))
+	}
+	if cfg.ReadPolicy == nil {
+		cfg.ReadPolicy = lb.NewLPRF()
+	}
+	if cfg.CommitTimeout == 0 {
+		cfg.CommitTimeout = 10 * time.Second
+	}
+	mm := &MultiMaster{
+		cfg:      cfg,
+		replicas: append([]*Replica(nil), replicas...),
+		orderers: orderers,
+		policy:   cfg.ReadPolicy,
+		waiters:  make(map[uint64]*txnWaiter),
+	}
+	mm.certifiers = make([]*Certifier, len(replicas))
+	for i := range replicas {
+		if cfg.Certifier != nil {
+			mm.certifiers[i] = cfg.Certifier
+		} else {
+			mm.certifiers[i] = NewCertifier()
+		}
+	}
+	for i, r := range mm.replicas {
+		ord := orderers[0]
+		if len(orderers) > 1 {
+			ord = orderers[i]
+		}
+		stop := make(chan struct{})
+		mm.stops = append(mm.stops, stop)
+		mm.wg.Add(1)
+		go mm.applier(r, ord.Subscribe(), mm.certifiers[i], stop)
+	}
+	return mm, nil
+}
+
+// Replicas returns the cluster members.
+func (mm *MultiMaster) Replicas() []*Replica {
+	return append([]*Replica(nil), mm.replicas...)
+}
+
+// Head returns the highest ordered position any replica has applied.
+func (mm *MultiMaster) Head() uint64 { return mm.head.Load() }
+
+// Commits returns the number of transactions committed cluster-wide.
+func (mm *MultiMaster) Commits() uint64 { return mm.commits.Load() }
+
+// Aborts returns the number of certification aborts.
+func (mm *MultiMaster) Aborts() uint64 { return mm.aborts.Load() }
+
+// Close stops the appliers (orderers are owned by the caller).
+func (mm *MultiMaster) Close() {
+	mm.mu.Lock()
+	if mm.stopped {
+		mm.mu.Unlock()
+		return
+	}
+	mm.stopped = true
+	stops := mm.stops
+	mm.mu.Unlock()
+	for _, st := range stops {
+		close(st)
+	}
+	mm.wg.Wait()
+}
+
+// applier consumes the totally-ordered stream into one replica. In
+// certification mode it also runs the (replicated or centralized) certifier.
+func (mm *MultiMaster) applier(r *Replica, in <-chan Ordered, cert *Certifier, stop chan struct{}) {
+	defer mm.wg.Done()
+	session := r.Engine().NewSession("replication")
+	defer session.Close()
+	curDB := ""
+	for {
+		select {
+		case <-stop:
+			return
+		case ord, ok := <-in:
+			if !ok {
+				return
+			}
+			txn, isTxn := ord.Payload.(mmTxn)
+			if !isTxn {
+				continue
+			}
+			var outcome txnOutcome
+			// Cluster-wide counters tick once per transaction: at the
+			// origin replica only.
+			count := r.Name() == txn.Origin
+			if txn.WS != nil {
+				outcome = mm.applyCertified(r, cert, ord.Seq, txn, count)
+			} else {
+				outcome = mm.applyScript(r, session, &curDB, txn, count)
+			}
+			r.receivedSeq.Store(ord.Seq)
+			r.appliedSeq.Store(ord.Seq)
+			for {
+				h := mm.head.Load()
+				if ord.Seq <= h || mm.head.CompareAndSwap(h, ord.Seq) {
+					break
+				}
+			}
+			mm.notify(r, txn.ID, outcome)
+		}
+	}
+}
+
+// applyScript executes a statement-mode transaction script.
+func (mm *MultiMaster) applyScript(r *Replica, s *engine.Session, curDB *string, txn mmTxn, count bool) txnOutcome {
+	if err := r.acquire(); err != nil {
+		return txnOutcome{err: err}
+	}
+	defer r.release()
+	if txn.Database != "" && txn.Database != *curDB {
+		if _, err := s.Exec("USE " + txn.Database); err != nil {
+			return txnOutcome{err: err}
+		}
+		*curDB = txn.Database
+	}
+	var last *engine.Result
+	single := len(txn.Stmts) == 1
+	if !single {
+		if _, err := s.Exec("BEGIN"); err != nil {
+			return txnOutcome{err: err}
+		}
+	}
+	for _, sql := range txn.Stmts {
+		r.serviceSleep(false)
+		res, err := s.Exec(sql)
+		if err != nil {
+			if !single {
+				_, _ = s.Exec("ROLLBACK")
+			}
+			return txnOutcome{err: err}
+		}
+		last = res
+	}
+	if !single {
+		if _, err := s.Exec("COMMIT"); err != nil {
+			return txnOutcome{err: err}
+		}
+	}
+	if count {
+		mm.commits.Add(1)
+	}
+	return txnOutcome{res: last}
+}
+
+// applyCertified certifies a write set and applies it if it passes.
+func (mm *MultiMaster) applyCertified(r *Replica, cert *Certifier, seq uint64, txn mmTxn, count bool) txnOutcome {
+	ok, err := cert.Certify(seq, txn.Snapshot, txn.WS)
+	if err != nil {
+		return txnOutcome{err: err}
+	}
+	if !ok {
+		if count {
+			mm.aborts.Add(1)
+		}
+		return txnOutcome{err: ErrCertificationAbort}
+	}
+	if err := r.acquire(); err != nil {
+		return txnOutcome{err: err}
+	}
+	defer r.release()
+	r.serviceSleep(false)
+	if err := r.Engine().ApplyWriteSet(txn.WS, engine.ApplyOptions{AdvanceCounters: true}); err != nil {
+		return txnOutcome{err: err}
+	}
+	if count {
+		mm.commits.Add(1)
+	}
+	return txnOutcome{res: &engine.Result{RowsAffected: int64(len(txn.WS.Ops))}}
+}
+
+// notify wakes the waiting session when its home replica has processed the
+// transaction.
+func (mm *MultiMaster) notify(r *Replica, txnID uint64, outcome txnOutcome) {
+	mm.mu.Lock()
+	w, ok := mm.waiters[txnID]
+	if ok && w.home == r.Name() {
+		delete(mm.waiters, txnID)
+	} else {
+		w = nil
+	}
+	mm.mu.Unlock()
+	if w != nil {
+		w.ch <- outcome
+	}
+}
+
+// submitAndWait orders a transaction and waits until the session's home
+// replica has applied it.
+func (mm *MultiMaster) submitAndWait(ord Orderer, home *Replica, txn mmTxn) (*engine.Result, error) {
+	if mm.cfg.QuorumOf > 0 {
+		if g, ok := ord.(*GCSOrderer); ok {
+			if len(g.View().Members) <= mm.cfg.QuorumOf/2 {
+				return nil, ErrNoQuorum
+			}
+		}
+	}
+	w := &txnWaiter{home: home.Name(), ch: make(chan txnOutcome, 1)}
+	mm.mu.Lock()
+	mm.waiters[txn.ID] = w
+	mm.mu.Unlock()
+	if err := ord.Submit(txn); err != nil {
+		mm.mu.Lock()
+		delete(mm.waiters, txn.ID)
+		mm.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case out := <-w.ch:
+		return out.res, out.err
+	case <-time.After(mm.cfg.CommitTimeout):
+		mm.mu.Lock()
+		delete(mm.waiters, txn.ID)
+		mm.mu.Unlock()
+		return nil, fmt.Errorf("core: commit timed out after %v (partition or overload)", mm.cfg.CommitTimeout)
+	}
+}
+
+// ordererFor returns the orderer a session on the given replica submits to.
+func (mm *MultiMaster) ordererFor(home *Replica) Orderer {
+	if len(mm.orderers) == 1 {
+		return mm.orderers[0]
+	}
+	for i, r := range mm.replicas {
+		if r == home {
+			return mm.orderers[i]
+		}
+	}
+	return mm.orderers[0]
+}
+
+// pickRead selects a read replica under the configured consistency.
+func (mm *MultiMaster) pickRead(lastWriteSeq uint64) (*Replica, error) {
+	head := mm.head.Load()
+	var candidates []lb.Target
+	for _, r := range mm.replicas {
+		if !r.Healthy() {
+			continue
+		}
+		ok := false
+		switch mm.cfg.Consistency {
+		case ReadAny:
+			ok = true
+		case SessionConsistent:
+			ok = r.AppliedSeq() >= lastWriteSeq
+		case StrongConsistent:
+			ok = r.AppliedSeq() >= head
+		}
+		if ok {
+			candidates = append(candidates, r)
+		}
+	}
+	t := mm.policy.Pick(candidates)
+	if t == nil {
+		return nil, ErrReplicaDown
+	}
+	return t.(*Replica), nil
+}
+
+// pickHome assigns a session's home replica (round robin over healthy).
+func (mm *MultiMaster) pickHome() (*Replica, error) {
+	var candidates []lb.Target
+	for _, r := range mm.replicas {
+		if r.Healthy() {
+			candidates = append(candidates, r)
+		}
+	}
+	t := mm.policy.Pick(candidates)
+	if t == nil {
+		return nil, ErrReplicaDown
+	}
+	return t.(*Replica), nil
+}

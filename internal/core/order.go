@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/gcs"
+	"repro/internal/simnet"
+)
+
+// Ordered is one payload delivered in total order to every consumer.
+type Ordered struct {
+	Seq     uint64
+	Payload any
+}
+
+// Orderer is the total-order broadcast abstraction multi-master replication
+// runs on (§4.3.4.1). Two implementations: LocalOrderer (an in-process
+// sequencer — zero network cost, used when the middleware is a single
+// process) and GCSOrderer (the real group communication protocol over the
+// simulated network, used to measure protocol costs and partition
+// behaviour).
+type Orderer interface {
+	// Submit queues a payload for ordered delivery to all subscribers.
+	Submit(payload any) error
+	// Subscribe returns a channel of ordered deliveries, starting after
+	// the current position.
+	Subscribe() <-chan Ordered
+	// Close shuts the orderer down.
+	Close()
+}
+
+// LocalOrderer is a mutex-protected sequencer: the centralized scheduler of
+// C-JDBC-style middleware. It is itself a single point of failure — which
+// is precisely the §3.2 critique, measured in experiment C5.
+type LocalOrderer struct {
+	mu     sync.Mutex
+	seq    uint64
+	subs   []chan Ordered
+	closed bool
+}
+
+// NewLocalOrderer creates an in-process sequencer.
+func NewLocalOrderer() *LocalOrderer { return &LocalOrderer{} }
+
+// Submit implements Orderer.
+func (o *LocalOrderer) Submit(payload any) error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return gcs.ErrStopped
+	}
+	o.seq++
+	msg := Ordered{Seq: o.seq, Payload: payload}
+	subs := append([]chan Ordered{}, o.subs...)
+	o.mu.Unlock()
+	for _, ch := range subs {
+		ch <- msg
+	}
+	return nil
+}
+
+// Subscribe implements Orderer.
+func (o *LocalOrderer) Subscribe() <-chan Ordered {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ch := make(chan Ordered, 4096)
+	o.subs = append(o.subs, ch)
+	return ch
+}
+
+// Close implements Orderer.
+func (o *LocalOrderer) Close() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return
+	}
+	o.closed = true
+	for _, ch := range o.subs {
+		close(ch)
+	}
+	o.subs = nil
+}
+
+// GCSOrderer adapts one gcs.Node into the Orderer interface. Each replica
+// of a distributed deployment owns one; Subscribe must be called exactly
+// once per node (the gcs delivery stream is single-consumer).
+type GCSOrderer struct {
+	node *gcs.Node
+	out  chan Ordered
+	once sync.Once
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewGCSOrderer wraps a started gcs node.
+func NewGCSOrderer(node *gcs.Node) *GCSOrderer {
+	return &GCSOrderer{node: node, out: make(chan Ordered, 4096), stop: make(chan struct{})}
+}
+
+// Submit implements Orderer.
+func (o *GCSOrderer) Submit(payload any) error {
+	return o.node.Broadcast(payload)
+}
+
+// Subscribe implements Orderer.
+func (o *GCSOrderer) Subscribe() <-chan Ordered {
+	o.once.Do(func() {
+		o.wg.Add(1)
+		go func() {
+			defer o.wg.Done()
+			for {
+				select {
+				case <-o.stop:
+					return
+				case d, ok := <-o.node.Deliveries():
+					if !ok {
+						close(o.out)
+						return
+					}
+					select {
+					case o.out <- Ordered{Seq: d.Seq, Payload: d.Payload}:
+					case <-o.stop:
+						return
+					}
+				}
+			}
+		}()
+	})
+	return o.out
+}
+
+// Close implements Orderer.
+func (o *GCSOrderer) Close() {
+	close(o.stop)
+	o.node.Stop()
+	o.wg.Wait()
+}
+
+// View exposes the node's membership view (for quorum checks).
+func (o *GCSOrderer) View() gcs.View { return o.node.View() }
+
+// BuildGCSCluster is a helper wiring n gcs nodes on a fresh simnet and
+// returning their orderers. Used by experiments C10 and the WAN setups.
+func BuildGCSCluster(n int, cfg gcs.Config, seed int64) (*simnet.Network, []*GCSOrderer) {
+	net := simnet.NewNetwork(seed)
+	ids := make([]simnet.NodeID, n)
+	for i := range ids {
+		ids[i] = simnet.NodeID(i + 1)
+	}
+	out := make([]*GCSOrderer, n)
+	for i, id := range ids {
+		node := gcs.NewNode(net.Attach(id), ids, cfg)
+		node.Start()
+		out[i] = NewGCSOrderer(node)
+	}
+	return net, out
+}

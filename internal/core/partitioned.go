@@ -1,0 +1,481 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
+)
+
+// PartitionStrategy selects how a key maps to a partition (§2.1: "range
+// partitioning, list partitioning and hash partitioning").
+type PartitionStrategy int
+
+// Partitioning strategies.
+const (
+	HashPartition PartitionStrategy = iota
+	RangePartition
+	ListPartition
+)
+
+// PartitionRule maps one table's rows onto partitions by a key column.
+type PartitionRule struct {
+	Table    string // unqualified table name
+	Column   string // partition key column
+	Strategy PartitionStrategy
+	// Bounds are ascending upper bounds for RangePartition: partition i
+	// holds keys < Bounds[i]; the last partition holds the rest. Must
+	// have len(partitions)-1 entries.
+	Bounds []sqltypes.Value
+	// Lists enumerate the key values per partition for ListPartition.
+	Lists [][]sqltypes.Value
+}
+
+// partitionFor maps a key value to a partition index.
+func (r *PartitionRule) partitionFor(v sqltypes.Value, n int) (int, error) {
+	switch r.Strategy {
+	case HashPartition:
+		return int(sqltypes.HashValue(v) % uint64(n)), nil
+	case RangePartition:
+		for i, b := range r.Bounds {
+			if sqltypes.Compare(v, b) < 0 {
+				return i, nil
+			}
+		}
+		return len(r.Bounds), nil
+	case ListPartition:
+		for i, list := range r.Lists {
+			for _, lv := range list {
+				if sqltypes.Equal(lv, v) {
+					return i, nil
+				}
+			}
+		}
+		return 0, fmt.Errorf("core: key %v not in any partition list for table %s", v, r.Table)
+	}
+	return 0, fmt.Errorf("core: unknown partition strategy")
+}
+
+// ErrCrossPartitionTxn is returned for explicit transactions on a
+// partitioned cluster: atomic cross-partition commit would need distributed
+// 2PC, which this middleware (like most of the systems the paper surveys)
+// does not provide. "Adding or removing partial replicas ... is a
+// completely open problem" (§5.1).
+var ErrCrossPartitionTxn = errors.New("core: explicit transactions are not supported on partitioned clusters (no 2PC)")
+
+// Partitioned shards writes across sub-clusters by key (Figure 2), with
+// scatter-gather reads. Each partition is itself a replicated master-slave
+// cluster.
+type Partitioned struct {
+	partitions []*MasterSlave
+	rules      map[string]*PartitionRule
+}
+
+// NewPartitioned builds a partitioned cluster from per-partition clusters
+// and table rules.
+func NewPartitioned(partitions []*MasterSlave, rules []*PartitionRule) (*Partitioned, error) {
+	if len(partitions) == 0 {
+		return nil, fmt.Errorf("core: no partitions")
+	}
+	rm := make(map[string]*PartitionRule, len(rules))
+	for _, r := range rules {
+		if r.Strategy == RangePartition && len(r.Bounds) != len(partitions)-1 {
+			return nil, fmt.Errorf("core: table %s: need %d range bounds for %d partitions", r.Table, len(partitions)-1, len(partitions))
+		}
+		if r.Strategy == ListPartition && len(r.Lists) != len(partitions) {
+			return nil, fmt.Errorf("core: table %s: need %d lists for %d partitions", r.Table, len(partitions), len(partitions))
+		}
+		rm[r.Table] = r
+	}
+	return &Partitioned{partitions: partitions, rules: rm}, nil
+}
+
+// Partitions returns the sub-clusters.
+func (pc *Partitioned) Partitions() []*MasterSlave {
+	return append([]*MasterSlave(nil), pc.partitions...)
+}
+
+// Close shuts down all partitions.
+func (pc *Partitioned) Close() {
+	for _, p := range pc.partitions {
+		p.Close()
+	}
+}
+
+// PSession is a client session on a partitioned cluster.
+type PSession struct {
+	pc   *Partitioned
+	mu   sync.Mutex
+	subs []*MSSession
+}
+
+// NewSession opens a session across all partitions.
+func (pc *Partitioned) NewSession(user string) *PSession {
+	subs := make([]*MSSession, len(pc.partitions))
+	for i, p := range pc.partitions {
+		subs[i] = p.NewSession(user)
+	}
+	return &PSession{pc: pc, subs: subs}
+}
+
+// Close releases all per-partition sessions.
+func (ps *PSession) Close() {
+	for _, s := range ps.subs {
+		s.Close()
+	}
+}
+
+// Exec parses and routes a statement.
+func (ps *PSession) Exec(sql string) (*engine.Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return ps.ExecStmt(st)
+}
+
+// ExecStmt routes a pre-parsed statement by partition key.
+func (ps *PSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	switch s := st.(type) {
+	case *sqlparse.BeginTxn, *sqlparse.CommitTxn, *sqlparse.RollbackTxn:
+		return nil, ErrCrossPartitionTxn
+	case *sqlparse.UseDatabase:
+		return ps.broadcast(st)
+	case *sqlparse.Insert:
+		return ps.execInsert(s)
+	case *sqlparse.Update:
+		return ps.routeByWhere(s, s.Table.Name, s.Where)
+	case *sqlparse.Delete:
+		return ps.routeByWhere(s, s.Table.Name, s.Where)
+	case *sqlparse.Select:
+		return ps.execSelect(s)
+	default:
+		// DDL and everything else goes everywhere.
+		return ps.broadcast(st)
+	}
+}
+
+// broadcast runs the statement on every partition, returning the first
+// result with summed RowsAffected.
+func (ps *PSession) broadcast(st sqlparse.Statement) (*engine.Result, error) {
+	type out struct {
+		res *engine.Result
+		err error
+	}
+	outs := make([]out, len(ps.subs))
+	var wg sync.WaitGroup
+	for i, sub := range ps.subs {
+		wg.Add(1)
+		go func(i int, sub *MSSession) {
+			defer wg.Done()
+			r, err := sub.ExecStmt(st)
+			outs[i] = out{res: r, err: err}
+		}(i, sub)
+	}
+	wg.Wait()
+	total := &engine.Result{}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		total.RowsAffected += o.res.RowsAffected
+		if total.Columns == nil {
+			total.Columns = o.res.Columns
+		}
+	}
+	return total, nil
+}
+
+// execInsert splits rows by partition key and runs the per-partition
+// inserts in parallel ("updates can be done in parallel to partitioned data
+// segments", §2.1).
+func (ps *PSession) execInsert(ins *sqlparse.Insert) (*engine.Result, error) {
+	rule := ps.pc.rules[ins.Table.Name]
+	if rule == nil {
+		return ps.broadcast(ins) // unpartitioned table: replicate everywhere
+	}
+	keyIdx := -1
+	for i, c := range ins.Columns {
+		if equalFoldASCII(c, rule.Column) {
+			keyIdx = i
+			break
+		}
+	}
+	if keyIdx < 0 {
+		return nil, fmt.Errorf("core: INSERT into partitioned table %s must supply key column %s", ins.Table.Name, rule.Column)
+	}
+	groups := make(map[int][][]sqlparse.Expr)
+	for _, row := range ins.Rows {
+		lit, ok := row[keyIdx].(*sqlparse.Literal)
+		if !ok {
+			return nil, fmt.Errorf("core: partition key must be a literal in INSERT")
+		}
+		p, err := rule.partitionFor(lit.Val, len(ps.subs))
+		if err != nil {
+			return nil, err
+		}
+		groups[p] = append(groups[p], row)
+	}
+	total := &engine.Result{}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for p, rows := range groups {
+		sub := ps.subs[p]
+		stmt := &sqlparse.Insert{Table: ins.Table, Columns: ins.Columns, Rows: rows}
+		wg.Add(1)
+		go func(sub *MSSession, stmt *sqlparse.Insert) {
+			defer wg.Done()
+			res, err := sub.ExecStmt(stmt)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			if err == nil {
+				total.RowsAffected += res.RowsAffected
+				if res.LastInsertID > total.LastInsertID {
+					total.LastInsertID = res.LastInsertID
+				}
+			}
+		}(sub, stmt)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return total, nil
+}
+
+// routeByWhere routes keyed statements to one partition, scattering
+// otherwise.
+func (ps *PSession) routeByWhere(st sqlparse.Statement, table string, where sqlparse.Expr) (*engine.Result, error) {
+	rule := ps.pc.rules[table]
+	if rule == nil {
+		return ps.broadcast(st)
+	}
+	if v, ok := extractKeyEquality(where, rule.Column); ok {
+		p, err := rule.partitionFor(v, len(ps.subs))
+		if err != nil {
+			return nil, err
+		}
+		return ps.subs[p].ExecStmt(st)
+	}
+	return ps.broadcast(st)
+}
+
+// execSelect routes keyed selects to one partition and scatter-gathers the
+// rest, merging rows and re-applying ORDER BY / LIMIT / aggregates at the
+// middleware ("read latency can also be improved by exploiting intra-query
+// parallelism", §2.1).
+func (ps *PSession) execSelect(sel *sqlparse.Select) (*engine.Result, error) {
+	if sel.NoTable {
+		return ps.subs[0].ExecStmt(sel)
+	}
+	rule := ps.pc.rules[sel.From.Name]
+	if rule != nil {
+		if v, ok := extractKeyEquality(sel.Where, rule.Column); ok {
+			p, err := rule.partitionFor(v, len(ps.subs))
+			if err != nil {
+				return nil, err
+			}
+			return ps.subs[p].ExecStmt(sel)
+		}
+	} else {
+		// Unpartitioned (fully replicated) table: any partition serves it.
+		return ps.subs[0].ExecStmt(sel)
+	}
+
+	// Scatter: strip LIMIT/OFFSET (re-applied after merge); sub-queries
+	// keep ORDER BY so per-partition results arrive sorted.
+	scatter := *sel
+	scatter.Limit = -1
+	scatter.Offset = 0
+
+	hasAgg := false
+	for _, it := range sel.Items {
+		if !it.Star {
+			if f, ok := it.Expr.(*sqlparse.FuncExpr); ok {
+				switch f.Name {
+				case "COUNT", "SUM", "MIN", "MAX":
+					hasAgg = true
+				case "AVG":
+					return nil, fmt.Errorf("core: AVG over scattered partitions is not supported; use SUM and COUNT")
+				}
+			}
+		}
+	}
+	if hasAgg && len(sel.GroupBy) > 0 {
+		return nil, fmt.Errorf("core: GROUP BY over scattered partitions is not supported")
+	}
+
+	type out struct {
+		res *engine.Result
+		err error
+	}
+	outs := make([]out, len(ps.subs))
+	var wg sync.WaitGroup
+	for i, sub := range ps.subs {
+		wg.Add(1)
+		go func(i int, sub *MSSession) {
+			defer wg.Done()
+			r, err := sub.ExecStmt(&scatter)
+			outs[i] = out{res: r, err: err}
+		}(i, sub)
+	}
+	wg.Wait()
+
+	merged := &engine.Result{}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		if merged.Columns == nil {
+			merged.Columns = o.res.Columns
+		}
+		merged.Rows = append(merged.Rows, o.res.Rows...)
+	}
+	if hasAgg {
+		return mergeAggregates(sel, merged)
+	}
+	if len(sel.OrderBy) > 0 {
+		if err := sortResult(merged, sel.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Offset > 0 {
+		if sel.Offset >= int64(len(merged.Rows)) {
+			merged.Rows = nil
+		} else {
+			merged.Rows = merged.Rows[sel.Offset:]
+		}
+	}
+	if sel.Limit >= 0 && int64(len(merged.Rows)) > sel.Limit {
+		merged.Rows = merged.Rows[:sel.Limit]
+	}
+	return merged, nil
+}
+
+// mergeAggregates folds per-partition aggregate rows into one.
+func mergeAggregates(sel *sqlparse.Select, merged *engine.Result) (*engine.Result, error) {
+	out := &engine.Result{Columns: merged.Columns}
+	row := make(sqltypes.Row, len(sel.Items))
+	for i, it := range sel.Items {
+		f, _ := it.Expr.(*sqlparse.FuncExpr)
+		for _, r := range merged.Rows {
+			v := r[i]
+			switch {
+			case row[i].IsNull():
+				row[i] = v
+			case f != nil && (f.Name == "COUNT" || f.Name == "SUM"):
+				sum, err := sqltypes.Arith("+", row[i], v)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = sum
+			case f != nil && f.Name == "MIN":
+				if sqltypes.Compare(v, row[i]) < 0 {
+					row[i] = v
+				}
+			case f != nil && f.Name == "MAX":
+				if sqltypes.Compare(v, row[i]) > 0 {
+					row[i] = v
+				}
+			}
+		}
+	}
+	out.Rows = []sqltypes.Row{row}
+	return out, nil
+}
+
+// sortResult re-sorts merged rows by ORDER BY columns that appear in the
+// projection.
+func sortResult(res *engine.Result, keys []sqlparse.OrderItem) error {
+	idx := make([]int, 0, len(keys))
+	desc := make([]bool, 0, len(keys))
+	for _, k := range keys {
+		cr, ok := k.Expr.(*sqlparse.ColumnRef)
+		if !ok {
+			return fmt.Errorf("core: scattered ORDER BY must use plain columns")
+		}
+		found := -1
+		for i, c := range res.Columns {
+			if equalFoldASCII(c, cr.Name) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("core: scattered ORDER BY column %q must be selected", cr.Name)
+		}
+		idx = append(idx, found)
+		desc = append(desc, k.Desc)
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		for k, col := range idx {
+			c := sqltypes.Compare(res.Rows[i][col], res.Rows[j][col])
+			if c == 0 {
+				continue
+			}
+			if desc[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// extractKeyEquality finds `column = literal` in an AND-connected WHERE.
+func extractKeyEquality(e sqlparse.Expr, column string) (sqltypes.Value, bool) {
+	switch x := e.(type) {
+	case *sqlparse.BinaryExpr:
+		switch x.Op {
+		case "AND":
+			if v, ok := extractKeyEquality(x.Left, column); ok {
+				return v, true
+			}
+			return extractKeyEquality(x.Right, column)
+		case "=":
+			if cr, ok := x.Left.(*sqlparse.ColumnRef); ok && equalFoldASCII(cr.Name, column) {
+				if lit, ok := x.Right.(*sqlparse.Literal); ok {
+					return lit.Val, true
+				}
+			}
+			if cr, ok := x.Right.(*sqlparse.ColumnRef); ok && equalFoldASCII(cr.Name, column) {
+				if lit, ok := x.Left.(*sqlparse.Literal); ok {
+					return lit.Val, true
+				}
+			}
+		}
+	}
+	return sqltypes.Null, false
+}
+
+// equalFoldASCII compares identifiers case-insensitively.
+func equalFoldASCII(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/recoverylog"
+)
+
+// Provisioner implements the Sequoia-style online replica lifecycle of
+// §4.4.2 on top of a recovery log: checkpoint a replica out, back it up
+// without touching active replicas, initialize new replicas from the dump,
+// and resynchronize them by (serial or parallel) log replay until they
+// catch up with the live stream.
+type Provisioner struct {
+	log *recoverylog.Log
+}
+
+// NewProvisioner wraps a recovery log.
+func NewProvisioner(log *recoverylog.Log) *Provisioner {
+	return &Provisioner{log: log}
+}
+
+// Log exposes the underlying recovery log.
+func (p *Provisioner) Log() *recoverylog.Log { return p.log }
+
+// RecordEvent appends a committed binlog event to the recovery log. Wire it
+// to the master's binlog subscription. The originating database travels as
+// a leading USE so entries are self-contained for replay on fresh sessions.
+func (p *Provisioner) RecordEvent(ev engine.Event) uint64 {
+	stmts := ev.Stmts
+	if ev.Database != "" {
+		stmts = append([]string{"USE " + ev.Database}, stmts...)
+	}
+	return p.log.Append(stmts, ev.Tables(), ev.DDL)
+}
+
+// CheckpointRemove marks a replica's departure position ("when a node is
+// removed from the cluster, a checkpoint is inserted").
+func (p *Provisioner) CheckpointRemove(name string, position uint64) {
+	p.log.CheckpointAt("remove:"+name, position)
+}
+
+// ResyncOptions controls replica resynchronization.
+type ResyncOptions struct {
+	// Parallel extracts parallelism from the log via table-conflict
+	// scheduling; serial replay is the default (and the §4.4.2 problem).
+	Parallel bool
+	// Workers bounds parallel replay concurrency; zero means 8.
+	Workers int
+	// BatchWait is how long to wait for new log entries before declaring
+	// the replica caught up; zero means 50 ms.
+	BatchWait time.Duration
+	// ApplyCost adds per-entry service time on the recovering replica
+	// (the replica still pays execution cost during catch-up).
+	ApplyCost time.Duration
+}
+
+// ResyncResult summarizes a resynchronization.
+type ResyncResult struct {
+	Replayed  int
+	From, To  uint64
+	Duration  time.Duration
+	CaughtUp  bool
+	FinalHead uint64
+}
+
+// Resync replays the recovery log into a replica from the given position
+// until it reaches the (moving) head. It returns when the replica has
+// caught up — or reports CaughtUp=false if MaxDuration elapsed first.
+func (p *Provisioner) Resync(rep *Replica, from uint64, opts ResyncOptions, maxDuration time.Duration) (*ResyncResult, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 8
+	}
+	if opts.BatchWait == 0 {
+		opts.BatchWait = 50 * time.Millisecond
+	}
+	session := rep.Engine().NewSession("resync")
+	defer session.Close()
+
+	apply := func(e recoverylog.Entry) error {
+		if opts.ApplyCost > 0 {
+			time.Sleep(opts.ApplyCost)
+		}
+		return applyLogEntry(session, e)
+	}
+	applyParallel := func(e recoverylog.Entry) error {
+		// Parallel replay needs its own session per call; sessions are
+		// not concurrency-safe.
+		if opts.ApplyCost > 0 {
+			time.Sleep(opts.ApplyCost)
+		}
+		s := rep.Engine().NewSession("resync")
+		defer s.Close()
+		return applyLogEntry(s, e)
+	}
+
+	start := time.Now()
+	pos := from
+	total := 0
+	deadline := start.Add(maxDuration)
+	for {
+		head := p.log.Head()
+		if pos >= head {
+			// Nothing pending: wait briefly for more, then declare done.
+			time.Sleep(opts.BatchWait)
+			if p.log.Head() == head {
+				rep.appliedSeq.Store(pos)
+				rep.receivedSeq.Store(pos)
+				return &ResyncResult{
+					Replayed: total, From: from, To: pos,
+					Duration: time.Since(start), CaughtUp: true, FinalHead: head,
+				}, nil
+			}
+			continue
+		}
+		var n int
+		var err error
+		if opts.Parallel {
+			n, err = p.log.ReplayParallel(pos, head, opts.Workers, applyParallel)
+		} else {
+			n, err = p.log.ReplaySerial(pos, head, apply)
+		}
+		total += n
+		pos = head
+		rep.appliedSeq.Store(pos)
+		if err != nil {
+			return nil, err
+		}
+		if maxDuration > 0 && time.Now().After(deadline) {
+			return &ResyncResult{
+				Replayed: total, From: from, To: pos,
+				Duration: time.Since(start), CaughtUp: false, FinalHead: p.log.Head(),
+			}, nil
+		}
+	}
+}
+
+// applyLogEntry executes one recovery log entry on a session. Multi-
+// statement entries re-execute as one transaction, keeping replayed
+// positions aligned with the original commit stream.
+func applyLogEntry(s *engine.Session, e recoverylog.Entry) error {
+	stmts := e.Stmts
+	if len(stmts) > 1 && !e.DDL {
+		if _, err := s.Exec("BEGIN"); err != nil {
+			return err
+		}
+		for _, sql := range stmts {
+			if _, err := s.Exec(sql); err != nil {
+				s.Rollback()
+				return err
+			}
+		}
+		_, err := s.Exec("COMMIT")
+		return err
+	}
+	for _, sql := range stmts {
+		if _, err := s.Exec(sql); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloneFromBackup initializes a fresh replica from a backup of a
+// checkpointed replica (the "offline nodes that have been properly
+// checkpointed can also be backed up; the resulting dump can initialize new
+// replicas without using resources of active replicas" flow, §4.4.2).
+func CloneFromBackup(b *engine.Backup, rep *Replica) error {
+	if err := rep.Engine().Restore(b); err != nil {
+		return fmt.Errorf("core: clone: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+// Package core is the replication middleware itself: the software layer
+// between applications and database replicas (§1, footnote 1). It provides
+// master-slave replication with 1-safe/2-safe commit, hot standby failover,
+// multi-master replication in both statement-based and certification
+// (write-set) modes on top of totally-ordered broadcast, partitioned
+// replication, WAN multi-way master/slave, pluggable load balancing levels
+// and policies, a Sequoia-style recovery log with online replica
+// provisioning, cluster-consistent backup, and a divergence detector.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/lb"
+)
+
+// ReplicaConfig describes one backend replica.
+type ReplicaConfig struct {
+	// Name identifies the replica in logs and balancing decisions.
+	Name string
+	// Engine configures the underlying database engine.
+	Engine engine.Config
+	// Concurrency is the number of statements the replica executes at
+	// once (worker slots); zero means 8.
+	Concurrency int
+	// ReadCost and WriteCost model per-statement service time. They are
+	// what makes scalability shapes reproducible on one machine: a replica
+	// is a concurrent server whose capacity is Concurrency/cost.
+	ReadCost  time.Duration
+	WriteCost time.Duration
+	// Weight is the load balancing weight (0 means 1).
+	Weight float64
+}
+
+// Replica wraps an engine with a bounded worker pool, modelled service
+// times, health state, and replication progress counters.
+type Replica struct {
+	name   string
+	eng    *engine.Engine
+	cfg    ReplicaConfig
+	sem    chan struct{}
+	queued lb.Counter
+
+	healthy atomic.Bool
+	// slowFactor scales service time; fault injection uses it for the
+	// "RAID controller loses its battery" scenario (§4.1.3).
+	slowFactor atomic.Value // float64
+
+	// appliedSeq is the last replication-stream position applied here.
+	appliedSeq atomic.Uint64
+	// receivedSeq is the last position received (≥ appliedSeq); 2-safe
+	// commits wait on it.
+	receivedSeq atomic.Uint64
+}
+
+// NewReplica builds a replica from its configuration.
+func NewReplica(cfg ReplicaConfig) *Replica {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Weight == 0 {
+		cfg.Weight = 1
+	}
+	r := &Replica{
+		name: cfg.Name,
+		eng:  engine.New(cfg.Engine),
+		cfg:  cfg,
+		sem:  make(chan struct{}, cfg.Concurrency),
+	}
+	r.healthy.Store(true)
+	r.slowFactor.Store(1.0)
+	return r
+}
+
+// Name implements lb.Target.
+func (r *Replica) Name() string { return r.name }
+
+// Pending implements lb.Target.
+func (r *Replica) Pending() int { return r.queued.Load() }
+
+// Weight implements lb.Target.
+func (r *Replica) Weight() float64 { return r.cfg.Weight }
+
+// Healthy implements lb.Target.
+func (r *Replica) Healthy() bool { return r.healthy.Load() }
+
+// Engine exposes the underlying engine (management operations need it).
+func (r *Replica) Engine() *engine.Engine { return r.eng }
+
+// AppliedSeq returns the replication position applied on this replica.
+func (r *Replica) AppliedSeq() uint64 { return r.appliedSeq.Load() }
+
+// ReceivedSeq returns the replication position received by this replica.
+func (r *Replica) ReceivedSeq() uint64 { return r.receivedSeq.Load() }
+
+// Fail marks the replica down (crash injection).
+func (r *Replica) Fail() { r.healthy.Store(false) }
+
+// Recover marks the replica healthy again.
+func (r *Replica) Recover() { r.healthy.Store(true) }
+
+// SetSlowFactor scales the replica's service time (1 = nominal, 2 = half
+// speed). Models degraded hardware (§4.1.3).
+func (r *Replica) SetSlowFactor(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	r.slowFactor.Store(f)
+}
+
+// ErrReplicaDown is returned when executing against a failed replica.
+var ErrReplicaDown = fmt.Errorf("core: replica is down")
+
+// acquire takes a worker slot, counting queue depth for LPRF.
+func (r *Replica) acquire() error {
+	if !r.healthy.Load() {
+		return ErrReplicaDown
+	}
+	r.queued.Inc()
+	r.sem <- struct{}{}
+	if !r.healthy.Load() {
+		<-r.sem
+		r.queued.Dec()
+		return ErrReplicaDown
+	}
+	return nil
+}
+
+func (r *Replica) release() {
+	<-r.sem
+	r.queued.Dec()
+}
+
+// serviceSleep models the statement's service time.
+func (r *Replica) serviceSleep(isRead bool) {
+	cost := r.cfg.WriteCost
+	if isRead {
+		cost = r.cfg.ReadCost
+	}
+	if cost <= 0 {
+		return
+	}
+	f := r.slowFactor.Load().(float64)
+	time.Sleep(time.Duration(float64(cost) * f))
+}
+
+// ExecOn runs one statement on the given session with the replica's service
+// model applied.
+func (r *Replica) ExecOn(s *engine.Session, sql string, isRead bool) (*engine.Result, error) {
+	if err := r.acquire(); err != nil {
+		return nil, err
+	}
+	defer r.release()
+	r.serviceSleep(isRead)
+	return s.Exec(sql)
+}
+
+// sessionPool hands out per-replica engine sessions for middleware client
+// sessions, keeping USE state in sync lazily.
+type sessionPool struct {
+	mu       sync.Mutex
+	sessions map[string]*engine.Session // replica name -> session
+	db       string
+	user     string
+}
+
+func newSessionPool(user string) *sessionPool {
+	return &sessionPool{sessions: make(map[string]*engine.Session), user: user}
+}
+
+// get returns (creating if needed) this client's session on the replica.
+func (p *sessionPool) get(r *Replica) (*engine.Session, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.sessions[r.name]
+	if !ok {
+		s = r.eng.NewSession(p.user)
+		if p.db != "" {
+			if _, err := s.Exec("USE " + p.db); err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
+		p.sessions[r.name] = s
+	}
+	return s, nil
+}
+
+// setDB records (and propagates) the session's current database.
+func (p *sessionPool) setDB(db string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.db = db
+	for name, s := range p.sessions {
+		if _, err := s.Exec("USE " + db); err != nil {
+			return fmt.Errorf("core: USE on replica %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// drop discards the session for a replica (after failover).
+func (p *sessionPool) drop(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.sessions[name]; ok {
+		s.Close()
+		delete(p.sessions, name)
+	}
+}
+
+// closeAll releases every session.
+func (p *sessionPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.sessions {
+		s.Close()
+	}
+	p.sessions = make(map[string]*engine.Session)
+}

@@ -1,0 +1,13 @@
+package core
+
+import "repro/internal/sqltypes"
+
+// Value re-exports the SQL value type so middleware users configuring
+// partition rules and site ownership need not import the types package.
+type Value = sqltypes.Value
+
+// NewStringValue builds a string Value.
+func NewStringValue(s string) Value { return sqltypes.NewString(s) }
+
+// NewIntValue builds an integer Value.
+func NewIntValue(i int64) Value { return sqltypes.NewInt(i) }

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
+)
+
+// wanUser tags replication-applied events so shippers do not re-ship them
+// (breaking the multi-way replication cycle).
+const wanUser = "wan-replication"
+
+// SiteConfig describes one geographical site (Figure 4).
+type SiteConfig struct {
+	Name string
+	// Cluster is the site's local replicated database.
+	Cluster *MasterSlave
+	// OwnedKeys lists the partition-key values this site is master for
+	// (multi-way master/slave: "each site is master for its local
+	// geographical data").
+	OwnedKeys []sqltypes.Value
+}
+
+// WANConfig configures the multi-site deployment.
+type WANConfig struct {
+	// Table and Column identify the geographically partitioned table and
+	// its routing key (e.g. bookings.region).
+	Table  string
+	Column string
+	// Latency is the symmetric one-way inter-site delay; per-pair
+	// overrides go in PairLatency keyed "a->b".
+	Latency     time.Duration
+	PairLatency map[string]time.Duration
+	// SyncForward makes remote-owner writes synchronous (wait for the
+	// owner's commit over the WAN); asynchronous forwarding is not
+	// offered because it would silently lose conflicts — the paper's
+	// point that "asynchronous replication is preferred ... applications
+	// are usually partitioned" (§4.3.4.1), which is exactly this design.
+	SyncForward bool
+}
+
+// WAN interconnects site clusters with asynchronous replication of owned
+// updates and synchronous forwarding of remote-owner writes.
+type WAN struct {
+	cfg   WANConfig
+	sites []*SiteConfig
+
+	mu       sync.Mutex
+	shippers []func() // cancel functions
+	shipped  map[string]uint64
+}
+
+// NewWAN wires the sites and starts cross-site shipping.
+func NewWAN(sites []*SiteConfig, cfg WANConfig) (*WAN, error) {
+	if len(sites) < 2 {
+		return nil, fmt.Errorf("core: a WAN needs at least 2 sites")
+	}
+	w := &WAN{cfg: cfg, sites: sites, shipped: make(map[string]uint64)}
+	for _, from := range sites {
+		for _, to := range sites {
+			if from == to {
+				continue
+			}
+			w.startShipper(from, to)
+		}
+	}
+	return w, nil
+}
+
+// latency returns the one-way delay from site a to site b.
+func (w *WAN) latency(a, b string) time.Duration {
+	if d, ok := w.cfg.PairLatency[a+"->"+b]; ok {
+		return d
+	}
+	return w.cfg.Latency
+}
+
+// startShipper asynchronously replays `from`'s locally-originated commits
+// at `to`, delayed by the inter-site latency.
+func (w *WAN) startShipper(from, to *SiteConfig) {
+	ch, cancel := from.Cluster.Master().Engine().Binlog().Subscribe(1024)
+	session := to.Cluster.Master().Engine().NewSession(wanUser)
+	stop := make(chan struct{})
+	go func() {
+		defer session.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			case ev, ok := <-ch:
+				if !ok {
+					return
+				}
+				if ev.User == wanUser {
+					continue // applied here by another site: don't cycle
+				}
+				time.Sleep(w.latency(from.Name, to.Name))
+				// Async apply at the destination master; its local slaves
+				// pick the event up via normal intra-site shipping.
+				_ = applyEvent(session, to.Cluster.Master().Engine(), ev, ShipStatements)
+			}
+		}
+	}()
+	w.mu.Lock()
+	w.shippers = append(w.shippers, func() { close(stop); cancel() })
+	w.mu.Unlock()
+}
+
+// Close stops cross-site shipping (site clusters remain running).
+func (w *WAN) Close() {
+	w.mu.Lock()
+	shippers := w.shippers
+	w.shippers = nil
+	w.mu.Unlock()
+	for _, cancel := range shippers {
+		cancel()
+	}
+}
+
+// ownerOf returns the site owning a key, or nil.
+func (w *WAN) ownerOf(key sqltypes.Value) *SiteConfig {
+	for _, s := range w.sites {
+		for _, k := range s.OwnedKeys {
+			if sqltypes.Equal(k, key) {
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+// site returns a site by name.
+func (w *WAN) site(name string) *SiteConfig {
+	for _, s := range w.sites {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// WSession is a client session attached to one site.
+type WSession struct {
+	w     *WAN
+	local *SiteConfig
+	// sessions per site (local + forwarding targets).
+	subs map[string]*MSSession
+	user string
+	db   string
+}
+
+// NewSession opens a session homed at the named site.
+func (w *WAN) NewSession(site, user string) (*WSession, error) {
+	s := w.site(site)
+	if s == nil {
+		return nil, fmt.Errorf("core: unknown site %q", site)
+	}
+	return &WSession{w: w, local: s, subs: make(map[string]*MSSession), user: user}, nil
+}
+
+// Close releases all site sessions.
+func (ws *WSession) Close() {
+	for _, s := range ws.subs {
+		s.Close()
+	}
+}
+
+func (ws *WSession) sessionAt(site *SiteConfig) (*MSSession, error) {
+	s, ok := ws.subs[site.Name]
+	if !ok {
+		s = site.Cluster.NewSession(ws.user)
+		if ws.db != "" {
+			if _, err := s.Exec("USE " + ws.db); err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
+		ws.subs[site.Name] = s
+	}
+	return s, nil
+}
+
+// Exec routes one statement: reads and un-keyed statements go to the local
+// site; keyed writes go to the owning site (paying the WAN round trip when
+// remote).
+func (ws *WSession) Exec(sql string) (*engine.Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return ws.ExecStmt(st)
+}
+
+// ExecStmt routes a pre-parsed statement.
+func (ws *WSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
+	if use, ok := st.(*sqlparse.UseDatabase); ok {
+		ws.db = use.Name
+		for _, s := range ws.subs {
+			if _, err := s.ExecStmt(st); err != nil {
+				return nil, err
+			}
+		}
+		return &engine.Result{}, nil
+	}
+	if st.IsRead() {
+		// "Reads are always local" — possibly stale, by design.
+		s, err := ws.sessionAt(ws.local)
+		if err != nil {
+			return nil, err
+		}
+		return s.ExecStmt(st)
+	}
+	owner := ws.local
+	if key, ok := ws.writeKey(st); ok {
+		if o := ws.w.ownerOf(key); o != nil {
+			owner = o
+		}
+	}
+	s, err := ws.sessionAt(owner)
+	if err != nil {
+		return nil, err
+	}
+	if owner == ws.local {
+		return s.ExecStmt(st)
+	}
+	// Remote-owner write: synchronous forward over the WAN (round trip).
+	time.Sleep(ws.w.latency(ws.local.Name, owner.Name))
+	res, err := s.ExecStmt(st)
+	time.Sleep(ws.w.latency(owner.Name, ws.local.Name))
+	return res, err
+}
+
+// writeKey extracts the geo-partition key from a write statement.
+func (ws *WSession) writeKey(st sqlparse.Statement) (sqltypes.Value, bool) {
+	cfg := ws.w.cfg
+	switch s := st.(type) {
+	case *sqlparse.Insert:
+		if !equalFoldASCII(s.Table.Name, cfg.Table) {
+			return sqltypes.Null, false
+		}
+		for i, c := range s.Columns {
+			if equalFoldASCII(c, cfg.Column) && len(s.Rows) > 0 {
+				if lit, ok := s.Rows[0][i].(*sqlparse.Literal); ok {
+					return lit.Val, true
+				}
+			}
+		}
+	case *sqlparse.Update:
+		if equalFoldASCII(s.Table.Name, cfg.Table) {
+			return extractKeyEquality(s.Where, cfg.Column)
+		}
+	case *sqlparse.Delete:
+		if equalFoldASCII(s.Table.Name, cfg.Table) {
+			return extractKeyEquality(s.Where, cfg.Column)
+		}
+	}
+	return sqltypes.Null, false
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/sqltypes"
+)
+
+// ApplyOptions tunes write-set application on a replica.
+type ApplyOptions struct {
+	// AdvanceCounters additionally bumps auto-increment counters past any
+	// applied key values. Off by default, reproducing the §4.3.2 gap:
+	// "writeset extraction does not capture changes like auto-incremented
+	// keys [or] sequence values", so a later local insert on this replica
+	// can collide with a remotely generated key.
+	AdvanceCounters bool
+}
+
+// ApplyWriteSet applies a replicated transaction's row changes to this
+// engine, identifying rows by primary key. The application is itself a
+// transaction: it commits atomically, appears in the binlog, and bumps the
+// commit clock.
+func (e *Engine) ApplyWriteSet(ws *WriteSet, opts ApplyOptions) error {
+	if ws == nil || len(ws.Ops) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tx := e.beginTxnLocked(ReadCommitted)
+	for _, op := range ws.Ops {
+		if err := e.applyOpLocked(tx, op, opts); err != nil {
+			e.rollbackLocked(tx)
+			return err
+		}
+	}
+	_, _, err := e.commitLocked(tx, nil)
+	return err
+}
+
+func (e *Engine) applyOpLocked(tx *Txn, op WriteOp, opts ApplyOptions) error {
+	key := tableKey{db: op.Database, table: op.Table}
+	t, err := e.resolveTableLocked(key)
+	if err != nil {
+		return err
+	}
+	locate := func() (int64, error) {
+		if op.HasPK && t.pkCol >= 0 {
+			// Search overlay-aware current state.
+			for id, ent := range tx.overlay[key] {
+				if ent.data != nil && sqltypes.Equal(ent.data[t.pkCol], op.PK) {
+					return id, nil
+				}
+			}
+			if id := t.findByPK(op.PK, e.clock); id >= 0 {
+				return id, nil
+			}
+			return -1, fmt.Errorf("engine: apply: row pk=%v not found in %s.%s", op.PK, op.Database, op.Table)
+		}
+		// No PK: match the full before image (fragile by design — the
+		// paper's point about write-set replication needing keys).
+		for _, id := range t.rowOrder {
+			if v := t.rows[id].visible(e.clock); v != nil && rowsEqual(v.data, op.Before) {
+				return id, nil
+			}
+		}
+		return -1, fmt.Errorf("engine: apply: no row matching before-image in %s.%s", op.Database, op.Table)
+	}
+	switch op.Kind {
+	case WriteInsert:
+		if op.HasPK && t.pkCol >= 0 {
+			if id := t.findByPK(op.PK, e.clock); id >= 0 {
+				return fmt.Errorf("%w: apply insert %s.%s pk=%v", ErrDuplicateKey, op.Database, op.Table, op.PK)
+			}
+		}
+		id := t.nextRowID
+		t.nextRowID++
+		tx.ov(key)[id] = &overlayEntry{data: op.After.Clone(), inserted: true}
+		tx.ops = append(tx.ops, pendingOp{key: key, rowID: id, kind: WriteInsert})
+		if opts.AdvanceCounters {
+			for i, c := range t.Columns {
+				if c.AutoIncrement && op.After[i].Kind() == sqltypes.KindInt && op.After[i].Int() > t.autoInc {
+					t.autoInc = op.After[i].Int()
+				}
+			}
+		}
+	case WriteUpdate:
+		id, err := locate()
+		if err != nil {
+			return err
+		}
+		ent := tx.ov(key)[id]
+		if ent == nil {
+			ent = &overlayEntry{before: op.Before.Clone()}
+			tx.ov(key)[id] = ent
+		}
+		ent.data = op.After.Clone()
+		if !ent.inserted && !ent.updateOpped {
+			ent.updateOpped = true
+			tx.ops = append(tx.ops, pendingOp{key: key, rowID: id, kind: WriteUpdate})
+		}
+	case WriteDelete:
+		id, err := locate()
+		if err != nil {
+			return err
+		}
+		ent := tx.ov(key)[id]
+		if ent == nil {
+			ent = &overlayEntry{before: op.Before.Clone()}
+			tx.ov(key)[id] = ent
+		}
+		wasInserted := ent.inserted
+		ent.deleted = true
+		ent.data = nil
+		if !wasInserted {
+			tx.ops = append(tx.ops, pendingOp{key: key, rowID: id, kind: WriteDelete})
+		}
+	}
+	return nil
+}
+
+func rowsEqual(a, b sqltypes.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sqltypes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,412 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
+)
+
+// evalEnv is the expression evaluation context: the current row (if any),
+// bound parameters, and the session for variables, sequences and
+// non-deterministic functions.
+type evalEnv struct {
+	s     *Session
+	tx    *Txn
+	cols  map[string]int // lower-cased column name -> row index
+	qcols map[string]int // "qualifier.column" -> row index
+	row   sqltypes.Row
+	args  []sqltypes.Value
+}
+
+// evalBool evaluates a predicate with SQL semantics: NULL counts as false.
+func evalBool(env *evalEnv, e sqlparse.Expr) (bool, error) {
+	v, err := evalExpr(env, e)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	return v.Bool(), nil
+}
+
+// evalExpr evaluates an expression tree.
+func evalExpr(env *evalEnv, e sqlparse.Expr) (sqltypes.Value, error) {
+	switch e := e.(type) {
+	case *sqlparse.Literal:
+		return e.Val, nil
+	case *sqlparse.ColumnRef:
+		return env.lookupColumn(e)
+	case *sqlparse.VarRef:
+		if env.s != nil {
+			if v, ok := env.s.vars[e.Name]; ok {
+				return v.val, nil
+			}
+		}
+		return sqltypes.Null, nil
+	case *sqlparse.Param:
+		if e.Index >= len(env.args) {
+			return sqltypes.Null, fmt.Errorf("engine: parameter %d not bound", e.Index+1)
+		}
+		return env.args[e.Index], nil
+	case *sqlparse.BinaryExpr:
+		return evalBinary(env, e)
+	case *sqlparse.UnaryExpr:
+		v, err := evalExpr(env, e.Operand)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		switch e.Op {
+		case "-":
+			if v.IsNull() {
+				return sqltypes.Null, nil
+			}
+			if v.Kind() == sqltypes.KindFloat {
+				return sqltypes.NewFloat(-v.Float()), nil
+			}
+			return sqltypes.NewInt(-v.Int()), nil
+		case "NOT":
+			if v.IsNull() {
+				return sqltypes.Null, nil
+			}
+			return sqltypes.NewBool(!v.Bool()), nil
+		}
+		return sqltypes.Null, fmt.Errorf("engine: unknown unary operator %q", e.Op)
+	case *sqlparse.IsNullExpr:
+		v, err := evalExpr(env, e.Operand)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		res := v.IsNull()
+		if e.Negate {
+			res = !res
+		}
+		return sqltypes.NewBool(res), nil
+	case *sqlparse.BetweenExpr:
+		v, err := evalExpr(env, e.Operand)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		lo, err := evalExpr(env, e.Lo)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		hi, err := evalExpr(env, e.Hi)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return sqltypes.Null, nil
+		}
+		in := sqltypes.Compare(v, lo) >= 0 && sqltypes.Compare(v, hi) <= 0
+		if e.Negate {
+			in = !in
+		}
+		return sqltypes.NewBool(in), nil
+	case *sqlparse.InExpr:
+		return evalIn(env, e)
+	case *sqlparse.FuncExpr:
+		return evalFunc(env, e)
+	}
+	return sqltypes.Null, fmt.Errorf("engine: cannot evaluate %T", e)
+}
+
+func (env *evalEnv) lookupColumn(cr *sqlparse.ColumnRef) (sqltypes.Value, error) {
+	if env.row == nil {
+		// Procedure parameters look like bare identifiers.
+		if env.s != nil {
+			if v, ok := env.s.lookupParam(cr.Name); ok && cr.Qualifier == "" {
+				return v, nil
+			}
+		}
+		return sqltypes.Null, fmt.Errorf("engine: column %q referenced outside row context", cr.SQL())
+	}
+	if cr.Qualifier != "" {
+		if i, ok := env.qcols[toLower(cr.Qualifier)+"."+toLower(cr.Name)]; ok {
+			return env.row[i], nil
+		}
+		return sqltypes.Null, fmt.Errorf("engine: unknown column %q", cr.SQL())
+	}
+	if i, ok := env.cols[toLower(cr.Name)]; ok {
+		return env.row[i], nil
+	}
+	// Fall back to procedure parameters, then session vars.
+	if env.s != nil {
+		if v, ok := env.s.lookupParam(cr.Name); ok {
+			return v, nil
+		}
+	}
+	return sqltypes.Null, fmt.Errorf("engine: unknown column %q", cr.Name)
+}
+
+func evalBinary(env *evalEnv, e *sqlparse.BinaryExpr) (sqltypes.Value, error) {
+	switch e.Op {
+	case "AND":
+		lv, err := evalBool(env, e.Left)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if !lv {
+			return sqltypes.NewBool(false), nil
+		}
+		rv, err := evalBool(env, e.Right)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewBool(rv), nil
+	case "OR":
+		lv, err := evalBool(env, e.Left)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if lv {
+			return sqltypes.NewBool(true), nil
+		}
+		rv, err := evalBool(env, e.Right)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewBool(rv), nil
+	}
+	l, err := evalExpr(env, e.Left)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	r, err := evalExpr(env, e.Right)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	switch e.Op {
+	case "+", "-", "*", "/", "%":
+		return sqltypes.Arith(e.Op, l, r)
+	case "=", "!=", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return sqltypes.Null, nil
+		}
+		c := sqltypes.Compare(l, r)
+		var ok bool
+		switch e.Op {
+		case "=":
+			ok = c == 0
+		case "!=":
+			ok = c != 0
+		case "<":
+			ok = c < 0
+		case "<=":
+			ok = c <= 0
+		case ">":
+			ok = c > 0
+		case ">=":
+			ok = c >= 0
+		}
+		return sqltypes.NewBool(ok), nil
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewBool(likeMatch(l.Str(), r.Str())), nil
+	}
+	return sqltypes.Null, fmt.Errorf("engine: unknown operator %q", e.Op)
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) bool {
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+func evalIn(env *evalEnv, e *sqlparse.InExpr) (sqltypes.Value, error) {
+	v, err := evalExpr(env, e.Left)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if v.IsNull() {
+		return sqltypes.Null, nil
+	}
+	var found bool
+	if e.Sub != nil {
+		if env.s == nil || env.tx == nil {
+			return sqltypes.Null, fmt.Errorf("engine: subquery not allowed in this context")
+		}
+		// Uncorrelated subqueries only: evaluated once per outer row for
+		// simplicity (the engine is a substrate, not an optimizer).
+		res, err := env.s.execSelect(env.tx, e.Sub, env.args)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		for _, row := range res.Rows {
+			if len(row) > 0 && sqltypes.Equal(row[0], v) {
+				found = true
+				break
+			}
+		}
+	} else {
+		for _, item := range e.List {
+			iv, err := evalExpr(env, item)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if sqltypes.Equal(iv, v) {
+				found = true
+				break
+			}
+		}
+	}
+	if e.Negate {
+		found = !found
+	}
+	return sqltypes.NewBool(found), nil
+}
+
+func evalFunc(env *evalEnv, e *sqlparse.FuncExpr) (sqltypes.Value, error) {
+	name := strings.ToUpper(e.Name)
+	argVal := func(i int) (sqltypes.Value, error) {
+		if i >= len(e.Args) {
+			return sqltypes.Null, fmt.Errorf("engine: %s: missing argument %d", name, i+1)
+		}
+		return evalExpr(env, e.Args[i])
+	}
+	switch name {
+	case "NOW", "CURRENT_TIMESTAMP":
+		// Engine-local clock: replicas may disagree (§4.3.2).
+		if env.s == nil {
+			return sqltypes.Null, fmt.Errorf("engine: %s needs a session", name)
+		}
+		return sqltypes.NewTime(env.s.eng.nowValue()), nil
+	case "RAND", "RANDOM":
+		if env.s == nil {
+			return sqltypes.Null, fmt.Errorf("engine: %s needs a session", name)
+		}
+		// Engine-local PRNG: evaluated per call (and therefore per row in
+		// UPDATE t SET x = rand()), the canonical statement-replication
+		// divergence of §4.3.2.
+		return sqltypes.NewFloat(env.s.eng.randFloat()), nil
+	case "NEXTVAL":
+		return evalNextval(env, e)
+	case "ABS":
+		v, err := argVal(0)
+		if err != nil || v.IsNull() {
+			return v, err
+		}
+		if v.Kind() == sqltypes.KindFloat {
+			f := v.Float()
+			if f < 0 {
+				f = -f
+			}
+			return sqltypes.NewFloat(f), nil
+		}
+		n := v.Int()
+		if n < 0 {
+			n = -n
+		}
+		return sqltypes.NewInt(n), nil
+	case "LOWER":
+		v, err := argVal(0)
+		if err != nil || v.IsNull() {
+			return v, err
+		}
+		return sqltypes.NewString(strings.ToLower(v.Str())), nil
+	case "UPPER":
+		v, err := argVal(0)
+		if err != nil || v.IsNull() {
+			return v, err
+		}
+		return sqltypes.NewString(strings.ToUpper(v.Str())), nil
+	case "LENGTH":
+		v, err := argVal(0)
+		if err != nil || v.IsNull() {
+			return v, err
+		}
+		return sqltypes.NewInt(int64(len(v.Str()))), nil
+	case "COALESCE":
+		for i := range e.Args {
+			v, err := argVal(i)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return sqltypes.Null, nil
+	case "MOD":
+		a, err := argVal(0)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		b, err := argVal(1)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.Arith("%", a, b)
+	}
+	return sqltypes.Null, fmt.Errorf("engine: unknown function %q", name)
+}
+
+// evalNextval advances a sequence. Sequences are non-transactional: the
+// value is consumed immediately and never returned on rollback, producing
+// holes (§4.2.3).
+func evalNextval(env *evalEnv, e *sqlparse.FuncExpr) (sqltypes.Value, error) {
+	if env.s == nil {
+		return sqltypes.Null, fmt.Errorf("engine: nextval needs a session")
+	}
+	if len(e.Args) != 1 {
+		return sqltypes.Null, fmt.Errorf("engine: nextval wants one argument")
+	}
+	nameV, err := evalExpr(env, e.Args[0])
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	name := nameV.Str()
+	dbName := env.s.currentDB
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		dbName, name = name[:i], name[i+1:]
+	}
+	if dbName == "" {
+		return sqltypes.Null, ErrNoDatabase
+	}
+	d, err := env.s.eng.database(dbName)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	seq, ok := d.sequences[name]
+	if !ok {
+		return sqltypes.Null, fmt.Errorf("engine: unknown sequence %q", name)
+	}
+	v := seq.Next
+	seq.Next += seq.Increment
+	return sqltypes.NewInt(v), nil
+}

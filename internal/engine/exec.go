@@ -1,0 +1,904 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
+)
+
+// dmlLocked executes INSERT/UPDATE/DELETE/SELECT, wrapping autocommit
+// statements in an implicit transaction.
+func (s *Session) dmlLocked(st sqlparse.Statement, args []sqltypes.Value, depth int) (*Result, error) {
+	implicit := false
+	if s.txn == nil {
+		s.txn = s.eng.beginTxnLocked(s.iso)
+		implicit = true
+	}
+	tx := s.txn
+	s.eng.refreshSnapshotLocked(tx)
+
+	var res *Result
+	var err error
+	switch st := st.(type) {
+	case *sqlparse.Insert:
+		res, err = s.execInsert(tx, st, args, depth)
+	case *sqlparse.Update:
+		res, err = s.execUpdate(tx, st, args, depth)
+	case *sqlparse.Delete:
+		res, err = s.execDelete(tx, st, args, depth)
+	case *sqlparse.Select:
+		res, err = s.execSelect(tx, st, args)
+	default:
+		err = fmt.Errorf("engine: not a DML statement: %T", st)
+	}
+	if err == nil && depth == 0 && !st.IsRead() {
+		// Record for statement-based shipping. SELECT FOR UPDATE takes
+		// locks but changes nothing, so it is not recorded.
+		if _, isSel := st.(*sqlparse.Select); !isSel {
+			tx.stmts = append(tx.stmts, st.SQL())
+		}
+	}
+	if implicit {
+		s.txn = nil
+		if err != nil {
+			s.eng.rollbackLocked(tx)
+			return nil, err
+		}
+		if _, _, cerr := s.eng.commitLocked(tx, s); cerr != nil {
+			return nil, cerr
+		}
+		s.dropCommitTempTables()
+	}
+	return res, err
+}
+
+// checkTempUse enforces the Sybase-style "no temp tables inside explicit
+// transactions" restriction (§4.1.4).
+func (s *Session) checkTempUse(t *Table, implicitTx bool) error {
+	if !t.Temp {
+		return nil
+	}
+	if s.txn != nil && !implicitTx && !s.eng.cfg.Profile.TempTablesInTxn {
+		return fmt.Errorf("engine: %s does not allow temporary tables inside transactions (§4.1.4)", s.eng.cfg.Profile.Name)
+	}
+	return nil
+}
+
+// scanRow is one visible row during execution.
+type scanRow struct {
+	rowID int64
+	data  sqltypes.Row
+}
+
+// scanLocked returns the rows of t visible to tx, with the transaction's
+// own pending changes applied.
+func (s *Session) scanLocked(tx *Txn, key tableKey, t *Table) []scanRow {
+	var out []scanRow
+	ov := tx.overlay[key]
+	for _, id := range t.rowOrder {
+		if ent, ok := ov[id]; ok {
+			if ent.deleted {
+				continue
+			}
+			out = append(out, scanRow{rowID: id, data: ent.data})
+			continue
+		}
+		if v := t.rows[id].visible(tx.snapTS); v != nil {
+			out = append(out, scanRow{rowID: id, data: v.data})
+		}
+	}
+	// Rows inserted by this transaction that are not yet in rowOrder.
+	for _, op := range tx.ops {
+		if op.key != key || op.kind != WriteInsert {
+			continue
+		}
+		if _, exists := t.rows[op.rowID]; exists {
+			continue
+		}
+		if ent := ov[op.rowID]; ent != nil && !ent.deleted {
+			out = append(out, scanRow{rowID: op.rowID, data: ent.data})
+		}
+	}
+	return out
+}
+
+// coerce converts v to the column kind, erroring on NOT NULL violations.
+func coerce(col Column, v sqltypes.Value) (sqltypes.Value, error) {
+	if v.IsNull() {
+		if col.NotNull {
+			return v, fmt.Errorf("engine: null value in column %q violates not-null constraint", col.Name)
+		}
+		return v, nil
+	}
+	switch col.Type {
+	case sqltypes.KindInt:
+		if v.Kind() == sqltypes.KindInt {
+			return v, nil
+		}
+		return sqltypes.NewInt(v.Int()), nil
+	case sqltypes.KindFloat:
+		if v.Kind() == sqltypes.KindFloat {
+			return v, nil
+		}
+		return sqltypes.NewFloat(v.Float()), nil
+	case sqltypes.KindString:
+		if v.Kind() == sqltypes.KindString {
+			return v, nil
+		}
+		return sqltypes.NewString(v.Str()), nil
+	case sqltypes.KindBool:
+		if v.Kind() == sqltypes.KindBool {
+			return v, nil
+		}
+		return sqltypes.NewBool(v.Bool()), nil
+	case sqltypes.KindTime:
+		if v.Kind() == sqltypes.KindTime {
+			return v, nil
+		}
+		return sqltypes.Value{K: sqltypes.KindTime, I: v.Int()}, nil
+	}
+	return v, nil
+}
+
+// uniqueViolation checks PK/unique constraints of candidate against rows
+// visible to tx (excluding excludeID).
+func (s *Session) uniqueViolation(tx *Txn, key tableKey, t *Table, candidate sqltypes.Row, excludeID int64) error {
+	var uniqueCols []int
+	for i, c := range t.Columns {
+		if c.PrimaryKey || c.Unique {
+			uniqueCols = append(uniqueCols, i)
+		}
+	}
+	if len(uniqueCols) == 0 {
+		return nil
+	}
+	for _, sr := range s.scanLocked(tx, key, t) {
+		if sr.rowID == excludeID {
+			continue
+		}
+		for _, ci := range uniqueCols {
+			if candidate[ci].IsNull() {
+				continue
+			}
+			if sqltypes.Equal(sr.data[ci], candidate[ci]) {
+				return fmt.Errorf("%w: %s.%s column %s value %v",
+					ErrDuplicateKey, key.db, key.table, t.Columns[ci].Name, candidate[ci])
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Session) execInsert(tx *Txn, st *sqlparse.Insert, args []sqltypes.Value, depth int) (*Result, error) {
+	t, key, err := s.lookupTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.checkTempUse(t, false); err != nil {
+		return nil, err
+	}
+	if s.iso == Serializable && !t.Temp {
+		if err := s.eng.lockTable(tx, t, true); err != nil {
+			return nil, err
+		}
+	}
+
+	// Map the statement's column list to table positions.
+	colIdx := make([]int, 0, len(st.Columns))
+	if len(st.Columns) == 0 {
+		for i := range t.Columns {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, name := range st.Columns {
+			ci := t.colIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("engine: unknown column %q in table %q", name, t.Name)
+			}
+			colIdx = append(colIdx, ci)
+		}
+	}
+
+	res := &Result{}
+	env := &evalEnv{s: s, tx: tx, args: args}
+	for _, exprRow := range st.Rows {
+		if len(exprRow) != len(colIdx) {
+			return nil, fmt.Errorf("engine: INSERT has %d values for %d columns", len(exprRow), len(colIdx))
+		}
+		row := make(sqltypes.Row, len(t.Columns))
+		given := make([]bool, len(t.Columns))
+		for vi, e := range exprRow {
+			v, err := evalExpr(env, e)
+			if err != nil {
+				return nil, err
+			}
+			row[colIdx[vi]] = v
+			given[colIdx[vi]] = true
+		}
+		for i, c := range t.Columns {
+			if given[i] && !row[i].IsNull() {
+				continue
+			}
+			switch {
+			case c.AutoIncrement:
+				// Non-transactional counter: advanced even if the txn
+				// later rolls back (§4.3.2).
+				t.autoInc++
+				row[i] = sqltypes.NewInt(t.autoInc)
+				res.LastInsertID = t.autoInc
+			case !given[i] && c.Default != nil:
+				v, err := evalExpr(env, c.Default)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+		}
+		for i, c := range t.Columns {
+			cv, err := coerce(c, row[i])
+			if err != nil {
+				return nil, err
+			}
+			row[i] = cv
+		}
+		if err := s.uniqueViolation(tx, key, t, row, -1); err != nil {
+			return nil, err
+		}
+		if t.Temp {
+			// Temp tables are session-private and non-transactional in
+			// this engine; apply immediately and skip the write set.
+			id := t.nextRowID
+			t.nextRowID++
+			t.rows[id] = &rowChain{versions: []rowVersion{{data: row}}}
+			t.rowOrder = append(t.rowOrder, id)
+			tx.usedTempTables = true
+		} else {
+			id := t.nextRowID
+			t.nextRowID++
+			tx.ov(key)[id] = &overlayEntry{data: row, inserted: true}
+			tx.ops = append(tx.ops, pendingOp{key: key, rowID: id, kind: WriteInsert})
+		}
+		res.RowsAffected++
+		if err := s.fireTriggers(tx, key, "INSERT", depth); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func (s *Session) execUpdate(tx *Txn, st *sqlparse.Update, args []sqltypes.Value, depth int) (*Result, error) {
+	t, key, err := s.lookupTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.checkTempUse(t, false); err != nil {
+		return nil, err
+	}
+	if s.iso == Serializable && !t.Temp {
+		if err := s.eng.lockTable(tx, t, true); err != nil {
+			return nil, err
+		}
+	}
+	setIdx := make([]int, len(st.Set))
+	for i, a := range st.Set {
+		ci := t.colIndex(a.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q in table %q", a.Column, t.Name)
+		}
+		setIdx[i] = ci
+	}
+
+	res := &Result{}
+	rows := s.scanLocked(tx, key, t)
+	for _, sr := range rows {
+		env := s.rowEnv(tx, t, st.Table, "", sr.data, args)
+		if st.Where != nil {
+			ok, err := evalBool(env, st.Where)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if !t.Temp && s.iso != Serializable {
+			if err := s.eng.lockRow(tx, t, sr.rowID); err != nil {
+				return nil, err
+			}
+			// The row may have changed while we waited. Read-committed
+			// re-reads the latest committed version; snapshot isolation
+			// proceeds and relies on first-committer-wins at commit.
+			if tx.iso == ReadCommitted {
+				if v := t.rows[sr.rowID]; v != nil {
+					if latest := v.visible(s.eng.clock); latest != nil {
+						sr.data = latest.data
+						env = s.rowEnv(tx, t, st.Table, "", sr.data, args)
+						if st.Where != nil {
+							ok, err := evalBool(env, st.Where)
+							if err != nil {
+								return nil, err
+							}
+							if !ok {
+								s.eng.releaseRow(tx, t, sr.rowID)
+								continue
+							}
+						}
+					} else {
+						continue // deleted meanwhile
+					}
+				}
+			}
+		}
+		newRow := sr.data.Clone()
+		for i, a := range st.Set {
+			v, err := evalExpr(env, a.Value)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(t.Columns[setIdx[i]], v)
+			if err != nil {
+				return nil, err
+			}
+			newRow[setIdx[i]] = cv
+		}
+		// Re-check uniqueness if a key column changed.
+		changedKey := false
+		for _, ci := range setIdx {
+			if t.Columns[ci].PrimaryKey || t.Columns[ci].Unique {
+				changedKey = true
+			}
+		}
+		if changedKey {
+			if err := s.uniqueViolation(tx, key, t, newRow, sr.rowID); err != nil {
+				return nil, err
+			}
+		}
+		if t.Temp {
+			chain := t.rows[sr.rowID]
+			chain.versions[len(chain.versions)-1].data = newRow
+			tx.usedTempTables = true
+		} else {
+			ent := tx.ov(key)[sr.rowID]
+			if ent == nil {
+				ent = &overlayEntry{before: sr.data.Clone()}
+				tx.ov(key)[sr.rowID] = ent
+			}
+			ent.data = newRow
+			// Rows inserted by this txn stay pending as inserts with the
+			// updated image; pre-existing rows get (at most one) update op.
+			if !ent.inserted && !ent.updateOpped {
+				ent.updateOpped = true
+				tx.ops = append(tx.ops, pendingOp{key: key, rowID: sr.rowID, kind: WriteUpdate})
+			}
+		}
+		res.RowsAffected++
+		if err := s.fireTriggers(tx, key, "UPDATE", depth); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func (s *Session) execDelete(tx *Txn, st *sqlparse.Delete, args []sqltypes.Value, depth int) (*Result, error) {
+	t, key, err := s.lookupTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.checkTempUse(t, false); err != nil {
+		return nil, err
+	}
+	if s.iso == Serializable && !t.Temp {
+		if err := s.eng.lockTable(tx, t, true); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{}
+	rows := s.scanLocked(tx, key, t)
+	for _, sr := range rows {
+		env := s.rowEnv(tx, t, st.Table, "", sr.data, args)
+		if st.Where != nil {
+			ok, err := evalBool(env, st.Where)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if t.Temp {
+			delete(t.rows, sr.rowID)
+			for i, id := range t.rowOrder {
+				if id == sr.rowID {
+					t.rowOrder = append(t.rowOrder[:i], t.rowOrder[i+1:]...)
+					break
+				}
+			}
+			tx.usedTempTables = true
+			res.RowsAffected++
+			continue
+		}
+		if s.iso != Serializable {
+			if err := s.eng.lockRow(tx, t, sr.rowID); err != nil {
+				return nil, err
+			}
+		}
+		ent := tx.ov(key)[sr.rowID]
+		if ent == nil {
+			ent = &overlayEntry{before: sr.data.Clone()}
+			tx.ov(key)[sr.rowID] = ent
+		}
+		wasInserted := ent.inserted
+		ent.deleted = true
+		ent.data = nil
+		if !wasInserted {
+			tx.ops = append(tx.ops, pendingOp{key: key, rowID: sr.rowID, kind: WriteDelete})
+		}
+		res.RowsAffected++
+		if err := s.fireTriggers(tx, key, "DELETE", depth); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// releaseRow drops a single row lock acquired by tx (used when a re-check
+// after lock wait rules the row out).
+func (e *Engine) releaseRow(tx *Txn, t *Table, rowID int64) {
+	if t.locks[rowID] == tx.id {
+		delete(t.locks, rowID)
+		for i, hl := range tx.rowLocks {
+			if hl.t == t && hl.rowID == rowID {
+				tx.rowLocks = append(tx.rowLocks[:i], tx.rowLocks[i+1:]...)
+				break
+			}
+		}
+		e.lockWait.Broadcast()
+	}
+}
+
+// fireTriggers runs AFTER <event> triggers for the table (§4.1.1).
+func (s *Session) fireTriggers(tx *Txn, key tableKey, event string, depth int) error {
+	if key.db == "" {
+		return nil // temp tables have no triggers
+	}
+	d, err := s.eng.database(key.db)
+	if err != nil {
+		return nil
+	}
+	for _, tr := range d.triggers[key.table] {
+		if tr.Event != event {
+			continue
+		}
+		if _, err := s.execLocked(tr.Body, nil, depth+1); err != nil {
+			return fmt.Errorf("engine: trigger %q: %w", tr.Name, err)
+		}
+	}
+	return nil
+}
+
+// ---- SELECT ----
+
+var aggregateFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func isAggregateItem(e sqlparse.Expr) bool {
+	if f, ok := e.(*sqlparse.FuncExpr); ok && aggregateFuncs[f.Name] {
+		return true
+	}
+	return false
+}
+
+// joinedRow carries the merged row of FROM (+ JOIN) with lookup metadata.
+type joinedRow struct {
+	data  sqltypes.Row
+	left  scanRow // for FOR UPDATE locking on the FROM table
+	valid bool
+}
+
+func (s *Session) execSelect(tx *Txn, st *sqlparse.Select, args []sqltypes.Value) (*Result, error) {
+	if st.NoTable {
+		env := &evalEnv{s: s, args: args}
+		res := &Result{}
+		row := make(sqltypes.Row, 0, len(st.Items))
+		for _, it := range st.Items {
+			if it.Star {
+				return nil, fmt.Errorf("engine: SELECT * requires FROM")
+			}
+			v, err := evalExpr(env, it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			res.Columns = append(res.Columns, itemName(it))
+		}
+		res.Rows = append(res.Rows, row)
+		return res, nil
+	}
+
+	t, key, err := s.lookupTable(st.From)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.checkTempUse(t, false); err != nil {
+		return nil, err
+	}
+	if s.iso == Serializable && !t.Temp {
+		if err := s.eng.lockTable(tx, t, st.ForUpdate); err != nil {
+			return nil, err
+		}
+	}
+
+	leftAlias := st.FromAlias
+	if leftAlias == "" {
+		leftAlias = st.From.Name
+	}
+
+	var envRows []*evalEnv
+	var lockTargets []scanRow
+
+	if st.Join == nil {
+		for _, sr := range s.scanLocked(tx, key, t) {
+			env := s.rowEnv(tx, t, st.From, leftAlias, sr.data, args)
+			if st.Where != nil {
+				ok, err := evalBool(env, st.Where)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			envRows = append(envRows, env)
+			lockTargets = append(lockTargets, sr)
+		}
+	} else {
+		t2, key2, err := s.lookupTable(st.Join.Table)
+		if err != nil {
+			return nil, err
+		}
+		if s.iso == Serializable && !t2.Temp {
+			if err := s.eng.lockTable(tx, t2, false); err != nil {
+				return nil, err
+			}
+		}
+		rightAlias := st.Join.Alias
+		if rightAlias == "" {
+			rightAlias = st.Join.Table.Name
+		}
+		leftRows := s.scanLocked(tx, key, t)
+		rightRows := s.scanLocked(tx, key2, t2)
+		for _, lr := range leftRows {
+			for _, rr := range rightRows {
+				env := s.joinEnv(tx, t, leftAlias, lr.data, t2, rightAlias, rr.data, args)
+				ok, err := evalBool(env, st.Join.On)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				if st.Where != nil {
+					ok, err := evalBool(env, st.Where)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				envRows = append(envRows, env)
+				lockTargets = append(lockTargets, lr)
+			}
+		}
+	}
+
+	if st.ForUpdate && !t.Temp && s.iso != Serializable {
+		for _, sr := range lockTargets {
+			if err := s.eng.lockRow(tx, t, sr.rowID); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Aggregate path.
+	hasAgg := len(st.GroupBy) > 0
+	for _, it := range st.Items {
+		if !it.Star && isAggregateItem(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		return s.aggregateSelect(st, envRows)
+	}
+
+	// ORDER BY evaluates in row scope (pre-projection).
+	if len(st.OrderBy) > 0 {
+		if err := sortEnvRows(envRows, st.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{}
+	for _, it := range st.Items {
+		if it.Star {
+			// Expanded per-row below; headers from schema.
+			for _, c := range t.Columns {
+				res.Columns = append(res.Columns, c.Name)
+			}
+			if st.Join != nil {
+				t2, _, _ := s.lookupTable(st.Join.Table)
+				for _, c := range t2.Columns {
+					res.Columns = append(res.Columns, c.Name)
+				}
+			}
+			continue
+		}
+		res.Columns = append(res.Columns, itemName(it))
+	}
+	for _, env := range envRows {
+		var out sqltypes.Row
+		for _, it := range st.Items {
+			if it.Star {
+				out = append(out, env.row...)
+				continue
+			}
+			v, err := evalExpr(env, it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+
+	if st.Distinct {
+		seen := make(map[uint64]bool)
+		dd := res.Rows[:0]
+		for _, r := range res.Rows {
+			h := sqltypes.HashRow(r)
+			if !seen[h] {
+				seen[h] = true
+				dd = append(dd, r)
+			}
+		}
+		res.Rows = dd
+	}
+	applyLimit(res, st)
+	return res, nil
+}
+
+// aggregateSelect computes GROUP BY / aggregate projections.
+func (s *Session) aggregateSelect(st *sqlparse.Select, envRows []*evalEnv) (*Result, error) {
+	type group struct {
+		key  []sqltypes.Value
+		rows []*evalEnv
+	}
+	groups := make(map[uint64]*group)
+	var order []uint64
+	for _, env := range envRows {
+		var keyVals []sqltypes.Value
+		for _, g := range st.GroupBy {
+			v, err := evalExpr(env, g)
+			if err != nil {
+				return nil, err
+			}
+			keyVals = append(keyVals, v)
+		}
+		h := sqltypes.HashRow(keyVals)
+		grp, ok := groups[h]
+		if !ok {
+			grp = &group{key: keyVals}
+			groups[h] = grp
+			order = append(order, h)
+		}
+		grp.rows = append(grp.rows, env)
+	}
+	if len(groups) == 0 && len(st.GroupBy) == 0 {
+		// Aggregates over an empty set yield one row.
+		groups[0] = &group{}
+		order = append(order, 0)
+	}
+
+	res := &Result{}
+	for _, it := range st.Items {
+		res.Columns = append(res.Columns, itemName(it))
+	}
+	for _, h := range order {
+		grp := groups[h]
+		var out sqltypes.Row
+		for _, it := range st.Items {
+			if it.Star {
+				return nil, fmt.Errorf("engine: * not allowed with aggregates")
+			}
+			v, err := evalAggregate(grp.rows, it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	applyLimit(res, st)
+	return res, nil
+}
+
+// evalAggregate computes an item over a group; non-aggregate expressions
+// evaluate on the group's first row.
+func evalAggregate(rows []*evalEnv, e sqlparse.Expr) (sqltypes.Value, error) {
+	f, ok := e.(*sqlparse.FuncExpr)
+	if !ok || !aggregateFuncs[f.Name] {
+		if len(rows) == 0 {
+			return sqltypes.Null, nil
+		}
+		return evalExpr(rows[0], e)
+	}
+	if f.Name == "COUNT" && f.Star {
+		return sqltypes.NewInt(int64(len(rows))), nil
+	}
+	if len(f.Args) != 1 {
+		return sqltypes.Null, fmt.Errorf("engine: %s wants one argument", f.Name)
+	}
+	var vals []sqltypes.Value
+	for _, env := range rows {
+		v, err := evalExpr(env, f.Args[0])
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	switch f.Name {
+	case "COUNT":
+		return sqltypes.NewInt(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return sqltypes.Null, nil
+		}
+		isFloat := false
+		var si int64
+		var sf float64
+		for _, v := range vals {
+			if v.Kind() == sqltypes.KindFloat {
+				isFloat = true
+			}
+			si += v.Int()
+			sf += v.Float()
+		}
+		if f.Name == "AVG" {
+			return sqltypes.NewFloat(sf / float64(len(vals))), nil
+		}
+		if isFloat {
+			return sqltypes.NewFloat(sf), nil
+		}
+		return sqltypes.NewInt(si), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return sqltypes.Null, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := sqltypes.Compare(v, best)
+			if (f.Name == "MIN" && c < 0) || (f.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return sqltypes.Null, fmt.Errorf("engine: unknown aggregate %s", f.Name)
+}
+
+func itemName(it sqlparse.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(*sqlparse.ColumnRef); ok {
+		return cr.Name
+	}
+	return it.Expr.SQL()
+}
+
+// sortEnvRows orders the row set by the ORDER BY keys.
+func sortEnvRows(rows []*evalEnv, keys []sqlparse.OrderItem) error {
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			vi, err := evalExpr(rows[i], k.Expr)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			vj, err := evalExpr(rows[j], k.Expr)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			c := sqltypes.Compare(vi, vj)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return sortErr
+}
+
+func applyLimit(res *Result, st *sqlparse.Select) {
+	if st.Offset > 0 {
+		if st.Offset >= int64(len(res.Rows)) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[st.Offset:]
+		}
+	}
+	if st.Limit >= 0 && int64(len(res.Rows)) > st.Limit {
+		res.Rows = res.Rows[:st.Limit]
+	}
+}
+
+// rowEnv builds an evaluation environment for a single-table row.
+func (s *Session) rowEnv(tx *Txn, t *Table, ref sqlparse.TableRef, alias string, row sqltypes.Row, args []sqltypes.Value) *evalEnv {
+	env := &evalEnv{
+		s: s, tx: tx, args: args, row: row,
+		cols:  make(map[string]int, len(t.Columns)),
+		qcols: make(map[string]int, len(t.Columns)),
+	}
+	if alias == "" {
+		alias = ref.Name
+	}
+	for i, c := range t.Columns {
+		lower := toLower(c.Name)
+		env.cols[lower] = i
+		env.qcols[toLower(alias)+"."+lower] = i
+		env.qcols[toLower(ref.Name)+"."+lower] = i
+	}
+	return env
+}
+
+// joinEnv builds an environment over the concatenation of two rows.
+func (s *Session) joinEnv(tx *Txn, t1 *Table, a1 string, r1 sqltypes.Row, t2 *Table, a2 string, r2 sqltypes.Row, args []sqltypes.Value) *evalEnv {
+	merged := make(sqltypes.Row, 0, len(r1)+len(r2))
+	merged = append(merged, r1...)
+	merged = append(merged, r2...)
+	env := &evalEnv{
+		s: s, tx: tx, args: args, row: merged,
+		cols:  make(map[string]int, len(merged)),
+		qcols: make(map[string]int, len(merged)),
+	}
+	for i, c := range t1.Columns {
+		lower := toLower(c.Name)
+		if _, dup := env.cols[lower]; !dup {
+			env.cols[lower] = i
+		}
+		env.qcols[toLower(a1)+"."+lower] = i
+	}
+	off := len(t1.Columns)
+	for i, c := range t2.Columns {
+		lower := toLower(c.Name)
+		if _, dup := env.cols[lower]; !dup {
+			env.cols[lower] = off + i
+		}
+		env.qcols[toLower(a2)+"."+lower] = off + i
+	}
+	return env
+}
+
+func toLower(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}

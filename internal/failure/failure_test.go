@@ -1,0 +1,73 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestCrashAndRecover(t *testing.T) {
+	r := core.NewReplica(core.ReplicaConfig{Name: "r"})
+	in := NewInjector(1)
+	defer in.Stop()
+	in.Crash(r, 10*time.Millisecond)
+	deadline := time.Now().Add(time.Second)
+	for r.Healthy() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if r.Healthy() {
+		t.Fatal("crash never fired")
+	}
+}
+
+func TestCrashRestart(t *testing.T) {
+	r := core.NewReplica(core.ReplicaConfig{Name: "r"})
+	in := NewInjector(1)
+	defer in.Stop()
+	in.CrashRestart(r, 5*time.Millisecond, 20*time.Millisecond)
+	deadline := time.Now().Add(time.Second)
+	for r.Healthy() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if r.Healthy() {
+		t.Fatal("crash never fired")
+	}
+	deadline = time.Now().Add(time.Second)
+	for !r.Healthy() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !r.Healthy() {
+		t.Fatal("restart never fired")
+	}
+}
+
+func TestStopCancelsScheduled(t *testing.T) {
+	r := core.NewReplica(core.ReplicaConfig{Name: "r"})
+	in := NewInjector(1)
+	in.Crash(r, 50*time.Millisecond)
+	in.Stop()
+	time.Sleep(80 * time.Millisecond)
+	if !r.Healthy() {
+		t.Fatal("cancelled crash still fired")
+	}
+}
+
+func TestMTBFProcessFailsAndRepairs(t *testing.T) {
+	r := core.NewReplica(core.ReplicaConfig{Name: "r"})
+	in := NewInjector(7)
+	defer in.Stop()
+	in.MTBFProcess([]*core.Replica{r}, 5*time.Millisecond, 5*time.Millisecond)
+	sawDown := false
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if !r.Healthy() {
+			sawDown = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sawDown {
+		t.Fatal("MTBF process never failed the replica")
+	}
+}

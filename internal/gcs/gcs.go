@@ -1,0 +1,712 @@
+// Package gcs is the group communication substrate: heartbeat failure
+// detection, membership views, and reliable totally-ordered broadcast, the
+// building block multi-master replication needs ("database replication
+// requires reliable multicast with total order", §4.3.4.1).
+//
+// Two ordering protocols are provided — a fixed sequencer and a token ring —
+// because their throughput/latency trade-off versus group size is one of the
+// tuning headaches the paper describes (experiment C10).
+package gcs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Ordering selects the total order protocol.
+type Ordering int
+
+// Ordering protocols.
+const (
+	// Sequencer routes all broadcasts through the current coordinator,
+	// which assigns a global sequence number.
+	Sequencer Ordering = iota
+	// TokenRing circulates a token; only the holder assigns sequence
+	// numbers. Higher fairness, extra hop latency.
+	TokenRing
+)
+
+// Config tunes a group member.
+type Config struct {
+	// HeartbeatInterval between liveness probes; zero means 20 ms.
+	HeartbeatInterval time.Duration
+	// SuspectTimeout without a heartbeat before a peer is suspected;
+	// zero means 5× the heartbeat interval.
+	SuspectTimeout time.Duration
+	// RetransmitTimeout before an unacknowledged broadcast is resent to
+	// the (possibly new) sequencer; zero means 50 ms.
+	RetransmitTimeout time.Duration
+	// Ordering selects the total order protocol.
+	Ordering Ordering
+	// TokenHold is how long a token-ring holder keeps the token when it
+	// has traffic; zero means pass immediately after draining.
+	TokenHold time.Duration
+}
+
+func (c *Config) fill() {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if c.SuspectTimeout == 0 {
+		c.SuspectTimeout = 5 * c.HeartbeatInterval
+	}
+	if c.RetransmitTimeout == 0 {
+		c.RetransmitTimeout = 50 * time.Millisecond
+	}
+}
+
+// View is a membership snapshot.
+type View struct {
+	Epoch   uint64
+	Members []simnet.NodeID // sorted, only unsuspected nodes
+}
+
+// Coordinator returns the view's coordinator (lowest live id), or -1.
+func (v View) Coordinator() simnet.NodeID {
+	if len(v.Members) == 0 {
+		return -1
+	}
+	return v.Members[0]
+}
+
+// Contains reports whether id is in the view.
+func (v View) Contains(id simnet.NodeID) bool {
+	for _, m := range v.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Delivery is one totally-ordered message handed to the application.
+type Delivery struct {
+	Seq     uint64
+	Origin  simnet.NodeID
+	Payload any
+}
+
+// ---- wire message types (simnet payloads) ----
+
+type hbMsg struct{ MaxSeq uint64 }
+
+type tobReq struct {
+	Origin  simnet.NodeID
+	Counter uint64
+	Payload any
+}
+
+type tobOrd struct {
+	Seq     uint64
+	Origin  simnet.NodeID
+	Counter uint64
+	Payload any
+}
+
+type nackMsg struct{ Seq uint64 }
+
+type syncReq struct{ From simnet.NodeID }
+
+type syncResp struct {
+	MaxSeq  uint64
+	History []tobOrd
+}
+
+type tokenMsg struct {
+	NextSeq uint64
+	Epoch   uint64
+}
+
+// msgKey dedups broadcasts by origin.
+type msgKey struct {
+	origin  simnet.NodeID
+	counter uint64
+}
+
+// ErrStopped is returned by Broadcast after Stop.
+var ErrStopped = errors.New("gcs: node stopped")
+
+// Node is one group member.
+type Node struct {
+	id  simnet.NodeID
+	ep  *simnet.Endpoint
+	cfg Config
+
+	mu        sync.Mutex
+	members   []simnet.NodeID // static universe
+	lastSeen  map[simnet.NodeID]time.Time
+	suspected map[simnet.NodeID]bool
+	view      View
+	viewSubs  []func(View)
+
+	counter   uint64                // local broadcast counter
+	pending   map[msgKey]pendingMsg // sent, not yet seen ordered
+	delivered map[msgKey]bool
+	history   map[uint64]tobOrd // seq -> ordered message (for nacks/sync)
+	buffer    map[uint64]tobOrd // out-of-order arrivals
+	nextDel   uint64            // next seq to deliver (1-based)
+	seqNext   uint64            // sequencer only: next seq to assign
+	maxSeen   uint64
+
+	// sequencer FIFO gating: per-origin next expected counter and
+	// requests held until their predecessors arrive.
+	originNext map[simnet.NodeID]uint64
+	originHold map[simnet.NodeID]map[uint64]tobReq
+
+	// token ring state
+	haveToken bool
+	tokenSeen time.Time
+	queue     []tobReq // local messages awaiting a token
+
+	deliverCh chan Delivery
+	stopCh    chan struct{}
+	stopped   bool
+	wg        sync.WaitGroup
+}
+
+type pendingMsg struct {
+	req  tobReq
+	sent time.Time
+}
+
+// NewNode creates a group member attached to the endpoint. members is the
+// static process universe (the initial configuration file, as with Spread).
+func NewNode(ep *simnet.Endpoint, members []simnet.NodeID, cfg Config) *Node {
+	cfg.fill()
+	ms := append([]simnet.NodeID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	n := &Node{
+		id:         ep.ID(),
+		ep:         ep,
+		cfg:        cfg,
+		members:    ms,
+		lastSeen:   make(map[simnet.NodeID]time.Time),
+		suspected:  make(map[simnet.NodeID]bool),
+		pending:    make(map[msgKey]pendingMsg),
+		delivered:  make(map[msgKey]bool),
+		originNext: make(map[simnet.NodeID]uint64),
+		originHold: make(map[simnet.NodeID]map[uint64]tobReq),
+		history:    make(map[uint64]tobOrd),
+		buffer:     make(map[uint64]tobOrd),
+		nextDel:    1,
+		seqNext:    1,
+		deliverCh:  make(chan Delivery, 4096),
+		stopCh:     make(chan struct{}),
+	}
+	now := time.Now()
+	for _, m := range ms {
+		n.lastSeen[m] = now
+	}
+	n.view = View{Epoch: 1, Members: ms}
+	n.tokenSeen = now
+	return n
+}
+
+// ID returns this member's node id.
+func (n *Node) ID() simnet.NodeID { return n.id }
+
+// Start launches the member's event loop.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go n.run()
+	if n.cfg.Ordering == TokenRing && n.isCoordinator() {
+		// The initial coordinator mints the token.
+		n.mu.Lock()
+		n.haveToken = true
+		n.tokenSeen = time.Now()
+		n.mu.Unlock()
+	}
+}
+
+// Stop terminates the member.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	close(n.stopCh)
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Deliveries returns the totally-ordered delivery channel.
+func (n *Node) Deliveries() <-chan Delivery { return n.deliverCh }
+
+// View returns the current membership view.
+func (n *Node) View() View {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v := n.view
+	v.Members = append([]simnet.NodeID(nil), v.Members...)
+	return v
+}
+
+// OnViewChange registers a callback invoked (from the event loop) on every
+// view installation.
+func (n *Node) OnViewChange(fn func(View)) {
+	n.mu.Lock()
+	n.viewSubs = append(n.viewSubs, fn)
+	n.mu.Unlock()
+}
+
+// Broadcast submits a payload for totally-ordered delivery to all members
+// (including the sender). It returns once the message is queued; delivery
+// happens asynchronously.
+func (n *Node) Broadcast(payload any) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return ErrStopped
+	}
+	n.counter++
+	req := tobReq{Origin: n.id, Counter: n.counter, Payload: payload}
+	key := msgKey{origin: n.id, counter: n.counter}
+	n.pending[key] = pendingMsg{req: req, sent: time.Now()}
+	switch n.cfg.Ordering {
+	case Sequencer:
+		n.sendReqLocked(req)
+	case TokenRing:
+		n.queue = append(n.queue, req)
+		if n.haveToken {
+			n.drainTokenQueueLocked()
+		}
+	}
+	return nil
+}
+
+// sendReqLocked routes a request to the current coordinator (possibly
+// ourselves).
+func (n *Node) sendReqLocked(req tobReq) {
+	coord := n.view.Coordinator()
+	if coord == n.id {
+		n.assignLocked(req)
+		return
+	}
+	if coord >= 0 {
+		_ = n.ep.Send(coord, req)
+	}
+}
+
+// assignLocked sequences a request (sequencer role), enforcing per-origin
+// FIFO: a request whose predecessors have not arrived yet is held until the
+// gap closes (lost requests are retransmitted by their origin).
+func (n *Node) assignLocked(req tobReq) {
+	next := n.originNextLocked(req.Origin)
+	switch {
+	case req.Counter < next:
+		return // duplicate of an already sequenced message
+	case req.Counter > next:
+		hold := n.originHold[req.Origin]
+		if hold == nil {
+			hold = make(map[uint64]tobReq)
+			n.originHold[req.Origin] = hold
+		}
+		hold[req.Counter] = req
+		return
+	}
+	n.sequenceNowLocked(req)
+	// Drain any held successors that are now dense.
+	for {
+		hold := n.originHold[req.Origin]
+		if hold == nil {
+			return
+		}
+		nxt, ok := hold[n.originNextLocked(req.Origin)]
+		if !ok {
+			return
+		}
+		delete(hold, nxt.Counter)
+		n.sequenceNowLocked(nxt)
+	}
+}
+
+// originNextLocked returns the next expected counter for an origin (1-based).
+func (n *Node) originNextLocked(origin simnet.NodeID) uint64 {
+	if v, ok := n.originNext[origin]; ok {
+		return v
+	}
+	return 1
+}
+
+// sequenceNowLocked assigns the next global sequence number to the request
+// and broadcasts the ordered message.
+func (n *Node) sequenceNowLocked(req tobReq) {
+	ord := tobOrd{Seq: n.seqNext, Origin: req.Origin, Counter: req.Counter, Payload: req.Payload}
+	n.seqNext++
+	n.acceptOrdLocked(ord)
+	for _, m := range n.members {
+		if m != n.id {
+			_ = n.ep.Send(m, ord)
+		}
+	}
+}
+
+// acceptOrdLocked ingests an ordered message, delivering in-order prefixes.
+func (n *Node) acceptOrdLocked(ord tobOrd) {
+	if ord.Seq > n.maxSeen {
+		n.maxSeen = ord.Seq
+	}
+	if ord.Counter >= n.originNextLocked(ord.Origin) {
+		n.originNext[ord.Origin] = ord.Counter + 1
+	}
+	if ord.Seq >= n.seqNext {
+		n.seqNext = ord.Seq + 1
+	}
+	if ord.Seq < n.nextDel {
+		return // already delivered
+	}
+	n.history[ord.Seq] = ord
+	n.buffer[ord.Seq] = ord
+	for {
+		next, ok := n.buffer[n.nextDel]
+		if !ok {
+			break
+		}
+		delete(n.buffer, n.nextDel)
+		key := msgKey{origin: next.Origin, counter: next.Counter}
+		n.delivered[key] = true
+		delete(n.pending, key)
+		n.nextDel++
+		select {
+		case n.deliverCh <- Delivery{Seq: next.Seq, Origin: next.Origin, Payload: next.Payload}:
+		default:
+			// The application is lagging: block outside the lock.
+			n.mu.Unlock()
+			n.deliverCh <- Delivery{Seq: next.Seq, Origin: next.Origin, Payload: next.Payload}
+			n.mu.Lock()
+		}
+	}
+}
+
+func (n *Node) isCoordinator() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.Coordinator() == n.id
+}
+
+// run is the event loop.
+func (n *Node) run() {
+	defer n.wg.Done()
+	hb := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer hb.Stop()
+	retx := time.NewTicker(n.cfg.RetransmitTimeout)
+	defer retx.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-hb.C:
+			n.heartbeatTick()
+		case <-retx.C:
+			n.retransmitTick()
+		case m, ok := <-n.ep.Incoming():
+			if !ok {
+				return
+			}
+			n.handle(m)
+		}
+	}
+}
+
+func (n *Node) heartbeatTick() {
+	n.mu.Lock()
+	members := append([]simnet.NodeID(nil), n.members...)
+	maxSeq := n.maxSeen
+	n.mu.Unlock()
+	for _, m := range members {
+		if m != n.id {
+			_ = n.ep.Send(m, hbMsg{MaxSeq: maxSeq})
+		}
+	}
+	n.updateSuspicions()
+	if n.cfg.Ordering == TokenRing {
+		n.tokenMaintenance()
+	}
+}
+
+// updateSuspicions recomputes the failure detector state and installs a new
+// view when it changed.
+func (n *Node) updateSuspicions() {
+	n.mu.Lock()
+	now := time.Now()
+	changed := false
+	for _, m := range n.members {
+		if m == n.id {
+			continue
+		}
+		silent := now.Sub(n.lastSeen[m]) > n.cfg.SuspectTimeout
+		if silent != n.suspected[m] {
+			n.suspected[m] = silent
+			changed = true
+		}
+	}
+	if !changed {
+		n.mu.Unlock()
+		return
+	}
+	var live []simnet.NodeID
+	for _, m := range n.members {
+		if m == n.id || !n.suspected[m] {
+			live = append(live, m)
+		}
+	}
+	oldCoord := n.view.Coordinator()
+	n.view = View{Epoch: n.view.Epoch + 1, Members: live}
+	newCoord := n.view.Coordinator()
+	subs := append([]func(View){}, n.viewSubs...)
+	v := n.view
+	becameCoord := newCoord == n.id && oldCoord != n.id
+	n.mu.Unlock()
+
+	for _, fn := range subs {
+		fn(v)
+	}
+	if becameCoord {
+		n.takeOverSequencing()
+	}
+}
+
+// takeOverSequencing runs when this node becomes coordinator: it gathers
+// ordering state from the surviving members so sequence numbering continues
+// without gaps or double assignment (the recovery procedure research
+// "rarely describes", §3.2).
+func (n *Node) takeOverSequencing() {
+	n.mu.Lock()
+	members := append([]simnet.NodeID(nil), n.view.Members...)
+	n.mu.Unlock()
+	for _, m := range members {
+		if m != n.id {
+			_ = n.ep.Send(m, syncReq{From: n.id})
+		}
+	}
+	if n.cfg.Ordering == TokenRing {
+		// Regenerate the token.
+		n.mu.Lock()
+		n.haveToken = true
+		n.tokenSeen = time.Now()
+		if n.seqNext <= n.maxSeen {
+			n.seqNext = n.maxSeen + 1
+		}
+		n.drainTokenQueueLocked()
+		n.mu.Unlock()
+	}
+}
+
+// retransmitTick resends pending requests whose ordering we have not yet
+// observed (sequencer may have died before broadcasting).
+func (n *Node) retransmitTick() {
+	n.mu.Lock()
+	now := time.Now()
+	var resend []tobReq
+	for key, p := range n.pending {
+		if now.Sub(p.sent) >= n.cfg.RetransmitTimeout {
+			resend = append(resend, p.req)
+			n.pending[key] = pendingMsg{req: p.req, sent: now}
+		}
+	}
+	ordering := n.cfg.Ordering
+	n.mu.Unlock()
+	for _, req := range resend {
+		n.mu.Lock()
+		if ordering == Sequencer {
+			n.sendReqLocked(req)
+		} else if n.haveToken {
+			n.drainTokenQueueLocked()
+		}
+		n.mu.Unlock()
+	}
+	// Nack gaps: heartbeats gossip the highest assigned sequence number,
+	// so a node that is missing a prefix (even a trailing one) asks the
+	// coordinator to resend.
+	n.mu.Lock()
+	var firstGap uint64
+	if n.nextDel <= n.maxSeen {
+		if _, ok := n.buffer[n.nextDel]; !ok {
+			firstGap = n.nextDel
+		}
+	}
+	coord := n.view.Coordinator()
+	n.mu.Unlock()
+	if firstGap > 0 && coord != n.id && coord >= 0 {
+		_ = n.ep.Send(coord, nackMsg{Seq: firstGap})
+	}
+}
+
+// tokenMaintenance keeps the token circulating: a holder drains its queue
+// and passes the token on; the coordinator regenerates a lost token.
+func (n *Node) tokenMaintenance() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.haveToken {
+		n.drainTokenQueueLocked()
+		n.passTokenLocked()
+		return
+	}
+	if n.view.Coordinator() != n.id {
+		return
+	}
+	if time.Since(n.tokenSeen) > 4*n.cfg.SuspectTimeout {
+		n.haveToken = true
+		n.tokenSeen = time.Now()
+		if n.seqNext <= n.maxSeen {
+			n.seqNext = n.maxSeen + 1
+		}
+		n.drainTokenQueueLocked()
+		n.passTokenLocked()
+	}
+}
+
+// drainTokenQueueLocked assigns sequence numbers to queued local messages
+// while holding the token.
+func (n *Node) drainTokenQueueLocked() {
+	if !n.haveToken {
+		return
+	}
+	for _, req := range n.queue {
+		key := msgKey{origin: req.Origin, counter: req.Counter}
+		if n.delivered[key] {
+			continue
+		}
+		ord := tobOrd{Seq: n.seqNext, Origin: req.Origin, Counter: req.Counter, Payload: req.Payload}
+		n.seqNext++
+		n.acceptOrdLocked(ord)
+		for _, m := range n.members {
+			if m != n.id {
+				_ = n.ep.Send(m, ord)
+			}
+		}
+	}
+	n.queue = nil
+}
+
+// passTokenLocked forwards the token to the next live member.
+func (n *Node) passTokenLocked() {
+	if !n.haveToken {
+		return
+	}
+	live := n.view.Members
+	if len(live) <= 1 {
+		return // keep the token
+	}
+	idx := 0
+	for i, m := range live {
+		if m == n.id {
+			idx = i
+			break
+		}
+	}
+	next := live[(idx+1)%len(live)]
+	if next == n.id {
+		return
+	}
+	n.haveToken = false
+	_ = n.ep.Send(next, tokenMsg{NextSeq: n.seqNext, Epoch: n.view.Epoch})
+}
+
+// handle processes one network message.
+func (n *Node) handle(m simnet.Message) {
+	switch p := m.Payload.(type) {
+	case hbMsg:
+		n.mu.Lock()
+		n.lastSeen[m.From] = time.Now()
+		if p.MaxSeq > n.maxSeen {
+			n.maxSeen = p.MaxSeq
+		}
+		if n.suspected[m.From] {
+			// Peer recovered; next suspicion pass installs a new view.
+			n.suspected[m.From] = false
+			var live []simnet.NodeID
+			for _, mm := range n.members {
+				if mm == n.id || !n.suspected[mm] {
+					live = append(live, mm)
+				}
+			}
+			n.view = View{Epoch: n.view.Epoch + 1, Members: live}
+			subs := append([]func(View){}, n.viewSubs...)
+			v := n.view
+			n.mu.Unlock()
+			for _, fn := range subs {
+				fn(v)
+			}
+			return
+		}
+		n.mu.Unlock()
+	case tobReq:
+		n.mu.Lock()
+		if n.view.Coordinator() == n.id && n.cfg.Ordering == Sequencer {
+			n.assignLocked(p)
+		} else if n.cfg.Ordering == TokenRing {
+			// Requests never route in token mode; ignore.
+		} else {
+			// Not coordinator: forward.
+			n.sendReqLocked(p)
+		}
+		n.mu.Unlock()
+	case tobOrd:
+		n.mu.Lock()
+		n.acceptOrdLocked(p)
+		n.mu.Unlock()
+	case nackMsg:
+		n.mu.Lock()
+		var resend []tobOrd
+		for seq := p.Seq; seq < n.seqNext; seq++ {
+			if ord, ok := n.history[seq]; ok {
+				resend = append(resend, ord)
+			}
+		}
+		n.mu.Unlock()
+		for _, ord := range resend {
+			_ = n.ep.Send(m.From, ord)
+		}
+	case syncReq:
+		n.mu.Lock()
+		resp := syncResp{MaxSeq: n.maxSeen}
+		for _, ord := range n.history {
+			resp.History = append(resp.History, ord)
+		}
+		n.mu.Unlock()
+		_ = n.ep.Send(m.From, resp)
+	case syncResp:
+		n.mu.Lock()
+		for _, ord := range p.History {
+			if _, ok := n.history[ord.Seq]; !ok {
+				n.acceptOrdLocked(ord)
+			}
+		}
+		if n.seqNext <= p.MaxSeq {
+			n.seqNext = p.MaxSeq + 1
+		}
+		n.mu.Unlock()
+	case tokenMsg:
+		n.mu.Lock()
+		n.haveToken = true
+		n.tokenSeen = time.Now()
+		if p.NextSeq > n.seqNext {
+			n.seqNext = p.NextSeq
+		}
+		n.drainTokenQueueLocked()
+		if n.cfg.TokenHold > 0 {
+			hold := n.cfg.TokenHold
+			n.mu.Unlock()
+			time.Sleep(hold)
+			n.mu.Lock()
+			n.drainTokenQueueLocked()
+		}
+		n.passTokenLocked()
+		n.mu.Unlock()
+	}
+}
+
+// String describes the node for debugging.
+func (n *Node) String() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return fmt.Sprintf("gcs.Node(%d, view=%d, members=%v)", n.id, n.view.Epoch, n.view.Members)
+}

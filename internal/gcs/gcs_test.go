@@ -1,0 +1,292 @@
+package gcs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// newGroup spins up n members on a fresh network.
+func newGroup(t *testing.T, n int, cfg Config) (*simnet.Network, []*Node) {
+	t.Helper()
+	net := simnet.NewNetwork(1)
+	ids := make([]simnet.NodeID, n)
+	for i := range ids {
+		ids[i] = simnet.NodeID(i + 1)
+	}
+	nodes := make([]*Node, n)
+	for i, id := range ids {
+		nodes[i] = NewNode(net.Attach(id), ids, cfg)
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+		net.Close()
+	})
+	return net, nodes
+}
+
+// collect drains deliveries from a node until count messages arrive or the
+// timeout passes.
+func collect(node *Node, count int, timeout time.Duration) []Delivery {
+	var out []Delivery
+	deadline := time.After(timeout)
+	for len(out) < count {
+		select {
+		case d := <-node.Deliveries():
+			out = append(out, d)
+		case <-deadline:
+			return out
+		}
+	}
+	return out
+}
+
+func TestSequencerTotalOrder(t *testing.T) {
+	_, nodes := newGroup(t, 4, Config{Ordering: Sequencer})
+	const perNode = 25
+	for _, nd := range nodes {
+		go func(nd *Node) {
+			for i := 0; i < perNode; i++ {
+				if err := nd.Broadcast(fmt.Sprintf("%d/%d", nd.ID(), i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(nd)
+	}
+	total := perNode * len(nodes)
+	seqs := make([][]Delivery, len(nodes))
+	for i, nd := range nodes {
+		seqs[i] = collect(nd, total, 5*time.Second)
+		if len(seqs[i]) != total {
+			t.Fatalf("node %d delivered %d/%d", nd.ID(), len(seqs[i]), total)
+		}
+	}
+	// The delivered sequences must be identical on every node.
+	for i := 1; i < len(seqs); i++ {
+		for j := range seqs[0] {
+			if seqs[i][j].Payload != seqs[0][j].Payload || seqs[i][j].Seq != seqs[0][j].Seq {
+				t.Fatalf("order divergence at %d: node1=%v node%d=%v",
+					j, seqs[0][j], i+1, seqs[i][j])
+			}
+		}
+	}
+	// Sequence numbers are dense and increasing.
+	for j, d := range seqs[0] {
+		if d.Seq != uint64(j+1) {
+			t.Fatalf("gap at %d: seq=%d", j, d.Seq)
+		}
+	}
+}
+
+func TestTokenRingTotalOrder(t *testing.T) {
+	_, nodes := newGroup(t, 3, Config{Ordering: TokenRing})
+	const perNode = 10
+	for _, nd := range nodes {
+		go func(nd *Node) {
+			for i := 0; i < perNode; i++ {
+				_ = nd.Broadcast(fmt.Sprintf("%d/%d", nd.ID(), i))
+			}
+		}(nd)
+	}
+	total := perNode * len(nodes)
+	seqs := make([][]Delivery, len(nodes))
+	for i, nd := range nodes {
+		seqs[i] = collect(nd, total, 10*time.Second)
+		if len(seqs[i]) != total {
+			t.Fatalf("node %d delivered %d/%d", nd.ID(), len(seqs[i]), total)
+		}
+	}
+	for i := 1; i < len(seqs); i++ {
+		for j := range seqs[0] {
+			if seqs[i][j].Payload != seqs[0][j].Payload {
+				t.Fatalf("token-ring order divergence at %d", j)
+			}
+		}
+	}
+}
+
+func TestFailureDetectorSuspectsCrashedNode(t *testing.T) {
+	net, nodes := newGroup(t, 3, Config{
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectTimeout:    50 * time.Millisecond,
+	})
+	// Crash node 3.
+	nodes[2].Stop()
+	net.Detach(3)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		v := nodes[0].View()
+		if len(v.Members) == 2 && !v.Contains(3) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("crashed node never suspected: view=%v", nodes[0].View())
+}
+
+func TestViewChangeCallback(t *testing.T) {
+	net, nodes := newGroup(t, 3, Config{
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectTimeout:    50 * time.Millisecond,
+	})
+	got := make(chan View, 16)
+	nodes[0].OnViewChange(func(v View) { got <- v })
+	nodes[1].Stop()
+	net.Detach(2)
+	select {
+	case v := <-got:
+		if v.Contains(2) {
+			t.Fatalf("new view still contains crashed node: %v", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no view change delivered")
+	}
+}
+
+func TestSequencerFailoverContinuesOrdering(t *testing.T) {
+	net, nodes := newGroup(t, 3, Config{
+		Ordering:          Sequencer,
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectTimeout:    50 * time.Millisecond,
+		RetransmitTimeout: 40 * time.Millisecond,
+	})
+	// A few messages through the original coordinator (node 1).
+	for i := 0; i < 5; i++ {
+		if err := nodes[1].Broadcast(fmt.Sprintf("pre-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre2 := collect(nodes[1], 5, 2*time.Second)
+	pre3 := collect(nodes[2], 5, 2*time.Second)
+	if len(pre2) != 5 || len(pre3) != 5 {
+		t.Fatalf("pre-failover deliveries: %d, %d", len(pre2), len(pre3))
+	}
+	// Kill the coordinator.
+	nodes[0].Stop()
+	net.Detach(1)
+	// Wait for node 2 to take over.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if nodes[1].View().Coordinator() == 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if nodes[1].View().Coordinator() != 2 {
+		t.Fatalf("no coordinator handover: %v", nodes[1].View())
+	}
+	// Broadcasts continue through the new coordinator.
+	for i := 0; i < 5; i++ {
+		if err := nodes[2].Broadcast(fmt.Sprintf("post-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	post2 := collect(nodes[1], 5, 3*time.Second)
+	post3 := collect(nodes[2], 5, 3*time.Second)
+	if len(post2) != 5 || len(post3) != 5 {
+		t.Fatalf("post-failover deliveries: %d, %d", len(post2), len(post3))
+	}
+	for i := range post2 {
+		if post2[i].Payload != post3[i].Payload {
+			t.Fatalf("post-failover divergence at %d", i)
+		}
+		if post2[i].Seq <= pre2[len(pre2)-1].Seq {
+			t.Fatalf("sequence regressed after failover: %d", post2[i].Seq)
+		}
+	}
+}
+
+func TestLossRecoveryViaNack(t *testing.T) {
+	net, nodes := newGroup(t, 3, Config{
+		Ordering:          Sequencer,
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectTimeout:    100 * time.Millisecond,
+		RetransmitTimeout: 30 * time.Millisecond,
+	})
+	net.SetLoss(0.2)
+	const total = 30
+	go func() {
+		for i := 0; i < total; i++ {
+			_ = nodes[1].Broadcast(i)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i, nd := range nodes {
+		got := collect(nd, total, 10*time.Second)
+		if len(got) != total {
+			t.Fatalf("node %d delivered %d/%d under loss", i+1, len(got), total)
+		}
+		for j, d := range got {
+			if d.Payload.(int) != j {
+				t.Fatalf("node %d out of order at %d: %v", i+1, j, d.Payload)
+			}
+		}
+	}
+}
+
+func TestPartitionBlocksMinority(t *testing.T) {
+	net, nodes := newGroup(t, 3, Config{
+		Ordering:          Sequencer,
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectTimeout:    60 * time.Millisecond,
+	})
+	// Partition node 3 away from {1, 2}.
+	net.Partition([]simnet.NodeID{1, 2}, []simnet.NodeID{3})
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		vMaj := nodes[0].View()
+		vMin := nodes[2].View()
+		if len(vMaj.Members) == 2 && len(vMin.Members) == 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := len(nodes[0].View().Members); got != 2 {
+		t.Fatalf("majority view = %v", nodes[0].View())
+	}
+	if got := len(nodes[2].View().Members); got != 1 {
+		t.Fatalf("minority view = %v", nodes[2].View())
+	}
+	// Heal: both sides converge back to 3 members.
+	net.Heal()
+	deadline = time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(nodes[0].View().Members) == 3 && len(nodes[2].View().Members) == 3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("views did not heal: %v / %v", nodes[0].View(), nodes[2].View())
+}
+
+func TestSelfDeliveryIncluded(t *testing.T) {
+	_, nodes := newGroup(t, 2, Config{Ordering: Sequencer})
+	if err := nodes[1].Broadcast("hello"); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(nodes[1], 1, 2*time.Second)
+	if len(got) != 1 || got[0].Payload != "hello" {
+		t.Fatalf("sender did not deliver its own broadcast: %v", got)
+	}
+}
+
+func TestSingleNodeGroup(t *testing.T) {
+	_, nodes := newGroup(t, 1, Config{Ordering: Sequencer})
+	for i := 0; i < 5; i++ {
+		if err := nodes[0].Broadcast(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(nodes[0], 5, 2*time.Second)
+	if len(got) != 5 {
+		t.Fatalf("delivered %d/5", len(got))
+	}
+}

@@ -1,0 +1,175 @@
+// Package lb implements the load balancing policies of §3.2: the paper
+// distinguishes the *level* at which balancing happens (connection,
+// transaction, or query) from the *policy* picking a replica (round robin,
+// least pending requests first, weighted). Levels are enforced by the
+// middleware session router; this package provides the policies and the
+// per-replica load accounting they need.
+package lb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Level is the granularity at which a balancing decision sticks.
+type Level int
+
+// Balancing levels (§3.2).
+const (
+	// ConnectionLevel pins a client connection to one replica for its
+	// lifetime — simple, but "offers poor balancing when clients use
+	// connection pools or persistent connections".
+	ConnectionLevel Level = iota
+	// TransactionLevel picks a replica per transaction.
+	TransactionLevel
+	// QueryLevel picks a replica per read query.
+	QueryLevel
+)
+
+func (l Level) String() string {
+	switch l {
+	case ConnectionLevel:
+		return "connection"
+	case TransactionLevel:
+		return "transaction"
+	case QueryLevel:
+		return "query"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Target is a balanceable replica as seen by a policy.
+type Target interface {
+	// Name identifies the replica.
+	Name() string
+	// Pending returns the number of requests queued or executing.
+	Pending() int
+	// Weight returns the replica's capacity weight (1 = baseline).
+	Weight() float64
+	// Healthy reports whether the replica accepts traffic.
+	Healthy() bool
+}
+
+// Policy picks one replica among candidates. Implementations must be safe
+// for concurrent use. Pick returns nil when no healthy candidate exists.
+type Policy interface {
+	Pick(candidates []Target) Target
+	Name() string
+}
+
+// RoundRobin cycles through healthy replicas.
+type RoundRobin struct {
+	next atomic.Uint64
+}
+
+// NewRoundRobin returns a round-robin policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (rr *RoundRobin) Pick(candidates []Target) Target {
+	n := len(candidates)
+	if n == 0 {
+		return nil
+	}
+	start := int(rr.next.Add(1) - 1)
+	for i := 0; i < n; i++ {
+		t := candidates[(start+i)%n]
+		if t.Healthy() {
+			return t
+		}
+	}
+	return nil
+}
+
+// LPRF is Least Pending Requests First (the C-JDBC policy cited in §4.1.3
+// for absorbing heterogeneous-hardware imbalance): it routes to the healthy
+// replica with the fewest outstanding requests, breaking ties round-robin.
+type LPRF struct {
+	tie atomic.Uint64
+}
+
+// NewLPRF returns an LPRF policy.
+func NewLPRF() *LPRF { return &LPRF{} }
+
+// Name implements Policy.
+func (*LPRF) Name() string { return "lprf" }
+
+// Pick implements Policy.
+func (l *LPRF) Pick(candidates []Target) Target {
+	var best Target
+	bestPending := 0
+	offset := int(l.tie.Add(1) - 1)
+	n := len(candidates)
+	for i := 0; i < n; i++ {
+		t := candidates[(offset+i)%n]
+		if !t.Healthy() {
+			continue
+		}
+		p := t.Pending()
+		if best == nil || p < bestPending {
+			best = t
+			bestPending = p
+		}
+	}
+	return best
+}
+
+// Weighted distributes proportionally to static weights: the manual knob
+// operators reach for on heterogeneous clusters. It implements smooth
+// weighted round robin.
+type Weighted struct {
+	mu      sync.Mutex
+	current map[string]float64
+}
+
+// NewWeighted returns a weighted policy.
+func NewWeighted() *Weighted {
+	return &Weighted{current: make(map[string]float64)}
+}
+
+// Name implements Policy.
+func (*Weighted) Name() string { return "weighted" }
+
+// Pick implements Policy.
+func (w *Weighted) Pick(candidates []Target) Target {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var best Target
+	var total float64
+	for _, t := range candidates {
+		if !t.Healthy() {
+			continue
+		}
+		wt := t.Weight()
+		if wt <= 0 {
+			wt = 1
+		}
+		total += wt
+		w.current[t.Name()] += wt
+		if best == nil || w.current[t.Name()] > w.current[best.Name()] {
+			best = t
+		}
+	}
+	if best != nil {
+		w.current[best.Name()] -= total
+	}
+	return best
+}
+
+// Counter is a ready-made Pending() implementation for replicas.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc marks a request started.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Dec marks a request finished.
+func (c *Counter) Dec() { c.n.Add(-1) }
+
+// Load returns the current outstanding count.
+func (c *Counter) Load() int { return int(c.n.Load()) }

@@ -1,0 +1,126 @@
+package lb
+
+import (
+	"testing"
+)
+
+type fakeTarget struct {
+	name    string
+	pending int
+	weight  float64
+	healthy bool
+}
+
+func (f *fakeTarget) Name() string    { return f.name }
+func (f *fakeTarget) Pending() int    { return f.pending }
+func (f *fakeTarget) Weight() float64 { return f.weight }
+func (f *fakeTarget) Healthy() bool   { return f.healthy }
+
+func targets(specs ...*fakeTarget) []Target {
+	out := make([]Target, len(specs))
+	for i, s := range specs {
+		out[i] = s
+	}
+	return out
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	a := &fakeTarget{name: "a", healthy: true}
+	b := &fakeTarget{name: "b", healthy: true}
+	c := &fakeTarget{name: "c", healthy: true}
+	rr := NewRoundRobin()
+	counts := map[string]int{}
+	for i := 0; i < 30; i++ {
+		counts[rr.Pick(targets(a, b, c)).Name()]++
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		if counts[n] != 10 {
+			t.Fatalf("uneven round robin: %v", counts)
+		}
+	}
+}
+
+func TestRoundRobinSkipsUnhealthy(t *testing.T) {
+	a := &fakeTarget{name: "a", healthy: true}
+	b := &fakeTarget{name: "b", healthy: false}
+	rr := NewRoundRobin()
+	for i := 0; i < 10; i++ {
+		if got := rr.Pick(targets(a, b)); got.Name() != "a" {
+			t.Fatalf("picked unhealthy target")
+		}
+	}
+}
+
+func TestRoundRobinAllDown(t *testing.T) {
+	a := &fakeTarget{name: "a"}
+	if got := NewRoundRobin().Pick(targets(a)); got != nil {
+		t.Fatal("should return nil with no healthy targets")
+	}
+	if got := NewRoundRobin().Pick(nil); got != nil {
+		t.Fatal("should return nil with no targets")
+	}
+}
+
+func TestLPRFPicksLeastPending(t *testing.T) {
+	a := &fakeTarget{name: "a", pending: 5, healthy: true}
+	b := &fakeTarget{name: "b", pending: 1, healthy: true}
+	c := &fakeTarget{name: "c", pending: 3, healthy: true}
+	l := NewLPRF()
+	for i := 0; i < 5; i++ {
+		if got := l.Pick(targets(a, b, c)); got.Name() != "b" {
+			t.Fatalf("picked %s, want b", got.Name())
+		}
+	}
+}
+
+func TestLPRFAbsorbsSlowNode(t *testing.T) {
+	// A slow node accumulates pending work; LPRF sends new traffic
+	// elsewhere — the §4.1.3 heterogeneity mitigation.
+	fast := &fakeTarget{name: "fast", pending: 0, healthy: true}
+	slow := &fakeTarget{name: "slow", pending: 0, healthy: true}
+	l := NewLPRF()
+	counts := map[string]int{}
+	for i := 0; i < 100; i++ {
+		p := l.Pick(targets(fast, slow))
+		counts[p.Name()]++
+		// Fast node drains immediately; slow node keeps its backlog.
+		if p == slow {
+			slow.pending += 3
+		}
+		if fast.pending > 0 {
+			fast.pending--
+		}
+	}
+	if counts["fast"] <= counts["slow"] {
+		t.Fatalf("LPRF did not favor the fast node: %v", counts)
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	a := &fakeTarget{name: "a", weight: 3, healthy: true}
+	b := &fakeTarget{name: "b", weight: 1, healthy: true}
+	w := NewWeighted()
+	counts := map[string]int{}
+	for i := 0; i < 400; i++ {
+		counts[w.Pick(targets(a, b)).Name()]++
+	}
+	if counts["a"] != 300 || counts["b"] != 100 {
+		t.Fatalf("weighted split: %v", counts)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Inc()
+	c.Dec()
+	if c.Load() != 1 {
+		t.Fatalf("load = %d", c.Load())
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	if ConnectionLevel.String() != "connection" || TransactionLevel.String() != "transaction" || QueryLevel.String() != "query" {
+		t.Fatal("level strings wrong")
+	}
+}

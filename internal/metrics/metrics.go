@@ -1,0 +1,270 @@
+// Package metrics provides the measurement vocabulary §3.4/§5.1 of the
+// paper says replication evaluations need: latency distributions,
+// throughput, and availability accounting (MTTF, MTTR, downtime against the
+// five-nines budget).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records durations and reports percentiles. Safe for concurrent
+// use. It keeps raw samples (bounded by Cap) — fidelity over memory, which
+// is the right trade for benchmarks.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	cap     int
+}
+
+// NewHistogram creates a histogram keeping at most capSamples raw samples
+// (0 means 1<<20).
+func NewHistogram(capSamples int) *Histogram {
+	if capSamples <= 0 {
+		capSamples = 1 << 20
+	}
+	return &Histogram{cap: capSamples}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, d)
+	} else {
+		// Reservoir-ish: overwrite pseudo-randomly based on count.
+		h.samples[int(h.count)%h.cap] = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average duration.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Summary renders mean/P50/P95/P99/max.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("mean=%v p50=%v p95=%v p99=%v max=%v n=%d",
+		h.Mean().Round(time.Microsecond),
+		h.Percentile(50).Round(time.Microsecond),
+		h.Percentile(95).Round(time.Microsecond),
+		h.Percentile(99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond),
+		h.Count())
+}
+
+// Throughput measures completed operations over a wall-clock window.
+type Throughput struct {
+	mu    sync.Mutex
+	n     int64
+	start time.Time
+}
+
+// NewThroughput starts a measurement window now.
+func NewThroughput() *Throughput {
+	return &Throughput{start: time.Now()}
+}
+
+// Add records n completed operations.
+func (t *Throughput) Add(n int64) {
+	t.mu.Lock()
+	t.n += n
+	t.mu.Unlock()
+}
+
+// Count returns operations recorded.
+func (t *Throughput) Count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// PerSecond returns the rate since the window started.
+func (t *Throughput) PerSecond() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	secs := time.Since(t.start).Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(t.n) / secs
+}
+
+// Availability tracks up/down intervals and computes MTTF/MTTR — the
+// metrics the paper complains are "practically never measured" (§3.4).
+type Availability struct {
+	mu        sync.Mutex
+	up        bool
+	since     time.Time
+	upTotal   time.Duration
+	downTotal time.Duration
+	failures  int
+	repairs   int
+}
+
+// NewAvailability starts tracking with the system up.
+func NewAvailability() *Availability {
+	return &Availability{up: true, since: time.Now()}
+}
+
+// MarkDown records a failure at time now.
+func (a *Availability) MarkDown() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.up {
+		return
+	}
+	now := time.Now()
+	a.upTotal += now.Sub(a.since)
+	a.up = false
+	a.since = now
+	a.failures++
+}
+
+// MarkUp records a repair.
+func (a *Availability) MarkUp() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.up {
+		return
+	}
+	now := time.Now()
+	a.downTotal += now.Sub(a.since)
+	a.up = true
+	a.since = now
+	a.repairs++
+}
+
+// snapshot folds the open interval into the totals.
+func (a *Availability) snapshot() (up, down time.Duration, failures, repairs int) {
+	now := time.Now()
+	up, down = a.upTotal, a.downTotal
+	if a.up {
+		up += now.Sub(a.since)
+	} else {
+		down += now.Sub(a.since)
+	}
+	return up, down, a.failures, a.repairs
+}
+
+// Uptime returns accumulated uptime.
+func (a *Availability) Uptime() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	up, _, _, _ := a.snapshot()
+	return up
+}
+
+// Downtime returns accumulated downtime.
+func (a *Availability) Downtime() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, down, _, _ := a.snapshot()
+	return down
+}
+
+// MTTF is mean time to failure (uptime / failures); 0 if no failures.
+func (a *Availability) MTTF() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	up, _, failures, _ := a.snapshot()
+	if failures == 0 {
+		return 0
+	}
+	return up / time.Duration(failures)
+}
+
+// MTTR is mean time to repair (downtime / repairs); 0 if no repairs.
+func (a *Availability) MTTR() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, down, _, repairs := a.snapshot()
+	if repairs == 0 {
+		return 0
+	}
+	return down / time.Duration(repairs)
+}
+
+// Ratio returns availability = MTTF/(MTTF+MTTR) computed over the
+// accumulated intervals (uptime / total), per §2.2.
+func (a *Availability) Ratio() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	up, down, _, _ := a.snapshot()
+	total := up + down
+	if total == 0 {
+		return 1
+	}
+	return float64(up) / float64(total)
+}
+
+// Nines returns the number of leading nines in the availability ratio
+// (0.9995 → 3), the operator shorthand of §4.4.
+func (a *Availability) Nines() int {
+	r := a.Ratio()
+	if r >= 1 {
+		return 9
+	}
+	return int(-math.Log10(1 - r))
+}
+
+// FiveNinesBudget is the §5.1 yearly downtime budget: 5.26 minutes.
+const FiveNinesBudget = 5*time.Minute + 16*time.Second
+
+// String summarizes the availability record.
+func (a *Availability) String() string {
+	return fmt.Sprintf("availability=%.5f mttf=%v mttr=%v downtime=%v",
+		a.Ratio(), a.MTTF().Round(time.Millisecond), a.MTTR().Round(time.Millisecond),
+		a.Downtime().Round(time.Millisecond))
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Percentile(50) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramCapped(t *testing.T) {
+	h := NewHistogram(10)
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Percentile(50) != time.Millisecond {
+		t.Fatal("capped percentile wrong")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := NewThroughput()
+	tp.Add(10)
+	tp.Add(5)
+	if tp.Count() != 15 {
+		t.Fatalf("count = %d", tp.Count())
+	}
+	time.Sleep(10 * time.Millisecond)
+	if tp.PerSecond() <= 0 {
+		t.Fatal("rate should be positive")
+	}
+}
+
+func TestAvailabilityAccounting(t *testing.T) {
+	a := NewAvailability()
+	time.Sleep(20 * time.Millisecond)
+	a.MarkDown()
+	time.Sleep(10 * time.Millisecond)
+	a.MarkUp()
+	time.Sleep(5 * time.Millisecond)
+
+	if a.Downtime() < 9*time.Millisecond {
+		t.Fatalf("downtime = %v", a.Downtime())
+	}
+	if a.Uptime() < 24*time.Millisecond {
+		t.Fatalf("uptime = %v", a.Uptime())
+	}
+	if a.MTTR() < 9*time.Millisecond {
+		t.Fatalf("mttr = %v", a.MTTR())
+	}
+	if a.MTTF() == 0 {
+		t.Fatal("mttf should be recorded after a failure")
+	}
+	if r := a.Ratio(); r <= 0.5 || r >= 1 {
+		t.Fatalf("ratio = %v", r)
+	}
+}
+
+func TestAvailabilityIdempotentMarks(t *testing.T) {
+	a := NewAvailability()
+	a.MarkUp() // already up: no-op
+	a.MarkDown()
+	a.MarkDown() // already down: no-op
+	a.MarkUp()
+	if a.MTTR() < 0 {
+		t.Fatal("negative mttr")
+	}
+}
+
+func TestNines(t *testing.T) {
+	a := NewAvailability()
+	if a.Nines() != 9 {
+		t.Fatalf("all-up should report max nines, got %d", a.Nines())
+	}
+}

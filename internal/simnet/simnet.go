@@ -1,0 +1,264 @@
+// Package simnet provides an in-process message-passing network with
+// controllable latency, loss and partitions. The group communication layer
+// (internal/gcs) and the WAN replication experiments run on top of it, which
+// makes §4.3.4's failure scenarios (partitions, lossy links, slow WAN hops)
+// deterministic and laptop-reproducible.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// NodeID identifies a network endpoint.
+type NodeID int
+
+// Message is one delivered datagram.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload any
+}
+
+// Network is the fabric connecting endpoints. The zero value is not usable;
+// call NewNetwork.
+type Network struct {
+	mu         sync.Mutex
+	nodes      map[NodeID]*Endpoint
+	defaultLat time.Duration
+	lat        map[[2]NodeID]time.Duration
+	loss       float64
+	blocked    map[[2]NodeID]bool
+	rng        *rand.Rand
+	pipes      map[[2]NodeID]*pipe
+	closed     bool
+}
+
+// NewNetwork creates a network. seed drives the loss coin flips.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		nodes:   make(map[NodeID]*Endpoint),
+		lat:     make(map[[2]NodeID]time.Duration),
+		blocked: make(map[[2]NodeID]bool),
+		rng:     rand.New(rand.NewSource(seed)),
+		pipes:   make(map[[2]NodeID]*pipe),
+	}
+}
+
+// Endpoint is one node's attachment to the network.
+type Endpoint struct {
+	id  NodeID
+	net *Network
+	// Incoming delivers messages in per-sender FIFO order.
+	incoming chan Message
+	detached bool
+}
+
+// ErrDetached is returned when sending from or to a detached endpoint.
+var ErrDetached = errors.New("simnet: endpoint detached")
+
+// Attach creates (or re-creates) an endpoint for id.
+func (n *Network) Attach(id NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := &Endpoint{id: id, net: n, incoming: make(chan Message, 1024)}
+	n.nodes[id] = ep
+	return ep
+}
+
+// Detach disconnects a node (crash). Its queued messages are dropped.
+func (n *Network) Detach(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.nodes[id]; ok {
+		ep.detached = true
+		delete(n.nodes, id)
+	}
+}
+
+// SetDefaultLatency sets the one-way delay used when no per-pair latency is
+// configured.
+func (n *Network) SetDefaultLatency(d time.Duration) {
+	n.mu.Lock()
+	n.defaultLat = d
+	n.mu.Unlock()
+}
+
+// SetLatency sets a symmetric one-way delay between a and b.
+func (n *Network) SetLatency(a, b NodeID, d time.Duration) {
+	n.mu.Lock()
+	n.lat[[2]NodeID{a, b}] = d
+	n.lat[[2]NodeID{b, a}] = d
+	n.mu.Unlock()
+}
+
+// SetLoss sets the probability (0..1) that any message is silently dropped.
+func (n *Network) SetLoss(p float64) {
+	n.mu.Lock()
+	n.loss = p
+	n.mu.Unlock()
+}
+
+// Partition blocks all traffic between the two groups (both directions).
+// Nodes within a group still communicate.
+func (n *Network) Partition(groupA, groupB []NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, a := range groupA {
+		for _, b := range groupB {
+			n.blocked[[2]NodeID{a, b}] = true
+			n.blocked[[2]NodeID{b, a}] = true
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.blocked = make(map[[2]NodeID]bool)
+	n.mu.Unlock()
+}
+
+// Close shuts the network down; all pipes stop.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	for _, p := range n.pipes {
+		p.stop()
+	}
+	n.pipes = make(map[[2]NodeID]*pipe)
+}
+
+// ID returns the endpoint's node id.
+func (ep *Endpoint) ID() NodeID { return ep.id }
+
+// Incoming returns the endpoint's delivery channel.
+func (ep *Endpoint) Incoming() <-chan Message { return ep.incoming }
+
+// Send transmits payload to the target node. Delivery is asynchronous and
+// per-pair FIFO; messages may be dropped by loss or partitions (silently,
+// like UDP — reliability is the upper layer's job, §4.3.4.1).
+func (ep *Endpoint) Send(to NodeID, payload any) error {
+	n := ep.net
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("simnet: network closed")
+	}
+	if ep.detached {
+		n.mu.Unlock()
+		return ErrDetached
+	}
+	if n.blocked[[2]NodeID{ep.id, to}] {
+		n.mu.Unlock()
+		return nil // partitioned: silently dropped
+	}
+	if n.loss > 0 && n.rng.Float64() < n.loss {
+		n.mu.Unlock()
+		return nil // lost
+	}
+	lat, ok := n.lat[[2]NodeID{ep.id, to}]
+	if !ok {
+		lat = n.defaultLat
+	}
+	key := [2]NodeID{ep.id, to}
+	p, ok := n.pipes[key]
+	if !ok {
+		p = newPipe(n, key)
+		n.pipes[key] = p
+	}
+	n.mu.Unlock()
+	p.push(delayedMsg{msg: Message{From: ep.id, To: to, Payload: payload}, due: time.Now().Add(lat)})
+	return nil
+}
+
+// Broadcast sends payload to every attached node except the sender.
+func (ep *Endpoint) Broadcast(payload any) {
+	n := ep.net
+	n.mu.Lock()
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		if id != ep.id {
+			ids = append(ids, id)
+		}
+	}
+	n.mu.Unlock()
+	for _, id := range ids {
+		_ = ep.Send(id, payload)
+	}
+}
+
+// delayedMsg is a message waiting for its delivery time.
+type delayedMsg struct {
+	msg Message
+	due time.Time
+}
+
+// pipe preserves FIFO order for one (from, to) pair while applying latency.
+type pipe struct {
+	net  *Network
+	key  [2]NodeID
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []delayedMsg
+	done bool
+}
+
+func newPipe(n *Network, key [2]NodeID) *pipe {
+	p := &pipe{net: n, key: key}
+	p.cond = sync.NewCond(&p.mu)
+	go p.run()
+	return p
+}
+
+func (p *pipe) push(m delayedMsg) {
+	p.mu.Lock()
+	if !p.done {
+		p.q = append(p.q, m)
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+func (p *pipe) stop() {
+	p.mu.Lock()
+	p.done = true
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+func (p *pipe) run() {
+	for {
+		p.mu.Lock()
+		for len(p.q) == 0 && !p.done {
+			p.cond.Wait()
+		}
+		if p.done {
+			p.mu.Unlock()
+			return
+		}
+		m := p.q[0]
+		p.q = p.q[1:]
+		p.mu.Unlock()
+
+		if d := time.Until(m.due); d > 0 {
+			time.Sleep(d)
+		}
+		p.net.mu.Lock()
+		target, ok := p.net.nodes[p.key[1]]
+		blockedNow := p.net.blocked[p.key]
+		p.net.mu.Unlock()
+		if !ok || blockedNow {
+			continue // receiver crashed or partition formed in flight
+		}
+		select {
+		case target.incoming <- m.msg:
+		default:
+			// Receiver queue overflow: drop, like a full socket buffer.
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSendReceive(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := n.Attach(1)
+	b := n.Attach(2)
+	if err := a.Send(2, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Incoming():
+		if m.From != 1 || m.Payload != "hello" {
+			t.Fatalf("msg: %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := n.Attach(1)
+	b := n.Attach(2)
+	n.SetLatency(1, 2, time.Millisecond)
+	for i := 0; i < 100; i++ {
+		if err := a.Send(2, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		select {
+		case m := <-b.Incoming():
+			if m.Payload.(int) != i {
+				t.Fatalf("out of order: got %v want %d", m.Payload, i)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("missing message %d", i)
+		}
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := n.Attach(1)
+	b := n.Attach(2)
+	n.SetLatency(1, 2, 50*time.Millisecond)
+	start := time.Now()
+	if err := a.Send(2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	<-b.Incoming()
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestPartitionDropsTraffic(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := n.Attach(1)
+	b := n.Attach(2)
+	n.Partition([]NodeID{1}, []NodeID{2})
+	if err := a.Send(2, "dropped"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Incoming():
+		t.Fatal("partitioned message delivered")
+	case <-time.After(50 * time.Millisecond):
+	}
+	n.Heal()
+	if err := a.Send(2, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Incoming():
+		if m.Payload != "ok" {
+			t.Fatalf("payload: %v", m.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("healed message lost")
+	}
+}
+
+func TestLossDropsSome(t *testing.T) {
+	n := NewNetwork(42)
+	defer n.Close()
+	a := n.Attach(1)
+	b := n.Attach(2)
+	n.SetLoss(0.5)
+	for i := 0; i < 200; i++ {
+		_ = a.Send(2, i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	got := 0
+	for {
+		select {
+		case <-b.Incoming():
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got == 0 || got == 200 {
+		t.Fatalf("loss=0.5 delivered %d/200", got)
+	}
+}
+
+func TestDetachStopsDelivery(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := n.Attach(1)
+	n.Attach(2)
+	n.Detach(2)
+	if err := a.Send(2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	// Sending FROM a detached endpoint errors.
+	c := n.Attach(3)
+	n.Detach(3)
+	if err := c.Send(1, "y"); err == nil {
+		t.Fatal("send from detached endpoint should fail")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	a := n.Attach(1)
+	b := n.Attach(2)
+	c := n.Attach(3)
+	a.Broadcast("all")
+	for _, ep := range []*Endpoint{b, c} {
+		select {
+		case m := <-ep.Incoming():
+			if m.Payload != "all" {
+				t.Fatalf("payload: %v", m.Payload)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("broadcast missing")
+		}
+	}
+	select {
+	case <-a.Incoming():
+		t.Fatal("broadcast delivered to sender")
+	case <-time.After(20 * time.Millisecond):
+	}
+}

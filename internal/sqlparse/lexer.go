@@ -1,0 +1,186 @@
+// Package sqlparse implements the SQL dialect understood by the replicated
+// engine: DDL (databases, tables, sequences, triggers, procedures), DML
+// (INSERT/UPDATE/DELETE/SELECT with WHERE, JOIN, ORDER BY, LIMIT, aggregates),
+// transaction control and a small expression language including the
+// non-deterministic functions (now, rand) that §4.3.2 of the paper identifies
+// as replication hazards.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokOp    // operators and punctuation
+	tokParam // ? placeholder
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased, identifiers keep original case
+	pos  int
+}
+
+// keywords recognized by the lexer. Identifiers matching (case-insensitively)
+// are reported as tokKeyword with upper-case text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"DROP": true, "TABLE": true, "DATABASE": true, "SEQUENCE": true,
+	"TRIGGER": true, "PROCEDURE": true, "BEGIN": true, "COMMIT": true,
+	"ROLLBACK": true, "TRANSACTION": true, "START": true, "USE": true,
+	"AND": true, "OR": true, "NOT": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "IN": true, "LIKE": true, "BETWEEN": true, "IS": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"OFFSET": true, "JOIN": true, "INNER": true, "ON": true, "AS": true,
+	"PRIMARY": true, "KEY": true, "UNIQUE": true, "AUTO_INCREMENT": true,
+	"DEFAULT": true, "INTEGER": true, "INT": true, "BIGINT": true,
+	"FLOAT": true, "DOUBLE": true, "TEXT": true, "VARCHAR": true,
+	"BOOLEAN": true, "BOOL": true, "TIMESTAMP": true, "TEMP": true,
+	"TEMPORARY": true, "IF": true, "EXISTS": true, "CALL": true,
+	"AFTER": true, "DO": true, "END": true, "ISOLATION": true, "LEVEL": true,
+	"READ": true, "COMMITTED": true, "SNAPSHOT": true, "SERIALIZABLE": true,
+	"SHOW": true, "TABLES": true, "DATABASES": true, "FOR": true,
+	"GRANT": true, "TO": true, "IDENTIFIED": true, "USER": true,
+	"INCREMENT": true, "WITH": true, "DISTINCT": true, "COUNT": true,
+	"GROUP": true, "HAVING": true, "LOCK": true, "UNLOCK": true,
+	"CHECKPOINT": true, "RETURNS": true, "NEXTVAL": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (lx *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("sql: %s at offset %d", fmt.Sprintf(format, args...), pos)
+}
+
+// next returns the next token in the input.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpace()
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: lx.pos}, nil
+	}
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case isIdentStart(c):
+		lx.pos++
+		for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		word := lx.src[start:lx.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	case c >= '0' && c <= '9':
+		lx.pos++
+		isFloat := false
+		for lx.pos < len(lx.src) {
+			d := lx.src[lx.pos]
+			if d >= '0' && d <= '9' {
+				lx.pos++
+				continue
+			}
+			if d == '.' && !isFloat {
+				isFloat = true
+				lx.pos++
+				continue
+			}
+			break
+		}
+		kind := tokInt
+		if isFloat {
+			kind = tokFloat
+		}
+		return token{kind: kind, text: lx.src[start:lx.pos], pos: start}, nil
+	case c == '\'':
+		lx.pos++
+		var sb strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errf(start, "unterminated string literal")
+			}
+			ch := lx.src[lx.pos]
+			if ch == '\'' {
+				// '' escapes a quote.
+				if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					lx.pos += 2
+					continue
+				}
+				lx.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			lx.pos++
+		}
+		return token{kind: tokString, text: sb.String(), pos: start}, nil
+	case c == '?':
+		lx.pos++
+		return token{kind: tokParam, text: "?", pos: start}, nil
+	default:
+		// Multi-char operators first.
+		for _, op := range [...]string{"<=", ">=", "<>", "!=", "||"} {
+			if strings.HasPrefix(lx.src[lx.pos:], op) {
+				lx.pos += len(op)
+				return token{kind: tokOp, text: op, pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("(),.*=<>+-/%;@", rune(c)) {
+			lx.pos++
+			return token{kind: tokOp, text: string(c), pos: start}, nil
+		}
+		return token{}, lx.errf(start, "unexpected character %q", c)
+	}
+}
+
+func (lx *lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			lx.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-' {
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+			continue
+		}
+		// /* block comments */
+		if c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*' {
+			end := strings.Index(lx.src[lx.pos+2:], "*/")
+			if end < 0 {
+				lx.pos = len(lx.src)
+				return
+			}
+			lx.pos += 2 + end + 2
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,220 @@
+package sqlparse
+
+import (
+	"time"
+
+	"repro/internal/sqltypes"
+)
+
+// Determinism classifies how safe a statement is to broadcast verbatim under
+// statement-based replication (§4.3.2 of the paper).
+type Determinism int
+
+const (
+	// Deterministic statements produce the same result on every replica.
+	Deterministic Determinism = iota
+	// RewritableNonDeterministic statements use time-like macros (now,
+	// current_timestamp) that can be replaced by a constant before
+	// broadcast.
+	RewritableNonDeterministic
+	// UnsafeNonDeterministic statements cannot be made deterministic by
+	// rewriting: per-row rand(), or SELECT ... LIMIT without a total
+	// ORDER BY feeding an update.
+	UnsafeNonDeterministic
+)
+
+func (d Determinism) String() string {
+	switch d {
+	case Deterministic:
+		return "deterministic"
+	case RewritableNonDeterministic:
+		return "rewritable"
+	case UnsafeNonDeterministic:
+		return "unsafe"
+	}
+	return "unknown"
+}
+
+// timeFuncs are the macros that can be pinned to a constant (§4.3.2: "simple
+// query rewriting techniques can circumvent the problem").
+var timeFuncs = map[string]bool{"NOW": true, "CURRENT_TIMESTAMP": true}
+
+// randFuncs cannot be pinned when they apply per-row.
+var randFuncs = map[string]bool{"RAND": true, "RANDOM": true}
+
+// Classify reports the determinism class of a statement for statement-based
+// replication purposes.
+func Classify(st Statement) Determinism {
+	worst := Deterministic
+	bump := func(d Determinism) {
+		if d > worst {
+			worst = d
+		}
+	}
+	inspect := func(e Expr) {
+		walkExpr(e, func(e Expr) {
+			if f, ok := e.(*FuncExpr); ok {
+				switch {
+				case randFuncs[f.Name]:
+					bump(UnsafeNonDeterministic)
+				case timeFuncs[f.Name]:
+					bump(RewritableNonDeterministic)
+				}
+			}
+		})
+	}
+	switch s := st.(type) {
+	case *Insert:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				inspect(e)
+			}
+		}
+	case *Update:
+		for _, a := range s.Set {
+			inspect(a.Value)
+		}
+		inspect(s.Where)
+		// UPDATE ... WHERE x IN (SELECT ... LIMIT n) without ORDER BY on
+		// a unique key picks an arbitrary row set per replica (§4.3.2).
+		for _, sub := range subqueries(s.Where) {
+			if sub.Limit >= 0 && len(sub.OrderBy) == 0 {
+				bump(UnsafeNonDeterministic)
+			}
+		}
+	case *Delete:
+		inspect(s.Where)
+		for _, sub := range subqueries(s.Where) {
+			if sub.Limit >= 0 && len(sub.OrderBy) == 0 {
+				bump(UnsafeNonDeterministic)
+			}
+		}
+	case *Call:
+		// No schema describes a stored procedure's behaviour; the
+		// middleware must assume the worst unless told otherwise
+		// (§4.2.1). Callers may override via procedure registries.
+		bump(UnsafeNonDeterministic)
+	}
+	return worst
+}
+
+// RewriteTimeFuncs returns a copy of the statement in which now() and
+// current_timestamp() calls are replaced by the given constant timestamp, so
+// all replicas apply the same value. The original statement is not modified.
+// The boolean reports whether any rewrite happened.
+func RewriteTimeFuncs(st Statement, at time.Time) (Statement, bool) {
+	changed := false
+	sub := func(e Expr) Expr {
+		return mapExpr(e, func(e Expr) Expr {
+			if f, ok := e.(*FuncExpr); ok && timeFuncs[f.Name] {
+				changed = true
+				return &Literal{Val: sqltypes.NewTime(at)}
+			}
+			return e
+		})
+	}
+	switch s := st.(type) {
+	case *Insert:
+		out := *s
+		out.Rows = make([][]Expr, len(s.Rows))
+		for i, row := range s.Rows {
+			nr := make([]Expr, len(row))
+			for j, e := range row {
+				nr[j] = sub(e)
+			}
+			out.Rows[i] = nr
+		}
+		return &out, changed
+	case *Update:
+		out := *s
+		out.Set = make([]Assignment, len(s.Set))
+		for i, a := range s.Set {
+			out.Set[i] = Assignment{Column: a.Column, Value: sub(a.Value)}
+		}
+		if s.Where != nil {
+			out.Where = sub(s.Where)
+		}
+		return &out, changed
+	case *Delete:
+		out := *s
+		if s.Where != nil {
+			out.Where = sub(s.Where)
+		}
+		return &out, changed
+	}
+	return st, false
+}
+
+// walkExpr visits every node of an expression tree (pre-order).
+func walkExpr(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch x := e.(type) {
+	case *BinaryExpr:
+		walkExpr(x.Left, visit)
+		walkExpr(x.Right, visit)
+	case *UnaryExpr:
+		walkExpr(x.Operand, visit)
+	case *InExpr:
+		walkExpr(x.Left, visit)
+		for _, it := range x.List {
+			walkExpr(it, visit)
+		}
+	case *BetweenExpr:
+		walkExpr(x.Operand, visit)
+		walkExpr(x.Lo, visit)
+		walkExpr(x.Hi, visit)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			walkExpr(a, visit)
+		}
+	case *IsNullExpr:
+		walkExpr(x.Operand, visit)
+	}
+}
+
+// mapExpr rebuilds an expression tree applying f bottom-up; f replaces nodes.
+func mapExpr(e Expr, f func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		out := *x
+		out.Left = mapExpr(x.Left, f)
+		out.Right = mapExpr(x.Right, f)
+		return f(&out)
+	case *UnaryExpr:
+		out := *x
+		out.Operand = mapExpr(x.Operand, f)
+		return f(&out)
+	case *InExpr:
+		out := *x
+		out.Left = mapExpr(x.Left, f)
+		out.List = make([]Expr, len(x.List))
+		for i, it := range x.List {
+			out.List[i] = mapExpr(it, f)
+		}
+		return f(&out)
+	case *BetweenExpr:
+		out := *x
+		out.Operand = mapExpr(x.Operand, f)
+		out.Lo = mapExpr(x.Lo, f)
+		out.Hi = mapExpr(x.Hi, f)
+		return f(&out)
+	case *FuncExpr:
+		out := *x
+		out.Args = make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			out.Args[i] = mapExpr(a, f)
+		}
+		return f(&out)
+	case *IsNullExpr:
+		out := *x
+		out.Operand = mapExpr(x.Operand, f)
+		return f(&out)
+	}
+	return f(e)
+}

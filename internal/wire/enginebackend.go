@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"repro/internal/engine"
+	"repro/internal/sqltypes"
+)
+
+// EngineBackend adapts an engine.Engine to the wire Backend interface,
+// making one replica directly addressable over the native protocol
+// (Figure 6's setup, before any middleware is interposed).
+type EngineBackend struct {
+	Engine *engine.Engine
+}
+
+var _ Backend = (*EngineBackend)(nil)
+
+// Authenticate implements Backend.
+func (b *EngineBackend) Authenticate(user, password string) error {
+	return b.Engine.Authenticate(user, password)
+}
+
+// OpenSession implements Backend.
+func (b *EngineBackend) OpenSession(user, database string) (SessionHandler, error) {
+	s := b.Engine.NewSession(user)
+	if database != "" {
+		if _, err := s.Exec("USE " + database); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return &engineSession{s: s}, nil
+}
+
+type engineSession struct{ s *engine.Session }
+
+func (es *engineSession) Exec(sql string, args []sqltypes.Value) (*Response, error) {
+	res, err := es.s.ExecArgs(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return FromEngineResult(res), nil
+}
+
+func (es *engineSession) Close() { es.s.Close() }
+
+// FromEngineResult converts an engine result to its wire form.
+func FromEngineResult(res *engine.Result) *Response {
+	if res == nil {
+		return &Response{}
+	}
+	return &Response{
+		Columns:      res.Columns,
+		Rows:         res.Rows,
+		RowsAffected: res.RowsAffected,
+		LastInsertID: res.LastInsertID,
+	}
+}

@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a byte-level TCP forwarder with fault injection, used to
+// reproduce the network anomalies of §4.1.3 and §4.3.4: a crimped cable
+// (Throttle), WAN latency (Latency), and the silent blackhole that makes
+// TCP-based failure detection slow (Freeze — connections stay open but no
+// bytes move, so only timeouts notice).
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu       sync.Mutex
+	frozen   bool
+	latency  time.Duration
+	throttle int // bytes/sec, 0 = unlimited
+	conns    map[net.Conn]bool
+	closed   bool
+	unfreeze chan struct{}
+}
+
+// NewProxy listens on addr and forwards to target.
+func NewProxy(addr, target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]bool), unfreeze: make(chan struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Freeze blackholes the link: established connections stay open, but no
+// bytes flow in either direction until Unfreeze.
+func (p *Proxy) Freeze() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.frozen {
+		p.frozen = true
+		p.unfreeze = make(chan struct{})
+	}
+}
+
+// Unfreeze resumes byte flow.
+func (p *Proxy) Unfreeze() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.frozen {
+		p.frozen = false
+		close(p.unfreeze)
+	}
+}
+
+// SetLatency adds a one-way delay to every chunk forwarded.
+func (p *Proxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	p.latency = d
+	p.mu.Unlock()
+}
+
+// SetThrottle limits forwarding to bytesPerSec (0 = unlimited): the crimped
+// Ethernet cable of §4.1.3.
+func (p *Proxy) SetThrottle(bytesPerSec int) {
+	p.mu.Lock()
+	p.throttle = bytesPerSec
+	p.mu.Unlock()
+}
+
+// CloseConnections drops all live connections (crash-like failure) while
+// keeping the proxy accepting new ones.
+func (p *Proxy) CloseConnections() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.conns = make(map[net.Conn]bool)
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down entirely.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.DialTimeout("tcp", p.target, 2*time.Second)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			server.Close()
+			return
+		}
+		p.conns[client] = true
+		p.conns[server] = true
+		p.mu.Unlock()
+		go p.pipe(client, server)
+		go p.pipe(server, client)
+	}
+}
+
+// pipe copies src->dst honoring freeze/latency/throttle.
+func (p *Proxy) pipe(src, dst net.Conn) {
+	defer func() {
+		src.Close()
+		dst.Close()
+		p.mu.Lock()
+		delete(p.conns, src)
+		delete(p.conns, dst)
+		p.mu.Unlock()
+	}()
+	buf := make([]byte, 16*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.mu.Lock()
+			frozen := p.frozen
+			wait := p.unfreeze
+			latency := p.latency
+			throttle := p.throttle
+			p.mu.Unlock()
+			if frozen {
+				// Hold the bytes until unfrozen (or the conn dies).
+				<-wait
+			}
+			if latency > 0 {
+				time.Sleep(latency)
+			}
+			if throttle > 0 {
+				time.Sleep(time.Duration(float64(n) / float64(throttle) * float64(time.Second)))
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

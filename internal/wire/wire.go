@@ -1,0 +1,417 @@
+// Package wire implements the client/server database protocol: the "DBMS
+// native protocol" of the paper's Figures 5–7. A Server fronts anything that
+// can open sessions (an engine replica or the replication middleware — the
+// protocol is the same, which is what lets middleware interpose
+// transparently). The Driver is the client side, with the two failure
+// detection modes of §4.3.4.2: TCP-keepalive-style read timeouts (slow) and
+// an application-level heartbeat (fast).
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/sqltypes"
+)
+
+// request kinds.
+const (
+	reqAuth = iota
+	reqExec
+	reqPing
+	reqClose
+)
+
+// request is one client->server message.
+type request struct {
+	Kind     int
+	SQL      string
+	Args     []sqltypes.Value
+	User     string
+	Password string
+	Database string
+}
+
+// Response is one server->client message: the wire form of a statement
+// result.
+type Response struct {
+	Columns      []string
+	Rows         []sqltypes.Row
+	RowsAffected int64
+	LastInsertID int64
+	Err          string
+}
+
+// Err returns the response error, if any.
+func (r *Response) Error() error {
+	if r.Err == "" {
+		return nil
+	}
+	return errors.New(r.Err)
+}
+
+// SessionHandler executes statements for one client connection.
+type SessionHandler interface {
+	// Exec runs one statement with optional bound parameters.
+	Exec(sql string, args []sqltypes.Value) (*Response, error)
+	// Close releases the session.
+	Close()
+}
+
+// Backend opens sessions for authenticated users. Implemented by engine
+// replicas and by the replication middleware.
+type Backend interface {
+	// Authenticate validates credentials before a session is opened.
+	Authenticate(user, password string) error
+	// OpenSession creates a session for the user on the given database
+	// ("" = none selected yet).
+	OpenSession(user, database string) (SessionHandler, error)
+}
+
+// Server accepts wire connections and dispatches them to a Backend.
+type Server struct {
+	backend Backend
+	ln      net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts a server on addr ("127.0.0.1:0" picks a free port).
+func NewServer(addr string, backend Backend) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{backend: backend, ln: ln, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and closes all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var session SessionHandler
+	defer func() {
+		if session != nil {
+			session.Close()
+		}
+	}()
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		switch req.Kind {
+		case reqAuth:
+			var resp Response
+			if err := s.backend.Authenticate(req.User, req.Password); err != nil {
+				resp.Err = err.Error()
+			} else {
+				sess, err := s.backend.OpenSession(req.User, req.Database)
+				if err != nil {
+					resp.Err = err.Error()
+				} else {
+					session = sess
+				}
+			}
+			if err := enc.Encode(&resp); err != nil {
+				return
+			}
+		case reqPing:
+			if err := enc.Encode(&Response{}); err != nil {
+				return
+			}
+		case reqExec:
+			var resp *Response
+			if session == nil {
+				resp = &Response{Err: "wire: not authenticated"}
+			} else {
+				r, err := session.Exec(req.SQL, req.Args)
+				if err != nil {
+					resp = &Response{Err: err.Error()}
+				} else {
+					resp = r
+				}
+			}
+			if err := enc.Encode(resp); err != nil {
+				return
+			}
+		case reqClose:
+			return
+		default:
+			return
+		}
+	}
+}
+
+// ---- Client driver ----
+
+// ErrConnDead is returned for calls on a connection whose failure has been
+// detected (by heartbeat or timeout).
+var ErrConnDead = errors.New("wire: connection is dead")
+
+// DriverConfig configures a client connection.
+type DriverConfig struct {
+	User     string
+	Password string
+	Database string
+	// ConnectTimeout bounds Dial; zero means 2 s.
+	ConnectTimeout time.Duration
+	// KeepAliveTimeout is the per-request read deadline, modelling the
+	// OS-level TCP keepalive of §4.3.4.2 ("30 seconds to 2 hours").
+	// Zero means 30 s, like a typical system default.
+	KeepAliveTimeout time.Duration
+	// HeartbeatInterval, when non-zero, runs an application-level
+	// heartbeat on a second connection; a missed heartbeat kills the
+	// main connection immediately, unblocking in-flight calls. This is
+	// the driver-level fix the paper calls for.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout bounds one heartbeat round trip; zero means
+	// 3× HeartbeatInterval.
+	HeartbeatTimeout time.Duration
+}
+
+// Conn is a client connection. Calls are serialized, like a real driver
+// connection. reqMu serializes round trips; stateMu guards liveness so the
+// heartbeat can kill a connection while a call is blocked reading.
+type Conn struct {
+	cfg  DriverConfig
+	addr string
+
+	reqMu sync.Mutex
+	conn  net.Conn
+	dec   *gob.Decoder
+	enc   *gob.Encoder
+
+	stateMu sync.Mutex
+	dead    error
+
+	hbConn net.Conn
+	hbStop chan struct{}
+	hbOnce sync.Once
+}
+
+// Dial connects and authenticates.
+func Dial(addr string, cfg DriverConfig) (*Conn, error) {
+	if cfg.ConnectTimeout == 0 {
+		cfg.ConnectTimeout = 2 * time.Second
+	}
+	if cfg.KeepAliveTimeout == 0 {
+		cfg.KeepAliveTimeout = 30 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, cfg.ConnectTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{cfg: cfg, addr: addr, conn: nc, dec: gob.NewDecoder(nc), enc: gob.NewEncoder(nc)}
+	resp, err := c.roundTrip(request{Kind: reqAuth, User: cfg.User, Password: cfg.Password, Database: cfg.Database})
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if resp.Err != "" {
+		nc.Close()
+		return nil, errors.New(resp.Err)
+	}
+	if cfg.HeartbeatInterval > 0 {
+		if err := c.startHeartbeat(); err != nil {
+			nc.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Addr returns the server address this connection targets.
+func (c *Conn) Addr() string { return c.addr }
+
+// Exec sends a statement and waits for its result.
+func (c *Conn) Exec(sql string, args ...sqltypes.Value) (*Response, error) {
+	resp, err := c.roundTrip(request{Kind: reqExec, SQL: sql, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness over the main connection.
+func (c *Conn) Ping() error {
+	_, err := c.roundTrip(request{Kind: reqPing})
+	return err
+}
+
+func (c *Conn) roundTrip(req request) (*Response, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	if err := c.deadErr(); err != nil {
+		return nil, err
+	}
+	if err := c.conn.SetDeadline(time.Now().Add(c.cfg.KeepAliveTimeout)); err != nil {
+		return nil, err
+	}
+	if err := c.enc.Encode(&req); err != nil {
+		c.markDead(err)
+		return nil, c.deadErr()
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.markDead(err)
+		return nil, c.deadErr()
+	}
+	return &resp, nil
+}
+
+func (c *Conn) deadErr() error {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.dead
+}
+
+// markDead records the first failure cause and closes the socket, which
+// unblocks any in-flight Decode immediately.
+func (c *Conn) markDead(cause error) {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	if c.dead == nil {
+		c.dead = fmt.Errorf("%w: %v", ErrConnDead, cause)
+		c.conn.Close()
+	}
+}
+
+// Close terminates the connection.
+func (c *Conn) Close() {
+	c.hbOnce.Do(func() {
+		if c.hbStop != nil {
+			close(c.hbStop)
+		}
+	})
+	c.stateMu.Lock()
+	if c.dead == nil {
+		_ = c.conn.SetDeadline(time.Now().Add(100 * time.Millisecond))
+		_ = c.enc.Encode(&request{Kind: reqClose})
+		c.dead = ErrConnDead
+	}
+	c.stateMu.Unlock()
+	c.conn.Close()
+	if c.hbConn != nil {
+		c.hbConn.Close()
+	}
+}
+
+// startHeartbeat opens a dedicated heartbeat connection and monitors it.
+func (c *Conn) startHeartbeat() error {
+	hb, err := net.DialTimeout("tcp", c.addr, c.cfg.ConnectTimeout)
+	if err != nil {
+		return err
+	}
+	c.hbConn = hb
+	c.hbStop = make(chan struct{})
+	timeout := c.cfg.HeartbeatTimeout
+	if timeout == 0 {
+		timeout = 3 * c.cfg.HeartbeatInterval
+	}
+	enc := gob.NewEncoder(hb)
+	dec := gob.NewDecoder(hb)
+	go func() {
+		ticker := time.NewTicker(c.cfg.HeartbeatInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.hbStop:
+				return
+			case <-ticker.C:
+			}
+			_ = hb.SetDeadline(time.Now().Add(timeout))
+			err1 := enc.Encode(&request{Kind: reqPing})
+			var resp Response
+			err2 := dec.Decode(&resp)
+			if err1 != nil || err2 != nil {
+				// Heartbeat failed: kill the main connection so blocked
+				// calls return promptly (§4.3.4.2).
+				c.markDead(fmt.Errorf("heartbeat failed: %v", firstErr(err1, err2)))
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// drainEOF is a helper for tests that need to observe closed connections.
+func drainEOF(r io.Reader) {
+	buf := make([]byte, 256)
+	for {
+		if _, err := r.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+var _ = drainEOF

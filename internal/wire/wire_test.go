@@ -1,0 +1,279 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sqltypes"
+)
+
+func newServer(t *testing.T) (*Server, *engine.Engine) {
+	t.Helper()
+	e := engine.New(engine.Config{})
+	s := e.NewSession("setup")
+	for _, sql := range []string{
+		"CREATE DATABASE shop",
+		"USE shop",
+		"CREATE TABLE items (id INTEGER PRIMARY KEY AUTO_INCREMENT, name TEXT)",
+	} {
+		if _, err := s.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := NewServer("127.0.0.1:0", &EngineBackend{Engine: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, e
+}
+
+func TestDialExecRoundTrip(t *testing.T) {
+	srv, _ := newServer(t)
+	c, err := Dial(srv.Addr(), DriverConfig{User: "app", Database: "shop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r, err := c.Exec("INSERT INTO items (name) VALUES (?)", sqltypes.NewString("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LastInsertID != 1 || r.RowsAffected != 1 {
+		t.Fatalf("result: %+v", r)
+	}
+	out, err := c.Exec("SELECT name FROM items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0].Str() != "x" {
+		t.Fatalf("rows: %v", out.Rows)
+	}
+}
+
+func TestServerSideErrorsPropagate(t *testing.T) {
+	srv, _ := newServer(t)
+	c, err := Dial(srv.Addr(), DriverConfig{User: "app", Database: "shop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Exec("SELECT * FROM nosuch")
+	if err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection stays usable after a statement error.
+	if _, err := c.Exec("SELECT COUNT(*) FROM items"); err != nil {
+		t.Fatalf("conn unusable after error: %v", err)
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	e := engine.New(engine.Config{RequireAuth: true})
+	if err := e.CreateUser("app", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", &EngineBackend{Engine: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := Dial(srv.Addr(), DriverConfig{User: "app", Password: "wrong"}); err == nil {
+		t.Fatal("bad password accepted")
+	}
+	c, err := Dial(srv.Addr(), DriverConfig{User: "app", Password: "pw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+func TestSessionStatePerConnection(t *testing.T) {
+	srv, _ := newServer(t)
+	c1, err := Dial(srv.Addr(), DriverConfig{User: "a", Database: "shop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(srv.Addr(), DriverConfig{User: "b", Database: "shop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	// c1 opens a txn; c2 must not see uncommitted data.
+	if _, err := c1.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Exec("INSERT INTO items (name) VALUES ('pending')"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c2.Exec("SELECT COUNT(*) FROM items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0].Int() != 0 {
+		t.Fatal("uncommitted row visible across connections")
+	}
+	if _, err := c1.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTempTableFreedOnDisconnect(t *testing.T) {
+	srv, _ := newServer(t)
+	c, err := Dial(srv.Addr(), DriverConfig{User: "a", Database: "shop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("CREATE TEMP TABLE scratch (v INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c2, err := Dial(srv.Addr(), DriverConfig{User: "a", Database: "shop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Exec("SELECT * FROM scratch"); err == nil {
+		t.Fatal("temp table leaked across connections (§4.1.4)")
+	}
+}
+
+func TestKeepAliveTimeoutDetection(t *testing.T) {
+	// §4.3.4.2: with only TCP-style timeouts, a blackholed link blocks the
+	// client for the whole keepalive window.
+	srv, _ := newServer(t)
+	proxy, err := NewProxy("127.0.0.1:0", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	c, err := Dial(proxy.Addr(), DriverConfig{
+		User: "a", Database: "shop",
+		KeepAliveTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	proxy.Freeze()
+	start := time.Now()
+	_, err = c.Exec("SELECT COUNT(*) FROM items")
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrConnDead) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed < 250*time.Millisecond {
+		t.Fatalf("detection too fast for timeout-only mode: %v", elapsed)
+	}
+}
+
+func TestHeartbeatDetectsFasterThanKeepAlive(t *testing.T) {
+	srv, _ := newServer(t)
+	proxy, err := NewProxy("127.0.0.1:0", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	c, err := Dial(proxy.Addr(), DriverConfig{
+		User: "a", Database: "shop",
+		KeepAliveTimeout:  5 * time.Second, // the slow "OS default"
+		HeartbeatInterval: 30 * time.Millisecond,
+		HeartbeatTimeout:  60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	proxy.Freeze()
+	start := time.Now()
+	_, err = c.Exec("SELECT COUNT(*) FROM items")
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrConnDead) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("heartbeat should beat the 5s keepalive: took %v", elapsed)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	srv, _ := newServer(t)
+	proxy, err := NewProxy("127.0.0.1:0", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	proxy.SetLatency(30 * time.Millisecond)
+	c, err := Dial(proxy.Addr(), DriverConfig{User: "a", Database: "shop", ConnectTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Exec("SELECT COUNT(*) FROM items"); err != nil {
+		t.Fatal(err)
+	}
+	// One-way latency on request and response: at least ~60ms.
+	if elapsed := time.Since(start); elapsed < 55*time.Millisecond {
+		t.Fatalf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestProxyCloseConnectionsKillsClients(t *testing.T) {
+	srv, _ := newServer(t)
+	proxy, err := NewProxy("127.0.0.1:0", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	c, err := Dial(proxy.Addr(), DriverConfig{User: "a", Database: "shop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	proxy.CloseConnections()
+	if _, err := c.Exec("SELECT COUNT(*) FROM items"); !errors.Is(err, ErrConnDead) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	srv, _ := newServer(t)
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			c, err := Dial(srv.Addr(), DriverConfig{User: "a", Database: "shop"})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				if _, err := c.Exec("INSERT INTO items (name) VALUES ('x')"); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, _ := Dial(srv.Addr(), DriverConfig{User: "a", Database: "shop"})
+	defer c.Close()
+	out, err := c.Exec("SELECT COUNT(*) FROM items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0].Int() != int64(n*10) {
+		t.Fatalf("count = %d", out.Rows[0][0].Int())
+	}
+}

@@ -1,0 +1,229 @@
+// Package workload provides the load generators the experiments run:
+// the Fortune-500 ticket broker of §1 (95 % reads, thousands of writes/s),
+// a TPC-W-like browse/order mix, and micro-benchmarks, in both closed-loop
+// (the academic default §3.4 criticizes) and open-loop (fixed-rate,
+// "most production systems operate at less than 50 % load") forms.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+)
+
+// Client is anything that can execute SQL: an engine session, a middleware
+// session, or a wire connection adapter.
+type Client interface {
+	Exec(sql string) (*engine.Result, error)
+}
+
+// ClientFunc adapts a function to the Client interface.
+type ClientFunc func(sql string) (*engine.Result, error)
+
+// Exec implements Client.
+func (f ClientFunc) Exec(sql string) (*engine.Result, error) { return f(sql) }
+
+// Mix describes a read/write statement mix over a keyspace.
+type Mix struct {
+	// ReadFraction in [0,1]: probability a request is a read.
+	ReadFraction float64
+	// Keys is the hot keyspace size (ids 1..Keys).
+	Keys int
+	// Table is the target table (schema: id PK, name TEXT, price FLOAT,
+	// stock INTEGER).
+	Table string
+	// WriteInTxn wraps each write in BEGIN/COMMIT.
+	WriteInTxn bool
+}
+
+// TicketBroker is the §1 case study: 95 % availability lookups, 5 % booking
+// updates on a hot inventory.
+func TicketBroker(keys int) Mix {
+	return Mix{ReadFraction: 0.95, Keys: keys, Table: "bookings"}
+}
+
+// Request generates one SQL statement for the mix.
+func (m Mix) Request(rng *rand.Rand) (sql string, isRead bool) {
+	key := rng.Intn(m.Keys) + 1
+	if rng.Float64() < m.ReadFraction {
+		return fmt.Sprintf("SELECT id, name, price, stock FROM %s WHERE id = %d", m.Table, key), true
+	}
+	return fmt.Sprintf("UPDATE %s SET stock = stock - 1 WHERE id = %d", m.Table, key), false
+}
+
+// Setup creates and populates the mix's table through the client.
+func (m Mix) Setup(c Client, rows int) error {
+	if _, err := c.Exec(fmt.Sprintf(
+		"CREATE TABLE IF NOT EXISTS %s (id INTEGER PRIMARY KEY, name TEXT, price FLOAT DEFAULT 1, stock INTEGER DEFAULT 1000000)", m.Table)); err != nil {
+		return err
+	}
+	const batch = 100
+	for lo := 1; lo <= rows; lo += batch {
+		hi := lo + batch - 1
+		if hi > rows {
+			hi = rows
+		}
+		stmt := fmt.Sprintf("INSERT INTO %s (id, name) VALUES ", m.Table)
+		for id := lo; id <= hi; id++ {
+			if id > lo {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(%d, 'item-%d')", id, id)
+		}
+		if _, err := c.Exec(stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result summarizes one load run.
+type Result struct {
+	Reads, Writes   int64
+	ReadErrs        int64
+	WriteErrs       int64
+	Duration        time.Duration
+	ReadLatency     *metrics.Histogram
+	WriteLatency    *metrics.Histogram
+	ThroughputTotal float64 // ops/sec
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%.0f ops/s (r=%d w=%d errs=%d) read %s | write %s",
+		r.ThroughputTotal, r.Reads, r.Writes, r.ReadErrs+r.WriteErrs,
+		r.ReadLatency.Summary(), r.WriteLatency.Summary())
+}
+
+// RunClosed drives `clients` concurrent closed-loop workers for the given
+// duration: each worker issues its next request as soon as the previous one
+// completes (the scaled-load methodology of §3.4).
+func RunClosed(mkClient func(i int) (Client, error), clients int, mix Mix, dur time.Duration) (*Result, error) {
+	res := &Result{
+		ReadLatency:  metrics.NewHistogram(0),
+		WriteLatency: metrics.NewHistogram(0),
+	}
+	var mu sync.Mutex
+	var firstErr error
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		c, err := mkClient(i)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(i int, c Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 42))
+			for time.Now().Before(deadline) {
+				sql, isRead := mix.Request(rng)
+				t0 := time.Now()
+				_, err := c.Exec(sql)
+				lat := time.Since(t0)
+				mu.Lock()
+				if isRead {
+					res.Reads++
+					res.ReadLatency.Observe(lat)
+					if err != nil {
+						res.ReadErrs++
+					}
+				} else {
+					res.Writes++
+					res.WriteLatency.Observe(lat)
+					if err != nil {
+						res.WriteErrs++
+					}
+				}
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	res.ThroughputTotal = float64(res.Reads+res.Writes) / res.Duration.Seconds()
+	return res, nil
+}
+
+// RunOpen drives an open-loop arrival process at `rate` requests/second for
+// the duration, with up to maxInFlight outstanding requests (requests beyond
+// that are counted as errors — an overloaded open system sheds load).
+func RunOpen(mkClient func(i int) (Client, error), workers int, rate float64, mix Mix, dur time.Duration) (*Result, error) {
+	res := &Result{
+		ReadLatency:  metrics.NewHistogram(0),
+		WriteLatency: metrics.NewHistogram(0),
+	}
+	type req struct {
+		sql    string
+		isRead bool
+		at     time.Time
+	}
+	queue := make(chan req, 4096)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		c, err := mkClient(i)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(c Client) {
+			defer wg.Done()
+			for rq := range queue {
+				t0 := time.Now()
+				_, err := c.Exec(rq.sql)
+				lat := time.Since(t0)
+				mu.Lock()
+				if rq.isRead {
+					res.Reads++
+					res.ReadLatency.Observe(lat)
+					if err != nil {
+						res.ReadErrs++
+					}
+				} else {
+					res.Writes++
+					res.WriteLatency.Observe(lat)
+					if err != nil {
+						res.WriteErrs++
+					}
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	rng := rand.New(rand.NewSource(7))
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	next := start
+	for time.Now().Sub(start) < dur {
+		sql, isRead := mix.Request(rng)
+		select {
+		case queue <- req{sql: sql, isRead: isRead, at: time.Now()}:
+		default:
+			mu.Lock()
+			if isRead {
+				res.ReadErrs++
+			} else {
+				res.WriteErrs++
+			}
+			mu.Unlock()
+		}
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	close(queue)
+	wg.Wait()
+	res.Duration = time.Since(start)
+	res.ThroughputTotal = float64(res.Reads+res.Writes) / res.Duration.Seconds()
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func testClient(t *testing.T) Client {
+	t.Helper()
+	e := engine.New(engine.Config{})
+	s := e.NewSession("w")
+	if _, err := s.Exec("CREATE DATABASE app"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("USE app"); err != nil {
+		t.Fatal(err)
+	}
+	return ClientFunc(func(sql string) (*engine.Result, error) { return s.Exec(sql) })
+}
+
+func TestMixRequestRespectsReadFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mix := Mix{ReadFraction: 0.9, Keys: 10, Table: "t"}
+	reads := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		_, isRead := mix.Request(rng)
+		if isRead {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("read fraction = %.3f, want ~0.9", frac)
+	}
+}
+
+func TestMixRequestSQLShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mix := Mix{ReadFraction: 0, Keys: 5, Table: "bookings"}
+	sql, isRead := mix.Request(rng)
+	if isRead || !strings.HasPrefix(sql, "UPDATE bookings") {
+		t.Fatalf("write request: %q", sql)
+	}
+	mix.ReadFraction = 1
+	sql, isRead = mix.Request(rng)
+	if !isRead || !strings.HasPrefix(sql, "SELECT") {
+		t.Fatalf("read request: %q", sql)
+	}
+}
+
+func TestSetupPopulates(t *testing.T) {
+	c := testClient(t)
+	mix := Mix{Table: "bookings", Keys: 250}
+	if err := mix.Setup(c, 250); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec("SELECT COUNT(*) FROM bookings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 250 {
+		t.Fatalf("rows = %d", res.Rows[0][0].Int())
+	}
+}
+
+func TestRunClosedCollectsMetrics(t *testing.T) {
+	c := testClient(t)
+	mix := Mix{ReadFraction: 0.5, Keys: 20, Table: "bookings"}
+	if err := mix.Setup(c, 20); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunClosed(func(int) (Client, error) { return c, nil }, 2, mix, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads+res.Writes == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if res.ThroughputTotal <= 0 {
+		t.Fatal("no throughput")
+	}
+	if res.ReadErrs+res.WriteErrs != 0 {
+		t.Fatalf("errors: %d", res.ReadErrs+res.WriteErrs)
+	}
+	if res.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestRunOpenPacesArrivals(t *testing.T) {
+	c := testClient(t)
+	mix := Mix{ReadFraction: 1, Keys: 20, Table: "bookings"}
+	if err := mix.Setup(c, 20); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOpen(func(int) (Client, error) { return c, nil }, 2, 200, mix, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~200/s over 200 ms ≈ 40 requests; allow generous slack.
+	total := res.Reads + res.Writes
+	if total < 10 || total > 120 {
+		t.Fatalf("open-loop total = %d, want ≈40", total)
+	}
+}
+
+func TestTicketBrokerPreset(t *testing.T) {
+	mix := TicketBroker(100)
+	if mix.ReadFraction != 0.95 || mix.Keys != 100 || mix.Table != "bookings" {
+		t.Fatalf("preset: %+v", mix)
+	}
+}

@@ -1,0 +1,209 @@
+// Package replication is the public API of the middleware-based database
+// replication library: a Go reproduction of the system design space in
+// Cecchet, Candea & Ailamaki, "Middleware-based Database Replication: The
+// Gaps Between Theory and Practice" (SIGMOD 2008).
+//
+// The library provides, as one coherent stack:
+//
+//   - an embedded multi-database SQL engine with MVCC snapshot isolation,
+//     read-committed and serializable modes, sequences, temporary tables,
+//     triggers, stored procedures and per-vendor behaviour profiles;
+//   - master-slave replication with 1-safe/2-safe commits, lag tracking,
+//     automatic failover/failback and Sequoia-style transparent failover;
+//   - multi-master replication over totally-ordered broadcast, in both
+//     statement-based and certification (write-set) modes;
+//   - partitioned (hash/range/list) and WAN multi-site deployments;
+//   - connection/transaction/query-level load balancing (round robin,
+//     LPRF, weighted);
+//   - a recovery log with checkpoints and online replica provisioning;
+//   - cluster-consistent backups and a replica divergence detector;
+//   - a wire protocol with TCP-keepalive and heartbeat failure detection.
+//
+// Quick start:
+//
+//	master := replication.NewReplica(replication.ReplicaConfig{Name: "m"})
+//	slave := replication.NewReplica(replication.ReplicaConfig{Name: "s"})
+//	cluster := replication.NewMasterSlave(master, []*replication.Replica{slave},
+//		replication.MasterSlaveConfig{Consistency: replication.SessionConsistent})
+//	sess := cluster.NewSession("app")
+//	sess.Exec("CREATE DATABASE shop")
+//	sess.Exec("USE shop")
+//	...
+//
+// See examples/ for runnable scenarios and DESIGN.md for the experiment
+// index.
+package replication
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gcs"
+	"repro/internal/lb"
+	"repro/internal/metrics"
+	"repro/internal/recoverylog"
+	"repro/internal/simnet"
+)
+
+// Core cluster types.
+type (
+	// Replica wraps one database engine with service-time modelling,
+	// health state and replication progress counters.
+	Replica = core.Replica
+	// ReplicaConfig configures a Replica.
+	ReplicaConfig = core.ReplicaConfig
+	// MasterSlave is the master-slave replication controller (Figures 1, 3).
+	MasterSlave = core.MasterSlave
+	// MasterSlaveConfig configures a MasterSlave cluster.
+	MasterSlaveConfig = core.MasterSlaveConfig
+	// MSSession is a client session on a MasterSlave cluster.
+	MSSession = core.MSSession
+	// MultiMaster is the multi-master controller (§2.1, §4.3.2).
+	MultiMaster = core.MultiMaster
+	// MultiMasterConfig configures a MultiMaster cluster.
+	MultiMasterConfig = core.MultiMasterConfig
+	// MMSession is a client session on a MultiMaster cluster.
+	MMSession = core.MMSession
+	// Partitioned shards writes across sub-clusters (Figure 2).
+	Partitioned = core.Partitioned
+	// PartitionRule maps a table's rows to partitions.
+	PartitionRule = core.PartitionRule
+	// PSession is a client session on a Partitioned cluster.
+	PSession = core.PSession
+	// WAN interconnects geographic sites (Figure 4).
+	WAN = core.WAN
+	// WANConfig configures a WAN deployment.
+	WANConfig = core.WANConfig
+	// SiteConfig describes one WAN site.
+	SiteConfig = core.SiteConfig
+	// WSession is a client session homed at one WAN site.
+	WSession = core.WSession
+	// Certifier performs first-committer-wins certification.
+	Certifier = core.Certifier
+	// Monitor watches health and drives automatic failover.
+	Monitor = core.Monitor
+	// Provisioner manages recovery-log based replica lifecycle (§4.4.2).
+	Provisioner = core.Provisioner
+	// ResyncOptions tunes replica resynchronization.
+	ResyncOptions = core.ResyncOptions
+	// DivergenceReport lists replica state mismatches.
+	DivergenceReport = core.DivergenceReport
+	// Orderer is the total-order broadcast abstraction.
+	Orderer = core.Orderer
+	// LocalOrderer is the in-process sequencer.
+	LocalOrderer = core.LocalOrderer
+	// GCSOrderer runs total order over real group communication.
+	GCSOrderer = core.GCSOrderer
+	// Value is a SQL value (for partition rules and site ownership).
+	Value = core.Value
+)
+
+// Engine-level types callers may need directly.
+type (
+	// Engine is the embedded database engine.
+	Engine = engine.Engine
+	// EngineConfig configures an Engine.
+	EngineConfig = engine.Config
+	// Session is a direct engine session (bypassing the middleware).
+	Session = engine.Session
+	// Result is a statement result.
+	Result = engine.Result
+	// Backup is a consistent engine snapshot.
+	Backup = engine.Backup
+	// BackupOptions selects what a backup captures (§4.1.5).
+	BackupOptions = engine.BackupOptions
+	// Profile captures vendor-specific engine behaviour (§4.1).
+	Profile = engine.Profile
+	// WriteSet is a transaction's captured row changes.
+	WriteSet = engine.WriteSet
+)
+
+// Safety, shipping, consistency and mode enums.
+const (
+	OneSafe           = core.OneSafe
+	TwoSafe           = core.TwoSafe
+	ShipStatements    = core.ShipStatements
+	ShipWriteSets     = core.ShipWriteSets
+	ReadAny           = core.ReadAny
+	SessionConsistent = core.SessionConsistent
+	StrongConsistent  = core.StrongConsistent
+	StatementMode     = core.StatementMode
+	CertificationMode = core.CertificationMode
+	RewriteAndReject  = core.RewriteAndReject
+	RewriteAndAllow   = core.RewriteAndAllow
+	HashPartition     = core.HashPartition
+	RangePartition    = core.RangePartition
+	ListPartition     = core.ListPartition
+	ConnectionLevel   = lb.ConnectionLevel
+	TransactionLevel  = lb.TransactionLevel
+	QueryLevel        = lb.QueryLevel
+)
+
+// Vendor profiles.
+var (
+	ProfilePostgres = engine.ProfilePostgres
+	ProfileMySQL    = engine.ProfileMySQL
+	ProfileSybase   = engine.ProfileSybase
+)
+
+// NewReplica builds a replica from its configuration.
+func NewReplica(cfg ReplicaConfig) *Replica { return core.NewReplica(cfg) }
+
+// NewMasterSlave wires a master and slaves and starts binlog shipping.
+func NewMasterSlave(master *Replica, slaves []*Replica, cfg MasterSlaveConfig) *MasterSlave {
+	return core.NewMasterSlave(master, slaves, cfg)
+}
+
+// NewMultiMaster builds a multi-master cluster over the given orderer(s).
+func NewMultiMaster(replicas []*Replica, orderers []Orderer, cfg MultiMasterConfig) (*MultiMaster, error) {
+	return core.NewMultiMaster(replicas, orderers, cfg)
+}
+
+// NewPartitioned builds a partitioned cluster.
+func NewPartitioned(partitions []*MasterSlave, rules []*PartitionRule) (*Partitioned, error) {
+	return core.NewPartitioned(partitions, rules)
+}
+
+// NewWAN wires geographic sites with asynchronous cross-site replication.
+func NewWAN(sites []*SiteConfig, cfg WANConfig) (*WAN, error) { return core.NewWAN(sites, cfg) }
+
+// NewLocalOrderer creates the in-process total order sequencer.
+func NewLocalOrderer() *LocalOrderer { return core.NewLocalOrderer() }
+
+// NewCertifier creates a write-set certifier.
+func NewCertifier() *Certifier { return core.NewCertifier() }
+
+// NewMonitor creates a health monitor for a master-slave cluster.
+func NewMonitor(ms *MasterSlave, interval Duration) *Monitor { return core.NewMonitor(ms, interval) }
+
+// NewProvisioner wraps a recovery log for replica lifecycle management.
+func NewProvisioner() *Provisioner { return core.NewProvisioner(recoverylog.New()) }
+
+// CheckDivergence compares table checksums across replicas.
+func CheckDivergence(replicas []*Replica, db string) (*DivergenceReport, error) {
+	return core.CheckDivergence(replicas, db)
+}
+
+// BuildGCSCluster wires n group-communication orderers on a simulated
+// network (for distributed multi-master and partition experiments).
+func BuildGCSCluster(n int, cfg gcs.Config, seed int64) (*simnet.Network, []*GCSOrderer) {
+	return core.BuildGCSCluster(n, cfg, seed)
+}
+
+// StringValue and IntValue build SQL values for rules and ownership lists.
+func StringValue(s string) Value { return core.NewStringValue(s) }
+
+// IntValue builds an integer SQL value.
+func IntValue(i int64) Value { return core.NewIntValue(i) }
+
+// Duration is re-exported time.Duration for the façade's constructors.
+type Duration = time.Duration
+
+// FiveNinesBudget returns the yearly downtime budget of a 99.999 %
+// availability target (§5.1: 5.26 minutes).
+func FiveNinesBudget() Duration { return metrics.FiveNinesBudget }
+
+// ErrNoQuorum returns the sentinel error writes receive in a minority
+// partition, for errors.Is checks.
+func ErrNoQuorum() error { return core.ErrNoQuorum }
