@@ -12,10 +12,13 @@
 package repro
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 )
 
 // benchOpts keeps `go test -bench` runs short; cmd/replbench uses longer
@@ -98,3 +101,63 @@ func BenchmarkC9LowLoadLatency(b *testing.B) { runExperiment(b, bench.C9LowLoadL
 
 // BenchmarkC10GroupComm — §4.3.4.1: TOB throughput vs group size.
 func BenchmarkC10GroupComm(b *testing.B) { runExperiment(b, bench.C10GroupComm) }
+
+// ---- PR-1: engine parallel read path ----
+
+// benchEngineReads measures engine read-only throughput over `sessions`
+// concurrent sessions with a modeled per-statement service time, the
+// root-level companion of internal/engine's BenchmarkParallelReads (see
+// docs/BENCHMARKS.md for recorded numbers).
+func benchEngineReads(b *testing.B, sessions int) {
+	eng := engine.New(engine.Config{ExecCost: 500 * time.Microsecond})
+	setup := eng.NewSession("setup")
+	if err := setup.ExecScript(
+		"CREATE DATABASE d; USE d; CREATE TABLE t (id INT PRIMARY KEY, val INT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 128; i++ {
+		if _, err := setup.Exec(fmt.Sprintf("INSERT INTO t (id, val) VALUES (%d, %d)", i, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	setup.Close()
+	sess := make([]*engine.Session, sessions)
+	for i := range sess {
+		s := eng.NewSession("bench")
+		if _, err := s.Exec("USE d"); err != nil {
+			b.Fatal(err)
+		}
+		sess[i] = s
+	}
+	defer func() {
+		for _, s := range sess {
+			s.Close()
+		}
+	}()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i, s := range sess {
+		n := b.N / sessions
+		if i < b.N%sessions {
+			n++
+		}
+		wg.Add(1)
+		go func(s *engine.Session, n int) {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				if _, err := s.Exec("SELECT COUNT(*) FROM t WHERE val > 64"); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(s, n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkP1SerializedReads — PR-1 baseline: one session of one engine.
+func BenchmarkP1SerializedReads(b *testing.B) { benchEngineReads(b, 1) }
+
+// BenchmarkP1ParallelReads — PR-1 tentpole: 8 concurrent sessions of one
+// engine; ns/op should be well under half of BenchmarkP1SerializedReads.
+func BenchmarkP1ParallelReads(b *testing.B) { benchEngineReads(b, 8) }

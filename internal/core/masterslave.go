@@ -66,6 +66,12 @@ type MasterSlaveConfig struct {
 	// ApplyDelay adds per-event latency at slaves (models the apply lag
 	// whose consequences §2.2 describes).
 	ApplyDelay time.Duration
+	// ApplyBatch caps how many queued write-set events a slave applies per
+	// engine lock acquisition (group commit): a lagging slave drains its
+	// backlog with one lock round-trip per batch instead of one per
+	// transaction. Zero means 32; 1 disables batching. Statement-shipped
+	// and DDL events always apply one at a time.
+	ApplyBatch int
 	// ReadPolicy balances reads over slaves; nil means LPRF.
 	ReadPolicy lb.Policy
 	// ReadLevel is the balancing granularity; the default QueryLevel
@@ -108,6 +114,7 @@ type slaveApplier struct {
 	session *engine.Session
 	delay   time.Duration
 	ship    ShipMode
+	batch   int // max write-set events group-committed per lock acquisition
 	stop    chan struct{}
 	done    chan struct{}
 }
@@ -170,6 +177,13 @@ func (ms *MasterSlave) SlaveLag() map[string]uint64 {
 // startApplier begins shipping the master binlog into a slave from position
 // `from`. Caller must not hold ms.mu... it only reads ms.master once.
 func (ms *MasterSlave) startApplier(sl *Replica, from uint64) {
+	batch := ms.cfg.ApplyBatch
+	if batch == 0 {
+		batch = 32
+	}
+	if batch < 1 {
+		batch = 1
+	}
 	ms.mu.Lock()
 	master := ms.master
 	a := &slaveApplier{
@@ -177,6 +191,7 @@ func (ms *MasterSlave) startApplier(sl *Replica, from uint64) {
 		session: sl.Engine().NewSession("replication"),
 		delay:   ms.cfg.ApplyDelay,
 		ship:    ms.cfg.Ship,
+		batch:   batch,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -186,8 +201,12 @@ func (ms *MasterSlave) startApplier(sl *Replica, from uint64) {
 }
 
 // run ships events serially: receive (ack position), then apply with the
-// slave's write service cost. This serial application is exactly why a
-// loaded slave lags a parallel master (§2.2, experiment C3).
+// slave's write service cost. Application stays serial — one event stream,
+// in commit order, which is exactly why a loaded slave lags a parallel
+// master (§2.2, experiment C3) — but in write-set mode a backlog drains in
+// group-commit batches: one engine lock acquisition applies up to a.batch
+// queued transactions, each still committing individually so binlog
+// positions stay aligned one-event-one-commit across replicas.
 func (a *slaveApplier) run(masterEng *engine.Engine, from uint64) {
 	defer close(a.done)
 	pos := from
@@ -208,26 +227,85 @@ func (a *slaveApplier) run(masterEng *engine.Engine, from uint64) {
 			time.Sleep(200 * time.Microsecond)
 			continue
 		}
-		for _, ev := range events {
+		for len(events) > 0 {
 			select {
 			case <-a.stop:
 				return
 			default:
 			}
+			if n := a.batchable(events); n > 1 {
+				batch := events[:n]
+				events = events[n:]
+				// Receive and service each event, honoring halt between
+				// events like the single-event path does; a stop request
+				// shrinks the batch to the events already serviced.
+				stopped := false
+				wss := make([]*engine.WriteSet, 0, len(batch))
+				for _, ev := range batch {
+					select {
+					case <-a.stop:
+						stopped = true
+					default:
+					}
+					if stopped {
+						break
+					}
+					wss = append(wss, ev.WriteSet)
+					a.slave.receivedSeq.Store(ev.Seq)
+					if a.delay > 0 {
+						time.Sleep(a.delay)
+					}
+					a.slave.serviceSleep(false)
+				}
+				applied, err := a.slave.Engine().ApplyWriteSets(wss, engine.ApplyOptions{})
+				if applied > 0 {
+					pos = batch[applied-1].Seq
+					a.slave.appliedSeq.Store(pos)
+					a.slave.noteApplied(applied, 1)
+				}
+				if err != nil || stopped {
+					// Apply errors stall the slave (like a broken
+					// replica); operators must intervene — matching
+					// field behaviour.
+					return
+				}
+				continue
+			}
+			ev := events[0]
+			events = events[1:]
 			a.slave.receivedSeq.Store(ev.Seq)
 			if a.delay > 0 {
 				time.Sleep(a.delay)
 			}
 			a.slave.serviceSleep(false)
 			if err := applyEvent(a.session, a.slave.Engine(), ev, a.ship); err != nil {
-				// Apply errors stall the slave (like a broken replica);
-				// operators must intervene — matching field behaviour.
 				return
 			}
 			pos = ev.Seq
 			a.slave.appliedSeq.Store(ev.Seq)
+			// ApplyStats tracks write-set apply amortization only:
+			// statement-shipped and DDL events take several engine lock
+			// acquisitions inside applyEvent, so counting them as one
+			// round-trip would overstate the batching win.
+			if a.ship == ShipWriteSets && !ev.DDL && ev.WriteSet != nil {
+				a.slave.noteApplied(1, 1)
+			}
 		}
 	}
+}
+
+// batchable returns how many leading events of the queue can be applied as
+// one group-commit batch: consecutive write-set (non-DDL) events, capped at
+// the configured batch size. Returns 0 or 1 when batching does not apply.
+func (a *slaveApplier) batchable(events []engine.Event) int {
+	if a.ship != ShipWriteSets || a.batch <= 1 {
+		return 0
+	}
+	n := 0
+	for n < len(events) && n < a.batch && !events[n].DDL && events[n].WriteSet != nil {
+		n++
+	}
+	return n
 }
 
 func (a *slaveApplier) halt() {

@@ -55,6 +55,14 @@ type Replica struct {
 	// receivedSeq is the last position received (≥ appliedSeq); 2-safe
 	// commits wait on it.
 	receivedSeq atomic.Uint64
+
+	// applyEvents and applyBatches count write-set apply work: events
+	// applied and engine lock round-trips used for them. Their ratio is the
+	// group-commit amortization a lagging slave achieved while draining
+	// backlog. Statement-shipped and DDL events are not counted — they take
+	// several lock acquisitions each inside the session.
+	applyEvents  atomic.Uint64
+	applyBatches atomic.Uint64
 }
 
 // NewReplica builds a replica from its configuration.
@@ -96,6 +104,24 @@ func (r *Replica) AppliedSeq() uint64 { return r.appliedSeq.Load() }
 
 // ReceivedSeq returns the replication position received by this replica.
 func (r *Replica) ReceivedSeq() uint64 { return r.receivedSeq.Load() }
+
+// noteApplied records replication apply progress: events applied and the
+// number of engine lock acquisitions they cost.
+func (r *Replica) noteApplied(events, batches int) {
+	if events <= 0 {
+		return
+	}
+	r.applyEvents.Add(uint64(events))
+	r.applyBatches.Add(uint64(batches))
+}
+
+// ApplyStats returns how many write-set replication events this replica
+// has applied and how many engine lock round-trips (group-commit batches)
+// they took. events/batches > 1 means backlog was drained in batches.
+// Statement-shipped and DDL events are excluded.
+func (r *Replica) ApplyStats() (events, batches uint64) {
+	return r.applyEvents.Load(), r.applyBatches.Load()
+}
 
 // Fail marks the replica down (crash injection).
 func (r *Replica) Fail() { r.healthy.Store(false) }

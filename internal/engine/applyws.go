@@ -26,6 +26,36 @@ func (e *Engine) ApplyWriteSet(ws *WriteSet, opts ApplyOptions) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.applyWriteSetLocked(ws, opts)
+}
+
+// ApplyWriteSets applies a batch of replicated transactions under a single
+// engine lock acquisition — the group-commit form of the slave apply path.
+// Each write-set still commits as its own transaction, with its own commit
+// timestamp and binlog event, preserving the one-event-one-commit alignment
+// that keeps binlog positions comparable across replicas.
+//
+// It returns how many write-sets of the batch were applied. On error the
+// failing write-set is rolled back and application stops; write-sets before
+// it remain committed, so the caller can advance its replication position
+// to the last applied event before surfacing the error.
+func (e *Engine) ApplyWriteSets(wss []*WriteSet, opts ApplyOptions) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, ws := range wss {
+		if ws == nil || len(ws.Ops) == 0 {
+			continue
+		}
+		if err := e.applyWriteSetLocked(ws, opts); err != nil {
+			return i, err
+		}
+	}
+	return len(wss), nil
+}
+
+// applyWriteSetLocked applies one write-set as one transaction. Caller
+// holds e.mu exclusively.
+func (e *Engine) applyWriteSetLocked(ws *WriteSet, opts ApplyOptions) error {
 	tx := e.beginTxnLocked(ReadCommitted)
 	for _, op := range ws.Ops {
 		if err := e.applyOpLocked(tx, op, opts); err != nil {

@@ -77,12 +77,13 @@ type Backup struct {
 	Users      []User
 }
 
-// Dump takes a consistent snapshot at the current commit timestamp. It runs
-// under the engine mutex but does not block concurrent transactions beyond
-// the dump's own copying time.
+// Dump takes a consistent snapshot at the current commit timestamp. It
+// holds the engine lock as a reader, so it blocks writers for the dump's
+// copying time but runs alongside other read-only statements — a hot
+// backup.
 func (e *Engine) Dump(opts BackupOptions) (*Backup, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	ts := e.clock
 	b := &Backup{AtCommitTS: ts}
 

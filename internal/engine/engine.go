@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -107,24 +108,45 @@ type Config struct {
 	BinlogCapacity int
 	// RequireAuth makes session creation demand a known user (§4.1.5).
 	RequireAuth bool
+	// ExecCost models per-statement service time spent inside the engine's
+	// concurrency scope: shared for parallel read-only statements, exclusive
+	// for writes. Zero (the default) executes at memory speed. Benchmarks
+	// and tests set it to make lock-model scalability shapes reproducible on
+	// a single machine, the same technique ReplicaConfig.ReadCost/WriteCost
+	// use one layer up.
+	ExecCost time.Duration
 }
 
 // Engine is a single replica's database engine: a set of database
-// instances plus users, all guarded by one mutex. Statement execution is
-// short (in-memory); the replication layer models service time outside the
-// engine.
+// instances plus users, guarded by one reader/writer lock. Write statements
+// (DML, DDL, commits, anything that touches lock tables) hold mu
+// exclusively; read-only statements — plain SELECT and SHOW under
+// non-serializable isolation — hold it shared, so MVCC snapshot scans from
+// many sessions proceed in parallel. Serializable sessions stay on the
+// exclusive path because their table-level 2PL mutates lock state even for
+// reads. Statement execution is short (in-memory) unless Config.ExecCost
+// models a service time; the replication layer models additional service
+// time outside the engine.
 type Engine struct {
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	cfg       Config
 	databases map[string]*Database
 	users     map[string]*User
 
-	clock     uint64 // logical commit timestamp, incremented at each commit
-	nextTxnID uint64
-	nextSess  int64
+	// clock is the logical commit timestamp, incremented at each commit.
+	// It is written only under mu held exclusively and may be read under
+	// either lock mode.
+	clock uint64
+	// nextTxnID and nextSess are atomics because transactions and sessions
+	// begin on the shared read path too.
+	nextTxnID atomic.Uint64
+	nextSess  atomic.Int64
 
-	lockWait *sync.Cond // broadcast when any lock is released
+	lockWait *sync.Cond // broadcast when any lock is released; waiters hold mu exclusively
 
+	// rngMu guards rng separately from mu: RAND() is legal in read-only
+	// statements running on the shared path.
+	rngMu  sync.Mutex
 	rng    *rand.Rand
 	binlog *Binlog
 }
@@ -167,8 +189,8 @@ func (e *Engine) Binlog() *Binlog { return e.binlog }
 // CommitTS returns the current logical commit timestamp (the number of
 // committed write transactions).
 func (e *Engine) CommitTS() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.clock
 }
 
@@ -198,8 +220,8 @@ func (e *Engine) Grant(db, user string) error {
 // Users returns a copy of the user table (for backup tools that choose to
 // capture access control, fixing the §4.1.5 gap).
 func (e *Engine) Users() []User {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]User, 0, len(e.users))
 	for _, u := range e.users {
 		cu := *u
@@ -214,8 +236,8 @@ func (e *Engine) Users() []User {
 
 // Authenticate checks credentials; used by the wire server.
 func (e *Engine) Authenticate(user, password string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if !e.cfg.RequireAuth {
 		return nil
 	}
@@ -227,14 +249,12 @@ func (e *Engine) Authenticate(user, password string) error {
 }
 
 // NewSession opens a session for user. When RequireAuth is set, the user
-// must exist (the caller should have authenticated already).
+// must exist (the caller should have authenticated already). Sessions can
+// be opened concurrently without taking the engine lock.
 func (e *Engine) NewSession(user string) *Session {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.nextSess++
 	return &Session{
 		eng:        e,
-		id:         e.nextSess,
+		id:         e.nextSess.Add(1),
 		user:       user,
 		iso:        e.cfg.Profile.DefaultIsolation,
 		vars:       make(map[string]varEntry),
@@ -245,8 +265,8 @@ func (e *Engine) NewSession(user string) *Session {
 // DatabaseNames lists database instances in creation-independent (sorted by
 // name at the caller's discretion) order.
 func (e *Engine) DatabaseNames() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]string, 0, len(e.databases))
 	for name := range e.databases {
 		out = append(out, name)
@@ -265,5 +285,10 @@ func (e *Engine) database(name string) (*Database, error) {
 // nowValue returns the engine clock reading.
 func (e *Engine) nowValue() time.Time { return e.cfg.Now() }
 
-// randFloat returns the next engine-local random number. Guarded by mu.
-func (e *Engine) randFloat() float64 { return e.rng.Float64() }
+// randFloat returns the next engine-local random number. Guarded by rngMu,
+// not mu, so RAND() works on the shared read path.
+func (e *Engine) randFloat() float64 {
+	e.rngMu.Lock()
+	defer e.rngMu.Unlock()
+	return e.rng.Float64()
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// These benchmarks measure the PR-1 tentpole: read-only statements no
+// longer serialize through one global engine mutex.
+//
+// The primary pair — BenchmarkSingleSessionReads vs BenchmarkParallelReads
+// — models a per-statement engine service time (Config.ExecCost) the same
+// way ReplicaConfig.ReadCost does one layer up: it is what makes
+// lock-model scalability shapes reproducible on a single machine. Under
+// the seed's global mutex the modeled costs serialize and 8 sessions equal
+// 1; with the shared read path they overlap.
+//
+// The *CPU variants run at memory speed with no modeled cost. They show
+// real-CPU scaling on multicore hosts; on a single-core host they stay
+// flat by physics regardless of the lock model.
+
+// newBenchEngine builds an engine with one database and a seeded table of
+// `rows` rows, mirroring the read-mostly workloads of §2.1.
+func newBenchEngine(b testing.TB, rows int, cost time.Duration) *Engine {
+	b.Helper()
+	eng := New(Config{ExecCost: cost})
+	s := eng.NewSession("bench")
+	defer s.Close()
+	script := "CREATE DATABASE shop; USE shop;" +
+		"CREATE TABLE items (id INT PRIMARY KEY, name VARCHAR, qty INT, price FLOAT);"
+	if err := s.ExecScript(script); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		sql := fmt.Sprintf("INSERT INTO items (id, name, qty, price) VALUES (%d, 'item-%d', %d, %d.5)",
+			i, i, i%97, i%13)
+		if _, err := s.Exec(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// benchReadQuery is the statement each benchmark session runs: a filtered
+// scan with a small aggregate, representative of the read side of the
+// paper's read-one/write-all workloads.
+const benchReadQuery = "SELECT COUNT(*), SUM(qty) FROM items WHERE qty > 48"
+
+// runReaders drives b.N read-only statements split evenly over the given
+// sessions.
+func runReaders(b *testing.B, sess []*Session) {
+	var wg sync.WaitGroup
+	for i, s := range sess {
+		n := b.N / len(sess)
+		if i < b.N%len(sess) {
+			n++
+		}
+		wg.Add(1)
+		go func(s *Session, n int) {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				if _, err := s.Exec(benchReadQuery); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(s, n)
+	}
+	wg.Wait()
+}
+
+// benchConcurrentReads measures b.N reads over `sessions` concurrent
+// sessions of one engine.
+func benchConcurrentReads(b *testing.B, sessions, rows int, cost time.Duration) {
+	eng := newBenchEngine(b, rows, cost)
+	sess := make([]*Session, sessions)
+	for i := range sess {
+		s := eng.NewSession("bench")
+		if _, err := s.Exec("USE shop"); err != nil {
+			b.Fatal(err)
+		}
+		sess[i] = s
+	}
+	defer func() {
+		for _, s := range sess {
+			s.Close()
+		}
+	}()
+	b.ResetTimer()
+	runReaders(b, sess)
+}
+
+// benchCost is the modeled per-statement engine service time of the
+// primary benchmark pair.
+const benchCost = 500 * time.Microsecond
+
+// BenchmarkSingleSessionReads is the serialized baseline: one session
+// issuing read-only statements back to back.
+func BenchmarkSingleSessionReads(b *testing.B) { benchConcurrentReads(b, 1, 128, benchCost) }
+
+// BenchmarkParallelReads is the PR-1 acceptance benchmark: read-only
+// throughput with 8 concurrent sessions must be at least 2× the
+// single-session throughput (ns/op at most half of
+// BenchmarkSingleSessionReads).
+func BenchmarkParallelReads(b *testing.B) { benchConcurrentReads(b, 8, 128, benchCost) }
+
+// BenchmarkSingleSessionReadsCPU / BenchmarkParallelReadsCPU run at memory
+// speed; the parallel variant scales with physical cores.
+func BenchmarkSingleSessionReadsCPU(b *testing.B) { benchConcurrentReads(b, 1, 256, 0) }
+func BenchmarkParallelReadsCPU(b *testing.B)      { benchConcurrentReads(b, 8, 256, 0) }
+
+// BenchmarkParallelReadsWithWriter adds one background writer session
+// committing updates while 8 readers run, showing reads overlap each other
+// even when a writer periodically takes the exclusive lock.
+func BenchmarkParallelReadsWithWriter(b *testing.B) {
+	eng := newBenchEngine(b, 128, benchCost)
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		w := eng.NewSession("writer")
+		defer w.Close()
+		if _, err := w.Exec("USE shop"); err != nil {
+			return
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = w.Exec(fmt.Sprintf("UPDATE items SET qty = %d WHERE id = %d", i%97, i%128))
+		}
+	}()
+
+	const sessions = 8
+	sess := make([]*Session, sessions)
+	for i := range sess {
+		s := eng.NewSession("bench")
+		if _, err := s.Exec("USE shop"); err != nil {
+			b.Fatal(err)
+		}
+		sess[i] = s
+	}
+	b.ResetTimer()
+	runReaders(b, sess)
+	b.StopTimer()
+	close(stop)
+	wwg.Wait()
+	for _, s := range sess {
+		s.Close()
+	}
+}

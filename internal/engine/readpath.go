@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/sqlparse"
+)
+
+// This file decides which statements may run on the engine's shared read
+// path — holding mu as a reader so any number of sessions scan MVCC
+// snapshots in parallel — and which must serialize with writers.
+//
+// The rules mirror what the statement can touch:
+//
+//   - Serializable sessions always use the exclusive path: table-level 2PL
+//     registers shared table locks even for reads (§4.1.2).
+//   - SELECT ... FOR UPDATE takes row locks, so it is a write.
+//   - NEXTVAL consumes a sequence value. Sequences are non-transactional
+//     shared state (§4.2.3), so any statement containing NEXTVAL — even a
+//     bare SELECT — serializes with writers.
+//   - Everything else a SELECT or SHOW can do (column reads, session vars,
+//     parameters, NOW, RAND, subqueries obeying the same rules) only reads
+//     engine-shared state or mutates session-private state, and RAND() has
+//     its own lock.
+
+// sharedRead reports whether st can run on the shared (parallel) read path
+// for this session.
+func (s *Session) sharedRead(st sqlparse.Statement) bool {
+	if s.iso == Serializable {
+		return false
+	}
+	switch st := st.(type) {
+	case *sqlparse.Show:
+		return true
+	case *sqlparse.Select:
+		return selectIsShared(st)
+	}
+	return false
+}
+
+// selectIsShared reports whether a SELECT statement (including any
+// subqueries) is free of lock-taking and state-advancing constructs.
+func selectIsShared(st *sqlparse.Select) bool {
+	if st.ForUpdate {
+		return false
+	}
+	for _, it := range st.Items {
+		if !it.Star && !exprIsShared(it.Expr) {
+			return false
+		}
+	}
+	if !exprIsShared(st.Where) {
+		return false
+	}
+	if st.Join != nil && !exprIsShared(st.Join.On) {
+		return false
+	}
+	for _, g := range st.GroupBy {
+		if !exprIsShared(g) {
+			return false
+		}
+	}
+	for _, o := range st.OrderBy {
+		if !exprIsShared(o.Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// exprIsShared walks an expression tree rejecting anything that advances
+// engine-shared state. Unknown node kinds are conservatively exclusive.
+func exprIsShared(e sqlparse.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return true
+	case *sqlparse.Literal, *sqlparse.ColumnRef, *sqlparse.VarRef, *sqlparse.Param:
+		return true
+	case *sqlparse.BinaryExpr:
+		return exprIsShared(e.Left) && exprIsShared(e.Right)
+	case *sqlparse.UnaryExpr:
+		return exprIsShared(e.Operand)
+	case *sqlparse.IsNullExpr:
+		return exprIsShared(e.Operand)
+	case *sqlparse.BetweenExpr:
+		return exprIsShared(e.Operand) && exprIsShared(e.Lo) && exprIsShared(e.Hi)
+	case *sqlparse.InExpr:
+		if !exprIsShared(e.Left) {
+			return false
+		}
+		if e.Sub != nil && !selectIsShared(e.Sub) {
+			return false
+		}
+		for _, item := range e.List {
+			if !exprIsShared(item) {
+				return false
+			}
+		}
+		return true
+	case *sqlparse.FuncExpr:
+		if strings.ToUpper(e.Name) == "NEXTVAL" {
+			return false
+		}
+		for _, a := range e.Args {
+			if !exprIsShared(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -217,8 +217,8 @@ func (e *Engine) CreateDatabase(name string) error {
 // hashes of the latest committed state plus a hash of the row count. Used
 // by the middleware's divergence detector.
 func (e *Engine) TableChecksum(db, table string) (uint64, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	d, err := e.database(db)
 	if err != nil {
 		return 0, err
@@ -241,14 +241,14 @@ func (e *Engine) TableChecksum(db, table string) (uint64, error) {
 
 // DatabaseChecksum folds all table checksums of a database together.
 func (e *Engine) DatabaseChecksum(db string) (uint64, error) {
-	e.mu.Lock()
+	e.mu.RLock()
 	d, err := e.database(db)
 	if err != nil {
-		e.mu.Unlock()
+		e.mu.RUnlock()
 		return 0, err
 	}
 	names := d.TableNames()
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	var sum uint64
 	for _, n := range names {
 		c, err := e.TableChecksum(db, n)
@@ -263,8 +263,8 @@ func (e *Engine) DatabaseChecksum(db string) (uint64, error) {
 // RowCount returns the number of live rows in a table at the latest
 // committed state.
 func (e *Engine) RowCount(db, table string) (int, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	d, err := e.database(db)
 	if err != nil {
 		return 0, err

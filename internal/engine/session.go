@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/sqlparse"
 	"repro/internal/sqltypes"
@@ -94,12 +95,31 @@ func (s *Session) ExecStmt(st sqlparse.Statement) (*Result, error) {
 }
 
 // ExecStmtArgs executes a pre-parsed statement with bound parameters.
+// Read-only statements (plain SELECT and SHOW under non-serializable
+// isolation) run on the shared read path: they hold the engine lock as
+// readers, so statements from different sessions scan in parallel. Write
+// statements, DDL, FOR UPDATE, NEXTVAL and serializable sessions hold it
+// exclusively.
 func (s *Session) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) (*Result, error) {
 	if s.closed {
 		return nil, fmt.Errorf("engine: session closed")
 	}
+	if s.sharedRead(st) {
+		s.eng.mu.RLock()
+		defer s.eng.mu.RUnlock()
+		return s.execTop(st, args)
+	}
 	s.eng.mu.Lock()
 	defer s.eng.mu.Unlock()
+	return s.execTop(st, args)
+}
+
+// execTop runs one top-level statement under whichever engine lock mode
+// the caller chose, paying the configured per-statement service time.
+func (s *Session) execTop(st sqlparse.Statement, args []sqltypes.Value) (*Result, error) {
+	if c := s.eng.cfg.ExecCost; c > 0 {
+		time.Sleep(c)
+	}
 	res, err := s.execLocked(st, args, 0)
 	if err != nil {
 		s.poisonOnErrorLocked(err)

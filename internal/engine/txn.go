@@ -161,11 +161,12 @@ func (tx *Txn) ov(key tableKey) map[int64]*overlayEntry {
 	return m
 }
 
-// beginTxnLocked creates a transaction. Caller holds e.mu.
+// beginTxnLocked creates a transaction. Caller holds e.mu, shared or
+// exclusive — read-only implicit transactions begin on the shared path, so
+// the txn id counter is atomic.
 func (e *Engine) beginTxnLocked(iso IsolationLevel) *Txn {
-	e.nextTxnID++
 	return &Txn{
-		id:      e.nextTxnID,
+		id:      e.nextTxnID.Add(1),
 		snapTS:  e.clock,
 		iso:     iso,
 		overlay: make(map[tableKey]map[int64]*overlayEntry),
@@ -250,8 +251,13 @@ func (e *Engine) lockTable(tx *Txn, t *Table, exclusive bool) error {
 	}
 }
 
-// releaseLocksLocked drops all locks held by tx. Caller holds e.mu.
+// releaseLocksLocked drops all locks held by tx. Caller holds e.mu
+// exclusively whenever tx actually holds locks; lock-free transactions
+// (read-only commits on the shared path) return without waking waiters.
 func (e *Engine) releaseLocksLocked(tx *Txn) {
+	if len(tx.rowLocks) == 0 && len(tx.tableLocks) == 0 {
+		return
+	}
 	for _, hl := range tx.rowLocks {
 		if hl.t.locks[hl.rowID] == tx.id {
 			delete(hl.t.locks, hl.rowID)
@@ -449,8 +455,8 @@ func (e *Engine) resolveTableLocked(key tableKey) (*Table, error) {
 // row changes before the commit decision is known (§4.3.2). The returned
 // snapshot timestamp is the transaction's MVCC snapshot.
 func (s *Session) PendingWriteSet() (*WriteSet, uint64, error) {
-	s.eng.mu.Lock()
-	defer s.eng.mu.Unlock()
+	s.eng.mu.RLock()
+	defer s.eng.mu.RUnlock()
 	tx := s.txn
 	if tx == nil {
 		return nil, 0, fmt.Errorf("engine: no transaction in progress")

@@ -9,9 +9,19 @@ import (
 	"repro/internal/engine"
 )
 
-func testClient(t *testing.T) Client {
+// testEngine builds an engine plus a client factory. Engine sessions are
+// not safe for concurrent use (they model driver connections), so each
+// worker of RunClosed/RunOpen gets its own session on the shared engine.
+func testEngine(t *testing.T) (Client, func(int) (Client, error)) {
 	t.Helper()
 	e := engine.New(engine.Config{})
+	mk := func(int) (Client, error) {
+		s := e.NewSession("w")
+		if _, err := s.Exec("USE app"); err != nil {
+			return nil, err
+		}
+		return ClientFunc(func(sql string) (*engine.Result, error) { return s.Exec(sql) }), nil
+	}
 	s := e.NewSession("w")
 	if _, err := s.Exec("CREATE DATABASE app"); err != nil {
 		t.Fatal(err)
@@ -19,7 +29,13 @@ func testClient(t *testing.T) Client {
 	if _, err := s.Exec("USE app"); err != nil {
 		t.Fatal(err)
 	}
-	return ClientFunc(func(sql string) (*engine.Result, error) { return s.Exec(sql) })
+	return ClientFunc(func(sql string) (*engine.Result, error) { return s.Exec(sql) }), mk
+}
+
+func testClient(t *testing.T) Client {
+	t.Helper()
+	c, _ := testEngine(t)
+	return c
 }
 
 func TestMixRequestRespectsReadFraction(t *testing.T) {
@@ -69,12 +85,12 @@ func TestSetupPopulates(t *testing.T) {
 }
 
 func TestRunClosedCollectsMetrics(t *testing.T) {
-	c := testClient(t)
+	c, mk := testEngine(t)
 	mix := Mix{ReadFraction: 0.5, Keys: 20, Table: "bookings"}
 	if err := mix.Setup(c, 20); err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunClosed(func(int) (Client, error) { return c, nil }, 2, mix, 100*time.Millisecond)
+	res, err := RunClosed(mk, 2, mix, 100*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,12 +109,12 @@ func TestRunClosedCollectsMetrics(t *testing.T) {
 }
 
 func TestRunOpenPacesArrivals(t *testing.T) {
-	c := testClient(t)
+	c, mk := testEngine(t)
 	mix := Mix{ReadFraction: 1, Keys: 20, Table: "bookings"}
 	if err := mix.Setup(c, 20); err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunOpen(func(int) (Client, error) { return c, nil }, 2, 200, mix, 200*time.Millisecond)
+	res, err := RunOpen(mk, 2, 200, mix, 200*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
