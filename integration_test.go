@@ -83,6 +83,20 @@ func TestEndToEndWireClientOverReplicatedCluster(t *testing.T) {
 			t.Fatalf("%s: %v", sql, err)
 		}
 	}
+	// The cluster commits 1-safe: events unshipped at failure time are
+	// simply lost (§2.2), and a lost CREATE TABLE would legitimately fail
+	// every statement after promotion. This test exercises hot-standby
+	// promotion, not transaction loss, so wait for the slave to catch up
+	// before killing the master. (The seed relied on the client being
+	// slower than the 200µs applier poll; the PR-2 statement fast path
+	// made the client outrun it.)
+	catchup := time.Now().Add(2 * time.Second)
+	for slave.AppliedSeq() < cluster.MasterSeq() && time.Now().Before(catchup) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if slave.AppliedSeq() < cluster.MasterSeq() {
+		t.Fatalf("slave never caught up: applied %d of %d", slave.AppliedSeq(), cluster.MasterSeq())
+	}
 	// Kill the master mid-stream; the monitor promotes the slave and the
 	// session (autocommit) keeps working.
 	master.Fail()

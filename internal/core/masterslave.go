@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -74,8 +75,11 @@ type MasterSlaveConfig struct {
 	ApplyBatch int
 	// ReadPolicy balances reads over slaves; nil means LPRF.
 	ReadPolicy lb.Policy
-	// ReadLevel is the balancing granularity; the default QueryLevel
-	// rebalances every read.
+	// ReadLevel is the balancing granularity. The zero value is
+	// ConnectionLevel: a session's reads stick to one replica for as long
+	// as it stays healthy AND keeps satisfying the session's consistency
+	// guarantee (a pinned-but-lagging replica is re-picked, never served
+	// stale). QueryLevel rebalances every read.
 	ReadLevel lb.Level
 	// ReadFromMaster additionally allows routing reads to the master.
 	ReadFromMaster bool
@@ -103,7 +107,9 @@ type MasterSlave struct {
 	slaves   []*Replica
 	appliers map[string]*slaveApplier
 	policy   lb.Policy
-	epoch    uint64 // bumped at each failover
+	// epoch is bumped at each failover. Atomic so the read hot path can
+	// detect promotions without taking ms.mu.
+	epoch atomic.Uint64
 
 	lostOnLastFailover uint64
 }
@@ -321,21 +327,31 @@ func (a *slaveApplier) halt() {
 // applyEvent applies one binlog event to a replica engine, preserving the
 // one-event-one-commit alignment that keeps binlog positions comparable
 // across replicas.
+//
+// Statement-shipped SQL is parsed through the process-wide statement cache,
+// so each distinct event text is parsed once and the resulting AST is reused
+// across every slave applying that event (the seed parsed every event on
+// every slave). Transaction brackets and USE are constructed as AST nodes
+// directly — they never touch the parser at all.
 func applyEvent(s *engine.Session, eng *engine.Engine, ev engine.Event, ship ShipMode) error {
 	if ev.DDL {
 		if ev.Database != "" {
-			if _, err := s.Exec("USE " + ev.Database); err != nil && !isUnknownDB(err) {
+			if _, err := s.ExecStmt(&sqlparse.UseDatabase{Name: ev.Database}); err != nil && !isUnknownDB(err) {
 				return err
 			}
 		}
-		_, err := s.Exec(ev.Stmts[0])
+		st, err := sqlparse.ParseCached(ev.Stmts[0])
+		if err != nil {
+			return err
+		}
+		_, err = s.ExecStmt(st)
 		return err
 	}
 	if ship == ShipWriteSets && ev.WriteSet != nil {
 		return eng.ApplyWriteSet(ev.WriteSet, engine.ApplyOptions{})
 	}
 	if ev.Database != "" {
-		if _, err := s.Exec("USE " + ev.Database); err != nil {
+		if _, err := s.ExecStmt(&sqlparse.UseDatabase{Name: ev.Database}); err != nil {
 			return err
 		}
 	}
@@ -343,19 +359,28 @@ func applyEvent(s *engine.Session, eng *engine.Engine, ev engine.Event, ship Shi
 		return nil
 	}
 	if len(ev.Stmts) == 1 {
-		_, err := s.Exec(ev.Stmts[0])
+		st, err := sqlparse.ParseCached(ev.Stmts[0])
+		if err != nil {
+			return err
+		}
+		_, err = s.ExecStmt(st)
 		return err
 	}
-	if _, err := s.Exec("BEGIN"); err != nil {
+	if _, err := s.ExecStmt(&sqlparse.BeginTxn{}); err != nil {
 		return err
 	}
 	for _, sql := range ev.Stmts {
-		if _, err := s.Exec(sql); err != nil {
-			_, _ = s.Exec("ROLLBACK")
+		st, err := sqlparse.ParseCached(sql)
+		if err != nil {
+			_, _ = s.ExecStmt(&sqlparse.RollbackTxn{})
+			return err
+		}
+		if _, err := s.ExecStmt(st); err != nil {
+			_, _ = s.ExecStmt(&sqlparse.RollbackTxn{})
 			return err
 		}
 	}
-	_, err := s.Exec("COMMIT")
+	_, err := s.ExecStmt(&sqlparse.CommitTxn{})
 	return err
 }
 
@@ -388,6 +413,46 @@ func (ms *MasterSlave) waitTwoSafe(seq uint64) error {
 	}
 }
 
+// freshAt reports whether a slave at applied position satisfies the
+// configured read guarantee against the given binlog head and the session's
+// last write.
+func (ms *MasterSlave) freshAt(applied, head, lastWriteSeq uint64) bool {
+	switch ms.cfg.Consistency {
+	case ReadAny:
+		return ms.cfg.FreshnessBound == 0 || head-min64(applied, head) <= ms.cfg.FreshnessBound
+	case SessionConsistent:
+		return applied >= lastWriteSeq
+	case StrongConsistent:
+		return applied >= head
+	}
+	return true
+}
+
+// replicaFresh reports whether r currently satisfies the session's read
+// guarantee. The master always does. It runs on every pinned read, so the
+// common modes (unbounded ReadAny; SessionConsistent with a caught-up
+// replica) answer from r's atomics alone without touching ms.mu or the
+// master's binlog mutex.
+func (ms *MasterSlave) replicaFresh(r *Replica, lastWriteSeq uint64) bool {
+	switch ms.cfg.Consistency {
+	case ReadAny:
+		if ms.cfg.FreshnessBound == 0 {
+			return true
+		}
+	case SessionConsistent:
+		if r.AppliedSeq() >= lastWriteSeq {
+			return true
+		}
+	}
+	ms.mu.Lock()
+	master := ms.master
+	ms.mu.Unlock()
+	if r == master {
+		return true
+	}
+	return ms.freshAt(r.AppliedSeq(), master.Engine().Binlog().Head(), lastWriteSeq)
+}
+
 // pickReadReplica selects a replica for a read under the session's
 // consistency requirement.
 func (ms *MasterSlave) pickReadReplica(lastWriteSeq uint64) (*Replica, error) {
@@ -402,16 +467,7 @@ func (ms *MasterSlave) pickReadReplica(lastWriteSeq uint64) (*Replica, error) {
 		if !sl.Healthy() {
 			continue
 		}
-		ok := false
-		switch ms.cfg.Consistency {
-		case ReadAny:
-			ok = ms.cfg.FreshnessBound == 0 || head-min64(sl.AppliedSeq(), head) <= ms.cfg.FreshnessBound
-		case SessionConsistent:
-			ok = sl.AppliedSeq() >= lastWriteSeq
-		case StrongConsistent:
-			ok = sl.AppliedSeq() >= head
-		}
-		if ok {
+		if ms.freshAt(sl.AppliedSeq(), head, lastWriteSeq) {
 			candidates = append(candidates, sl)
 		}
 	}
@@ -449,9 +505,7 @@ func (ms *MasterSlave) LostTransactions() uint64 {
 
 // Epoch identifies the current master incarnation.
 func (ms *MasterSlave) Epoch() uint64 {
-	ms.mu.Lock()
-	defer ms.mu.Unlock()
-	return ms.epoch
+	return ms.epoch.Load()
 }
 
 // Failover promotes the most-up-to-date healthy slave to master and rewires
@@ -483,7 +537,7 @@ func (ms *MasterSlave) Failover() (*Replica, error) {
 	ms.appliers = make(map[string]*slaveApplier)
 	ms.master = best
 	ms.slaves = remaining
-	ms.epoch++
+	ms.epoch.Add(1)
 	// Lost transactions: committed on the old master but never applied by
 	// the promoted slave. (We can inspect the in-memory binlog; in the
 	// field this is "a manual procedure requiring careful inspection of
@@ -557,8 +611,11 @@ type MSSession struct {
 	lastWriteSeq uint64
 	pinned       *Replica // connection-level read pinning
 	epoch        uint64
-	txnLog       []string // for transparent failover replay
-	inTxn        bool
+	// txnLog keeps the in-flight transaction's parsed statements for
+	// transparent failover replay — ASTs, not SQL text, so a replay does
+	// not re-parse.
+	txnLog []sqlparse.Statement
+	inTxn  bool
 }
 
 // NewSession opens a client session on the cluster.
@@ -569,9 +626,11 @@ func (ms *MasterSlave) NewSession(user string) *MSSession {
 // Close releases the session.
 func (cs *MSSession) Close() { cs.pool.closeAll() }
 
-// Exec routes one statement.
+// Exec routes one statement. Parsing goes through the process-wide
+// statement cache, so the router sees each distinct text's AST once; the
+// same AST is then handed to the backend engine without re-serializing.
 func (cs *MSSession) Exec(sql string) (*engine.Result, error) {
-	st, err := sqlparse.Parse(sql)
+	st, err := sqlparse.ParseCached(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -595,10 +654,22 @@ func (cs *MSSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 	return cs.execWrite(st)
 }
 
-// execRead routes a read per the configured level/policy/consistency.
+// execRead routes a read per the configured level/policy/consistency. A
+// connection-level pin is honored only while the pinned replica still
+// satisfies the session's consistency guarantee — serving a pinned but
+// lagging replica would silently break read-your-writes (this bit the wire
+// path once statements got fast enough to outrun the appliers).
 func (cs *MSSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
 	var target *Replica
-	if cs.ms.cfg.ReadLevel == lb.ConnectionLevel && cs.pinned != nil && cs.pinned.Healthy() {
+	// A failover may have promoted the pinned slave to master; drop the pin
+	// on any epoch change so the session stops absorbing reads on the new
+	// master. The epoch load is atomic — no cluster mutex on the hot path.
+	if e := cs.ms.Epoch(); e != cs.epoch {
+		cs.epoch = e
+		cs.pinned = nil
+	}
+	if cs.ms.cfg.ReadLevel == lb.ConnectionLevel && cs.pinned != nil && cs.pinned.Healthy() &&
+		cs.ms.replicaFresh(cs.pinned, cs.lastWriteSeq) {
 		target = cs.pinned
 	} else {
 		t, err := cs.ms.pickReadReplica(cs.lastWriteSeq)
@@ -606,7 +677,10 @@ func (cs *MSSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
 			return nil, err
 		}
 		target = t
-		if cs.ms.cfg.ReadLevel == lb.ConnectionLevel {
+		// Pin slaves only: a master fallback (no slave was fresh enough)
+		// must stay temporary, or write-then-read sessions would migrate
+		// to the master forever and collapse read-one/write-all scaling.
+		if cs.ms.cfg.ReadLevel == lb.ConnectionLevel && target != cs.ms.Master() {
 			cs.pinned = target
 		}
 	}
@@ -614,7 +688,10 @@ func (cs *MSSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return target.ExecOn(sess, st.SQL(), true)
+	// Hand the already-parsed AST to the backend: the seed re-serialized
+	// with st.SQL() here and the engine parsed the text again — a full
+	// parse round-trip on every routed read.
+	return target.ExecStmtOn(sess, st, true)
 }
 
 // execWrite sends the statement to the master, handling safety mode and
@@ -626,7 +703,7 @@ func (cs *MSSession) execWrite(st sqlparse.Statement) (*engine.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := master.ExecOn(sess, st.SQL(), false)
+		res, err := master.ExecStmtOn(sess, st, false)
 		if err != nil {
 			if errors.Is(err, ErrReplicaDown) && attempt == 0 {
 				if rerr := cs.recoverFromMasterFailure(master); rerr == nil {
@@ -655,7 +732,7 @@ func (cs *MSSession) trackTxn(st sqlparse.Statement) {
 	case *sqlparse.BeginTxn:
 		cs.inTxn = true
 		cs.txnLog = cs.txnLog[:0]
-		cs.txnLog = append(cs.txnLog, "BEGIN")
+		cs.txnLog = append(cs.txnLog, st)
 	case *sqlparse.CommitTxn:
 		cs.inTxn = false
 		cs.txnLog = nil
@@ -669,7 +746,7 @@ func (cs *MSSession) trackTxn(st sqlparse.Statement) {
 		cs.txnLog = nil
 	default:
 		if cs.inTxn {
-			cs.txnLog = append(cs.txnLog, st.SQL())
+			cs.txnLog = append(cs.txnLog, st)
 		}
 	}
 }
@@ -705,8 +782,8 @@ func (cs *MSSession) recoverFromMasterFailure(failed *Replica) error {
 	if err != nil {
 		return err
 	}
-	for _, sql := range cs.txnLog {
-		if _, err := master.ExecOn(sess, sql, false); err != nil {
+	for _, st := range cs.txnLog {
+		if _, err := master.ExecStmtOn(sess, st, false); err != nil {
 			cs.inTxn = false
 			cs.txnLog = nil
 			return fmt.Errorf("core: transparent failover replay failed: %w", err)

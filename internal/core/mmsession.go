@@ -54,9 +54,9 @@ func (s *MMSession) Close() {
 	s.pool.closeAll()
 }
 
-// Exec parses and routes one statement.
+// Exec parses and routes one statement (through the statement cache).
 func (s *MMSession) Exec(sql string) (*engine.Result, error) {
-	st, err := sqlparse.Parse(sql)
+	st, err := sqlparse.ParseCached(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -134,18 +134,19 @@ func (s *MMSession) execInTxn(st sqlparse.Statement) (*engine.Result, error) {
 		// the home replica during script replay.
 		return nil, fmt.Errorf("core: DDL inside explicit transactions is not supported on multi-master clusters")
 	}
-	sql := st.SQL()
-	if !st.IsRead() {
-		if s.mm.cfg.Mode == StatementMode {
-			rewritten, err := s.prepareStatement(st)
-			if err != nil {
-				return nil, err
-			}
-			sql = rewritten
-			s.txnSQL = append(s.txnSQL, sql)
+	exec := st
+	if !st.IsRead() && s.mm.cfg.Mode == StatementMode {
+		rewritten, err := s.prepareStatement(st)
+		if err != nil {
+			return nil, err
 		}
+		exec = rewritten
+		// The broadcast script needs SQL text (it crosses the ordering
+		// channel), but the local dry run executes the rewritten AST
+		// directly — no re-parse.
+		s.txnSQL = append(s.txnSQL, rewritten.SQL())
 	}
-	res, err := s.home.ExecOn(s.dryRun, sql, st.IsRead())
+	res, err := s.home.ExecStmtOn(s.dryRun, exec, st.IsRead())
 	if err != nil {
 		return nil, err
 	}
@@ -153,20 +154,21 @@ func (s *MMSession) execInTxn(st sqlparse.Statement) (*engine.Result, error) {
 }
 
 // prepareStatement applies the non-determinism policy (§4.3.2): time macros
-// are pinned, unsafe statements are rejected or (dangerously) allowed.
-func (s *MMSession) prepareStatement(st sqlparse.Statement) (string, error) {
+// are pinned, unsafe statements are rejected or (dangerously) allowed. The
+// returned statement is the (possibly rewritten) AST to execute and ship.
+func (s *MMSession) prepareStatement(st sqlparse.Statement) (sqlparse.Statement, error) {
 	switch sqlparse.Classify(st) {
 	case sqlparse.Deterministic:
-		return st.SQL(), nil
+		return st, nil
 	case sqlparse.RewritableNonDeterministic:
 		rewritten, _ := sqlparse.RewriteTimeFuncs(st, time.Now())
-		return rewritten.SQL(), nil
+		return rewritten, nil
 	default:
 		if s.mm.cfg.NonDeterminism == RewriteAndAllow {
 			rewritten, _ := sqlparse.RewriteTimeFuncs(st, time.Now())
-			return rewritten.SQL(), nil
+			return rewritten, nil
 		}
-		return "", fmt.Errorf("%w: %s", ErrNonDeterministic, st.SQL())
+		return nil, fmt.Errorf("%w: %s", ErrNonDeterministic, st.SQL())
 	}
 }
 
@@ -242,11 +244,11 @@ func (s *MMSession) execAutocommitWrite(st sqlparse.Statement) (*engine.Result, 
 		}
 		return s.commit()
 	}
-	sql, err := s.prepareStatement(st)
+	prepared, err := s.prepareStatement(st)
 	if err != nil {
 		return nil, err
 	}
-	return s.submitScript([]string{sql})
+	return s.submitScript([]string{prepared.SQL()})
 }
 
 func (s *MMSession) submitScript(stmts []string) (*engine.Result, error) {
@@ -264,10 +266,13 @@ func (s *MMSession) submitScript(stmts []string) (*engine.Result, error) {
 	return res, err
 }
 
-// execRead balances a read per level/policy/consistency.
+// execRead balances a read per level/policy/consistency. As in the
+// master-slave router, a connection-level pin is only honored while the
+// pinned replica still satisfies the session's consistency guarantee.
 func (s *MMSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
 	var target *Replica
-	if s.mm.cfg.ReadLevel == lb.ConnectionLevel && s.pinnedRead != nil && s.pinnedRead.Healthy() {
+	if s.mm.cfg.ReadLevel == lb.ConnectionLevel && s.pinnedRead != nil && s.pinnedRead.Healthy() &&
+		s.mm.replicaFresh(s.pinnedRead, s.lastWriteSeq) {
 		target = s.pinnedRead
 	} else {
 		t, err := s.mm.pickRead(s.lastWriteSeq)
@@ -283,5 +288,5 @@ func (s *MMSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return target.ExecOn(sess, st.SQL(), true)
+	return target.ExecStmtOn(sess, st, true)
 }

@@ -368,24 +368,28 @@ func (mm *MultiMaster) ordererFor(home *Replica) Orderer {
 	return mm.orderers[0]
 }
 
+// replicaFresh reports whether r currently satisfies the configured read
+// guarantee for a session whose last write is lastWriteSeq.
+func (mm *MultiMaster) replicaFresh(r *Replica, lastWriteSeq uint64) bool {
+	switch mm.cfg.Consistency {
+	case ReadAny:
+		return true
+	case SessionConsistent:
+		return r.AppliedSeq() >= lastWriteSeq
+	case StrongConsistent:
+		return r.AppliedSeq() >= mm.head.Load()
+	}
+	return true
+}
+
 // pickRead selects a read replica under the configured consistency.
 func (mm *MultiMaster) pickRead(lastWriteSeq uint64) (*Replica, error) {
-	head := mm.head.Load()
 	var candidates []lb.Target
 	for _, r := range mm.replicas {
 		if !r.Healthy() {
 			continue
 		}
-		ok := false
-		switch mm.cfg.Consistency {
-		case ReadAny:
-			ok = true
-		case SessionConsistent:
-			ok = r.AppliedSeq() >= lastWriteSeq
-		case StrongConsistent:
-			ok = r.AppliedSeq() >= head
-		}
-		if ok {
+		if mm.replicaFresh(r, lastWriteSeq) {
 			candidates = append(candidates, r)
 		}
 	}

@@ -129,9 +129,9 @@ func (ps *PSession) Close() {
 	}
 }
 
-// Exec parses and routes a statement.
+// Exec parses and routes a statement (through the statement cache).
 func (ps *PSession) Exec(sql string) (*engine.Result, error) {
-	st, err := sqlparse.Parse(sql)
+	st, err := sqlparse.ParseCached(sql)
 	if err != nil {
 		return nil, err
 	}

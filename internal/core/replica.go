@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/lb"
+	"repro/internal/sqlparse"
 )
 
 // ReplicaConfig describes one backend replica.
@@ -174,15 +175,28 @@ func (r *Replica) serviceSleep(isRead bool) {
 	time.Sleep(time.Duration(float64(cost) * f))
 }
 
-// ExecOn runs one statement on the given session with the replica's service
-// model applied.
+// ExecOn runs one SQL-text statement on the given session with the
+// replica's service model applied: a convenience wrapper over ExecStmtOn,
+// which every router uses directly with its already-parsed AST.
 func (r *Replica) ExecOn(s *engine.Session, sql string, isRead bool) (*engine.Result, error) {
+	st, err := sqlparse.ParseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	return r.ExecStmtOn(s, st, isRead)
+}
+
+// ExecStmtOn runs a pre-parsed statement on the given session with the
+// replica's service model applied. This is the router hot path: the
+// middleware parses (or cache-hits) once and the backend executes the same
+// AST, instead of re-serializing to SQL text and parsing again.
+func (r *Replica) ExecStmtOn(s *engine.Session, st sqlparse.Statement, isRead bool) (*engine.Result, error) {
 	if err := r.acquire(); err != nil {
 		return nil, err
 	}
 	defer r.release()
 	r.serviceSleep(isRead)
-	return s.Exec(sql)
+	return s.ExecStmt(st)
 }
 
 // sessionPool hands out per-replica engine sessions for middleware client
@@ -206,7 +220,7 @@ func (p *sessionPool) get(r *Replica) (*engine.Session, error) {
 	if !ok {
 		s = r.eng.NewSession(p.user)
 		if p.db != "" {
-			if _, err := s.Exec("USE " + p.db); err != nil {
+			if _, err := s.ExecStmt(&sqlparse.UseDatabase{Name: p.db}); err != nil {
 				s.Close()
 				return nil, err
 			}
@@ -222,7 +236,7 @@ func (p *sessionPool) setDB(db string) error {
 	defer p.mu.Unlock()
 	p.db = db
 	for name, s := range p.sessions {
-		if _, err := s.Exec("USE " + db); err != nil {
+		if _, err := s.ExecStmt(&sqlparse.UseDatabase{Name: db}); err != nil {
 			return fmt.Errorf("core: USE on replica %s: %w", name, err)
 		}
 	}

@@ -188,7 +188,7 @@ func (ws *WSession) sessionAt(site *SiteConfig) (*MSSession, error) {
 // site; keyed writes go to the owning site (paying the WAN round trip when
 // remote).
 func (ws *WSession) Exec(sql string) (*engine.Result, error) {
-	st, err := sqlparse.Parse(sql)
+	st, err := sqlparse.ParseCached(sql)
 	if err != nil {
 		return nil, err
 	}

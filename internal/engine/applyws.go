@@ -75,16 +75,25 @@ func (e *Engine) applyOpLocked(tx *Txn, op WriteOp, opts ApplyOptions) error {
 	}
 	locate := func() (int64, error) {
 		if op.HasPK && t.pkCol >= 0 {
-			// Search overlay-aware current state.
-			for id, ent := range tx.overlay[key] {
-				if ent.data != nil && sqltypes.Equal(ent.data[t.pkCol], op.PK) {
+			// op.PK identifies the row by its after image; a pk-changing
+			// UPDATE must find the row under the key it still has on this
+			// replica — the before image's.
+			pk := op.PK
+			if op.Kind != WriteInsert && op.Before != nil {
+				pk = op.Before[t.pkCol]
+			}
+			// Search overlay-aware current state through the overlay pk
+			// index (linear overlay walks would make batch apply O(n²)).
+			ov := tx.overlay[key]
+			for _, id := range tx.pkOv[key][sqltypes.HashValue(pk)] {
+				if ent := ov[id]; ent != nil && ent.data != nil && sqltypes.Equal(ent.data[t.pkCol], pk) {
 					return id, nil
 				}
 			}
-			if id := t.findByPK(op.PK, e.clock); id >= 0 {
+			if id := t.findByPK(pk, e.clock); id >= 0 {
 				return id, nil
 			}
-			return -1, fmt.Errorf("engine: apply: row pk=%v not found in %s.%s", op.PK, op.Database, op.Table)
+			return -1, fmt.Errorf("engine: apply: row pk=%v not found in %s.%s", pk, op.Database, op.Table)
 		}
 		// No PK: match the full before image (fragile by design — the
 		// paper's point about write-set replication needing keys).
@@ -98,13 +107,20 @@ func (e *Engine) applyOpLocked(tx *Txn, op WriteOp, opts ApplyOptions) error {
 	switch op.Kind {
 	case WriteInsert:
 		if op.HasPK && t.pkCol >= 0 {
-			if id := t.findByPK(op.PK, e.clock); id >= 0 {
+			// An earlier op of this same write-set may have deleted or
+			// pk-moved the committed holder (delete-then-reinsert of one
+			// key) — the same overlay-aware rule commit validation uses.
+			if id := t.findByPK(op.PK, e.clock); id >= 0 &&
+				tx.overlayStillHolds(key, id, t.pkCol, op.PK) {
 				return fmt.Errorf("%w: apply insert %s.%s pk=%v", ErrDuplicateKey, op.Database, op.Table, op.PK)
 			}
 		}
 		id := t.nextRowID
 		t.nextRowID++
 		tx.ov(key)[id] = &overlayEntry{data: op.After.Clone(), inserted: true}
+		if t.pkCol >= 0 {
+			tx.indexOverlayPK(key, id, op.After[t.pkCol])
+		}
 		tx.ops = append(tx.ops, pendingOp{key: key, rowID: id, kind: WriteInsert})
 		if opts.AdvanceCounters {
 			for i, c := range t.Columns {
@@ -124,6 +140,9 @@ func (e *Engine) applyOpLocked(tx *Txn, op WriteOp, opts ApplyOptions) error {
 			tx.ov(key)[id] = ent
 		}
 		ent.data = op.After.Clone()
+		if t.pkCol >= 0 {
+			tx.indexOverlayPK(key, id, op.After[t.pkCol])
+		}
 		if !ent.inserted && !ent.updateOpped {
 			ent.updateOpped = true
 			tx.ops = append(tx.ops, pendingOp{key: key, rowID: id, kind: WriteUpdate})

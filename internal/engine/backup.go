@@ -211,6 +211,7 @@ func (e *Engine) Restore(b *Backup) error {
 				t.nextRowID++
 				t.rows[id] = &rowChain{versions: []rowVersion{{createdTS: e.clock, data: row.Clone()}}}
 				t.rowOrder = append(t.rowOrder, id)
+				t.indexPK(row, id)
 			}
 			t.autoInc = td.AutoInc
 			d.tables[td.Name] = t

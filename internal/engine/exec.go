@@ -72,10 +72,10 @@ type scanRow struct {
 	data  sqltypes.Row
 }
 
-// scanLocked returns the rows of t visible to tx, with the transaction's
-// own pending changes applied.
-func (s *Session) scanLocked(tx *Txn, key tableKey, t *Table) []scanRow {
-	var out []scanRow
+// scanInto appends the rows of t visible to tx — with the transaction's own
+// pending changes applied — to out (typically a pooled buffer from
+// getScanBuf) and returns the filled slice.
+func (s *Session) scanInto(out []scanRow, tx *Txn, key tableKey, t *Table) []scanRow {
 	ov := tx.overlay[key]
 	for _, id := range t.rowOrder {
 		if ent, ok := ov[id]; ok {
@@ -145,20 +145,32 @@ func coerce(col Column, v sqltypes.Value) (sqltypes.Value, error) {
 // uniqueViolation checks PK/unique constraints of candidate against rows
 // visible to tx (excluding excludeID).
 func (s *Session) uniqueViolation(tx *Txn, key tableKey, t *Table, candidate sqltypes.Row, excludeID int64) error {
-	var uniqueCols []int
-	for i, c := range t.Columns {
-		if c.PrimaryKey || c.Unique {
-			uniqueCols = append(uniqueCols, i)
-		}
-	}
-	if len(uniqueCols) == 0 {
+	if len(t.uniqueCols) == 0 {
 		return nil
 	}
-	for _, sr := range s.scanLocked(tx, key, t) {
+	// When the primary key is the only uniqueness constraint, a point
+	// lookup replaces the full visibility scan — this is what makes bulk
+	// INSERT into a keyed table O(n) instead of O(n²).
+	if t.pkOnlyUnique {
+		pk := candidate[t.pkCol]
+		if pk.IsNull() {
+			return nil
+		}
+		for _, sr := range s.pkLookupLocked(tx, key, t, pk) {
+			if sr.rowID != excludeID {
+				return fmt.Errorf("%w: %s.%s column %s value %v",
+					ErrDuplicateKey, key.db, key.table, t.Columns[t.pkCol].Name, pk)
+			}
+		}
+		return nil
+	}
+	rows := s.scanInto(s.getScanBuf(), tx, key, t)
+	defer s.putScanBuf(rows)
+	for _, sr := range rows {
 		if sr.rowID == excludeID {
 			continue
 		}
-		for _, ci := range uniqueCols {
+		for _, ci := range t.uniqueCols {
 			if candidate[ci].IsNull() {
 				continue
 			}
@@ -253,11 +265,15 @@ func (s *Session) execInsert(tx *Txn, st *sqlparse.Insert, args []sqltypes.Value
 			t.nextRowID++
 			t.rows[id] = &rowChain{versions: []rowVersion{{data: row}}}
 			t.rowOrder = append(t.rowOrder, id)
+			t.indexPK(row, id)
 			tx.usedTempTables = true
 		} else {
 			id := t.nextRowID
 			t.nextRowID++
 			tx.ov(key)[id] = &overlayEntry{data: row, inserted: true}
+			if t.pkCol >= 0 {
+				tx.indexOverlayPK(key, id, row[t.pkCol])
+			}
 			tx.ops = append(tx.ops, pendingOp{key: key, rowID: id, kind: WriteInsert})
 		}
 		res.RowsAffected++
@@ -291,7 +307,10 @@ func (s *Session) execUpdate(tx *Txn, st *sqlparse.Update, args []sqltypes.Value
 	}
 
 	res := &Result{}
-	rows := s.scanLocked(tx, key, t)
+	rows, pooled := s.candidateRowsLocked(tx, key, t, st.Where, args, st.Table.Name)
+	if pooled {
+		defer s.putScanBuf(rows)
+	}
 	for _, sr := range rows {
 		env := s.rowEnv(tx, t, st.Table, "", sr.data, args)
 		if st.Where != nil {
@@ -358,6 +377,10 @@ func (s *Session) execUpdate(tx *Txn, st *sqlparse.Update, args []sqltypes.Value
 		if t.Temp {
 			chain := t.rows[sr.rowID]
 			chain.versions[len(chain.versions)-1].data = newRow
+			// Temp updates apply in place with no MVCC history, so move
+			// the index entry rather than accumulating one per former key.
+			t.unindexPK(sr.data, sr.rowID)
+			t.indexPK(newRow, sr.rowID)
 			tx.usedTempTables = true
 		} else {
 			ent := tx.ov(key)[sr.rowID]
@@ -366,6 +389,9 @@ func (s *Session) execUpdate(tx *Txn, st *sqlparse.Update, args []sqltypes.Value
 				tx.ov(key)[sr.rowID] = ent
 			}
 			ent.data = newRow
+			if t.pkCol >= 0 {
+				tx.indexOverlayPK(key, sr.rowID, newRow[t.pkCol])
+			}
 			// Rows inserted by this txn stay pending as inserts with the
 			// updated image; pre-existing rows get (at most one) update op.
 			if !ent.inserted && !ent.updateOpped {
@@ -395,7 +421,10 @@ func (s *Session) execDelete(tx *Txn, st *sqlparse.Delete, args []sqltypes.Value
 		}
 	}
 	res := &Result{}
-	rows := s.scanLocked(tx, key, t)
+	rows, pooled := s.candidateRowsLocked(tx, key, t, st.Where, args, st.Table.Name)
+	if pooled {
+		defer s.putScanBuf(rows)
+	}
 	for _, sr := range rows {
 		env := s.rowEnv(tx, t, st.Table, "", sr.data, args)
 		if st.Where != nil {
@@ -415,6 +444,10 @@ func (s *Session) execDelete(tx *Txn, st *sqlparse.Delete, args []sqltypes.Value
 					break
 				}
 			}
+			// Temp deletes free the chain outright (no MVCC history), so
+			// drop the index entry too or churning temp tables would grow
+			// their buckets without bound.
+			t.unindexPK(sr.data, sr.rowID)
 			tx.usedTempTables = true
 			res.RowsAffected++
 			continue
@@ -538,7 +571,14 @@ func (s *Session) execSelect(tx *Txn, st *sqlparse.Select, args []sqltypes.Value
 	var lockTargets []scanRow
 
 	if st.Join == nil {
-		for _, sr := range s.scanLocked(tx, key, t) {
+		// Point predicates on the primary key resolve through the pk index
+		// (O(1)) instead of materializing the table; everything else scans
+		// into a pooled buffer. WHERE is still evaluated per candidate row.
+		rows, pooled := s.candidateRowsLocked(tx, key, t, st.Where, args, leftAlias, st.From.Name)
+		if pooled {
+			defer s.putScanBuf(rows)
+		}
+		for _, sr := range rows {
 			env := s.rowEnv(tx, t, st.From, leftAlias, sr.data, args)
 			if st.Where != nil {
 				ok, err := evalBool(env, st.Where)
@@ -566,8 +606,10 @@ func (s *Session) execSelect(tx *Txn, st *sqlparse.Select, args []sqltypes.Value
 		if rightAlias == "" {
 			rightAlias = st.Join.Table.Name
 		}
-		leftRows := s.scanLocked(tx, key, t)
-		rightRows := s.scanLocked(tx, key2, t2)
+		leftRows := s.scanInto(s.getScanBuf(), tx, key, t)
+		defer s.putScanBuf(leftRows)
+		rightRows := s.scanInto(s.getScanBuf(), tx, key2, t2)
+		defer s.putScanBuf(rightRows)
 		for _, lr := range leftRows {
 			for _, rr := range rightRows {
 				env := s.joinEnv(tx, t, leftAlias, lr.data, t2, rightAlias, rr.data, args)

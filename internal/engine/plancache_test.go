@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+// These tests pin down the plan-cache invalidation story: the statement
+// cache stores syntax, not schema-bound plans, so DDL can never leave a
+// cached statement producing wrong results — names re-resolve on every
+// execution. The tests run the same cached texts across DROP/CREATE schema
+// changes and under concurrent access (-race) to prove it.
+
+func TestPlanCacheSurvivesDDL(t *testing.T) {
+	sqlparse.PurgeCache()
+	eng := New(Config{})
+	s := eng.NewSession("app")
+	defer s.Close()
+	if err := s.ExecScript("CREATE DATABASE d; USE d;" +
+		"CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+
+	const insert = "INSERT INTO t (id, v) VALUES (1, 'old')"
+	const query = "SELECT * FROM t WHERE id = 1"
+	if _, err := s.Exec(insert); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(query) // now cached
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].Str() != "old" {
+		t.Fatalf("unexpected pre-DDL result: %+v", res.Rows)
+	}
+
+	// Drop and recreate the table with a different shape. The cached
+	// SELECT/INSERT texts must track the new schema, not the old one.
+	if err := s.ExecScript("DROP TABLE t;" +
+		"CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR, extra INT DEFAULT 7)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(insert); err != nil { // same cached text
+		t.Fatal(err)
+	}
+	res, err = s.Exec(query) // same cached text
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 3 || res.Rows[0][2].Int() != 7 {
+		t.Fatalf("cached statement did not see the new schema: %+v", res.Rows)
+	}
+
+	// Dropping the table entirely must surface the same error a fresh
+	// parse would, not stale results.
+	if _, err := s.Exec("DROP TABLE t"); err != nil {
+		t.Fatal(err)
+	}
+	_, errCached := s.Exec(query)
+	fresh, perr := sqlparse.Parse(query)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	_, errFresh := s.ExecStmt(fresh)
+	if errCached == nil || errFresh == nil {
+		t.Fatal("query against dropped table must fail on both paths")
+	}
+	if errCached.Error() != errFresh.Error() {
+		t.Fatalf("cached path error %q diverges from fresh parse error %q", errCached, errFresh)
+	}
+}
+
+// TestPlanCacheConcurrentDDL runs cached point reads from several sessions
+// while another session drops and recreates the table in a loop. Readers may
+// observe "unknown table" between the drop and the recreate — that is the
+// correct serialization — but must never see stale schema, wrong rows, or a
+// data race (-race enforces the latter).
+func TestPlanCacheConcurrentDDL(t *testing.T) {
+	sqlparse.PurgeCache()
+	eng := New(Config{})
+	admin := eng.NewSession("admin")
+	defer admin.Close()
+	if err := admin.ExecScript("CREATE DATABASE d; USE d;" +
+		"CREATE TABLE t (id INT PRIMARY KEY, v INT); INSERT INTO t (id, v) VALUES (1, 42)"); err != nil {
+		t.Fatal(err)
+	}
+
+	const query = "SELECT v FROM t WHERE id = 1"
+	const readers = 4
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := eng.NewSession("reader")
+			defer s.Close()
+			if _, err := s.Exec("USE d"); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 300; i++ {
+				res, err := s.Exec(query)
+				if err != nil {
+					if strings.Contains(err.Error(), "unknown table") {
+						continue // in the DROP..CREATE window
+					}
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if len(res.Rows) == 1 && res.Rows[0][0].Int() != 42 {
+					t.Errorf("reader saw wrong value: %v", res.Rows)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := admin.ExecScript("DROP TABLE t;" +
+			"CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := admin.Exec("INSERT INTO t (id, v) VALUES (1, 42)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+// TestPreparedStmtAcrossDDL covers the Prepare handle the same way: a
+// handle prepared before a DROP/CREATE keeps working against the new
+// schema.
+func TestPreparedStmtAcrossDDL(t *testing.T) {
+	eng := New(Config{})
+	s := eng.NewSession("app")
+	defer s.Close()
+	if err := s.ExecScript("CREATE DATABASE d; USE d;" +
+		"CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Prepare("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ExecScript("DROP TABLE t; CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Exec(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, %d)", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := st.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("prepared handle saw stale table: %v", res.Rows)
+	}
+}

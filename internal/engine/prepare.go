@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
+)
+
+// Stmt is a prepared statement: a parsed AST pinned to the session that
+// prepared it. Exec binds ?-parameters and runs the statement without any
+// parsing — the fastest path through the engine, used by drivers that
+// prepare once and execute many times. Like the session itself, a Stmt is
+// not safe for concurrent use.
+type Stmt struct {
+	s   *Session
+	st  sqlparse.Statement
+	sql string
+}
+
+// Prepare parses sql once (through the process-wide statement cache) and
+// returns a statement handle whose Exec skips parsing entirely.
+func (s *Session) Prepare(sql string) (*Stmt, error) {
+	if s.closed {
+		return nil, fmt.Errorf("engine: session closed")
+	}
+	st, err := sqlparse.ParseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{s: s, st: st, sql: sql}, nil
+}
+
+// Exec runs the prepared statement with the given parameter bindings.
+func (p *Stmt) Exec(args ...sqltypes.Value) (*Result, error) {
+	return p.s.ExecStmtArgs(p.st, args...)
+}
+
+// SQL returns the statement text the handle was prepared from.
+func (p *Stmt) SQL() string { return p.sql }
+
+// Statement exposes the parsed AST (shared and immutable).
+func (p *Stmt) Statement() sqlparse.Statement { return p.st }

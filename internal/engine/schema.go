@@ -109,6 +109,15 @@ type Table struct {
 	Temp    bool
 
 	pkCol int // index of primary key column, -1 if none
+	// uniqueCols lists the positions carrying PK/UNIQUE constraints, and
+	// pkOnlyUnique marks the common case (the primary key is the only
+	// one) whose per-insert check is an O(1) index probe.
+	uniqueCols   []int
+	pkOnlyUnique bool
+
+	// pkIndex maps HashValue(pk) -> rowIDs whose chain ever committed a
+	// version with that primary key; see pkindex.go for the semantics.
+	pkIndex map[uint64][]int64
 
 	rows       map[int64]*rowChain
 	rowOrder   []int64 // insertion order, for stable scans
@@ -126,10 +135,13 @@ type Table struct {
 
 func newTable(name string, cols []Column, temp bool) *Table {
 	pk := -1
+	var unique []int
 	for i, c := range cols {
-		if c.PrimaryKey {
+		if c.PrimaryKey && pk < 0 {
 			pk = i
-			break
+		}
+		if c.PrimaryKey || c.Unique {
+			unique = append(unique, i)
 		}
 	}
 	return &Table{
@@ -137,6 +149,9 @@ func newTable(name string, cols []Column, temp bool) *Table {
 		Columns:      cols,
 		Temp:         temp,
 		pkCol:        pk,
+		uniqueCols:   unique,
+		pkOnlyUnique: pk >= 0 && len(unique) == 1 && unique[0] == pk,
+		pkIndex:      make(map[uint64][]int64),
 		rows:         make(map[int64]*rowChain),
 		lastWriter:   make(map[int64]uint64),
 		locks:        make(map[int64]uint64),
@@ -163,10 +178,14 @@ func (t *Table) pkValue(row sqltypes.Row) (sqltypes.Value, bool) {
 }
 
 // findByPK returns the rowID whose visible-at-ts version has the given
-// primary key, or -1.
+// primary key, or -1. It consults the pk index instead of scanning rowOrder,
+// re-verifying each candidate against the visible version (pkindex.go).
 func (t *Table) findByPK(pk sqltypes.Value, ts uint64) int64 {
-	for _, id := range t.rowOrder {
+	for _, id := range t.pkIndex[sqltypes.HashValue(pk)] {
 		c := t.rows[id]
+		if c == nil {
+			continue
+		}
 		if v := c.visible(ts); v != nil && sqltypes.Equal(v.data[t.pkCol], pk) {
 			return id
 		}

@@ -36,6 +36,9 @@ type Session struct {
 	closed     bool
 	// paramScope holds procedure parameter bindings during CALL.
 	paramScope []map[string]sqltypes.Value
+	// scanBufs is a free list of scan buffers reused by non-point-lookup
+	// statements to cut per-statement allocations (pkindex.go).
+	scanBufs [][]scanRow
 }
 
 // ErrNoDatabase is returned for table references with no current database.
@@ -79,9 +82,10 @@ func (s *Session) Exec(sql string) (*Result, error) {
 }
 
 // ExecArgs parses and executes one statement with ? parameters bound to
-// args.
+// args. Parsing goes through the process-wide statement cache, so repeated
+// texts skip the parser; Prepare avoids even the cache probe.
 func (s *Session) ExecArgs(sql string, args ...sqltypes.Value) (*Result, error) {
-	st, err := sqlparse.Parse(sql)
+	st, err := sqlparse.ParseCached(sql)
 	if err != nil {
 		s.poisonOnError(err)
 		return nil, err

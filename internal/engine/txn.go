@@ -119,6 +119,13 @@ type Txn struct {
 	iso    IsolationLevel
 
 	overlay map[tableKey]map[int64]*overlayEntry
+	// pkOv indexes overlay entries by HashValue(pk), mirroring
+	// Table.pkIndex for the transaction's own pending rows so point
+	// lookups (and the per-insert uniqueness check) never walk the whole
+	// overlay — what keeps transactional bulk INSERT O(n). Entries are
+	// over-approximate and re-verified against the live overlay entry on
+	// every probe (pkindex.go).
+	pkOv map[tableKey]map[uint64][]int64
 	// insertOrder preserves write-set ordering.
 	ops []pendingOp
 
@@ -150,6 +157,16 @@ type heldTableLock struct {
 
 // ID returns the transaction id.
 func (tx *Txn) ID() uint64 { return tx.id }
+
+// overlayStillHolds reports whether committed row id — the current holder
+// of pk — survives this transaction's overlay untouched, making a
+// duplicate-key conflict against it real. A row the transaction deleted or
+// moved to another key is no conflict. Shared by commit-time insert
+// validation and write-set apply so the two sides cannot drift.
+func (tx *Txn) overlayStillHolds(key tableKey, id int64, pkCol int, pk sqltypes.Value) bool {
+	ent := tx.overlay[key][id]
+	return ent == nil || (!ent.deleted && ent.data != nil && sqltypes.Equal(ent.data[pkCol], pk))
+}
 
 // ov returns (creating if needed) the overlay map for a table.
 func (tx *Txn) ov(key tableKey) map[int64]*overlayEntry {
@@ -329,7 +346,8 @@ func (e *Engine) commitLocked(tx *Txn, s *Session) (uint64, *WriteSet, error) {
 			continue
 		}
 		if pk, ok := t.pkValue(ent.data); ok {
-			if id := t.findByPK(pk, e.clock); id >= 0 && id != op.rowID {
+			if id := t.findByPK(pk, e.clock); id >= 0 && id != op.rowID &&
+				tx.overlayStillHolds(op.key, id, t.pkCol, pk) {
 				e.rollbackBodyLocked(tx)
 				return 0, nil, fmt.Errorf("%w: %s.%s pk=%v", ErrDuplicateKey, op.key.db, op.key.table, pk)
 			}
@@ -359,6 +377,7 @@ func (e *Engine) commitLocked(tx *Txn, s *Session) (uint64, *WriteSet, error) {
 				t.rowOrder = append(t.rowOrder, op.rowID)
 			}
 			chain.versions = append(chain.versions, rowVersion{createdTS: commitTS, data: ent.data.Clone()})
+			t.indexPK(ent.data, op.rowID)
 			wop.After = ent.data.Clone()
 		case WriteUpdate:
 			if ent.deleted {
@@ -373,6 +392,10 @@ func (e *Engine) commitLocked(tx *Txn, s *Session) (uint64, *WriteSet, error) {
 				v.deletedTS = commitTS
 			}
 			chain.versions = append(chain.versions, rowVersion{createdTS: commitTS, data: ent.data.Clone()})
+			// The update may have moved the row to a new primary key; index
+			// it under the new value too (the old entry stays and is ruled
+			// out by the per-lookup Equal re-check).
+			t.indexPK(ent.data, op.rowID)
 			wop.Before = ent.before.Clone()
 			wop.After = ent.data.Clone()
 		case WriteDelete:
@@ -422,6 +445,7 @@ func (e *Engine) commitLocked(tx *Txn, s *Session) (uint64, *WriteSet, error) {
 // rollbackBodyLocked discards pending state (locks released by caller).
 func (e *Engine) rollbackBodyLocked(tx *Txn) {
 	tx.overlay = make(map[tableKey]map[int64]*overlayEntry)
+	tx.pkOv = nil
 	tx.ops = nil
 	tx.stmts = nil
 }

@@ -1,0 +1,180 @@
+package sqlparse
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestParseCachedReturnsSharedAST(t *testing.T) {
+	c := NewStatementCache(64)
+	const sql = "SELECT id, name FROM items WHERE id = ?"
+	st1, err := c.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatal("second parse of the same text should return the shared cached AST")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("want 1 hit / 1 miss, got %d / %d", hits, misses)
+	}
+	if got, ok := c.Get(sql); !ok || got != st1 {
+		t.Fatal("Get should find the cached AST")
+	}
+}
+
+func TestParseCachedErrorsNotCached(t *testing.T) {
+	c := NewStatementCache(64)
+	const bad = "SELEKT nonsense FROM"
+	for i := 0; i < 3; i++ {
+		if _, err := c.Parse(bad); err == nil {
+			t.Fatal("want parse error")
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("errors must not be cached, cache has %d entries", c.Len())
+	}
+	if _, misses := c.Stats(); misses != 3 {
+		t.Fatalf("want 3 misses, got %d", misses)
+	}
+}
+
+func TestCacheBoundedLRU(t *testing.T) {
+	const capacity = 32
+	c := NewStatementCache(capacity)
+	for i := 0; i < 10*capacity; i++ {
+		if _, err := c.Parse(fmt.Sprintf("SELECT %d FROM t WHERE id = %d", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n > capacity {
+		t.Fatalf("cache exceeded capacity: %d > %d", n, capacity)
+	}
+	if n := c.Len(); n == 0 {
+		t.Fatal("cache empty after inserts")
+	}
+	// A re-parsed statement must still be served after eviction churn.
+	st, err := c.Parse("SELECT 1 FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.Parse("SELECT 1 FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != st2 {
+		t.Fatal("statement not cached after eviction churn")
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatal("Purge left entries behind")
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines — shared texts,
+// unique texts (forcing eviction), purges, and reads of returned ASTs — and
+// relies on -race to catch unsynchronized access.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewStatementCache(64)
+	shared := []string{
+		"SELECT id FROM a WHERE id = ?",
+		"UPDATE a SET v = ? WHERE id = ?",
+		"INSERT INTO a (id, v) VALUES (?, ?)",
+		"DELETE FROM a WHERE id = ?",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sql := shared[i%len(shared)]
+				if i%7 == 0 {
+					sql = fmt.Sprintf("SELECT %d FROM b%d WHERE id = %d", i, g, i)
+				}
+				st, err := c.Parse(sql)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Read the shared AST the way the executor does.
+				if st.SQL() == "" {
+					t.Error("empty render")
+					return
+				}
+				_ = st.IsRead()
+				_ = st.Tables()
+				if i%101 == 0 {
+					c.Purge()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestParseCachedPackageLevel(t *testing.T) {
+	PurgeCache()
+	st, err := ParseCached("SELECT 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ParseCached("SELECT 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != st2 {
+		t.Fatal("package-level cache did not share the AST")
+	}
+	if _, _, size := CacheStats(); size == 0 {
+		t.Fatal("package-level cache reports empty after insert")
+	}
+}
+
+// benchSQL is a statement shaped like the replicated hot path: long enough
+// that parsing is real work.
+const benchSQL = "SELECT id, name, qty, price FROM items " +
+	"WHERE id = ? AND name LIKE 'item-%' AND qty BETWEEN 0 AND 100 ORDER BY id DESC LIMIT 5"
+
+func BenchmarkParseUncached(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseCached(b *testing.B) {
+	c := NewStatementCache(DefaultCacheCapacity)
+	if _, err := c.Parse(benchSQL); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Parse(benchSQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseCachedParallel(b *testing.B) {
+	c := NewStatementCache(DefaultCacheCapacity)
+	if _, err := c.Parse(benchSQL); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Parse(benchSQL); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

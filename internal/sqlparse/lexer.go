@@ -9,7 +9,6 @@ package sqlparse
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // tokenKind classifies lexer tokens.
@@ -101,6 +100,23 @@ func (lx *lexer) next() (token, error) {
 				lx.pos++
 				continue
 			}
+			// Exponent (1e6, 2.5E-3, 1e+06): consumed only when digits
+			// follow, so `1e` stays number-then-identifier. The statement
+			// renderer emits %g floats, so the lexer must read scientific
+			// notation back or replicated statements would not reparse.
+			if d == 'e' || d == 'E' {
+				j := lx.pos + 1
+				if j < len(lx.src) && (lx.src[j] == '+' || lx.src[j] == '-') {
+					j++
+				}
+				if j < len(lx.src) && lx.src[j] >= '0' && lx.src[j] <= '9' {
+					isFloat = true
+					lx.pos = j + 1
+					for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+						lx.pos++
+					}
+				}
+			}
 			break
 		}
 		kind := tokInt
@@ -177,10 +193,14 @@ func (lx *lexer) skipSpace() {
 	}
 }
 
+// Identifiers are ASCII-only, matching the engine's case folding
+// (equalFold/toLower are ASCII). Treating high bytes as Latin-1 letters
+// would let invalid UTF-8 into identifiers, which the UTF-8-based renderer
+// then mangles into text that no longer reparses (found by fuzzing).
 func isIdentStart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c))
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
 }
 
 func isIdentPart(c byte) bool {
-	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || (c >= '0' && c <= '9')
+	return c == '_' || c == '$' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
 }

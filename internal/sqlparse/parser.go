@@ -1253,7 +1253,11 @@ func (p *parser) parseUnary() (Expr, error) {
 			case sqltypes.KindInt:
 				return &Literal{Val: sqltypes.NewInt(-lit.Val.Int())}, nil
 			case sqltypes.KindFloat:
-				return &Literal{Val: sqltypes.NewFloat(-lit.Val.Float())}, nil
+				f := -lit.Val.Float()
+				if f == 0 {
+					f = 0 // normalize -0.0: "-0" would not render stably
+				}
+				return &Literal{Val: sqltypes.NewFloat(f)}, nil
 			}
 		}
 		return &UnaryExpr{Op: "-", Operand: operand}, nil

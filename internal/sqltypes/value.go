@@ -8,7 +8,6 @@ package sqltypes
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strconv"
 	"strings"
 	"time"
@@ -288,48 +287,64 @@ func (r Row) Clone() Row {
 	return out
 }
 
+// FNV-1a, inlined: hashing sits on the engine's pk-index hot path (every
+// point lookup, every per-insert uniqueness probe), so it must not allocate
+// the way hash/fnv's interface-backed hasher does.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // HashRow mixes a row into a 64-bit hash; used for divergence checksums and
 // hash partitioning.
 func HashRow(r Row) uint64 {
-	h := fnv.New64a()
+	h := uint64(fnvOffset64)
 	for _, v := range r {
-		hashValue(h, v)
+		h = hashValue(h, v)
 	}
-	return h.Sum64()
+	return h
 }
 
 // HashValue returns a 64-bit hash of a single value.
 func HashValue(v Value) uint64 {
-	h := fnv.New64a()
-	hashValue(h, v)
-	return h.Sum64()
+	return hashValue(fnvOffset64, v)
 }
 
-func hashValue(h interface{ Write([]byte) (int, error) }, v Value) {
-	var buf [9]byte
-	buf[0] = byte(v.K)
+// HashString hashes a string with the same allocation-free FNV-1a; the
+// statement cache uses it for shard selection.
+func HashString(s string) uint64 {
+	return fnvString(fnvOffset64, s)
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func hashValue(h uint64, v Value) uint64 {
+	h = (h ^ uint64(v.K)) * fnvPrime64
 	switch v.K {
 	case KindInt, KindTime:
-		putUint64(buf[1:], uint64(v.I))
-		h.Write(buf[:])
+		h = fnvUint64(h, uint64(v.I))
 	case KindFloat:
-		putUint64(buf[1:], uint64(v.Float()*1e6))
-		h.Write(buf[:])
+		h = fnvUint64(h, uint64(v.Float()*1e6))
 	case KindBool:
+		var b byte
 		if v.B {
-			buf[1] = 1
+			b = 1
 		}
-		h.Write(buf[:2])
+		h = (h ^ uint64(b)) * fnvPrime64
 	case KindString:
-		h.Write(buf[:1])
-		h.Write([]byte(v.S))
-	default:
-		h.Write(buf[:1])
+		h = fnvString(h, v.S)
 	}
+	return h
 }
 
-func putUint64(b []byte, v uint64) {
+func fnvUint64(h, v uint64) uint64 {
 	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
+		h = (h ^ (v >> (8 * i) & 0xff)) * fnvPrime64
 	}
+	return h
 }

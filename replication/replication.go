@@ -117,6 +117,8 @@ type (
 	Profile = engine.Profile
 	// WriteSet is a transaction's captured row changes.
 	WriteSet = engine.WriteSet
+	// ApplyOptions tunes write-set application on a replica engine.
+	ApplyOptions = engine.ApplyOptions
 )
 
 // Safety, shipping, consistency and mode enums.
