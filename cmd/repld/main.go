@@ -30,6 +30,7 @@ func main() {
 	readCost := flag.Duration("read-cost", 0, "modelled per-read service time")
 	writeCost := flag.Duration("write-cost", 0, "modelled per-write service time")
 	monitorEvery := flag.Duration("monitor", 10*time.Millisecond, "health monitor poll interval")
+	queryCache := flag.Int("query-cache", 4096, "query result cache entries (0 disables)")
 	flag.Parse()
 
 	var cons replication.MasterSlaveConfig
@@ -47,6 +48,11 @@ func main() {
 		cons.Safety = replication.TwoSafe
 	}
 	cons.TransparentFailover = true
+	var qc *replication.QueryCache
+	if *queryCache > 0 {
+		qc = replication.NewQueryCache(replication.QueryCacheConfig{MaxEntries: *queryCache})
+		cons.QueryCache = qc
+	}
 
 	mk := func(name string) *replication.Replica {
 		return replication.NewReplica(replication.ReplicaConfig{
@@ -70,13 +76,18 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	log.Printf("repld: serving %d-replica cluster on %s (consistency=%s two-safe=%v)",
-		*slaves+1, srv.Addr(), *consistency, *twoSafe)
+	log.Printf("repld: serving %d-replica cluster on %s (consistency=%s two-safe=%v query-cache=%d)",
+		*slaves+1, srv.Addr(), *consistency, *twoSafe, *queryCache)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	log.Printf("repld: shutting down; availability: %s", monitor.Availability())
+	if qc != nil {
+		st := qc.Stats()
+		log.Printf("repld: query cache: hits=%d misses=%d puts=%d invalidations=%d evictions=%d",
+			st.Hits, st.Misses, st.Puts, st.InvalidationEvents, st.Evictions)
+	}
 }
 
 // clusterBackend adapts the master-slave cluster to the wire protocol.

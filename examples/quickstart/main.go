@@ -16,9 +16,16 @@ func main() {
 	slaveA := replication.NewReplica(replication.ReplicaConfig{Name: "slave-a"})
 	slaveB := replication.NewReplica(replication.ReplicaConfig{Name: "slave-b"})
 
+	// The query result cache serves repeated reads from the middleware
+	// without touching a backend, invalidating at table granularity when
+	// writes commit.
+	qc := replication.NewQueryCache(replication.QueryCacheConfig{})
 	cluster := replication.NewMasterSlave(master,
 		[]*replication.Replica{slaveA, slaveB},
-		replication.MasterSlaveConfig{Consistency: replication.SessionConsistent})
+		replication.MasterSlaveConfig{
+			Consistency: replication.SessionConsistent,
+			QueryCache:  qc,
+		})
 	defer cluster.Close()
 
 	sess := cluster.NewSession("app")
@@ -64,4 +71,13 @@ func main() {
 	}
 	fmt.Printf("replicas: master=%s slaves=%d, divergence check: %s\n",
 		cluster.Master().Name(), len(cluster.Slaves()), report)
+
+	// Re-run the menu query: the second execution is a cache hit (same
+	// normalized statement, no intervening write on items).
+	if _, err := sess.Exec("SELECT name, price FROM items ORDER BY price"); err != nil {
+		log.Fatal(err)
+	}
+	st := qc.Stats()
+	fmt.Printf("query cache: hits=%d misses=%d invalidation events=%d\n",
+		st.Hits, st.Misses, st.InvalidationEvents)
 }

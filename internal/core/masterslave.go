@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/lb"
+	"repro/internal/qcache"
 	"repro/internal/sqlparse"
 )
 
@@ -96,6 +97,14 @@ type MasterSlaveConfig struct {
 	// FailoverTimeout bounds how long sessions wait for a promotion
 	// before giving up; zero means 5 s.
 	FailoverTimeout time.Duration
+	// QueryCache, when non-nil, serves eligible reads (deterministic
+	// SELECTs under read-committed/snapshot isolation) from a middleware
+	// result cache with table-granularity invalidation. The cluster
+	// attaches its own scope, so one Cache may back several clusters
+	// (e.g. every partition of a partitioned deployment) without result
+	// collisions. Entries are position-tagged: a session-consistent read
+	// is never served a result older than the session's last write.
+	QueryCache *qcache.Cache
 }
 
 // MasterSlave is a master-slave replication controller (Figures 1 and 3).
@@ -110,6 +119,15 @@ type MasterSlave struct {
 	// epoch is bumped at each failover. Atomic so the read hot path can
 	// detect promotions without taking ms.mu.
 	epoch atomic.Uint64
+
+	// qc is the cluster's scope on the configured query result cache (nil
+	// when caching is off). invalMu serializes draining the master binlog
+	// into the scope's invalidation state; invalCursor is the last binlog
+	// position folded in. Writers drain up to their own commit position
+	// before acknowledging, so invalidation is never later than the ack.
+	qc          *qcache.Scope
+	invalMu     sync.Mutex
+	invalCursor uint64
 
 	lostOnLastFailover uint64
 }
@@ -139,6 +157,12 @@ func NewMasterSlave(master *Replica, slaves []*Replica, cfg MasterSlaveConfig) *
 		slaves:   append([]*Replica(nil), slaves...),
 		appliers: make(map[string]*slaveApplier),
 		policy:   cfg.ReadPolicy,
+	}
+	if cfg.QueryCache != nil {
+		ms.qc = cfg.QueryCache.NewScope()
+		// Events before attachment cannot have cached results; start the
+		// invalidation cursor at the current head instead of replaying.
+		ms.invalCursor = master.Engine().Binlog().Head()
 	}
 	for _, sl := range ms.slaves {
 		ms.startApplier(sl, 0)
@@ -488,6 +512,72 @@ func (ms *MasterSlave) pickReadReplica(lastWriteSeq uint64) (*Replica, error) {
 	return t.(*Replica), nil
 }
 
+// QueryCacheScope exposes the cluster's result cache scope (nil when
+// caching is off); tests and operators use it to probe entries directly.
+func (ms *MasterSlave) QueryCacheScope() *qcache.Scope { return ms.qc }
+
+// cacheMinPos is the lowest replication position a cached result must carry
+// to satisfy the configured read guarantee for a session whose last write
+// committed at lastWriteSeq — the cache-side mirror of freshAt.
+func (ms *MasterSlave) cacheMinPos(lastWriteSeq uint64) uint64 {
+	switch ms.cfg.Consistency {
+	case SessionConsistent:
+		return lastWriteSeq
+	case StrongConsistent:
+		return ms.MasterSeq()
+	default: // ReadAny
+		if ms.cfg.FreshnessBound == 0 {
+			return 0
+		}
+		head := ms.MasterSeq()
+		if head > ms.cfg.FreshnessBound {
+			return head - ms.cfg.FreshnessBound
+		}
+		return 0
+	}
+}
+
+// readPos is the replication position a read routed to r can be tagged
+// with: what r had durably applied (or, for the master, committed) before
+// the read ran — a sound lower bound on the state the result reflects.
+func (ms *MasterSlave) readPos(r *Replica) uint64 {
+	ms.mu.Lock()
+	master := ms.master
+	ms.mu.Unlock()
+	if r == master {
+		return master.Engine().Binlog().Head()
+	}
+	return r.AppliedSeq()
+}
+
+// invalidateThrough folds master binlog events up to seq into the query
+// cache's invalidation state. Writers call it after committing and before
+// acknowledging, so no write is ever acked with its tables still cached.
+func (ms *MasterSlave) invalidateThrough(master *Replica, seq uint64) {
+	if ms.qc == nil {
+		return
+	}
+	ms.invalMu.Lock()
+	defer ms.invalMu.Unlock()
+	for ms.invalCursor < seq {
+		events, trimmed := master.Engine().Binlog().ReadFrom(ms.invalCursor, 256)
+		if trimmed {
+			// The events between cursor and seq are gone; their table
+			// footprints are unknowable. Flush everything.
+			ms.qc.FlushAll()
+			ms.invalCursor = seq
+			return
+		}
+		if len(events) == 0 {
+			return
+		}
+		for _, ev := range events {
+			ms.qc.ApplyEvent(ev)
+			ms.invalCursor = ev.Seq
+		}
+	}
+}
+
 func min64(a, b uint64) uint64 {
 	if a < b {
 		return a
@@ -550,6 +640,16 @@ func (ms *MasterSlave) Failover() (*Replica, error) {
 		ms.lostOnLastFailover = 0
 	}
 	ms.mu.Unlock()
+
+	// Failover re-aligns the replication position space (the lost suffix
+	// never happened); cached positions stop being comparable, so drop
+	// everything and restart invalidation from the new master's head.
+	if ms.qc != nil {
+		ms.invalMu.Lock()
+		ms.qc.FlushAll()
+		ms.invalCursor = best.Engine().Binlog().Head()
+		ms.invalMu.Unlock()
+	}
 
 	// Stop all shipping from the dead master.
 	for _, a := range appliers {
@@ -616,11 +716,18 @@ type MSSession struct {
 	// not re-parse.
 	txnLog []sqlparse.Statement
 	inTxn  bool
+	// serializable tracks the isolation level this session has announced:
+	// serializable reads take 2PL table locks, which a result-cache hit
+	// would silently skip, so they bypass the cache.
+	serializable bool
 }
 
 // NewSession opens a client session on the cluster.
 func (ms *MasterSlave) NewSession(user string) *MSSession {
-	return &MSSession{ms: ms, pool: newSessionPool(user), epoch: ms.Epoch()}
+	return &MSSession{
+		ms: ms, pool: newSessionPool(user), epoch: ms.Epoch(),
+		serializable: ms.Master().Engine().Profile().DefaultIsolation == engine.Serializable,
+	}
 }
 
 // Close releases the session.
@@ -647,6 +754,28 @@ func (cs *MSSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 			return nil, err
 		}
 		return &engine.Result{}, nil
+	case *sqlparse.SetIsolation:
+		// Track and propagate the level across every pooled backend
+		// session: the seed routed SET ISOLATION like a read, changing
+		// only whichever replica happened to serve it — a session could
+		// read serializable on its pinned slave and read-committed
+		// everywhere else. Inside a transaction it falls through so the
+		// master session rejects it like the engine would.
+		if !cs.inTxn {
+			cs.serializable = s.Level == "SERIALIZABLE"
+			if err := cs.pool.setIsolation(s); err != nil {
+				return nil, err
+			}
+			return &engine.Result{}, nil
+		}
+	case *sqlparse.BeginTxn:
+		// BEGIN must open the transaction on the master. Its IsRead() is
+		// true (it takes no locks), but routing it like a read opened the
+		// transaction on whatever replica served this session's reads
+		// while the transaction's writes autocommitted on the master:
+		// trackTxn never engaged and COMMIT failed — or, worse, committed
+		// a slave-local transaction.
+		return cs.execWrite(st)
 	}
 	if st.IsRead() && !cs.inTxn {
 		return cs.execRead(st)
@@ -654,35 +783,44 @@ func (cs *MSSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 	return cs.execWrite(st)
 }
 
-// execRead routes a read per the configured level/policy/consistency. A
-// connection-level pin is honored only while the pinned replica still
-// satisfies the session's consistency guarantee — serving a pinned but
-// lagging replica would silently break read-your-writes (this bit the wire
-// path once statements got fast enough to outrun the appliers).
+// execRead routes a read per the configured level/policy/consistency,
+// serving cache-eligible statements from the cluster's query result cache
+// when one is configured. A hit skips the backend entirely; a miss routes
+// normally and fills the cache with the result, tagged with the replication
+// position the serving replica had applied before the read.
 func (cs *MSSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
-	var target *Replica
-	// A failover may have promoted the pinned slave to master; drop the pin
-	// on any epoch change so the session stops absorbing reads on the new
-	// master. The epoch load is atomic — no cluster mutex on the hot path.
-	if e := cs.ms.Epoch(); e != cs.epoch {
-		cs.epoch = e
-		cs.pinned = nil
+	qc := cs.ms.qc
+	if qc == nil || cs.serializable || !engine.CacheableRead(st) {
+		return cs.execReadRouted(st)
 	}
-	if cs.ms.cfg.ReadLevel == lb.ConnectionLevel && cs.pinned != nil && cs.pinned.Healthy() &&
-		cs.ms.replicaFresh(cs.pinned, cs.lastWriteSeq) {
-		target = cs.pinned
-	} else {
-		t, err := cs.ms.pickReadReplica(cs.lastWriteSeq)
-		if err != nil {
-			return nil, err
-		}
-		target = t
-		// Pin slaves only: a master fallback (no slave was fresh enough)
-		// must stay temporary, or write-then-read sessions would migrate
-		// to the master forever and collapse read-one/write-all scaling.
-		if cs.ms.cfg.ReadLevel == lb.ConnectionLevel && target != cs.ms.Master() {
-			cs.pinned = target
-		}
+	user := cs.pool.user
+	db := cs.pool.currentDB()
+	text := st.SQL()
+	if res, ok := qc.Get(user, db, text, nil, cs.ms.cacheMinPos(cs.lastWriteSeq)); ok {
+		return res, nil
+	}
+	target, err := cs.routeRead()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := cs.pool.get(target)
+	if err != nil {
+		return nil, err
+	}
+	pos := cs.ms.readPos(target)
+	res, err := target.ExecStmtOn(sess, st, true)
+	if err != nil {
+		return nil, err
+	}
+	qc.Put(user, db, text, nil, st.Tables(), pos, res)
+	return res, nil
+}
+
+// execReadRouted executes a read on a routed replica with no caching.
+func (cs *MSSession) execReadRouted(st sqlparse.Statement) (*engine.Result, error) {
+	target, err := cs.routeRead()
+	if err != nil {
+		return nil, err
 	}
 	sess, err := cs.pool.get(target)
 	if err != nil {
@@ -692,6 +830,36 @@ func (cs *MSSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
 	// with st.SQL() here and the engine parsed the text again — a full
 	// parse round-trip on every routed read.
 	return target.ExecStmtOn(sess, st, true)
+}
+
+// routeRead picks the replica for a read. A connection-level pin is honored
+// only while the pinned replica still satisfies the session's consistency
+// guarantee — serving a pinned but lagging replica would silently break
+// read-your-writes (this bit the wire path once statements got fast enough
+// to outrun the appliers).
+func (cs *MSSession) routeRead() (*Replica, error) {
+	// A failover may have promoted the pinned slave to master; drop the pin
+	// on any epoch change so the session stops absorbing reads on the new
+	// master. The epoch load is atomic — no cluster mutex on the hot path.
+	if e := cs.ms.Epoch(); e != cs.epoch {
+		cs.epoch = e
+		cs.pinned = nil
+	}
+	if cs.ms.cfg.ReadLevel == lb.ConnectionLevel && cs.pinned != nil && cs.pinned.Healthy() &&
+		cs.ms.replicaFresh(cs.pinned, cs.lastWriteSeq) {
+		return cs.pinned, nil
+	}
+	target, err := cs.ms.pickReadReplica(cs.lastWriteSeq)
+	if err != nil {
+		return nil, err
+	}
+	// Pin slaves only: a master fallback (no slave was fresh enough)
+	// must stay temporary, or write-then-read sessions would migrate
+	// to the master forever and collapse read-one/write-all scaling.
+	if cs.ms.cfg.ReadLevel == lb.ConnectionLevel && target != cs.ms.Master() {
+		cs.pinned = target
+	}
+	return target, nil
 }
 
 // execWrite sends the statement to the master, handling safety mode and
@@ -716,6 +884,11 @@ func (cs *MSSession) execWrite(st sqlparse.Statement) (*engine.Result, error) {
 		if !cs.inTxn && !st.IsRead() {
 			seq := master.Engine().Binlog().Head()
 			cs.lastWriteSeq = seq
+			// Invalidate cached results for the tables this write (or
+			// anything committed before it) touched BEFORE acknowledging:
+			// once the client sees the commit, no read — from any session
+			// the ack is relayed to — may be served the pre-write result.
+			cs.ms.invalidateThrough(master, seq)
 			if cs.ms.cfg.Safety == TwoSafe {
 				if err := cs.ms.waitTwoSafe(seq); err != nil {
 					return nil, err

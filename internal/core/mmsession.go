@@ -30,6 +30,9 @@ type MMSession struct {
 	txnSQL  []string // rewritten scripts for replay
 	dryRun  *engine.Session
 	snapSeq uint64 // certification: home position at BEGIN
+	// serializable tracks the announced isolation level; serializable
+	// reads take 2PL locks and must bypass the result cache.
+	serializable bool
 }
 
 // NewSession opens a session. The home replica (where transactions execute
@@ -39,7 +42,10 @@ func (mm *MultiMaster) NewSession(user string) (*MMSession, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MMSession{mm: mm, pool: newSessionPool(user), user: user, home: home}, nil
+	return &MMSession{
+		mm: mm, pool: newSessionPool(user), user: user, home: home,
+		serializable: home.Engine().Profile().DefaultIsolation == engine.Serializable,
+	}, nil
 }
 
 // Home returns the session's home replica.
@@ -78,6 +84,16 @@ func (s *MMSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 		return s.commit()
 	case *sqlparse.RollbackTxn:
 		return s.rollback()
+	case *sqlparse.SetIsolation:
+		// Track and propagate, as in the master-slave router: the level
+		// must hold on whichever replica serves this session's reads.
+		if !s.inTxn {
+			s.serializable = stmt.Level == "SERIALIZABLE"
+			if err := s.pool.setIsolation(stmt); err != nil {
+				return nil, err
+			}
+			return &engine.Result{}, nil
+		}
 	}
 	if s.inTxn {
 		return s.execInTxn(st)
@@ -266,27 +282,66 @@ func (s *MMSession) submitScript(stmts []string) (*engine.Result, error) {
 	return res, err
 }
 
-// execRead balances a read per level/policy/consistency. As in the
-// master-slave router, a connection-level pin is only honored while the
-// pinned replica still satisfies the session's consistency guarantee.
+// execRead balances a read per level/policy/consistency, serving
+// cache-eligible statements from the cluster's query result cache when one
+// is configured (entries are tagged with the serving replica's applied
+// position, so the session-consistency re-validation below applies to
+// cached results exactly as it does to replicas).
 func (s *MMSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
-	var target *Replica
-	if s.mm.cfg.ReadLevel == lb.ConnectionLevel && s.pinnedRead != nil && s.pinnedRead.Healthy() &&
-		s.mm.replicaFresh(s.pinnedRead, s.lastWriteSeq) {
-		target = s.pinnedRead
-	} else {
-		t, err := s.mm.pickRead(s.lastWriteSeq)
-		if err != nil {
-			return nil, err
-		}
-		target = t
-		if s.mm.cfg.ReadLevel == lb.ConnectionLevel {
-			s.pinnedRead = target
-		}
+	qc := s.mm.qc
+	if qc == nil || s.serializable || !engine.CacheableRead(st) {
+		return s.execReadRouted(st)
+	}
+	user := s.user
+	db := s.db
+	text := st.SQL()
+	if res, ok := qc.Get(user, db, text, nil, s.mm.cacheMinPos(s.lastWriteSeq)); ok {
+		return res, nil
+	}
+	target, err := s.routeRead()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.pool.get(target)
+	if err != nil {
+		return nil, err
+	}
+	pos := target.AppliedSeq()
+	res, err := target.ExecStmtOn(sess, st, true)
+	if err != nil {
+		return nil, err
+	}
+	qc.Put(user, db, text, nil, st.Tables(), pos, res)
+	return res, nil
+}
+
+// execReadRouted executes a read on a routed replica with no caching.
+func (s *MMSession) execReadRouted(st sqlparse.Statement) (*engine.Result, error) {
+	target, err := s.routeRead()
+	if err != nil {
+		return nil, err
 	}
 	sess, err := s.pool.get(target)
 	if err != nil {
 		return nil, err
 	}
 	return target.ExecStmtOn(sess, st, true)
+}
+
+// routeRead picks the replica for a read. As in the master-slave router, a
+// connection-level pin is only honored while the pinned replica still
+// satisfies the session's consistency guarantee.
+func (s *MMSession) routeRead() (*Replica, error) {
+	if s.mm.cfg.ReadLevel == lb.ConnectionLevel && s.pinnedRead != nil && s.pinnedRead.Healthy() &&
+		s.mm.replicaFresh(s.pinnedRead, s.lastWriteSeq) {
+		return s.pinnedRead, nil
+	}
+	target, err := s.mm.pickRead(s.lastWriteSeq)
+	if err != nil {
+		return nil, err
+	}
+	if s.mm.cfg.ReadLevel == lb.ConnectionLevel {
+		s.pinnedRead = target
+	}
+	return target, nil
 }

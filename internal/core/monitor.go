@@ -19,8 +19,9 @@ type Monitor struct {
 	lastFailover time.Duration // how long the last failover took
 	failovers    int
 
-	stop chan struct{}
-	done chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
 }
 
 // NewMonitor creates (but does not start) a monitor polling at the given
@@ -45,13 +46,12 @@ func (m *Monitor) Start() {
 	go m.run()
 }
 
-// Stop terminates the monitor.
+// Stop terminates the monitor and waits for its loop to exit. Safe to call
+// concurrently and repeatedly: the old select-then-close could race another
+// Stop into a double close of m.stop (both callers taking the default
+// branch before either closed), panicking; sync.Once closes exactly once.
 func (m *Monitor) Stop() {
-	select {
-	case <-m.stop:
-	default:
-		close(m.stop)
-	}
+	m.stopOnce.Do(func() { close(m.stop) })
 	<-m.done
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/lb"
+	"repro/internal/qcache"
 )
 
 // MMMode selects between the two multi-master replication designs of
@@ -76,6 +77,11 @@ type MultiMasterConfig struct {
 	// QuorumOf, when > 0, is the total group size; writes require a
 	// majority view (only meaningful with GCS orderers).
 	QuorumOf int
+	// QueryCache, when non-nil, serves eligible reads from a middleware
+	// result cache (see MasterSlaveConfig.QueryCache). Certification-mode
+	// writes invalidate exactly the tables of their write set; statement-
+	// mode scripts have an unknown footprint and flush their database.
+	QueryCache *qcache.Cache
 }
 
 // mmTxn is the ordered payload: either a statement script or a write set.
@@ -105,6 +111,10 @@ type MultiMaster struct {
 	// certifiers: one per replica in replicated mode; all pointing at
 	// cfg.Certifier in centralized mode.
 	certifiers []*Certifier
+
+	// qc is the cluster's scope on the configured query result cache (nil
+	// when caching is off).
+	qc *qcache.Scope
 
 	mu      sync.Mutex
 	waiters map[uint64]*txnWaiter
@@ -148,6 +158,9 @@ func NewMultiMaster(replicas []*Replica, orderers []Orderer, cfg MultiMasterConf
 		orderers: orderers,
 		policy:   cfg.ReadPolicy,
 		waiters:  make(map[uint64]*txnWaiter),
+	}
+	if cfg.QueryCache != nil {
+		mm.qc = cfg.QueryCache.NewScope()
 	}
 	mm.certifiers = make([]*Certifier, len(replicas))
 	for i := range replicas {
@@ -234,6 +247,20 @@ func (mm *MultiMaster) applier(r *Replica, in <-chan Ordered, cert *Certifier, s
 				h := mm.head.Load()
 				if ord.Seq <= h || mm.head.CompareAndSwap(h, ord.Seq) {
 					break
+				}
+			}
+			// Invalidate cached results BEFORE notify: the origin applier's
+			// notify is what acknowledges the commit to the writing session,
+			// and no ack may race its own invalidation. Certified write sets
+			// name their tables exactly; statement scripts are opaque and
+			// flush their database (empty database: flush everything).
+			if mm.qc != nil && count && outcome.err == nil {
+				if txn.WS != nil {
+					mm.qc.InvalidateTables(txn.WS.Tables(), ord.Seq)
+				} else {
+					mm.qc.ApplyEvent(engine.Event{
+						Seq: ord.Seq, Stmts: txn.Stmts, Database: txn.Database,
+					})
 				}
 			}
 			mm.notify(r, txn.ID, outcome)
@@ -366,6 +393,24 @@ func (mm *MultiMaster) ordererFor(home *Replica) Orderer {
 		}
 	}
 	return mm.orderers[0]
+}
+
+// QueryCacheScope exposes the cluster's result cache scope (nil when
+// caching is off).
+func (mm *MultiMaster) QueryCacheScope() *qcache.Scope { return mm.qc }
+
+// cacheMinPos is the lowest ordered position a cached result must carry to
+// satisfy the configured read guarantee — the cache-side mirror of
+// replicaFresh.
+func (mm *MultiMaster) cacheMinPos(lastWriteSeq uint64) uint64 {
+	switch mm.cfg.Consistency {
+	case SessionConsistent:
+		return lastWriteSeq
+	case StrongConsistent:
+		return mm.head.Load()
+	default:
+		return 0
+	}
 }
 
 // replicaFresh reports whether r currently satisfies the configured read

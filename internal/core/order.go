@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/gcs"
 	"repro/internal/simnet"
@@ -32,30 +33,62 @@ type Orderer interface {
 // LocalOrderer is a mutex-protected sequencer: the centralized scheduler of
 // C-JDBC-style middleware. It is itself a single point of failure — which
 // is precisely the §3.2 critique, measured in experiment C5.
+//
+// Delivery, closing and subscriber teardown all happen under one mutex, and
+// every send is non-blocking: Submit can never race Close into a send on a
+// closed channel, and a wedged subscriber (its buffer full because its
+// consumer stopped draining) can never stall the sequencer for every other
+// producer. Instead the wedged subscription is dropped — its channel is
+// closed, which its consumer observes exactly like an orderer shutdown —
+// matching how a broken replica behaves elsewhere in the middleware:
+// it stops receiving the stream and needs operator intervention, but the
+// cluster keeps committing.
 type LocalOrderer struct {
 	mu     sync.Mutex
 	seq    uint64
-	subs   []chan Ordered
+	subs   []*localSub
+	closed bool
+
+	dropped atomic.Uint64
+}
+
+// localSub is one subscription. closed is only read/written under the
+// orderer mutex, which is what makes close(ch) race-free against sends.
+type localSub struct {
+	ch     chan Ordered
 	closed bool
 }
+
+// localOrdererBuf is the per-subscriber delivery buffer. A subscriber this
+// far behind the sequencer is considered wedged and is dropped.
+const localOrdererBuf = 4096
 
 // NewLocalOrderer creates an in-process sequencer.
 func NewLocalOrderer() *LocalOrderer { return &LocalOrderer{} }
 
-// Submit implements Orderer.
+// Submit implements Orderer. Delivery is non-blocking: a subscriber whose
+// buffer is full is dropped (channel closed) rather than allowed to wedge
+// every producer behind the sequencer lock.
 func (o *LocalOrderer) Submit(payload any) error {
 	o.mu.Lock()
+	defer o.mu.Unlock()
 	if o.closed {
-		o.mu.Unlock()
 		return gcs.ErrStopped
 	}
 	o.seq++
 	msg := Ordered{Seq: o.seq, Payload: payload}
-	subs := append([]chan Ordered{}, o.subs...)
-	o.mu.Unlock()
-	for _, ch := range subs {
-		ch <- msg
+	live := o.subs[:0]
+	for _, s := range o.subs {
+		select {
+		case s.ch <- msg:
+			live = append(live, s)
+		default:
+			s.closed = true
+			close(s.ch)
+			o.dropped.Add(1)
+		}
 	}
+	o.subs = live
 	return nil
 }
 
@@ -63,12 +96,19 @@ func (o *LocalOrderer) Submit(payload any) error {
 func (o *LocalOrderer) Subscribe() <-chan Ordered {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	ch := make(chan Ordered, 4096)
-	o.subs = append(o.subs, ch)
-	return ch
+	s := &localSub{ch: make(chan Ordered, localOrdererBuf)}
+	if o.closed {
+		// Late subscription on a closed orderer: deliver the shutdown.
+		s.closed = true
+		close(s.ch)
+		return s.ch
+	}
+	o.subs = append(o.subs, s)
+	return s.ch
 }
 
-// Close implements Orderer.
+// Close implements Orderer. Safe to call concurrently with Submit and with
+// itself: channel closes happen under the same mutex as sends.
 func (o *LocalOrderer) Close() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -76,11 +116,18 @@ func (o *LocalOrderer) Close() {
 		return
 	}
 	o.closed = true
-	for _, ch := range o.subs {
-		close(ch)
+	for _, s := range o.subs {
+		if !s.closed {
+			s.closed = true
+			close(s.ch)
+		}
 	}
 	o.subs = nil
 }
+
+// DroppedSubscribers reports how many subscriptions were torn down because
+// their consumer wedged with a full buffer.
+func (o *LocalOrderer) DroppedSubscribers() uint64 { return o.dropped.Load() }
 
 // GCSOrderer adapts one gcs.Node into the Orderer interface. Each replica
 // of a distributed deployment owns one; Subscribe must be called exactly

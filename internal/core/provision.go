@@ -55,6 +55,10 @@ type ResyncOptions struct {
 	// ApplyCost adds per-entry service time on the recovering replica
 	// (the replica still pays execution cost during catch-up).
 	ApplyCost time.Duration
+	// BeforeApply, when non-nil, runs before each entry is applied; an
+	// error aborts the resync at that entry. Operators use it for
+	// throttling, tests for fault injection.
+	BeforeApply func(recoverylog.Entry) error
 }
 
 // ResyncResult summarizes a resynchronization.
@@ -80,6 +84,11 @@ func (p *Provisioner) Resync(rep *Replica, from uint64, opts ResyncOptions, maxD
 	defer session.Close()
 
 	apply := func(e recoverylog.Entry) error {
+		if opts.BeforeApply != nil {
+			if err := opts.BeforeApply(e); err != nil {
+				return err
+			}
+		}
 		if opts.ApplyCost > 0 {
 			time.Sleep(opts.ApplyCost)
 		}
@@ -88,6 +97,11 @@ func (p *Provisioner) Resync(rep *Replica, from uint64, opts ResyncOptions, maxD
 	applyParallel := func(e recoverylog.Entry) error {
 		// Parallel replay needs its own session per call; sessions are
 		// not concurrency-safe.
+		if opts.BeforeApply != nil {
+			if err := opts.BeforeApply(e); err != nil {
+				return err
+			}
+		}
 		if opts.ApplyCost > 0 {
 			time.Sleep(opts.ApplyCost)
 		}
@@ -123,8 +137,14 @@ func (p *Provisioner) Resync(rep *Replica, from uint64, opts ResyncOptions, maxD
 			n, err = p.log.ReplaySerial(pos, head, apply)
 		}
 		total += n
-		pos = head
+		// Advance only by what actually applied (both replay modes return
+		// the contiguous applied prefix). The old code recorded pos = head
+		// before checking err, so a mid-stream replay failure marked the
+		// replica caught up through head and a resumed resync silently
+		// skipped every entry the failed pass never applied.
+		pos += uint64(n)
 		rep.appliedSeq.Store(pos)
+		rep.receivedSeq.Store(pos)
 		if err != nil {
 			return nil, err
 		}

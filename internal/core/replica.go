@@ -57,6 +57,11 @@ type Replica struct {
 	// commits wait on it.
 	receivedSeq atomic.Uint64
 
+	// execs counts statements executed on this replica through the router
+	// hot path (ExecStmtOn); the query-cache threshold test uses it to
+	// prove a cache hit costs zero backend executions.
+	execs atomic.Uint64
+
 	// applyEvents and applyBatches count write-set apply work: events
 	// applied and engine lock round-trips used for them. Their ratio is the
 	// group-commit amortization a lagging slave achieved while draining
@@ -195,9 +200,14 @@ func (r *Replica) ExecStmtOn(s *engine.Session, st sqlparse.Statement, isRead bo
 		return nil, err
 	}
 	defer r.release()
+	r.execs.Add(1)
 	r.serviceSleep(isRead)
 	return s.ExecStmt(st)
 }
+
+// Execs returns how many statements the routers have executed on this
+// replica. A query-cache hit leaves it untouched.
+func (r *Replica) Execs() uint64 { return r.execs.Load() }
 
 // sessionPool hands out per-replica engine sessions for middleware client
 // sessions, keeping USE state in sync lazily.
@@ -205,6 +215,7 @@ type sessionPool struct {
 	mu       sync.Mutex
 	sessions map[string]*engine.Session // replica name -> session
 	db       string
+	iso      *sqlparse.SetIsolation // announced level, applied to every session
 	user     string
 }
 
@@ -225,9 +236,22 @@ func (p *sessionPool) get(r *Replica) (*engine.Session, error) {
 				return nil, err
 			}
 		}
+		if p.iso != nil {
+			if _, err := s.ExecStmt(p.iso); err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
 		p.sessions[r.name] = s
 	}
 	return s, nil
+}
+
+// currentDB returns the session's current database ("" when none).
+func (p *sessionPool) currentDB() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.db
 }
 
 // setDB records (and propagates) the session's current database.
@@ -240,6 +264,21 @@ func (p *sessionPool) setDB(db string) error {
 			return fmt.Errorf("core: USE on replica %s: %w", name, err)
 		}
 	}
+	return nil
+}
+
+// setIsolation records (and propagates) the session's isolation level, so
+// a re-routed read runs at the level the client announced no matter which
+// replica serves it.
+func (p *sessionPool) setIsolation(st *sqlparse.SetIsolation) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for name, s := range p.sessions {
+		if _, err := s.ExecStmt(st); err != nil {
+			return fmt.Errorf("core: SET ISOLATION on replica %s: %w", name, err)
+		}
+	}
+	p.iso = st
 	return nil
 }
 

@@ -68,6 +68,108 @@ func selectIsShared(st *sqlparse.Select) bool {
 	return true
 }
 
+// CacheableRead reports whether a statement's result may be served from the
+// middleware query result cache. It is strictly narrower than the shared
+// read path: on top of the shared-path rules (no FOR UPDATE, no NEXTVAL),
+// the result must be a deterministic function of committed table state —
+// no RAND/RANDOM, no NOW/CURRENT_TIMESTAMP, no session variables — so one
+// session's result is every session's result until a write invalidates it.
+// Bind parameters are allowed: their values are part of the cache key.
+// Serializable sessions must bypass the cache at the router (their reads
+// take 2PL table locks, which a cache hit would skip).
+func CacheableRead(st sqlparse.Statement) bool {
+	sel, ok := st.(*sqlparse.Select)
+	if !ok || sel.NoTable {
+		return false
+	}
+	return cacheableSelect(sel)
+}
+
+// cacheableSelect applies cacheableExpr to every expression of a SELECT.
+func cacheableSelect(st *sqlparse.Select) bool {
+	if st.ForUpdate {
+		return false
+	}
+	for _, it := range st.Items {
+		if !it.Star && !cacheableExpr(it.Expr) {
+			return false
+		}
+	}
+	if !cacheableExpr(st.Where) {
+		return false
+	}
+	if st.Join != nil && !cacheableExpr(st.Join.On) {
+		return false
+	}
+	for _, g := range st.GroupBy {
+		if !cacheableExpr(g) {
+			return false
+		}
+	}
+	for _, o := range st.OrderBy {
+		if !cacheableExpr(o.Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// nonCacheableFuncs are functions whose value is not a deterministic
+// function of committed table state.
+var nonCacheableFuncs = map[string]bool{
+	"NEXTVAL":           true,
+	"RAND":              true,
+	"RANDOM":            true,
+	"NOW":               true,
+	"CURRENT_TIMESTAMP": true,
+}
+
+// cacheableExpr walks an expression tree rejecting session-dependent and
+// non-deterministic constructs. Unknown node kinds are conservatively not
+// cacheable.
+func cacheableExpr(e sqlparse.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return true
+	case *sqlparse.Literal, *sqlparse.ColumnRef, *sqlparse.Param:
+		return true
+	case *sqlparse.VarRef:
+		return false // session variable: differs per session
+	case *sqlparse.BinaryExpr:
+		return cacheableExpr(e.Left) && cacheableExpr(e.Right)
+	case *sqlparse.UnaryExpr:
+		return cacheableExpr(e.Operand)
+	case *sqlparse.IsNullExpr:
+		return cacheableExpr(e.Operand)
+	case *sqlparse.BetweenExpr:
+		return cacheableExpr(e.Operand) && cacheableExpr(e.Lo) && cacheableExpr(e.Hi)
+	case *sqlparse.InExpr:
+		if !cacheableExpr(e.Left) {
+			return false
+		}
+		if e.Sub != nil && !cacheableSelect(e.Sub) {
+			return false
+		}
+		for _, item := range e.List {
+			if !cacheableExpr(item) {
+				return false
+			}
+		}
+		return true
+	case *sqlparse.FuncExpr:
+		if nonCacheableFuncs[strings.ToUpper(e.Name)] {
+			return false
+		}
+		for _, a := range e.Args {
+			if !cacheableExpr(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
 // exprIsShared walks an expression tree rejecting anything that advances
 // engine-shared state. Unknown node kinds are conservatively exclusive.
 func exprIsShared(e sqlparse.Expr) bool {

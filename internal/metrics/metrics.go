@@ -9,8 +9,25 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a monotonically increasing event counter. Safe for concurrent
+// use; the zero value is ready. The query result cache uses it for its
+// hit/miss/invalidation accounting.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.n.Load() }
 
 // Histogram records durations and reports percentiles. Safe for concurrent
 // use. It keeps raw samples (bounded by Cap) — fidelity over memory, which

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -100,5 +101,31 @@ func TestNines(t *testing.T) {
 	a := NewAvailability()
 	if a.Nines() != 9 {
 		t.Fatalf("all-up should report max nines, got %d", a.Nines())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8005 {
+		t.Fatalf("count = %d, want 8005", got)
 	}
 }

@@ -123,6 +123,8 @@ type Apply func(Entry) error
 
 // ReplaySerial replays entries (after, to] one at a time — the mode in
 // which "a new replica may never catch up if the workload is update-heavy".
+// It returns how many entries applied before stopping; on error that count
+// is the contiguous applied prefix, so after+n is the exact resume position.
 func (l *Log) ReplaySerial(after, to uint64, apply Apply) (int, error) {
 	n := 0
 	for _, e := range l.ReadFrom(after, 0) {
@@ -141,6 +143,13 @@ func (l *Log) ReplaySerial(after, to uint64, apply Apply) (int, error) {
 // log (§4.4.2): entries run concurrently on up to workers goroutines unless
 // they share a table, in which case log order is preserved. DDL and
 // unknown-footprint entries act as barriers.
+//
+// Like ReplaySerial, the returned count is the contiguous applied prefix
+// from `after`: after+n is a position every entry at or below which has
+// applied, so a resumption from it never skips work. On error, entries
+// beyond the prefix may also have applied out of order (the concurrent
+// in-flight ones); a resumption re-applies them, which is the same
+// re-execution exposure a mid-transaction crash already has.
 func (l *Log) ReplayParallel(after, to uint64, workers int, apply Apply) (int, error) {
 	if workers < 1 {
 		workers = 1
@@ -162,9 +171,9 @@ func (l *Log) ReplayParallel(after, to uint64, workers int, apply Apply) (int, e
 
 	var mu sync.Mutex
 	var firstErr error
-	n := 0
+	applied := make([]bool, len(batch))
 
-	for _, e := range batch {
+	for i, e := range batch {
 		deps := make([]chan struct{}, 0, len(e.Tables)+1)
 		if barrier != nil {
 			deps = append(deps, barrier)
@@ -192,6 +201,7 @@ func (l *Log) ReplayParallel(after, to uint64, workers int, apply Apply) (int, e
 		allDone = append(allDone, done)
 
 		entry := e
+		idx := i
 		go func(deps []chan struct{}, done chan struct{}) {
 			defer close(done)
 			for _, d := range deps {
@@ -214,7 +224,7 @@ func (l *Log) ReplayParallel(after, to uint64, workers int, apply Apply) (int, e
 				return
 			}
 			mu.Lock()
-			n++
+			applied[idx] = true
 			mu.Unlock()
 		}(deps, done)
 	}
@@ -226,5 +236,9 @@ func (l *Log) ReplayParallel(after, to uint64, workers int, apply Apply) (int, e
 	}
 	mu.Lock()
 	defer mu.Unlock()
+	n := 0
+	for n < len(applied) && applied[n] {
+		n++
+	}
 	return n, firstErr
 }

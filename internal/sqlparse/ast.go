@@ -273,8 +273,26 @@ func (s *Select) Tables() []string {
 	if s.Join != nil {
 		out = append(out, s.Join.Table.String())
 	}
-	for _, sub := range subqueries(s.Where) {
-		out = append(out, sub.Tables()...)
+	// Subqueries can appear in every expression position, not just WHERE;
+	// consumers that invalidate or schedule by table footprint (the query
+	// result cache, parallel log replay) need all of them.
+	exprs := []Expr{s.Where}
+	for _, it := range s.Items {
+		if !it.Star {
+			exprs = append(exprs, it.Expr)
+		}
+	}
+	if s.Join != nil {
+		exprs = append(exprs, s.Join.On)
+	}
+	exprs = append(exprs, s.GroupBy...)
+	for _, o := range s.OrderBy {
+		exprs = append(exprs, o.Expr)
+	}
+	for _, e := range exprs {
+		for _, sub := range subqueries(e) {
+			out = append(out, sub.Tables()...)
+		}
 	}
 	return out
 }

@@ -432,3 +432,35 @@ func TestParseTimeParsesAsTimestampLiteralRoundTrip(t *testing.T) {
 		t.Fatalf("rewritten SQL unparseable: %v\n%s", err, out.SQL())
 	}
 }
+
+// TestSelectTablesIncludesSubqueriesEverywhere: consumers that invalidate
+// or schedule by table footprint (query result cache, parallel log replay)
+// need subquery tables from every clause, not just WHERE.
+func TestSelectTablesIncludesSubqueriesEverywhere(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{"SELECT a FROM t1 WHERE x IN (SELECT y FROM t2)", "t2"},
+		{"SELECT a FROM t1 JOIN j1 ON x IN (SELECT y FROM t3)", "t3"},
+		{"SELECT x IN (SELECT y FROM t4) FROM t1", "t4"},
+		{"SELECT a FROM t1 ORDER BY x IN (SELECT y FROM t5)", "t5"},
+		{"SELECT a FROM t1 GROUP BY x IN (SELECT y FROM t6)", "t6"},
+		{"SELECT a FROM t1 WHERE x IN (SELECT y FROM t7 WHERE z IN (SELECT w FROM t8))", "t8"},
+	}
+	for _, tc := range cases {
+		st, err := Parse(tc.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sql, err)
+		}
+		found := false
+		for _, tab := range st.Tables() {
+			if tab == tc.want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: Tables() = %v, missing %s", tc.sql, st.Tables(), tc.want)
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/gcs"
 	"repro/internal/lb"
 	"repro/internal/metrics"
+	"repro/internal/qcache"
 	"repro/internal/recoverylog"
 	"repro/internal/simnet"
 )
@@ -120,6 +121,22 @@ type (
 	// ApplyOptions tunes write-set application on a replica engine.
 	ApplyOptions = engine.ApplyOptions
 )
+
+// Query result cache types (set MasterSlaveConfig.QueryCache /
+// MultiMasterConfig.QueryCache to enable middleware result caching).
+type (
+	// QueryCache is a sharded, bounded query result cache with
+	// table-granularity invalidation from the committed write stream.
+	QueryCache = qcache.Cache
+	// QueryCacheConfig sizes a QueryCache.
+	QueryCacheConfig = qcache.Config
+	// QueryCacheStats are the cache's hit/miss/invalidation counters.
+	QueryCacheStats = qcache.Stats
+)
+
+// NewQueryCache builds a query result cache. One cache may back several
+// clusters (each attaches its own scope), sharing a single memory budget.
+func NewQueryCache(cfg QueryCacheConfig) *QueryCache { return qcache.New(cfg) }
 
 // Safety, shipping, consistency and mode enums.
 const (
