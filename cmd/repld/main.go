@@ -4,14 +4,20 @@
 // the replicated database as a single logical endpoint (Figure 7's
 // deployment).
 //
+// With -data-dir the cluster is durable: every committed transaction is
+// recorded into a segmented recovery log with periodic checkpoint backups,
+// and a restarted daemon recovers all previously committed state from disk
+// (newest checkpoint + log tail). The monitor fails over automatically and
+// rejoins a recovered master as a slave.
+//
 // Usage:
 //
-//	repld -listen 127.0.0.1:5455 -slaves 2 -consistency session
+//	repld -listen 127.0.0.1:5455 -slaves 2 -consistency session \
+//	      -data-dir /var/lib/repld
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -31,6 +37,10 @@ func main() {
 	writeCost := flag.Duration("write-cost", 0, "modelled per-write service time")
 	monitorEvery := flag.Duration("monitor", 10*time.Millisecond, "health monitor poll interval")
 	queryCache := flag.Int("query-cache", 4096, "query result cache entries (0 disables)")
+	dataDir := flag.String("data-dir", "", "recovery log directory; empty runs in-memory (nothing survives restart)")
+	checkpointEvery := flag.Int("checkpoint-every", 256, "committed events between automatic checkpoint backups (<0 disables)")
+	segmentEntries := flag.Int("segment-entries", 1024, "recovery log entries per segment file")
+	fsyncEvery := flag.Int("fsync-every", 64, "batch size between recovery log fsyncs (1 = every commit)")
 	flag.Parse()
 
 	var cons replication.MasterSlaveConfig
@@ -54,39 +64,44 @@ func main() {
 		cons.QueryCache = qc
 	}
 
-	mk := func(name string) *replication.Replica {
-		return replication.NewReplica(replication.ReplicaConfig{
-			Name: name, ReadCost: *readCost, WriteCost: *writeCost,
-		})
+	cluster, err := replication.OpenDurable(replication.DurableConfig{
+		Dir:             *dataDir,
+		Log:             replication.RecoveryLogOptions{SegmentEntries: *segmentEntries, FsyncEvery: *fsyncEvery},
+		Slaves:          *slaves,
+		Replica:         replication.ReplicaConfig{ReadCost: *readCost, WriteCost: *writeCost},
+		Cluster:         cons,
+		CheckpointEvery: *checkpointEvery,
+		MonitorInterval: *monitorEvery,
+	})
+	if err != nil {
+		log.Fatalf("repld: %v", err)
 	}
-	master := mk("master")
-	var slaveReps []*replication.Replica
-	for i := 0; i < *slaves; i++ {
-		slaveReps = append(slaveReps, mk(fmt.Sprintf("slave-%d", i+1)))
-	}
-	cluster := replication.NewMasterSlave(master, slaveReps, cons)
-	defer cluster.Close()
 
-	monitor := replication.NewMonitor(cluster, *monitorEvery)
-	monitor.Start()
-	defer monitor.Stop()
-
-	srv, err := wire.NewServer(*listen, clusterBackend{cluster})
+	srv, err := wire.NewServer(*listen, clusterBackend{cluster.Cluster()})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	log.Printf("repld: serving %d-replica cluster on %s (consistency=%s two-safe=%v query-cache=%d)",
-		*slaves+1, srv.Addr(), *consistency, *twoSafe, *queryCache)
+	durability := "ephemeral"
+	if *dataDir != "" {
+		durability = *dataDir
+	}
+	log.Printf("repld: serving %d-replica cluster on %s (consistency=%s two-safe=%v query-cache=%d data-dir=%s recovered-through=%d)",
+		*slaves+1, srv.Addr(), *consistency, *twoSafe, *queryCache, durability, cluster.RecoveryLog().Head())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	log.Printf("repld: shutting down; availability: %s", monitor.Availability())
+	mon := cluster.Monitor()
+	log.Printf("repld: shutting down; availability: %s failovers=%d rejoins=%d log-head=%d",
+		mon.Availability(), mon.Failovers(), mon.Rejoins(), cluster.RecoveryLog().Head())
 	if qc != nil {
 		st := qc.Stats()
 		log.Printf("repld: query cache: hits=%d misses=%d puts=%d invalidations=%d evictions=%d",
 			st.Hits, st.Misses, st.Puts, st.InvalidationEvents, st.Evictions)
+	}
+	if err := cluster.Close(); err != nil {
+		log.Printf("repld: close: %v", err)
 	}
 }
 

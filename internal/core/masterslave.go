@@ -116,6 +116,10 @@ type MasterSlave struct {
 	slaves   []*Replica
 	appliers map[string]*slaveApplier
 	policy   lb.Policy
+	// failingOver blocks Failback while Failover is between its two locked
+	// sections: an applier attached in that window would ship from the
+	// dying master and never be halted.
+	failingOver bool
 	// epoch is bumped at each failover. Atomic so the read hot path can
 	// detect promotions without taking ms.mu.
 	epoch atomic.Uint64
@@ -601,9 +605,47 @@ func (ms *MasterSlave) Epoch() uint64 {
 // Failover promotes the most-up-to-date healthy slave to master and rewires
 // shipping. It returns the new master. The failed master's unshipped suffix
 // is counted as lost transactions.
+//
+// Shipping from the dead master is halted BEFORE roles swap: appliers are
+// mid-stream, and every event a slave drains from the dead binlog after the
+// promotion decision would falsify the lost-transaction count (the seed
+// computed it from a still-moving position) and, worse, smuggle lost
+// transactions into a slave that the promoted lineage never saw.
 func (ms *MasterSlave) Failover() (*Replica, error) {
 	ms.mu.Lock()
 	oldMaster := ms.master
+	anyHealthy := false
+	for _, sl := range ms.slaves {
+		if sl.Healthy() {
+			anyHealthy = true
+			break
+		}
+	}
+	if !anyHealthy {
+		ms.mu.Unlock()
+		return nil, fmt.Errorf("core: no healthy slave to promote")
+	}
+	appliers := ms.appliers
+	ms.appliers = make(map[string]*slaveApplier)
+	ms.failingOver = true
+	ms.mu.Unlock()
+	// Freeze every position before measuring anything.
+	for _, a := range appliers {
+		a.halt()
+	}
+
+	ms.mu.Lock()
+	ms.failingOver = false
+	if ms.master != oldMaster {
+		// A concurrent failover won; keep its outcome.
+		m := ms.master
+		ms.mu.Unlock()
+		return m, nil
+	}
+	// Select the promotee only now that positions are frozen: a slave that
+	// drained more of the dead master's binlog during the halt would
+	// otherwise be passed over, its extra committed transactions counted
+	// as lost and wiped by the re-seed below.
 	var best *Replica
 	for _, sl := range ms.slaves {
 		if !sl.Healthy() {
@@ -614,7 +656,14 @@ func (ms *MasterSlave) Failover() (*Replica, error) {
 		}
 	}
 	if best == nil {
+		// Every slave died during the halt window. Re-attach appliers so a
+		// later failover (or recovery) starts from a consistent state and
+		// report the outage.
+		slaves := append([]*Replica(nil), ms.slaves...)
 		ms.mu.Unlock()
+		for _, sl := range slaves {
+			ms.startApplier(sl, sl.AppliedSeq())
+		}
 		return nil, fmt.Errorf("core: no healthy slave to promote")
 	}
 	remaining := make([]*Replica, 0, len(ms.slaves))
@@ -623,21 +672,32 @@ func (ms *MasterSlave) Failover() (*Replica, error) {
 			remaining = append(remaining, sl)
 		}
 	}
-	appliers := ms.appliers
-	ms.appliers = make(map[string]*slaveApplier)
 	ms.master = best
 	ms.slaves = remaining
 	ms.epoch.Add(1)
 	// Lost transactions: committed on the old master but never applied by
 	// the promoted slave. (We can inspect the in-memory binlog; in the
 	// field this is "a manual procedure requiring careful inspection of
-	// the master's transaction log", §2.2.)
+	// the master's transaction log", §2.2.) Positions are frozen, so the
+	// count is exact.
 	oldHead := oldMaster.Engine().Binlog().Head()
 	applied := best.AppliedSeq()
 	if oldHead > applied {
 		ms.lostOnLastFailover = oldHead - applied
 	} else {
 		ms.lostOnLastFailover = 0
+	}
+	// A slave that drained the dead master's backlog past the promoted
+	// position contains transactions the new lineage lost: its state is
+	// diverged, not merely ahead, and its freshness counter would lie to
+	// the read router. Take it out of routing under the same lock that
+	// installs the new master; it is re-seeded below.
+	var reseed []*Replica
+	for _, sl := range remaining {
+		if sl.AppliedSeq() > applied {
+			sl.Fail()
+			reseed = append(reseed, sl)
+		}
 	}
 	ms.mu.Unlock()
 
@@ -651,20 +711,31 @@ func (ms *MasterSlave) Failover() (*Replica, error) {
 		ms.invalMu.Unlock()
 	}
 
-	// Stop all shipping from the dead master.
-	for _, a := range appliers {
-		a.halt()
-	}
-	// Re-point remaining slaves at the new master, resuming from their
-	// own positions (binlog positions are aligned one-event-one-commit).
-	for _, sl := range remaining {
-		from := sl.AppliedSeq()
-		if from > applied {
-			// The slave is ahead of the new master: its extra events were
-			// lost on a master that no longer exists. Re-align down.
-			from = applied
+	// Re-seed overshot slaves from the new master: the seed's position
+	// clamp left the lost rows in their engines (a session-consistent read
+	// could then be served data the cluster never committed, or miss data
+	// it did).
+	var dump *engine.Backup
+	for _, sl := range reseed {
+		if dump == nil {
+			b, err := best.Engine().Dump(FaithfulBackup)
+			if err != nil {
+				break // leave them failed; a monitor rejoin can repair later
+			}
+			dump = b
 		}
-		ms.startApplier(sl, from)
+		if err := sl.Engine().Restore(dump); err != nil {
+			continue
+		}
+		sl.Engine().Binlog().Reset(dump.AtSeq)
+		sl.appliedSeq.Store(dump.AtSeq)
+		sl.receivedSeq.Store(dump.AtSeq)
+		sl.Recover()
+	}
+	// Re-point remaining slaves at the new master, resuming from their own
+	// positions (binlog positions are aligned one-event-one-commit).
+	for _, sl := range remaining {
+		ms.startApplier(sl, sl.AppliedSeq())
 	}
 	return best, nil
 }
@@ -673,8 +744,26 @@ func (ms *MasterSlave) Failover() (*Replica, error) {
 // the current master's binlog (or reporting that a backup-based resync is
 // required when the binlog was trimmed, §4.4.2).
 func (ms *MasterSlave) Failback(rep *Replica, from uint64) error {
+	if head := ms.MasterSeq(); from > head {
+		// A replica claiming a position the master has not reached holds
+		// state from a lost lineage; attaching it would let the read router
+		// treat diverged data as maximally fresh. It needs a resync
+		// (checkpoint clone), not a failback.
+		return fmt.Errorf("core: failback of %s at %d is ahead of master head %d: diverged, resync required",
+			rep.Name(), from, head)
+	}
+	// Counters must be truthful BEFORE the replica becomes routable: a
+	// rejoining old master still carries its dead lineage's (higher)
+	// positions, and a session-consistent read racing the attach would
+	// trust them.
+	rep.appliedSeq.Store(from)
+	rep.receivedSeq.Store(from)
 	rep.Recover()
 	ms.mu.Lock()
+	if ms.failingOver {
+		ms.mu.Unlock()
+		return fmt.Errorf("core: failover in progress; retry failback of %s", rep.Name())
+	}
 	for _, sl := range ms.slaves {
 		if sl == rep {
 			ms.mu.Unlock()
@@ -683,8 +772,6 @@ func (ms *MasterSlave) Failback(rep *Replica, from uint64) error {
 	}
 	ms.slaves = append(ms.slaves, rep)
 	ms.mu.Unlock()
-	rep.appliedSeq.Store(from)
-	rep.receivedSeq.Store(from)
 	ms.startApplier(rep, from)
 	return nil
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/engine"
@@ -13,8 +15,32 @@ import (
 // without touching active replicas, initialize new replicas from the dump,
 // and resynchronize them by (serial or parallel) log replay until they
 // catch up with the live stream.
+//
+// PR 4 makes the lifecycle durable and automatic: Follow records the
+// master's binlog into the (optionally disk-backed) log and takes periodic
+// checkpoint backups, ResyncAuto restores the cheapest checkpoint and
+// replays only the tail, and FailoverTo repairs the log after a promotion
+// by truncating the lost suffix and re-pointing the recorder.
 type Provisioner struct {
 	log *recoverylog.Log
+
+	// appendMu serializes everyone who copies binlog events into the log
+	// (the recorder's copyBatch and CheckpointBackup's catch-up), so two
+	// copiers can never interleave duplicate appends.
+	appendMu sync.Mutex
+
+	mu       sync.Mutex
+	followed *Replica
+	fopts    FollowOptions
+	stop     chan struct{}
+	done     chan struct{}
+	recErr   error
+	// finalCkpt tells a stopping recorder whether to take a last
+	// threshold-crossed checkpoint. True for graceful Unfollow (so a
+	// restart recovers checkpoint+tail, not full replay); false when
+	// FailoverTo discards the dead master's recorder — a parting snapshot
+	// of the dead lineage would poison the repaired log.
+	finalCkpt bool
 }
 
 // NewProvisioner wraps a recovery log.
@@ -25,21 +51,312 @@ func NewProvisioner(log *recoverylog.Log) *Provisioner {
 // Log exposes the underlying recovery log.
 func (p *Provisioner) Log() *recoverylog.Log { return p.log }
 
+// FaithfulBackup captures everything a replacement replica needs — users,
+// code objects and sequence positions, not just data. The zero
+// BackupOptions reproduce the incomplete-dump problem of §4.1.5/§4.2.3;
+// recovery checkpoints must not.
+var FaithfulBackup = engine.BackupOptions{
+	IncludeUsers: true, IncludeCode: true, IncludeSequences: true,
+}
+
 // RecordEvent appends a committed binlog event to the recovery log. Wire it
 // to the master's binlog subscription. The originating database travels as
 // a leading USE so entries are self-contained for replay on fresh sessions.
 func (p *Provisioner) RecordEvent(ev engine.Event) uint64 {
+	seq, _ := p.recordEvent(ev)
+	return seq
+}
+
+func (p *Provisioner) recordEvent(ev engine.Event) (uint64, error) {
 	stmts := ev.Stmts
 	if ev.Database != "" {
 		stmts = append([]string{"USE " + ev.Database}, stmts...)
 	}
-	return p.log.Append(stmts, ev.Tables(), ev.DDL)
+	return p.log.AppendEntry(stmts, ev.Tables(), ev.DDL)
 }
 
 // CheckpointRemove marks a replica's departure position ("when a node is
 // removed from the cluster, a checkpoint is inserted").
 func (p *Provisioner) CheckpointRemove(name string, position uint64) {
 	p.log.CheckpointAt("remove:"+name, position)
+}
+
+// CheckpointBackup snapshots a replica (normally the master) and records a
+// payload checkpoint at the snapshot's replication position. The checkpoint
+// is the clone base compaction retains: once it exists, every entry below
+// it (or below an older checkpoint a registered replica still needs) is
+// droppable, which is what finally bounds the log.
+func (p *Provisioner) CheckpointBackup(name string, rep *Replica, opts engine.BackupOptions) (uint64, error) {
+	b, err := rep.Engine().Dump(opts)
+	if err != nil {
+		return 0, fmt.Errorf("core: checkpoint backup: %w", err)
+	}
+	payload, err := b.Encode()
+	if err != nil {
+		return 0, fmt.Errorf("core: checkpoint backup: %w", err)
+	}
+	// The snapshot may be ahead of the log (commits landed since the last
+	// recorder pass — and when the recorder itself is the caller, nobody
+	// else will ever close that gap). Copy the missing events in directly;
+	// appendMu keeps this from interleaving with a concurrent recorder.
+	p.appendMu.Lock()
+	for p.log.Head() < b.AtSeq {
+		if n, cerr := p.copyBatchLocked(rep); cerr != nil || n == 0 {
+			p.appendMu.Unlock()
+			if cerr == nil {
+				cerr = fmt.Errorf("binlog has no events between log head %d and snapshot position %d", p.log.Head(), b.AtSeq)
+			}
+			return 0, fmt.Errorf("core: checkpoint backup: %w", cerr)
+		}
+	}
+	p.appendMu.Unlock()
+	if err := p.log.AddCheckpoint(name, b.AtSeq, payload); err != nil {
+		return 0, fmt.Errorf("core: checkpoint backup: %w", err)
+	}
+	if err := p.log.Sync(); err != nil {
+		return 0, fmt.Errorf("core: checkpoint backup: %w", err)
+	}
+	return b.AtSeq, nil
+}
+
+// FollowOptions tunes the binlog recorder started by Follow.
+type FollowOptions struct {
+	// Poll is the recorder's binlog poll interval; zero means 200µs.
+	Poll time.Duration
+	// CheckpointEvery takes an automatic checkpoint backup (and compacts
+	// the log) every N recorded entries; zero disables automatic
+	// checkpoints, leaving the log unbounded until CheckpointBackup is
+	// called manually.
+	CheckpointEvery uint64
+	// Backup selects what automatic checkpoints capture; the zero value is
+	// upgraded to FaithfulBackup (recovery must clone users, code and
+	// sequences, §4.1.5).
+	Backup engine.BackupOptions
+}
+
+// Follow starts (or re-points) the recorder: a goroutine that copies rep's
+// committed binlog events into the recovery log, resuming at the log head.
+// Binlog and log sequence spaces must be aligned — true when the log was
+// fed from this cluster's event stream from the start, and re-established
+// across restarts by ResyncAuto's binlog reset.
+func (p *Provisioner) Follow(rep *Replica, opts FollowOptions) {
+	if opts.Poll <= 0 {
+		opts.Poll = 200 * time.Microsecond
+	}
+	if len(opts.Backup.Databases) == 0 && !opts.Backup.IncludeUsers &&
+		!opts.Backup.IncludeCode && !opts.Backup.IncludeSequences {
+		opts.Backup = FaithfulBackup
+	}
+	p.Unfollow()
+	p.mu.Lock()
+	p.followed = rep
+	p.fopts = opts
+	p.recErr = nil // fresh recorder incarnation, fresh slate
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	stop, done := p.stop, p.done
+	p.mu.Unlock()
+	go p.record(rep, opts, stop, done)
+}
+
+// Unfollow stops the recorder (no-op when none is running), draining the
+// binlog and taking a final checkpoint when the automatic threshold was
+// crossed, so a graceful shutdown restarts via checkpoint + tail.
+func (p *Provisioner) Unfollow() { p.unfollow(true) }
+
+func (p *Provisioner) unfollow(finalCkpt bool) {
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.followed = nil
+	p.finalCkpt = finalCkpt
+	p.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Followed reports which replica the recorder is copying (nil when idle).
+func (p *Provisioner) Followed() *Replica {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.followed
+}
+
+// RecorderErr returns the first error that stopped the recorder (nil while
+// healthy). Misalignment between binlog and log positions and storage
+// failures both land here.
+func (p *Provisioner) RecorderErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.recErr
+}
+
+func (p *Provisioner) setRecErr(err error) {
+	p.mu.Lock()
+	if p.recErr == nil {
+		p.recErr = err
+	}
+	p.mu.Unlock()
+}
+
+// copyBatch copies one batch of committed binlog events into the log,
+// returning how many it recorded. Errors are sticky via RecorderErr.
+func (p *Provisioner) copyBatch(rep *Replica) (int, error) {
+	p.appendMu.Lock()
+	defer p.appendMu.Unlock()
+	return p.copyBatchLocked(rep)
+}
+
+func (p *Provisioner) copyBatchLocked(rep *Replica) (int, error) {
+	pos := p.log.Head()
+	events, trimmed := rep.Engine().Binlog().ReadFrom(pos, 64)
+	if trimmed {
+		err := fmt.Errorf("core: recorder: binlog trimmed below log head %d", pos)
+		p.setRecErr(err)
+		return 0, err
+	}
+	for _, ev := range events {
+		seq, err := p.recordEvent(ev)
+		if err != nil {
+			err = fmt.Errorf("core: recorder: %w", err)
+			p.setRecErr(err)
+			return 0, err
+		}
+		if seq != ev.Seq {
+			err = fmt.Errorf("core: recorder: log seq %d diverged from binlog seq %d", seq, ev.Seq)
+			p.setRecErr(err)
+			return 0, err
+		}
+	}
+	return len(events), nil
+}
+
+func (p *Provisioner) record(rep *Replica, opts FollowOptions, stop, done chan struct{}) {
+	defer close(done)
+	lastCkpt := uint64(0)
+	if _, seq, ok := p.log.LatestCheckpoint(); ok {
+		lastCkpt = seq
+	}
+	// drain copies everything the binlog has already committed; every stop
+	// path runs it, so a graceful stop never loses the tail between the
+	// last poll and the stop signal (a restart would then serve fewer rows
+	// than were acknowledged).
+	drain := func() {
+		for {
+			if n, err := p.copyBatch(rep); err != nil || n == 0 {
+				return
+			}
+		}
+	}
+	// checkpoint takes an automatic checkpoint backup (and compacts) when
+	// the configured threshold has been crossed.
+	checkpoint := func() bool {
+		head := p.log.Head()
+		if opts.CheckpointEvery == 0 || head-lastCkpt < opts.CheckpointEvery {
+			return true
+		}
+		if _, err := p.CheckpointBackup(fmt.Sprintf("auto-%d", head), rep, opts.Backup); err != nil {
+			p.setRecErr(err)
+			return false
+		}
+		lastCkpt = head
+		if _, err := p.log.Compact(); err != nil {
+			p.setRecErr(err)
+			return false
+		}
+		return true
+	}
+	finish := func() {
+		drain()
+		p.mu.Lock()
+		final := p.finalCkpt
+		p.mu.Unlock()
+		if final {
+			_ = checkpoint()
+		}
+		_ = p.log.Sync()
+	}
+	for {
+		select {
+		case <-stop:
+			finish()
+			return
+		default:
+		}
+		n, err := p.copyBatch(rep)
+		if err != nil {
+			return
+		}
+		if n == 0 {
+			select {
+			case <-stop:
+				finish()
+				return
+			case <-time.After(opts.Poll):
+			}
+			continue
+		}
+		if !checkpoint() {
+			return
+		}
+	}
+}
+
+// FailoverTo repairs the recovery log after a promotion and re-points the
+// recorder at the new master. The old master's unreplicated suffix — logged
+// but never applied by the promoted slave — "never happened" in the new
+// position space, so the log tail above the new master's position is
+// truncated (checkpoints above it included) before recording resumes.
+func (p *Provisioner) FailoverTo(newMaster *Replica) error {
+	p.mu.Lock()
+	wasFollowing := p.followed != nil
+	opts := p.fopts
+	p.mu.Unlock()
+	if wasFollowing {
+		// No parting checkpoint: a snapshot of the dead master's lineage
+		// would be above (or interleaved past) the promoted position.
+		p.unfollow(false)
+	}
+	to := newMaster.Engine().Binlog().Head()
+	var rebased bool
+	if err := p.log.TruncateTail(to); err != nil {
+		if !errors.Is(err, recoverylog.ErrCompacted) {
+			// The log could not be repaired and recording stays stopped:
+			// make that loud through RecorderErr — callers like the monitor
+			// run in loops with nowhere to return an error to, and a
+			// silently dead recorder means a restart would lose everything
+			// after this point.
+			err = fmt.Errorf("core: failover log repair: %w", err)
+			p.setRecErr(err)
+			return err
+		}
+		// Compaction already advanced past the promoted position: every
+		// retained entry and checkpoint belongs to the lost lineage, and a
+		// resync from them would faithfully rebuild transactions the
+		// cluster lost (this bit the chaos tests before the reset existed).
+		// The only sound log is an empty one re-based at the promoted
+		// position, re-anchored below by a fresh checkpoint of the new
+		// master.
+		if err := p.log.ResetTo(to); err != nil {
+			err = fmt.Errorf("core: failover log reset: %w", err)
+			p.setRecErr(err)
+			return err
+		}
+		rebased = true
+	}
+	if wasFollowing {
+		p.Follow(newMaster, opts)
+	}
+	if rebased {
+		if _, err := p.CheckpointBackup(fmt.Sprintf("failover-%d", to), newMaster, FaithfulBackup); err != nil {
+			err = fmt.Errorf("core: failover re-anchor: %w", err)
+			p.setRecErr(err)
+			return err
+		}
+	}
+	return nil
 }
 
 // ResyncOptions controls replica resynchronization.
@@ -59,26 +376,43 @@ type ResyncOptions struct {
 	// error aborts the resync at that entry. Operators use it for
 	// throttling, tests for fault injection.
 	BeforeApply func(recoverylog.Entry) error
+	// ForceClone makes ResyncAuto restore a checkpoint backup even when
+	// tail replay from the replica's position would be possible. Rejoining
+	// a failed old master uses it: the replica's state contains a diverged
+	// unreplicated suffix that must be rolled back, not built upon.
+	ForceClone bool
 }
 
 // ResyncResult summarizes a resynchronization.
 type ResyncResult struct {
-	Replayed  int
-	From, To  uint64
-	Duration  time.Duration
-	CaughtUp  bool
-	FinalHead uint64
+	Replayed int
+	From, To uint64
+	Duration time.Duration
+	CaughtUp bool
+	// Cloned reports that the replica was initialized from a checkpoint
+	// backup before tail replay; Checkpoint/CheckpointSeq identify it.
+	Cloned        bool
+	Checkpoint    string
+	CheckpointSeq uint64
+	FinalHead     uint64
 }
 
 // Resync replays the recovery log into a replica from the given position
 // until it reaches the (moving) head. It returns when the replica has
 // caught up — or reports CaughtUp=false if MaxDuration elapsed first.
+// Replaying from below the compaction horizon fails with
+// recoverylog.ErrCompacted; use ResyncAuto to fall back to a checkpoint
+// clone automatically.
 func (p *Provisioner) Resync(rep *Replica, from uint64, opts ResyncOptions, maxDuration time.Duration) (*ResyncResult, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 8
 	}
 	if opts.BatchWait == 0 {
 		opts.BatchWait = 50 * time.Millisecond
+	}
+	if c := p.log.CompactedThrough(); from < c {
+		return nil, fmt.Errorf("%w: resync of %s from %d, compacted through %d (use ResyncAuto)",
+			recoverylog.ErrCompacted, rep.Name(), from, c)
 	}
 	session := rep.Engine().NewSession("resync")
 	defer session.Close()
@@ -114,6 +448,14 @@ func (p *Provisioner) Resync(rep *Replica, from uint64, opts ResyncOptions, maxD
 	pos := from
 	total := 0
 	deadline := start.Add(maxDuration)
+	// Pin the replay position for the duration of the resync: a concurrent
+	// Compact must never drop entries out from under an in-flight replay
+	// (registration alone has checkpoint granularity and cannot protect a
+	// replica replaying from below every checkpoint). The registration
+	// keeps the replica's checkpoint retained for later resyncs.
+	p.log.PinReplay(rep.Name(), pos)
+	defer p.log.Unpin(rep.Name())
+	p.log.Register(rep.Name(), pos)
 	for {
 		head := p.log.Head()
 		if pos >= head {
@@ -145,6 +487,8 @@ func (p *Provisioner) Resync(rep *Replica, from uint64, opts ResyncOptions, maxD
 		pos += uint64(n)
 		rep.appliedSeq.Store(pos)
 		rep.receivedSeq.Store(pos)
+		p.log.PinReplay(rep.Name(), pos)
+		p.log.Register(rep.Name(), pos)
 		if err != nil {
 			return nil, err
 		}
@@ -155,6 +499,72 @@ func (p *Provisioner) Resync(rep *Replica, from uint64, opts ResyncOptions, maxD
 			}, nil
 		}
 	}
+}
+
+// ResyncAuto resynchronizes a replica choosing the cheapest sound plan:
+//
+//   - a replica whose applied position is still covered by retained log
+//     entries replays only the tail from that position;
+//   - an empty replica, one below the compaction horizon, or one whose
+//     state must be discarded (ForceClone — e.g. a failed master with a
+//     diverged suffix) restores the newest payload checkpoint at or below
+//     its position (falling back to the latest checkpoint), resets its
+//     binlog to the checkpoint position so the replication position space
+//     stays aligned, and replays the tail from there.
+//
+// Either way the tail is strictly shorter than a full-log replay whenever a
+// checkpoint exists — the §4.4.2 catch-up-time fix.
+func (p *Provisioner) ResyncAuto(rep *Replica, opts ResyncOptions, maxDuration time.Duration) (*ResyncResult, error) {
+	pos := rep.AppliedSeq()
+	compacted := p.log.CompactedThrough()
+	_, _, haveCkpt := p.log.LatestCheckpoint()
+
+	clone := opts.ForceClone || pos < compacted || (pos == 0 && haveCkpt)
+	var ckptName string
+	var ckptSeq uint64
+	if clone {
+		name, seq, ok := p.log.NearestCheckpoint(pos)
+		if !ok || seq < compacted {
+			// No usable checkpoint at or below the replica's position (or it
+			// can no longer be tail-replayed forward): clone the latest.
+			name, seq, ok = p.log.LatestCheckpoint()
+		}
+		if !ok {
+			if pos < compacted || opts.ForceClone {
+				return nil, fmt.Errorf("core: resync of %s needs a checkpoint backup and none exists", rep.Name())
+			}
+			// Empty log, empty replica: nothing to clone, nothing to replay.
+			clone = false
+		} else {
+			payload, okp := p.log.CheckpointPayload(name)
+			if !okp {
+				return nil, fmt.Errorf("core: checkpoint %s has no payload", name)
+			}
+			b, err := engine.DecodeBackup(payload)
+			if err != nil {
+				return nil, fmt.Errorf("core: checkpoint %s: %w", name, err)
+			}
+			if err := rep.Engine().Restore(b); err != nil {
+				return nil, fmt.Errorf("core: clone %s from checkpoint %s: %w", rep.Name(), name, err)
+			}
+			// The restored engine continues the cluster's position space
+			// from the checkpoint; whatever its previous life had appended
+			// (including a diverged suffix) is rolled back with the state.
+			rep.Engine().Binlog().Reset(seq)
+			rep.appliedSeq.Store(seq)
+			rep.receivedSeq.Store(seq)
+			pos = seq
+			ckptName, ckptSeq = name, seq
+		}
+	}
+	res, err := p.Resync(rep, pos, opts, maxDuration)
+	if err != nil {
+		return nil, err
+	}
+	res.Cloned = clone
+	res.Checkpoint = ckptName
+	res.CheckpointSeq = ckptSeq
+	return res, nil
 }
 
 // applyLogEntry executes one recovery log entry on a session. Multi-

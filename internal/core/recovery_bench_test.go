@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/recoverylog"
+)
+
+// benchRecoverySetup builds a master with `total` committed inserts, a
+// recovery log mirroring its binlog, and a payload checkpoint at `ckptAt`.
+func benchRecoverySetup(b *testing.B, total, ckptAt int) (*MasterSlave, *Provisioner, uint64) {
+	b.Helper()
+	master := NewReplica(ReplicaConfig{Name: "m"})
+	ms := NewMasterSlave(master, nil, MasterSlaveConfig{ReadFromMaster: true})
+	b.Cleanup(ms.Close)
+	sess := ms.NewSession("bench")
+	b.Cleanup(sess.Close)
+	for _, sql := range []string{
+		"CREATE DATABASE shop", "USE shop",
+		"CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)",
+	} {
+		if _, err := sess.Exec(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+	prov := NewProvisioner(recoverylog.New())
+	record := func() {
+		events, _ := master.Engine().Binlog().ReadFrom(prov.Log().Head(), 0)
+		for _, ev := range events {
+			prov.RecordEvent(ev)
+		}
+	}
+	insert := func(from, to int) {
+		for i := from; i <= to; i++ {
+			if _, err := sess.Exec(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, %d)", i, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	insert(1, ckptAt)
+	record()
+	if _, err := prov.CheckpointBackup("snap", master, FaithfulBackup); err != nil {
+		b.Fatal(err)
+	}
+	insert(ckptAt+1, total)
+	record()
+	return ms, prov, prov.Log().Head()
+}
+
+// BenchmarkRecoveryResync compares the three ways a replacement replica can
+// be brought online (§4.4.2): full-log replay (the seed's only mode), cold
+// clone of a head backup (no tail, but the dump is taken from — and paid
+// for by — a live replica), and checkpoint + tail (restore the newest
+// checkpoint backup, replay only the suffix).
+func BenchmarkRecoveryResync(b *testing.B) {
+	const total, ckptAt = 2000, 1800
+	opts := ResyncOptions{BatchWait: time.Millisecond}
+
+	b.Run("full-log-replay", func(b *testing.B) {
+		_, prov, _ := benchRecoverySetup(b, total, ckptAt)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep := NewReplica(ReplicaConfig{Name: "r"})
+			if _, err := prov.Resync(rep, 0, opts, time.Minute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("checkpoint-tail", func(b *testing.B) {
+		_, prov, _ := benchRecoverySetup(b, total, ckptAt)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep := NewReplica(ReplicaConfig{Name: "r"})
+			res, err := prov.ResyncAuto(rep, opts, time.Minute)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Cloned {
+				b.Fatal("expected checkpoint clone")
+			}
+		}
+	})
+	b.Run("cold-clone", func(b *testing.B) {
+		ms, _, head := benchRecoverySetup(b, total, ckptAt)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// What the monitor's no-checkpoint fallback does: dump the live
+			// master (consuming its resources — the cost §4.4.2 checkpointed
+			// backups exist to avoid) and restore wholesale.
+			dump, err := ms.Master().Engine().Dump(engine.BackupOptions{
+				IncludeUsers: true, IncludeCode: true, IncludeSequences: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep := NewReplica(ReplicaConfig{Name: "r"})
+			if err := rep.Engine().Restore(dump); err != nil {
+				b.Fatal(err)
+			}
+			rep.Engine().Binlog().Reset(head)
+		}
+	})
+}

@@ -73,8 +73,13 @@ type DatabaseDump struct {
 // timestamp via MVCC (a "hot backup" that does not block writers).
 type Backup struct {
 	AtCommitTS uint64
-	Databases  []DatabaseDump
-	Users      []User
+	// AtSeq is the binlog position the snapshot reflects: every event with
+	// Seq <= AtSeq is included, none after (binlog appends happen under the
+	// engine write lock the dump shares). Replay resumes at AtSeq+1, which
+	// is what ties recovery-log checkpoints to backups.
+	AtSeq     uint64
+	Databases []DatabaseDump
+	Users     []User
 }
 
 // Dump takes a consistent snapshot at the current commit timestamp. It
@@ -85,7 +90,7 @@ func (e *Engine) Dump(opts BackupOptions) (*Backup, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	ts := e.clock
-	b := &Backup{AtCommitTS: ts}
+	b := &Backup{AtCommitTS: ts, AtSeq: e.binlog.Head()}
 
 	want := make(map[string]bool)
 	for _, n := range opts.Databases {

@@ -148,6 +148,18 @@ func (b *Binlog) ReadFrom(after uint64, max int) ([]Event, bool) {
 	return append([]Event(nil), out...), false
 }
 
+// Reset discards all events and restarts the sequence space so the next
+// append is assigned base+1. Recovery uses it after restoring a backup into
+// a replica: the restored engine's future commits must continue the
+// cluster's replication position space from the snapshot's position, not
+// from whatever this engine's previous life had appended.
+func (b *Binlog) Reset(base uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = nil
+	b.base = base
+}
+
 // Subscribe returns a channel receiving every event appended after the call,
 // plus an unsubscribe function. Events queue without bound between the
 // append and the receiver; the returned channel carries them in order.

@@ -4,9 +4,20 @@
 // executed; re-adding it replays the log from that checkpoint. Replay can be
 // serial (the mode whose catch-up time the paper criticizes) or parallel
 // with table-conflict scheduling.
+//
+// The log runs in two modes. New() is purely in-memory (the seed behaviour,
+// still what unit tests and single-run benchmarks want). Open(dir, opts)
+// backs the same API with segmented on-disk storage: appends stream into
+// segment files with batched fsync, checkpoints persist with an optional
+// payload (an encoded engine backup), and a crash-interrupted append is
+// healed on reload by truncating the torn tail. In both modes the footprint
+// is bounded for the first time: Compact drops whole segments (and their
+// in-memory entries) below the oldest checkpoint still needed by any
+// registered replica.
 package recoverylog
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -21,44 +32,157 @@ type Entry struct {
 	DDL    bool
 }
 
-// Log is an in-memory recovery log. Safe for concurrent use.
+// checkpointRec is a named log position, optionally carrying the encoded
+// backup snapshot taken at that position (the clone base for replicas too
+// stale for tail replay).
+type checkpointRec struct {
+	Name    string
+	Seq     uint64
+	Payload []byte
+}
+
+// ErrCompacted is returned when a replay or read references entries that
+// compaction has already dropped; the caller must clone a checkpoint backup
+// instead (Provisioner.ResyncAuto does exactly that).
+var ErrCompacted = errors.New("recoverylog: position below compaction horizon")
+
+// Log is a recovery log, in-memory or disk-backed. Safe for concurrent use.
 type Log struct {
 	mu          sync.Mutex
-	entries     []Entry
-	checkpoints map[string]uint64
+	entries     []Entry // retained entries; entries[0].Seq == base+1
+	base        uint64  // entries at or below base were compacted away
+	checkpoints map[string]*checkpointRec
+	replicas    map[string]uint64 // registered replica -> applied position
+	pins        map[string]uint64 // in-flight replays -> replay position
+	store       *diskStore        // nil in memory-only mode
+	ioErr       error             // first storage failure, sticky
 }
 
-// New creates an empty log.
+// New creates an empty in-memory log.
 func New() *Log {
-	return &Log{checkpoints: make(map[string]uint64)}
+	return &Log{
+		checkpoints: make(map[string]*checkpointRec),
+		replicas:    make(map[string]uint64),
+		pins:        make(map[string]uint64),
+	}
 }
 
-// Append records an update and returns its sequence number.
-func (l *Log) Append(stmts []string, tables []string, ddl bool) uint64 {
+// Open creates (or reloads) a disk-backed log in dir. An interrupted append
+// leaves a torn record at the tail of the last segment; reload truncates it
+// — committed entries before it survive, the torn one is gone, matching what
+// its commit acknowledgement (never sent) promised. Corruption anywhere
+// else is reported as an error, never a panic.
+func Open(dir string, opts Options) (*Log, error) {
+	store, entries, base, ckpts, err := openStore(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	l := New()
+	l.entries = entries
+	l.base = base
+	l.checkpoints = ckpts
+	l.store = store
+	return l, nil
+}
+
+// Close flushes and closes the backing store (no-op in memory mode).
+func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	seq := uint64(len(l.entries)) + 1
-	l.entries = append(l.entries, Entry{
+	if l.store == nil {
+		return l.ioErr
+	}
+	err := l.store.close()
+	if l.ioErr == nil {
+		l.ioErr = err
+	}
+	return err
+}
+
+// Sync forces pending appends to disk (no-op in memory mode).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.store == nil {
+		return nil
+	}
+	if err := l.store.sync(); err != nil && l.ioErr == nil {
+		l.ioErr = err
+	}
+	return l.ioErr
+}
+
+// Err returns the first storage error the log has hit (nil when healthy).
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ioErr
+}
+
+// Append records an update and returns its sequence number. Storage errors
+// are sticky and reported by Err; callers that must not lose acknowledged
+// durability use AppendEntry.
+func (l *Log) Append(stmts []string, tables []string, ddl bool) uint64 {
+	seq, _ := l.AppendEntry(stmts, tables, ddl)
+	return seq
+}
+
+// AppendEntry records an update, returning its sequence number and any
+// storage error (the entry is always retained in memory).
+func (l *Log) AppendEntry(stmts []string, tables []string, ddl bool) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := l.base + uint64(len(l.entries)) + 1
+	e := Entry{
 		Seq:    seq,
 		Stmts:  append([]string(nil), stmts...),
 		Tables: append([]string(nil), tables...),
 		DDL:    ddl,
-	})
-	return seq
+	}
+	l.entries = append(l.entries, e)
+	if l.store != nil {
+		if err := l.store.appendEntry(e); err != nil && l.ioErr == nil {
+			l.ioErr = err
+		}
+	}
+	return seq, l.ioErr
 }
 
 // Head returns the last assigned sequence number (0 when empty).
 func (l *Log) Head() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return uint64(len(l.entries))
+	return l.base + uint64(len(l.entries))
 }
 
-// Len returns the number of entries.
+// Len returns the number of retained entries (compacted entries excluded).
 func (l *Log) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.entries)
+}
+
+// CompactedThrough returns the highest sequence number dropped by
+// compaction; entries at or below it are gone (0 = nothing dropped).
+func (l *Log) CompactedThrough() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// Segments reports how many on-disk segment files back the log (0 in
+// memory mode); compaction tests assert it shrinks.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.store == nil {
+		return 0
+	}
+	return len(l.store.segs)
 }
 
 // Checkpoint names the current head ("insert a checkpoint pointing to the
@@ -66,8 +190,8 @@ func (l *Log) Len() int {
 func (l *Log) Checkpoint(name string) uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	seq := uint64(len(l.entries))
-	l.checkpoints[name] = seq
+	seq := l.base + uint64(len(l.entries))
+	l.addCheckpointLocked(&checkpointRec{Name: name, Seq: seq})
 	return seq
 }
 
@@ -75,15 +199,51 @@ func (l *Log) Checkpoint(name string) uint64 {
 func (l *Log) CheckpointAt(name string, seq uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.checkpoints[name] = seq
+	l.addCheckpointLocked(&checkpointRec{Name: name, Seq: seq})
+}
+
+// AddCheckpoint records a named position together with its snapshot payload
+// (an encoded engine backup). Payload checkpoints are the clone bases
+// compaction retains and ResyncAuto restores from.
+func (l *Log) AddCheckpoint(name string, seq uint64, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.addCheckpointLocked(&checkpointRec{
+		Name: name, Seq: seq, Payload: append([]byte(nil), payload...),
+	})
+	return l.ioErr
+}
+
+func (l *Log) addCheckpointLocked(c *checkpointRec) {
+	l.checkpoints[c.Name] = c
+	if l.store != nil {
+		if err := l.store.saveCheckpoints(l.checkpoints); err != nil && l.ioErr == nil {
+			l.ioErr = err
+		}
+	}
 }
 
 // CheckpointSeq resolves a checkpoint name.
 func (l *Log) CheckpointSeq(name string) (uint64, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	seq, ok := l.checkpoints[name]
-	return seq, ok
+	c, ok := l.checkpoints[name]
+	if !ok {
+		return 0, false
+	}
+	return c.Seq, true
+}
+
+// CheckpointPayload returns the snapshot payload stored with a checkpoint
+// (nil, false when the checkpoint is position-only or unknown).
+func (l *Log) CheckpointPayload(name string) ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c, ok := l.checkpoints[name]
+	if !ok || c.Payload == nil {
+		return nil, false
+	}
+	return append([]byte(nil), c.Payload...), true
 }
 
 // Checkpoints lists checkpoint names sorted by position.
@@ -95,22 +255,234 @@ func (l *Log) Checkpoints() []string {
 		names = append(names, n)
 	}
 	sort.Slice(names, func(i, j int) bool {
-		if l.checkpoints[names[i]] == l.checkpoints[names[j]] {
+		if l.checkpoints[names[i]].Seq == l.checkpoints[names[j]].Seq {
 			return names[i] < names[j]
 		}
-		return l.checkpoints[names[i]] < l.checkpoints[names[j]]
+		return l.checkpoints[names[i]].Seq < l.checkpoints[names[j]].Seq
 	})
 	return names
 }
 
-// ReadFrom returns entries with Seq > after, up to max (0 = all).
+// NearestCheckpoint returns the newest payload-bearing checkpoint at or
+// below pos — the cheapest clone base for a replica whose applied position
+// is pos. ok is false when no payload checkpoint qualifies.
+func (l *Log) NearestCheckpoint(pos uint64) (name string, seq uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pickCheckpointLocked(pos)
+}
+
+// LatestCheckpoint returns the newest payload-bearing checkpoint.
+func (l *Log) LatestCheckpoint() (name string, seq uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pickCheckpointLocked(^uint64(0))
+}
+
+func (l *Log) pickCheckpointLocked(pos uint64) (string, uint64, bool) {
+	var bestName string
+	var bestSeq uint64
+	found := false
+	for n, c := range l.checkpoints {
+		if c.Payload == nil || c.Seq > pos {
+			continue
+		}
+		if !found || c.Seq > bestSeq || (c.Seq == bestSeq && n < bestName) {
+			bestName, bestSeq, found = n, c.Seq, true
+		}
+	}
+	return bestName, bestSeq, found
+}
+
+// Register records a replica's applied position. Compaction never drops the
+// checkpoint a registered replica would restore from, so a registered
+// replica can always resync via checkpoint + tail instead of a cold clone.
+func (l *Log) Register(replica string, pos uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.replicas[replica] = pos
+}
+
+// Deregister forgets a replica; its positions no longer pin segments.
+func (l *Log) Deregister(replica string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.replicas, replica)
+}
+
+// PinReplay marks an in-flight replay at pos: compaction will not drop any
+// entry above pos until Unpin, regardless of checkpoints. Registration
+// alone cannot give that guarantee — a replica positioned below every
+// payload checkpoint does not hold the floor (by design, or stale replicas
+// would make the log unbounded again), but a replay actively running there
+// must not have its entries dropped mid-stream. Pins are transient: they
+// live for one resync, advancing as it advances.
+func (l *Log) PinReplay(name string, pos uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pins[name] = pos
+}
+
+// Unpin removes a replay pin.
+func (l *Log) Unpin(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.pins, name)
+}
+
+// Registered returns the known replica positions.
+func (l *Log) Registered() map[string]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.replicas))
+	for k, v := range l.replicas {
+		out[k] = v
+	}
+	return out
+}
+
+// Compact drops entries (and, on disk, whole segments) no resync can ever
+// need: everything at or below the oldest checkpoint still needed by a
+// registered replica. A replica at position p restores from the newest
+// payload checkpoint ≤ p (or clones the latest checkpoint outright when it
+// is older than every checkpoint), so entries below that floor are dead.
+// Without a payload checkpoint nothing is dropped — the log is the only
+// recovery source. Returns how many entries were dropped.
+func (l *Log) Compact() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, latest, ok := l.pickCheckpointLocked(^uint64(0))
+	if !ok {
+		return 0, nil
+	}
+	floor := latest
+	for _, pos := range l.replicas {
+		if _, seq, ok := l.pickCheckpointLocked(pos); ok {
+			if seq < floor {
+				floor = seq
+			}
+		}
+		// A replica below every checkpoint will clone the latest one; its
+		// position holds nothing.
+	}
+	// In-flight replays pin their position absolutely: dropping entries out
+	// from under a running tail replay would abort it with ErrCompacted.
+	for _, pos := range l.pins {
+		if pos < floor {
+			floor = pos
+		}
+	}
+	if floor <= l.base {
+		return 0, nil
+	}
+	if l.store != nil {
+		// Segment granularity: drop only segments entirely below the floor.
+		newBase, err := l.store.compactBelow(floor)
+		if err != nil {
+			if l.ioErr == nil {
+				l.ioErr = err
+			}
+			return 0, err
+		}
+		floor = newBase
+		if floor <= l.base {
+			return 0, nil
+		}
+	}
+	dropped := int(floor - l.base)
+	if dropped > len(l.entries) {
+		dropped = len(l.entries)
+	}
+	l.entries = append([]Entry(nil), l.entries[dropped:]...)
+	l.base = floor
+	return dropped, nil
+}
+
+// TruncateTail discards every entry above `to` — the lost-suffix repair a
+// failover needs: transactions the old master logged but the promoted slave
+// never applied "never happened" in the new position space. Checkpoints
+// above the new head are dropped with them.
+func (l *Log) TruncateTail(to uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	head := l.base + uint64(len(l.entries))
+	if to >= head {
+		return nil
+	}
+	if to < l.base {
+		return fmt.Errorf("%w: truncate to %d, compacted through %d", ErrCompacted, to, l.base)
+	}
+	l.entries = append([]Entry(nil), l.entries[:to-l.base]...)
+	changedCkpt := false
+	for name, c := range l.checkpoints {
+		if c.Seq > to {
+			delete(l.checkpoints, name)
+			changedCkpt = true
+		}
+	}
+	if l.store != nil {
+		if err := l.store.truncateTail(to, l.entries); err != nil {
+			if l.ioErr == nil {
+				l.ioErr = err
+			}
+			return err
+		}
+		if changedCkpt {
+			if err := l.store.saveCheckpoints(l.checkpoints); err != nil {
+				if l.ioErr == nil {
+					l.ioErr = err
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ResetTo discards every entry and checkpoint and restarts the log at the
+// given base (the next append is assigned base+1). Failover uses it when
+// the retained log cannot be truncated back to the promoted position
+// (compaction already advanced past it): everything retained belongs to the
+// lost lineage, so the only sound log is an empty one re-based at the new
+// master's position — immediately followed by a fresh checkpoint backup so
+// the log has a clone base again.
+func (l *Log) ResetTo(base uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = nil
+	l.base = base
+	l.checkpoints = make(map[string]*checkpointRec)
+	if l.store != nil {
+		if err := l.store.reset(); err != nil {
+			if l.ioErr == nil {
+				l.ioErr = err
+			}
+			return err
+		}
+		if err := l.store.saveCheckpoints(l.checkpoints); err != nil {
+			if l.ioErr == nil {
+				l.ioErr = err
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrom returns entries with Seq > after, up to max (0 = all). Positions
+// below the compaction horizon return nothing; check CompactedThrough when
+// an expected backlog comes back empty.
 func (l *Log) ReadFrom(after uint64, max int) []Entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if after >= uint64(len(l.entries)) {
+	if after < l.base {
 		return nil
 	}
-	out := l.entries[after:]
+	idx := int(after - l.base)
+	if idx >= len(l.entries) {
+		return nil
+	}
+	out := l.entries[idx:]
 	if max > 0 && len(out) > max {
 		out = out[:max]
 	}
@@ -125,7 +497,11 @@ type Apply func(Entry) error
 // which "a new replica may never catch up if the workload is update-heavy".
 // It returns how many entries applied before stopping; on error that count
 // is the contiguous applied prefix, so after+n is the exact resume position.
+// Replaying from below the compaction horizon fails with ErrCompacted.
 func (l *Log) ReplaySerial(after, to uint64, apply Apply) (int, error) {
+	if c := l.CompactedThrough(); after < c {
+		return 0, fmt.Errorf("%w: replay from %d, compacted through %d", ErrCompacted, after, c)
+	}
 	n := 0
 	for _, e := range l.ReadFrom(after, 0) {
 		if e.Seq > to {
@@ -151,6 +527,9 @@ func (l *Log) ReplaySerial(after, to uint64, apply Apply) (int, error) {
 // in-flight ones); a resumption re-applies them, which is the same
 // re-execution exposure a mid-transaction crash already has.
 func (l *Log) ReplayParallel(after, to uint64, workers int, apply Apply) (int, error) {
+	if c := l.CompactedThrough(); after < c {
+		return 0, fmt.Errorf("%w: replay from %d, compacted through %d", ErrCompacted, after, c)
+	}
 	if workers < 1 {
 		workers = 1
 	}
