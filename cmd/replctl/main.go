@@ -1,11 +1,14 @@
 // Command replctl is a wire-protocol client: it connects to a repld (or any
 // wire server) and executes SQL statements, printing results as aligned
 // text. With no statement arguments it reads statements from stdin, one per
-// line.
+// line. When the first statement argument contains ? placeholders, the
+// remaining arguments are bound to them as values (integers and floats are
+// inferred; everything else binds as text).
 //
 // Usage:
 //
 //	replctl -addr 127.0.0.1:5455 -db shop "SELECT * FROM items"
+//	replctl -addr 127.0.0.1:5455 -db shop "SELECT * FROM items WHERE id = ?" 42
 //	echo "SHOW DATABASES" | replctl -addr 127.0.0.1:5455
 package main
 
@@ -15,9 +18,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
 	"repro/internal/wire"
 )
 
@@ -26,6 +32,7 @@ func main() {
 	db := flag.String("db", "", "database to USE on connect")
 	user := flag.String("user", "replctl", "user name")
 	password := flag.String("password", "", "password")
+	consistency := flag.String("consistency", "", "read consistency override: any | session | strong (issues SET CONSISTENCY)")
 	heartbeat := flag.Duration("heartbeat", 250*time.Millisecond, "driver heartbeat interval (0 = rely on keepalive timeouts)")
 	flag.Parse()
 
@@ -37,13 +44,18 @@ func main() {
 		log.Fatalf("replctl: connect: %v", err)
 	}
 	defer conn.Close()
+	if *consistency != "" {
+		if _, err := conn.Exec("SET CONSISTENCY " + strings.ToUpper(*consistency)); err != nil {
+			log.Fatalf("replctl: set consistency: %v", err)
+		}
+	}
 
-	run := func(sql string) {
+	run := func(sql string, args ...sqltypes.Value) {
 		sql = strings.TrimSpace(sql)
 		if sql == "" {
 			return
 		}
-		resp, err := conn.Exec(sql)
+		resp, err := conn.Exec(sql, args...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			return
@@ -52,6 +64,20 @@ func main() {
 	}
 
 	if flag.NArg() > 0 {
+		first := flag.Arg(0)
+		// Bind mode only when the statement actually declares placeholders
+		// (a '?' inside a string literal is not one) — otherwise every
+		// argument is its own statement, as before.
+		if flag.NArg() > 1 {
+			if st, err := sqlparse.Parse(first); err == nil && sqlparse.CountParams(st) > 0 {
+				args := make([]sqltypes.Value, 0, flag.NArg()-1)
+				for _, raw := range flag.Args()[1:] {
+					args = append(args, inferValue(raw))
+				}
+				run(first, args...)
+				return
+			}
+		}
 		for _, sql := range flag.Args() {
 			run(sql)
 		}
@@ -61,6 +87,21 @@ func main() {
 	for scanner.Scan() {
 		run(scanner.Text())
 	}
+}
+
+// inferValue maps a CLI argument to a SQL value: integer, float, NULL or
+// text.
+func inferValue(raw string) sqltypes.Value {
+	if raw == "NULL" {
+		return sqltypes.Null
+	}
+	if i, err := strconv.ParseInt(raw, 10, 64); err == nil {
+		return sqltypes.NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(raw, 64); err == nil {
+		return sqltypes.NewFloat(f)
+	}
+	return sqltypes.NewString(raw)
 }
 
 func printResponse(resp *wire.Response) {

@@ -1,134 +1,234 @@
-// Command repld is the replication middleware daemon: it builds a
-// master-slave cluster of embedded replicas and serves it over the wire
-// protocol, so any wire client (cmd/replctl, application drivers) can use
-// the replicated database as a single logical endpoint (Figure 7's
-// deployment).
+// Command repld is the replication middleware daemon: it builds a cluster
+// of embedded replicas — master-slave, multi-master or partitioned — and
+// serves it over the wire protocol, so any wire client (cmd/replctl,
+// application drivers, database/sql via replication/sqldriver) can use the
+// replicated database as a single logical endpoint (Figure 7's deployment).
+// The served surface is identical across topologies: the daemon talks to
+// the cluster only through the unified Cluster/Conn API.
 //
-// With -data-dir the cluster is durable: every committed transaction is
-// recorded into a segmented recovery log with periodic checkpoint backups,
-// and a restarted daemon recovers all previously committed state from disk
-// (newest checkpoint + log tail). The monitor fails over automatically and
-// rejoins a recovered master as a slave.
+// With -topology ms and -data-dir the cluster is durable: every committed
+// transaction is recorded into a segmented recovery log with periodic
+// checkpoint backups, and a restarted daemon recovers all previously
+// committed state from disk (newest checkpoint + log tail). The monitor
+// fails over automatically and rejoins a recovered master as a slave.
+//
+// With -auth user:password the engines require authentication and the wire
+// server rejects bad credentials (the credential check is delegated to the
+// cluster, not short-circuited at the daemon).
 //
 // Usage:
 //
 //	repld -listen 127.0.0.1:5455 -slaves 2 -consistency session \
 //	      -data-dir /var/lib/repld
+//	repld -topology mm -replicas 3
+//	repld -topology partitioned -partitions 4 -partition-rules orders:id
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
-	"repro/internal/sqltypes"
 	"repro/internal/wire"
 	"repro/replication"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5455", "wire protocol listen address")
-	slaves := flag.Int("slaves", 2, "number of slave replicas")
+	topology := flag.String("topology", "ms", "cluster topology: ms | mm | partitioned")
+	slaves := flag.Int("slaves", 2, "slave replicas (per partition for -topology partitioned)")
+	replicas := flag.Int("replicas", 3, "replicas for -topology mm")
+	partitions := flag.Int("partitions", 2, "partition count for -topology partitioned")
+	partitionRules := flag.String("partition-rules", "", "comma list of table:column hash-partitioned tables (-topology partitioned)")
+	mmMode := flag.String("mm-mode", "statement", "multi-master replication mode: statement | certification")
 	consistency := flag.String("consistency", "session", "read consistency: any | session | strong")
-	twoSafe := flag.Bool("two-safe", false, "wait for slave receipt before acking commits")
+	twoSafe := flag.Bool("two-safe", false, "wait for slave receipt before acking commits (ms)")
 	readCost := flag.Duration("read-cost", 0, "modelled per-read service time")
 	writeCost := flag.Duration("write-cost", 0, "modelled per-write service time")
-	monitorEvery := flag.Duration("monitor", 10*time.Millisecond, "health monitor poll interval")
+	monitorEvery := flag.Duration("monitor", 10*time.Millisecond, "health monitor poll interval (ms)")
 	queryCache := flag.Int("query-cache", 4096, "query result cache entries (0 disables)")
-	dataDir := flag.String("data-dir", "", "recovery log directory; empty runs in-memory (nothing survives restart)")
+	auth := flag.String("auth", "", "user:password required on connect (enables engine RequireAuth)")
+	dataDir := flag.String("data-dir", "", "recovery log directory (ms only); empty runs in-memory")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "committed events between automatic checkpoint backups (<0 disables)")
 	segmentEntries := flag.Int("segment-entries", 1024, "recovery log entries per segment file")
 	fsyncEvery := flag.Int("fsync-every", 64, "batch size between recovery log fsyncs (1 = every commit)")
 	flag.Parse()
 
-	var cons replication.MasterSlaveConfig
-	switch *consistency {
-	case "any":
-		cons.Consistency = replication.ReadAny
-	case "session":
-		cons.Consistency = replication.SessionConsistent
-	case "strong":
-		cons.Consistency = replication.StrongConsistent
-	default:
-		log.Fatalf("unknown consistency %q", *consistency)
-	}
-	if *twoSafe {
-		cons.Safety = replication.TwoSafe
-	}
-	cons.TransparentFailover = true
-	var qc *replication.QueryCache
-	if *queryCache > 0 {
-		qc = replication.NewQueryCache(replication.QueryCacheConfig{MaxEntries: *queryCache})
-		cons.QueryCache = qc
-	}
-
-	cluster, err := replication.OpenDurable(replication.DurableConfig{
-		Dir:             *dataDir,
-		Log:             replication.RecoveryLogOptions{SegmentEntries: *segmentEntries, FsyncEvery: *fsyncEvery},
-		Slaves:          *slaves,
-		Replica:         replication.ReplicaConfig{ReadCost: *readCost, WriteCost: *writeCost},
-		Cluster:         cons,
-		CheckpointEvery: *checkpointEvery,
-		MonitorInterval: *monitorEvery,
-	})
+	cons, err := replication.ParseConsistency(*consistency)
 	if err != nil {
 		log.Fatalf("repld: %v", err)
 	}
+	authUser, authPass := "", ""
+	if *auth != "" {
+		var ok bool
+		authUser, authPass, ok = strings.Cut(*auth, ":")
+		if !ok || authUser == "" {
+			log.Fatalf("repld: -auth wants user:password, got %q", *auth)
+		}
+	}
+	replicaTpl := replication.ReplicaConfig{ReadCost: *readCost, WriteCost: *writeCost}
+	replicaTpl.Engine.RequireAuth = authUser != ""
 
-	srv, err := wire.NewServer(*listen, clusterBackend{cluster.Cluster()})
+	var qc *replication.QueryCache
+	if *queryCache > 0 {
+		qc = replication.NewQueryCache(replication.QueryCacheConfig{MaxEntries: *queryCache})
+	}
+
+	// createAuthUser registers the -auth principal (with a grant on every
+	// database) on one replica's engine. Access control is deliberately
+	// not replicated (§4.1.5), so it runs per engine. A durable restart
+	// restores users from the checkpoint backup (FaithfulBackup includes
+	// them), so an already-existing principal is expected — it just gets
+	// its password refreshed to match the current flag.
+	createAuthUser := func(r *replication.Replica) {
+		if authUser == "" {
+			return
+		}
+		if err := r.Engine().CreateUser(authUser, authPass); err != nil {
+			if err := r.Engine().SetPassword(authUser, authPass); err != nil {
+				log.Fatalf("repld: create auth user on %s: %v", r.Name(), err)
+			}
+		}
+		if err := r.Engine().Grant("*", authUser); err != nil {
+			log.Fatalf("repld: grant auth user on %s: %v", r.Name(), err)
+		}
+	}
+
+	var cluster replication.Cluster
+	var durable *replication.DurableCluster
+	switch *topology {
+	case "ms":
+		msCfg := replication.MasterSlaveConfig{Consistency: cons, TransparentFailover: true, QueryCache: qc}
+		if *twoSafe {
+			msCfg.Safety = replication.TwoSafe
+		}
+		durable, err = replication.OpenDurable(replication.DurableConfig{
+			Dir:             *dataDir,
+			Log:             replication.RecoveryLogOptions{SegmentEntries: *segmentEntries, FsyncEvery: *fsyncEvery},
+			Slaves:          *slaves,
+			Replica:         replicaTpl,
+			Cluster:         msCfg,
+			CheckpointEvery: *checkpointEvery,
+			MonitorInterval: *monitorEvery,
+		})
+		if err != nil {
+			log.Fatalf("repld: %v", err)
+		}
+		ms := durable.Cluster()
+		createAuthUser(ms.Master())
+		for _, sl := range ms.Slaves() {
+			createAuthUser(sl)
+		}
+		cluster = ms
+	case "mm":
+		if *dataDir != "" {
+			log.Fatalf("repld: -data-dir durability is master-slave only (use -topology ms)")
+		}
+		reps := make([]*replication.Replica, *replicas)
+		for i := range reps {
+			tpl := replicaTpl
+			tpl.Name = fmt.Sprintf("node-%d", i+1)
+			reps[i] = replication.NewReplica(tpl)
+			createAuthUser(reps[i])
+		}
+		mmCfg := replication.MultiMasterConfig{Consistency: cons, QueryCache: qc}
+		switch *mmMode {
+		case "statement":
+			mmCfg.Mode = replication.StatementMode
+		case "certification":
+			mmCfg.Mode = replication.CertificationMode
+		default:
+			log.Fatalf("repld: unknown -mm-mode %q", *mmMode)
+		}
+		mm, err := replication.NewMultiMaster(reps,
+			[]replication.Orderer{replication.NewLocalOrderer()}, mmCfg)
+		if err != nil {
+			log.Fatalf("repld: %v", err)
+		}
+		cluster = mm
+	case "partitioned":
+		if *dataDir != "" {
+			log.Fatalf("repld: -data-dir durability is master-slave only (use -topology ms)")
+		}
+		parts := make([]*replication.MasterSlave, *partitions)
+		for i := range parts {
+			tpl := replicaTpl
+			tpl.Name = fmt.Sprintf("p%d-master", i)
+			master := replication.NewReplica(tpl)
+			createAuthUser(master)
+			sls := make([]*replication.Replica, *slaves)
+			for j := range sls {
+				stpl := replicaTpl
+				stpl.Name = fmt.Sprintf("p%d-slave-%d", i, j+1)
+				sls[j] = replication.NewReplica(stpl)
+				createAuthUser(sls[j])
+			}
+			parts[i] = replication.NewMasterSlave(master, sls, replication.MasterSlaveConfig{
+				Consistency: cons, TransparentFailover: true, QueryCache: qc,
+			})
+		}
+		var rules []*replication.PartitionRule
+		if *partitionRules != "" {
+			for _, spec := range strings.Split(*partitionRules, ",") {
+				table, column, ok := strings.Cut(strings.TrimSpace(spec), ":")
+				if !ok || table == "" || column == "" {
+					log.Fatalf("repld: -partition-rules wants table:column, got %q", spec)
+				}
+				rules = append(rules, &replication.PartitionRule{
+					Table: table, Column: column, Strategy: replication.HashPartition,
+				})
+			}
+		}
+		pc, err := replication.NewPartitioned(parts, rules)
+		if err != nil {
+			log.Fatalf("repld: %v", err)
+		}
+		cluster = pc
+	default:
+		log.Fatalf("repld: unknown -topology %q (want ms, mm or partitioned)", *topology)
+	}
+
+	srv, err := wire.NewServer(*listen, &wire.ClusterBackend{Cluster: cluster})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	durability := "ephemeral"
-	if *dataDir != "" {
-		durability = *dataDir
+	h := cluster.Health()
+	extra := ""
+	if durable != nil {
+		durability := "ephemeral"
+		if *dataDir != "" {
+			durability = *dataDir
+		}
+		extra = fmt.Sprintf(" data-dir=%s recovered-through=%d", durability, durable.RecoveryLog().Head())
 	}
-	log.Printf("repld: serving %d-replica cluster on %s (consistency=%s two-safe=%v query-cache=%d data-dir=%s recovered-through=%d)",
-		*slaves+1, srv.Addr(), *consistency, *twoSafe, *queryCache, durability, cluster.RecoveryLog().Head())
+	log.Printf("repld: serving %s cluster on %s (%s consistency=%s auth=%v query-cache=%d%s)",
+		*topology, srv.Addr(), h, *consistency, authUser != "", *queryCache, extra)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	mon := cluster.Monitor()
-	log.Printf("repld: shutting down; availability: %s failovers=%d rejoins=%d log-head=%d",
-		mon.Availability(), mon.Failovers(), mon.Rejoins(), cluster.RecoveryLog().Head())
+	if durable != nil {
+		mon := durable.Monitor()
+		log.Printf("repld: shutting down; availability: %s failovers=%d rejoins=%d log-head=%d",
+			mon.Availability(), mon.Failovers(), mon.Rejoins(), durable.RecoveryLog().Head())
+	} else {
+		log.Printf("repld: shutting down; health: %s", cluster.Health())
+	}
 	if qc != nil {
 		st := qc.Stats()
 		log.Printf("repld: query cache: hits=%d misses=%d puts=%d invalidations=%d evictions=%d",
 			st.Hits, st.Misses, st.Puts, st.InvalidationEvents, st.Evictions)
 	}
-	if err := cluster.Close(); err != nil {
-		log.Printf("repld: close: %v", err)
-	}
-}
-
-// clusterBackend adapts the master-slave cluster to the wire protocol.
-type clusterBackend struct{ ms *replication.MasterSlave }
-
-func (b clusterBackend) Authenticate(user, password string) error { return nil }
-
-func (b clusterBackend) OpenSession(user, database string) (wire.SessionHandler, error) {
-	s := b.ms.NewSession(user)
-	if database != "" {
-		if _, err := s.Exec("USE " + database); err != nil {
-			s.Close()
-			return nil, err
+	if durable != nil {
+		if err := durable.Close(); err != nil {
+			log.Printf("repld: close: %v", err)
 		}
+	} else {
+		cluster.Close()
 	}
-	return clusterSession{s}, nil
 }
-
-type clusterSession struct{ s *replication.MSSession }
-
-func (cs clusterSession) Exec(sql string, args []sqltypes.Value) (*wire.Response, error) {
-	res, err := cs.s.Exec(sql)
-	if err != nil {
-		return nil, err
-	}
-	return wire.FromEngineResult(res), nil
-}
-
-func (cs clusterSession) Close() { cs.s.Close() }

@@ -45,9 +45,8 @@ func main() {
 		log.Fatal(err)
 	}
 	mix := workload.TicketBroker(200)
-	if err := mix.Setup(workload.ClientFunc(func(sql string) (*replication.Result, error) {
-		return boot.Exec(sql)
-	}), 200); err != nil {
+	// Router sessions implement the uniform Exec contract directly.
+	if err := mix.Setup(boot, 200); err != nil {
 		log.Fatal(err)
 	}
 	boot.Close()
@@ -65,9 +64,7 @@ func main() {
 		if _, err := s.Exec("USE broker"); err != nil {
 			return nil, err
 		}
-		return workload.ClientFunc(func(sql string) (*replication.Result, error) {
-			return s.Exec(sql)
-		}), nil
+		return s, nil
 	}
 	res, err := workload.RunClosed(mkClient, 8, mix, time.Second)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/sqltypes"
 	"repro/internal/workload"
 )
 
@@ -119,11 +120,13 @@ func setupMSCost(nSlaves int, cfg core.MasterSlaveConfig, keys int, cost bool) (
 }
 
 type execer interface {
-	Exec(sql string) (*engine.Result, error)
+	Exec(sql string, args ...sqltypes.Value) (*engine.Result, error)
 }
 
 func clientOf(e execer) workload.Client {
-	return workload.ClientFunc(func(sql string) (*engine.Result, error) { return e.Exec(sql) })
+	return workload.ClientFunc(func(sql string, args ...sqltypes.Value) (*engine.Result, error) {
+		return e.Exec(sql, args...)
+	})
 }
 
 func msClientFactory(ms *core.MasterSlave) func(int) (workload.Client, error) {

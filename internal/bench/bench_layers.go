@@ -79,8 +79,8 @@ func F5EngineIntercept(opts Options) ([]Row, error) {
 // wireClient adapts a wire connection to the workload Client interface.
 type wireClient struct{ c *wire.Conn }
 
-func (w wireClient) Exec(sql string) (*engine.Result, error) {
-	resp, err := w.c.Exec(sql)
+func (w wireClient) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error) {
+	resp, err := w.c.Exec(sql, args...)
 	if err != nil {
 		return nil, err
 	}
@@ -136,39 +136,10 @@ func F6ProtocolProxy(opts Options) ([]Row, error) {
 	}, nil
 }
 
-// msBackend adapts a master-slave cluster to the wire Backend interface —
-// the JDBC-style driver interception of Figure 7: clients speak the
-// middleware protocol; the middleware fans out to replicas.
-type msBackend struct{ ms *core.MasterSlave }
-
-func (b msBackend) Authenticate(user, password string) error { return nil }
-
-func (b msBackend) OpenSession(user, database string) (wire.SessionHandler, error) {
-	s := b.ms.NewSession(user)
-	if database != "" {
-		if _, err := s.Exec("USE " + database); err != nil {
-			s.Close()
-			return nil, err
-		}
-	}
-	return msWireSession{s}, nil
-}
-
-type msWireSession struct{ s *core.MSSession }
-
-func (w msWireSession) Exec(sql string, args []sqltypes.Value) (*wire.Response, error) {
-	res, err := w.s.Exec(sql)
-	if err != nil {
-		return nil, err
-	}
-	return wire.FromEngineResult(res), nil
-}
-
-func (w msWireSession) Close() { w.s.Close() }
-
 // F7DriverIntercept measures driver-level (JDBC-style, Figure 7)
 // interception: the client's driver speaks the middleware protocol over
-// TCP; the middleware routes to replicas in-process.
+// TCP; the middleware routes to replicas in-process. The cluster is served
+// through the generic wire.ClusterBackend, exactly like cmd/repld.
 func F7DriverIntercept(opts Options) ([]Row, error) {
 	opts = opts.fill()
 	const keys = 50
@@ -177,7 +148,7 @@ func F7DriverIntercept(opts Options) ([]Row, error) {
 		return nil, err
 	}
 	defer ms.Close()
-	srv, err := wire.NewServer("127.0.0.1:0", msBackend{ms})
+	srv, err := wire.NewServer("127.0.0.1:0", &wire.ClusterBackend{Cluster: ms})
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +216,7 @@ func F8LayerAblation(opts Options) ([]Row, error) {
 	}
 
 	// Layer 4: + wire protocol in front of the replicated cluster.
-	srv, err := wire.NewServer("127.0.0.1:0", msBackend{ms2})
+	srv, err := wire.NewServer("127.0.0.1:0", &wire.ClusterBackend{Cluster: ms2})
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/sqltypes"
 )
 
 // ---- helpers ----
@@ -65,7 +66,7 @@ func waitCaughtUp(t *testing.T, ms *MasterSlave) {
 	t.Fatalf("slaves never caught up: %v", ms.SlaveLag())
 }
 
-func mustExecC(t *testing.T, exec func(string) (*engine.Result, error), sql string) *engine.Result {
+func mustExecC(t *testing.T, exec func(string, ...sqltypes.Value) (*engine.Result, error), sql string) *engine.Result {
 	t.Helper()
 	res, err := exec(sql)
 	if err != nil {
@@ -625,11 +626,55 @@ func TestPartitionedScatterGather(t *testing.T) {
 	}
 }
 
-func TestPartitionedRejectsExplicitTxn(t *testing.T) {
+func TestPartitionedSinglePartitionTxn(t *testing.T) {
 	_, sess := newPartitioned(t, 2)
-	if _, err := sess.Exec("BEGIN"); !errors.Is(err, ErrCrossPartitionTxn) {
-		t.Fatalf("err = %v", err)
+	// A transaction whose statements all route to one partition commits.
+	mustExecC(t, sess.Exec, "BEGIN")
+	mustExecC(t, sess.Exec, "INSERT INTO items (id, name) VALUES (7, 'a')")
+	mustExecC(t, sess.Exec, "UPDATE items SET name = 'b' WHERE id = 7")
+	mustExecC(t, sess.Exec, "COMMIT")
+	res := mustExecC(t, sess.Exec, "SELECT name FROM items WHERE id = 7")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "b" {
+		t.Fatalf("rows = %v", res.Rows)
 	}
+	// A rolled-back transaction leaves no trace.
+	mustExecC(t, sess.Exec, "BEGIN")
+	mustExecC(t, sess.Exec, "INSERT INTO items (id, name) VALUES (8, 'x')")
+	mustExecC(t, sess.Exec, "ROLLBACK")
+	res = mustExecC(t, sess.Exec, "SELECT COUNT(*) FROM items WHERE id = 8")
+	if res.Rows[0][0].Int() != 0 {
+		t.Fatal("rolled-back insert visible")
+	}
+}
+
+func TestPartitionedRejectsCrossPartitionTxn(t *testing.T) {
+	_, sess := newPartitioned(t, 2)
+	// Find two keys hashing to different partitions.
+	rule := &PartitionRule{Table: "items", Column: "id", Strategy: HashPartition}
+	keyA := int64(1)
+	pA, _ := rule.partitionFor(sqlInt(keyA), 2)
+	keyB := keyA
+	for k := int64(2); k < 64; k++ {
+		if p, _ := rule.partitionFor(sqlInt(k), 2); p != pA {
+			keyB = k
+			break
+		}
+	}
+	if keyB == keyA {
+		t.Fatal("no key found in the other partition")
+	}
+	mustExecC(t, sess.Exec, "BEGIN")
+	mustExecC(t, sess.Exec, fmt.Sprintf("INSERT INTO items (id, name) VALUES (%d, 'a')", keyA))
+	if _, err := sess.Exec(fmt.Sprintf("INSERT INTO items (id, name) VALUES (%d, 'b')", keyB)); !errors.Is(err, ErrCrossPartitionTxn) {
+		t.Fatalf("cross-partition statement: err = %v", err)
+	}
+	mustExecC(t, sess.Exec, "ROLLBACK")
+	// Statements that cannot be proven single-partition are rejected too.
+	mustExecC(t, sess.Exec, "BEGIN")
+	if _, err := sess.Exec("UPDATE items SET name = 'z'"); !errors.Is(err, ErrCrossPartitionTxn) {
+		t.Fatalf("unkeyed write: err = %v", err)
+	}
+	mustExecC(t, sess.Exec, "ROLLBACK")
 }
 
 func TestPartitionedRangeRule(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/lb"
 	"repro/internal/qcache"
 	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
 )
 
 // SafetyMode is the commit durability contract of §2.2.
@@ -441,11 +442,10 @@ func (ms *MasterSlave) waitTwoSafe(seq uint64) error {
 	}
 }
 
-// freshAt reports whether a slave at applied position satisfies the
-// configured read guarantee against the given binlog head and the session's
-// last write.
-func (ms *MasterSlave) freshAt(applied, head, lastWriteSeq uint64) bool {
-	switch ms.cfg.Consistency {
+// freshAt reports whether a slave at applied position satisfies the given
+// read guarantee against the given binlog head and the session's last write.
+func (ms *MasterSlave) freshAt(cons Consistency, applied, head, lastWriteSeq uint64) bool {
+	switch cons {
 	case ReadAny:
 		return ms.cfg.FreshnessBound == 0 || head-min64(applied, head) <= ms.cfg.FreshnessBound
 	case SessionConsistent:
@@ -461,8 +461,8 @@ func (ms *MasterSlave) freshAt(applied, head, lastWriteSeq uint64) bool {
 // common modes (unbounded ReadAny; SessionConsistent with a caught-up
 // replica) answer from r's atomics alone without touching ms.mu or the
 // master's binlog mutex.
-func (ms *MasterSlave) replicaFresh(r *Replica, lastWriteSeq uint64) bool {
-	switch ms.cfg.Consistency {
+func (ms *MasterSlave) replicaFresh(r *Replica, cons Consistency, lastWriteSeq uint64) bool {
+	switch cons {
 	case ReadAny:
 		if ms.cfg.FreshnessBound == 0 {
 			return true
@@ -478,12 +478,12 @@ func (ms *MasterSlave) replicaFresh(r *Replica, lastWriteSeq uint64) bool {
 	if r == master {
 		return true
 	}
-	return ms.freshAt(r.AppliedSeq(), master.Engine().Binlog().Head(), lastWriteSeq)
+	return ms.freshAt(cons, r.AppliedSeq(), master.Engine().Binlog().Head(), lastWriteSeq)
 }
 
 // pickReadReplica selects a replica for a read under the session's
 // consistency requirement.
-func (ms *MasterSlave) pickReadReplica(lastWriteSeq uint64) (*Replica, error) {
+func (ms *MasterSlave) pickReadReplica(cons Consistency, lastWriteSeq uint64) (*Replica, error) {
 	ms.mu.Lock()
 	master := ms.master
 	slaves := append([]*Replica(nil), ms.slaves...)
@@ -495,7 +495,7 @@ func (ms *MasterSlave) pickReadReplica(lastWriteSeq uint64) (*Replica, error) {
 		if !sl.Healthy() {
 			continue
 		}
-		if ms.freshAt(sl.AppliedSeq(), head, lastWriteSeq) {
+		if ms.freshAt(cons, sl.AppliedSeq(), head, lastWriteSeq) {
 			candidates = append(candidates, sl)
 		}
 	}
@@ -521,10 +521,10 @@ func (ms *MasterSlave) pickReadReplica(lastWriteSeq uint64) (*Replica, error) {
 func (ms *MasterSlave) QueryCacheScope() *qcache.Scope { return ms.qc }
 
 // cacheMinPos is the lowest replication position a cached result must carry
-// to satisfy the configured read guarantee for a session whose last write
+// to satisfy the given read guarantee for a session whose last write
 // committed at lastWriteSeq — the cache-side mirror of freshAt.
-func (ms *MasterSlave) cacheMinPos(lastWriteSeq uint64) uint64 {
-	switch ms.cfg.Consistency {
+func (ms *MasterSlave) cacheMinPos(cons Consistency, lastWriteSeq uint64) uint64 {
+	switch cons {
 	case SessionConsistent:
 		return lastWriteSeq
 	case StrongConsistent:
@@ -789,7 +789,16 @@ func (ms *MasterSlave) Close() {
 
 // ---- client sessions ----
 
-// MSSession is a client session against a master-slave cluster.
+// boundStmt is a statement with its bind arguments: the unit of the
+// transparent-failover replay log (a replay must re-bind the original
+// argument vector, not just re-execute the text).
+type boundStmt struct {
+	st   sqlparse.Statement
+	args []sqltypes.Value
+}
+
+// MSSession is a client session against a master-slave cluster. It
+// implements the unified Conn contract.
 type MSSession struct {
 	ms   *MasterSlave
 	pool *sessionPool
@@ -798,10 +807,13 @@ type MSSession struct {
 	lastWriteSeq uint64
 	pinned       *Replica // connection-level read pinning
 	epoch        uint64
-	// txnLog keeps the in-flight transaction's parsed statements for
-	// transparent failover replay — ASTs, not SQL text, so a replay does
-	// not re-parse.
-	txnLog []sqlparse.Statement
+	// cons is the session's read guarantee; it defaults to the cluster
+	// configuration and can be overridden per session (SET CONSISTENCY).
+	cons Consistency
+	// txnLog keeps the in-flight transaction's parsed statements (with
+	// their bind arguments) for transparent failover replay — ASTs, not
+	// SQL text, so a replay does not re-parse.
+	txnLog []boundStmt
 	inTxn  bool
 	// serializable tracks the isolation level this session has announced:
 	// serializable reads take 2PL table locks, which a result-cache hit
@@ -813,26 +825,71 @@ type MSSession struct {
 func (ms *MasterSlave) NewSession(user string) *MSSession {
 	return &MSSession{
 		ms: ms, pool: newSessionPool(user), epoch: ms.Epoch(),
+		cons:         ms.cfg.Consistency,
 		serializable: ms.Master().Engine().Profile().DefaultIsolation == engine.Serializable,
 	}
+}
+
+// NewConn implements Cluster.
+func (ms *MasterSlave) NewConn(user string) (Conn, error) {
+	return ms.NewSession(user), nil
+}
+
+// Authenticate implements Cluster: credentials are checked against the
+// current master's engine (access control is engine state, §4.1.5).
+func (ms *MasterSlave) Authenticate(user, password string) error {
+	return ms.Master().Engine().Authenticate(user, password)
+}
+
+// Health implements Cluster.
+func (ms *MasterSlave) Health() Health {
+	ms.mu.Lock()
+	master := ms.master
+	slaves := append([]*Replica(nil), ms.slaves...)
+	ms.mu.Unlock()
+	h := Health{Topology: "master-slave", Replicas: 1 + len(slaves)}
+	if master.Healthy() {
+		h.HealthyReplicas++
+	}
+	h.Head = master.Engine().Binlog().Head()
+	for _, sl := range slaves {
+		if sl.Healthy() {
+			h.HealthyReplicas++
+		}
+		if applied := sl.AppliedSeq(); h.Head > applied && h.Head-applied > h.MaxLag {
+			h.MaxLag = h.Head - applied
+		}
+	}
+	return h
 }
 
 // Close releases the session.
 func (cs *MSSession) Close() { cs.pool.closeAll() }
 
-// Exec routes one statement. Parsing goes through the process-wide
-// statement cache, so the router sees each distinct text's AST once; the
-// same AST is then handed to the backend engine without re-serializing.
-func (cs *MSSession) Exec(sql string) (*engine.Result, error) {
+// Exec routes one statement with optional ? bind arguments. Parsing goes
+// through the process-wide statement cache, so the router sees each distinct
+// text's AST once; the same AST is then handed to the backend engine without
+// re-serializing.
+func (cs *MSSession) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error) {
 	st, err := sqlparse.ParseCached(sql)
 	if err != nil {
 		return nil, err
 	}
-	return cs.ExecStmt(st)
+	return cs.ExecStmtArgs(st, args...)
+}
+
+// Query implements Conn; routing is decided by the statement itself.
+func (cs *MSSession) Query(sql string, args ...sqltypes.Value) (*engine.Result, error) {
+	return cs.Exec(sql, args...)
 }
 
 // ExecStmt routes a pre-parsed statement.
 func (cs *MSSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
+	return cs.ExecStmtArgs(st)
+}
+
+// ExecStmtArgs routes a pre-parsed statement with bind arguments.
+func (cs *MSSession) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) (*engine.Result, error) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	switch s := st.(type) {
@@ -840,6 +897,14 @@ func (cs *MSSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 		if err := cs.pool.setDB(s.Name); err != nil {
 			return nil, err
 		}
+		return &engine.Result{}, nil
+	case *sqlparse.SetConsistency:
+		// Per-session read-guarantee override; never routed to a backend.
+		c, err := ParseConsistency(s.Level)
+		if err != nil {
+			return nil, err
+		}
+		cs.cons = c
 		return &engine.Result{}, nil
 	case *sqlparse.SetIsolation:
 		// Track and propagate the level across every pooled backend
@@ -862,28 +927,29 @@ func (cs *MSSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 		// while the transaction's writes autocommitted on the master:
 		// trackTxn never engaged and COMMIT failed — or, worse, committed
 		// a slave-local transaction.
-		return cs.execWrite(st)
+		return cs.execWrite(st, args)
 	}
 	if st.IsRead() && !cs.inTxn {
-		return cs.execRead(st)
+		return cs.execRead(st, args)
 	}
-	return cs.execWrite(st)
+	return cs.execWrite(st, args)
 }
 
 // execRead routes a read per the configured level/policy/consistency,
 // serving cache-eligible statements from the cluster's query result cache
 // when one is configured. A hit skips the backend entirely; a miss routes
 // normally and fills the cache with the result, tagged with the replication
-// position the serving replica had applied before the read.
-func (cs *MSSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
+// position the serving replica had applied before the read. Bind arguments
+// are part of the cache key.
+func (cs *MSSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
 	qc := cs.ms.qc
 	if qc == nil || cs.serializable || !engine.CacheableRead(st) {
-		return cs.execReadRouted(st)
+		return cs.execReadRouted(st, args)
 	}
 	user := cs.pool.user
 	db := cs.pool.currentDB()
 	text := st.SQL()
-	if res, ok := qc.Get(user, db, text, nil, cs.ms.cacheMinPos(cs.lastWriteSeq)); ok {
+	if res, ok := qc.Get(user, db, text, args, cs.ms.cacheMinPos(cs.cons, cs.lastWriteSeq)); ok {
 		return res, nil
 	}
 	target, err := cs.routeRead()
@@ -895,16 +961,16 @@ func (cs *MSSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
 		return nil, err
 	}
 	pos := cs.ms.readPos(target)
-	res, err := target.ExecStmtOn(sess, st, true)
+	res, err := target.ExecStmtArgsOn(sess, st, true, args)
 	if err != nil {
 		return nil, err
 	}
-	qc.Put(user, db, text, nil, st.Tables(), pos, res)
+	qc.Put(user, db, text, args, st.Tables(), pos, res)
 	return res, nil
 }
 
 // execReadRouted executes a read on a routed replica with no caching.
-func (cs *MSSession) execReadRouted(st sqlparse.Statement) (*engine.Result, error) {
+func (cs *MSSession) execReadRouted(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
 	target, err := cs.routeRead()
 	if err != nil {
 		return nil, err
@@ -916,7 +982,7 @@ func (cs *MSSession) execReadRouted(st sqlparse.Statement) (*engine.Result, erro
 	// Hand the already-parsed AST to the backend: the seed re-serialized
 	// with st.SQL() here and the engine parsed the text again — a full
 	// parse round-trip on every routed read.
-	return target.ExecStmtOn(sess, st, true)
+	return target.ExecStmtArgsOn(sess, st, true, args)
 }
 
 // routeRead picks the replica for a read. A connection-level pin is honored
@@ -933,10 +999,10 @@ func (cs *MSSession) routeRead() (*Replica, error) {
 		cs.pinned = nil
 	}
 	if cs.ms.cfg.ReadLevel == lb.ConnectionLevel && cs.pinned != nil && cs.pinned.Healthy() &&
-		cs.ms.replicaFresh(cs.pinned, cs.lastWriteSeq) {
+		cs.ms.replicaFresh(cs.pinned, cs.cons, cs.lastWriteSeq) {
 		return cs.pinned, nil
 	}
-	target, err := cs.ms.pickReadReplica(cs.lastWriteSeq)
+	target, err := cs.ms.pickReadReplica(cs.cons, cs.lastWriteSeq)
 	if err != nil {
 		return nil, err
 	}
@@ -951,23 +1017,34 @@ func (cs *MSSession) routeRead() (*Replica, error) {
 
 // execWrite sends the statement to the master, handling safety mode and
 // (optionally) transparent failover.
-func (cs *MSSession) execWrite(st sqlparse.Statement) (*engine.Result, error) {
+func (cs *MSSession) execWrite(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
 	for attempt := 0; ; attempt++ {
 		master := cs.ms.Master()
 		sess, err := cs.pool.get(master)
 		if err != nil {
 			return nil, err
 		}
-		res, err := master.ExecStmtOn(sess, st, false)
+		res, err := master.ExecStmtArgsOn(sess, st, false, args)
 		if err != nil {
 			if errors.Is(err, ErrReplicaDown) && attempt == 0 {
 				if rerr := cs.recoverFromMasterFailure(master); rerr == nil {
 					continue
 				}
 			}
+			// A failed COMMIT/ROLLBACK still ends the transaction: the
+			// engine terminates its txn before reporting (a conflicting
+			// commit is rolled back, §4.1.2). Tracking it as still open
+			// would wedge the session — later autocommit writes would pile
+			// into txnLog, skip lastWriteSeq, and a failover could replay
+			// already-settled statements.
+			switch st.(type) {
+			case *sqlparse.CommitTxn, *sqlparse.RollbackTxn:
+				cs.inTxn = false
+				cs.txnLog = nil
+			}
 			return nil, err
 		}
-		cs.trackTxn(st)
+		cs.trackTxn(st, args)
 		if !cs.inTxn && !st.IsRead() {
 			seq := master.Engine().Binlog().Head()
 			cs.lastWriteSeq = seq
@@ -987,12 +1064,12 @@ func (cs *MSSession) execWrite(st sqlparse.Statement) (*engine.Result, error) {
 }
 
 // trackTxn maintains explicit-transaction state and the replay log.
-func (cs *MSSession) trackTxn(st sqlparse.Statement) {
+func (cs *MSSession) trackTxn(st sqlparse.Statement, args []sqltypes.Value) {
 	switch st.(type) {
 	case *sqlparse.BeginTxn:
 		cs.inTxn = true
 		cs.txnLog = cs.txnLog[:0]
-		cs.txnLog = append(cs.txnLog, st)
+		cs.txnLog = append(cs.txnLog, boundStmt{st: st})
 	case *sqlparse.CommitTxn:
 		cs.inTxn = false
 		cs.txnLog = nil
@@ -1006,7 +1083,7 @@ func (cs *MSSession) trackTxn(st sqlparse.Statement) {
 		cs.txnLog = nil
 	default:
 		if cs.inTxn {
-			cs.txnLog = append(cs.txnLog, st)
+			cs.txnLog = append(cs.txnLog, boundStmt{st: st, args: args})
 		}
 	}
 }
@@ -1042,12 +1119,52 @@ func (cs *MSSession) recoverFromMasterFailure(failed *Replica) error {
 	if err != nil {
 		return err
 	}
-	for _, st := range cs.txnLog {
-		if _, err := master.ExecStmtOn(sess, st, false); err != nil {
+	for _, b := range cs.txnLog {
+		if _, err := master.ExecStmtArgsOn(sess, b.st, false, b.args); err != nil {
 			cs.inTxn = false
 			cs.txnLog = nil
 			return fmt.Errorf("core: transparent failover replay failed: %w", err)
 		}
 	}
+	return nil
+}
+
+// Prepare implements Conn: parse once, execute many with fresh bindings.
+func (cs *MSSession) Prepare(sql string) (*Stmt, error) { return newStmt(cs, sql) }
+
+// Begin implements Conn.
+func (cs *MSSession) Begin() error {
+	_, err := cs.ExecStmt(&sqlparse.BeginTxn{})
+	return err
+}
+
+// Commit implements Conn.
+func (cs *MSSession) Commit() error {
+	_, err := cs.ExecStmt(&sqlparse.CommitTxn{})
+	return err
+}
+
+// Rollback implements Conn.
+func (cs *MSSession) Rollback() error {
+	_, err := cs.ExecStmt(&sqlparse.RollbackTxn{})
+	return err
+}
+
+// SetIsolation implements Conn, propagating the level across the session's
+// whole backend pool.
+func (cs *MSSession) SetIsolation(level string) error {
+	lv, err := normalizeIsolation(level)
+	if err != nil {
+		return err
+	}
+	_, err = cs.ExecStmt(&sqlparse.SetIsolation{Level: lv})
+	return err
+}
+
+// SetConsistency implements Conn: a per-session read-guarantee override.
+func (cs *MSSession) SetConsistency(c Consistency) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.cons = c
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lb"
 	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
 )
 
 // MMSession is a client session on a multi-master cluster. Reads execute on
@@ -25,6 +26,9 @@ type MMSession struct {
 	db           string
 	lastWriteSeq uint64
 	pinnedRead   *Replica
+	// cons is the session's read guarantee; it defaults to the cluster
+	// configuration and can be overridden per session (SET CONSISTENCY).
+	cons Consistency
 
 	inTxn   bool
 	txnSQL  []string // rewritten scripts for replay
@@ -44,6 +48,7 @@ func (mm *MultiMaster) NewSession(user string) (*MMSession, error) {
 	}
 	return &MMSession{
 		mm: mm, pool: newSessionPool(user), user: user, home: home,
+		cons:         mm.cfg.Consistency,
 		serializable: home.Engine().Profile().DefaultIsolation == engine.Serializable,
 	}, nil
 }
@@ -60,17 +65,31 @@ func (s *MMSession) Close() {
 	s.pool.closeAll()
 }
 
-// Exec parses and routes one statement (through the statement cache).
-func (s *MMSession) Exec(sql string) (*engine.Result, error) {
+// Exec parses and routes one statement with optional ? bind arguments
+// (through the statement cache).
+func (s *MMSession) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error) {
 	st, err := sqlparse.ParseCached(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(st)
+	return s.ExecStmtArgs(st, args...)
+}
+
+// Query implements Conn; routing is decided by the statement itself.
+func (s *MMSession) Query(sql string, args ...sqltypes.Value) (*engine.Result, error) {
+	return s.Exec(sql, args...)
 }
 
 // ExecStmt routes a pre-parsed statement.
 func (s *MMSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
+	return s.ExecStmtArgs(st)
+}
+
+// ExecStmtArgs routes a pre-parsed statement with bind arguments. Writes
+// that cross the ordering channel as SQL text (statement mode) have their
+// arguments inlined as literals first: the broadcast script is re-executed
+// on every replica with no access to this call's argument vector.
+func (s *MMSession) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) (*engine.Result, error) {
 	switch stmt := st.(type) {
 	case *sqlparse.UseDatabase:
 		s.db = stmt.Name
@@ -84,6 +103,13 @@ func (s *MMSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 		return s.commit()
 	case *sqlparse.RollbackTxn:
 		return s.rollback()
+	case *sqlparse.SetConsistency:
+		c, err := ParseConsistency(stmt.Level)
+		if err != nil {
+			return nil, err
+		}
+		s.cons = c
+		return &engine.Result{}, nil
 	case *sqlparse.SetIsolation:
 		// Track and propagate, as in the master-slave router: the level
 		// must hold on whichever replica serves this session's reads.
@@ -95,18 +121,32 @@ func (s *MMSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 			return &engine.Result{}, nil
 		}
 	}
+	if len(args) > 0 && !st.IsRead() && s.mm.cfg.Mode == StatementMode {
+		bound, err := sqlparse.BindParams(st, args)
+		if err != nil {
+			return nil, err
+		}
+		st, args = bound, nil
+	}
 	if s.inTxn {
-		return s.execInTxn(st)
+		return s.execInTxn(st, args)
 	}
 	if st.IsRead() {
-		return s.execRead(st)
+		return s.execRead(st, args)
 	}
-	return s.execAutocommitWrite(st)
+	return s.execAutocommitWrite(st, args)
 }
 
 func (s *MMSession) begin() (*engine.Result, error) {
 	if s.inTxn {
 		return nil, fmt.Errorf("core: transaction already in progress")
+	}
+	if !s.home.Healthy() {
+		// The home replica executes this session's transactions; starting
+		// one against a dead home would only fail later, at first write.
+		// Failing BEGIN lets pooled drivers discard the connection and
+		// retry on a fresh one (homed on a healthy replica).
+		return nil, ErrReplicaDown
 	}
 	sess, err := s.pool.get(s.home)
 	if err != nil {
@@ -143,8 +183,11 @@ func isDDL(st sqlparse.Statement) bool {
 	return false
 }
 
-// execInTxn runs a statement inside the interactive transaction.
-func (s *MMSession) execInTxn(st sqlparse.Statement) (*engine.Result, error) {
+// execInTxn runs a statement inside the interactive transaction. In
+// statement mode write arguments were already inlined by ExecStmtArgs, so
+// the recorded script is standalone; in certification mode the argument
+// vector binds at the dry run and the captured write set carries row images.
+func (s *MMSession) execInTxn(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
 	if isDDL(st) {
 		// DDL is non-transactional (§4.1.2) and would double-execute on
 		// the home replica during script replay.
@@ -162,7 +205,7 @@ func (s *MMSession) execInTxn(st sqlparse.Statement) (*engine.Result, error) {
 		// directly — no re-parse.
 		s.txnSQL = append(s.txnSQL, rewritten.SQL())
 	}
-	res, err := s.home.ExecStmtOn(s.dryRun, exec, st.IsRead())
+	res, err := s.home.ExecStmtArgsOn(s.dryRun, exec, st.IsRead(), args)
 	if err != nil {
 		return nil, err
 	}
@@ -215,6 +258,11 @@ func (s *MMSession) commit() (*engine.Result, error) {
 		if len(ws.Ops) == 0 {
 			return &engine.Result{}, nil
 		}
+		if !s.home.Healthy() {
+			// Same pre-ordering refusal as submitScript: an ordered write
+			// set would commit cluster-wide while this session errors.
+			return nil, ErrReplicaDown
+		}
 		txn := mmTxn{
 			ID:       s.mm.nextTxn.Add(1),
 			Origin:   s.home.Name(),
@@ -242,8 +290,9 @@ func (s *MMSession) rollback() (*engine.Result, error) {
 	return &engine.Result{}, nil
 }
 
-// execAutocommitWrite orders a single write statement.
-func (s *MMSession) execAutocommitWrite(st sqlparse.Statement) (*engine.Result, error) {
+// execAutocommitWrite orders a single write statement (arguments already
+// inlined in statement mode; bound at the dry run in certification mode).
+func (s *MMSession) execAutocommitWrite(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
 	if isDDL(st) {
 		// Schema changes replicate as ordered statements in either mode:
 		// write sets cannot carry DDL (§4.3.2).
@@ -254,7 +303,7 @@ func (s *MMSession) execAutocommitWrite(st sqlparse.Statement) (*engine.Result, 
 		if _, err := s.begin(); err != nil {
 			return nil, err
 		}
-		if _, err := s.execInTxn(st); err != nil {
+		if _, err := s.execInTxn(st, args); err != nil {
 			_, _ = s.rollback()
 			return nil, err
 		}
@@ -268,6 +317,13 @@ func (s *MMSession) execAutocommitWrite(st sqlparse.Statement) (*engine.Result, 
 }
 
 func (s *MMSession) submitScript(stmts []string) (*engine.Result, error) {
+	if !s.home.Healthy() {
+		// Refuse BEFORE ordering: once submitted, the script commits
+		// cluster-wide even though this session (whose dead home applier
+		// can never acknowledge it) would report failure — and a pooled
+		// driver's retry would then double-apply a non-idempotent write.
+		return nil, ErrReplicaDown
+	}
 	txn := mmTxn{
 		ID:       s.mm.nextTxn.Add(1),
 		Origin:   s.home.Name(),
@@ -287,15 +343,15 @@ func (s *MMSession) submitScript(stmts []string) (*engine.Result, error) {
 // is configured (entries are tagged with the serving replica's applied
 // position, so the session-consistency re-validation below applies to
 // cached results exactly as it does to replicas).
-func (s *MMSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
+func (s *MMSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
 	qc := s.mm.qc
 	if qc == nil || s.serializable || !engine.CacheableRead(st) {
-		return s.execReadRouted(st)
+		return s.execReadRouted(st, args)
 	}
 	user := s.user
 	db := s.db
 	text := st.SQL()
-	if res, ok := qc.Get(user, db, text, nil, s.mm.cacheMinPos(s.lastWriteSeq)); ok {
+	if res, ok := qc.Get(user, db, text, args, s.mm.cacheMinPos(s.cons, s.lastWriteSeq)); ok {
 		return res, nil
 	}
 	target, err := s.routeRead()
@@ -307,16 +363,16 @@ func (s *MMSession) execRead(st sqlparse.Statement) (*engine.Result, error) {
 		return nil, err
 	}
 	pos := target.AppliedSeq()
-	res, err := target.ExecStmtOn(sess, st, true)
+	res, err := target.ExecStmtArgsOn(sess, st, true, args)
 	if err != nil {
 		return nil, err
 	}
-	qc.Put(user, db, text, nil, st.Tables(), pos, res)
+	qc.Put(user, db, text, args, st.Tables(), pos, res)
 	return res, nil
 }
 
 // execReadRouted executes a read on a routed replica with no caching.
-func (s *MMSession) execReadRouted(st sqlparse.Statement) (*engine.Result, error) {
+func (s *MMSession) execReadRouted(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
 	target, err := s.routeRead()
 	if err != nil {
 		return nil, err
@@ -325,7 +381,7 @@ func (s *MMSession) execReadRouted(st sqlparse.Statement) (*engine.Result, error
 	if err != nil {
 		return nil, err
 	}
-	return target.ExecStmtOn(sess, st, true)
+	return target.ExecStmtArgsOn(sess, st, true, args)
 }
 
 // routeRead picks the replica for a read. As in the master-slave router, a
@@ -333,10 +389,10 @@ func (s *MMSession) execReadRouted(st sqlparse.Statement) (*engine.Result, error
 // satisfies the session's consistency guarantee.
 func (s *MMSession) routeRead() (*Replica, error) {
 	if s.mm.cfg.ReadLevel == lb.ConnectionLevel && s.pinnedRead != nil && s.pinnedRead.Healthy() &&
-		s.mm.replicaFresh(s.pinnedRead, s.lastWriteSeq) {
+		s.mm.replicaFresh(s.pinnedRead, s.cons, s.lastWriteSeq) {
 		return s.pinnedRead, nil
 	}
-	target, err := s.mm.pickRead(s.lastWriteSeq)
+	target, err := s.mm.pickRead(s.cons, s.lastWriteSeq)
 	if err != nil {
 		return nil, err
 	}
@@ -344,4 +400,42 @@ func (s *MMSession) routeRead() (*Replica, error) {
 		s.pinnedRead = target
 	}
 	return target, nil
+}
+
+// Prepare implements Conn: parse once, execute many with fresh bindings.
+func (s *MMSession) Prepare(sql string) (*Stmt, error) { return newStmt(s, sql) }
+
+// Begin implements Conn.
+func (s *MMSession) Begin() error {
+	_, err := s.begin()
+	return err
+}
+
+// Commit implements Conn.
+func (s *MMSession) Commit() error {
+	_, err := s.commit()
+	return err
+}
+
+// Rollback implements Conn.
+func (s *MMSession) Rollback() error {
+	_, err := s.rollback()
+	return err
+}
+
+// SetIsolation implements Conn, propagating the level across the session's
+// whole backend pool.
+func (s *MMSession) SetIsolation(level string) error {
+	lv, err := normalizeIsolation(level)
+	if err != nil {
+		return err
+	}
+	_, err = s.ExecStmt(&sqlparse.SetIsolation{Level: lv})
+	return err
+}
+
+// SetConsistency implements Conn: a per-session read-guarantee override.
+func (s *MMSession) SetConsistency(c Consistency) error {
+	s.cons = c
+	return nil
 }

@@ -400,10 +400,9 @@ func (mm *MultiMaster) ordererFor(home *Replica) Orderer {
 func (mm *MultiMaster) QueryCacheScope() *qcache.Scope { return mm.qc }
 
 // cacheMinPos is the lowest ordered position a cached result must carry to
-// satisfy the configured read guarantee — the cache-side mirror of
-// replicaFresh.
-func (mm *MultiMaster) cacheMinPos(lastWriteSeq uint64) uint64 {
-	switch mm.cfg.Consistency {
+// satisfy the given read guarantee — the cache-side mirror of replicaFresh.
+func (mm *MultiMaster) cacheMinPos(cons Consistency, lastWriteSeq uint64) uint64 {
+	switch cons {
 	case SessionConsistent:
 		return lastWriteSeq
 	case StrongConsistent:
@@ -413,10 +412,10 @@ func (mm *MultiMaster) cacheMinPos(lastWriteSeq uint64) uint64 {
 	}
 }
 
-// replicaFresh reports whether r currently satisfies the configured read
+// replicaFresh reports whether r currently satisfies the given read
 // guarantee for a session whose last write is lastWriteSeq.
-func (mm *MultiMaster) replicaFresh(r *Replica, lastWriteSeq uint64) bool {
-	switch mm.cfg.Consistency {
+func (mm *MultiMaster) replicaFresh(r *Replica, cons Consistency, lastWriteSeq uint64) bool {
+	switch cons {
 	case ReadAny:
 		return true
 	case SessionConsistent:
@@ -427,14 +426,14 @@ func (mm *MultiMaster) replicaFresh(r *Replica, lastWriteSeq uint64) bool {
 	return true
 }
 
-// pickRead selects a read replica under the configured consistency.
-func (mm *MultiMaster) pickRead(lastWriteSeq uint64) (*Replica, error) {
+// pickRead selects a read replica under the given consistency.
+func (mm *MultiMaster) pickRead(cons Consistency, lastWriteSeq uint64) (*Replica, error) {
 	var candidates []lb.Target
 	for _, r := range mm.replicas {
 		if !r.Healthy() {
 			continue
 		}
-		if mm.replicaFresh(r, lastWriteSeq) {
+		if mm.replicaFresh(r, cons, lastWriteSeq) {
 			candidates = append(candidates, r)
 		}
 	}
@@ -443,6 +442,36 @@ func (mm *MultiMaster) pickRead(lastWriteSeq uint64) (*Replica, error) {
 		return nil, ErrReplicaDown
 	}
 	return t.(*Replica), nil
+}
+
+// NewConn implements Cluster.
+func (mm *MultiMaster) NewConn(user string) (Conn, error) {
+	return mm.NewSession(user)
+}
+
+// Authenticate implements Cluster: credentials are checked against the
+// first healthy replica's engine.
+func (mm *MultiMaster) Authenticate(user, password string) error {
+	for _, r := range mm.replicas {
+		if r.Healthy() {
+			return r.Engine().Authenticate(user, password)
+		}
+	}
+	return ErrReplicaDown
+}
+
+// Health implements Cluster.
+func (mm *MultiMaster) Health() Health {
+	h := Health{Topology: "multi-master", Replicas: len(mm.replicas), Head: mm.head.Load()}
+	for _, r := range mm.replicas {
+		if r.Healthy() {
+			h.HealthyReplicas++
+		}
+		if applied := r.AppliedSeq(); h.Head > applied && h.Head-applied > h.MaxLag {
+			h.MaxLag = h.Head - applied
+		}
+	}
+	return h
 }
 
 // pickHome assigns a session's home replica (round robin over healthy).

@@ -60,12 +60,15 @@ func (r *PartitionRule) partitionFor(v sqltypes.Value, n int) (int, error) {
 	return 0, fmt.Errorf("core: unknown partition strategy")
 }
 
-// ErrCrossPartitionTxn is returned for explicit transactions on a
-// partitioned cluster: atomic cross-partition commit would need distributed
-// 2PC, which this middleware (like most of the systems the paper surveys)
-// does not provide. "Adding or removing partial replicas ... is a
-// completely open problem" (§5.1).
-var ErrCrossPartitionTxn = errors.New("core: explicit transactions are not supported on partitioned clusters (no 2PC)")
+// ErrCrossPartitionTxn is returned when an explicit transaction on a
+// partitioned cluster touches (or cannot be proven to stay within) a single
+// partition: atomic cross-partition commit would need distributed 2PC, which
+// this middleware (like most of the systems the paper surveys) does not
+// provide. "Adding or removing partial replicas ... is a completely open
+// problem" (§5.1). Transactions whose every statement routes to one
+// partition by key ARE supported — they run entirely on that partition's
+// cluster.
+var ErrCrossPartitionTxn = errors.New("core: transactions on partitioned clusters must stay within one partition by key (no 2PC)")
 
 // Partitioned shards writes across sub-clusters by key (Figure 2), with
 // scatter-gather reads. Each partition is itself a replicated master-slave
@@ -106,11 +109,46 @@ func (pc *Partitioned) Close() {
 	}
 }
 
+// NewConn implements Cluster.
+func (pc *Partitioned) NewConn(user string) (Conn, error) {
+	return pc.NewSession(user), nil
+}
+
+// Authenticate implements Cluster: credentials are checked against the
+// first partition (schema statements broadcast, so user state is uniform
+// when provisioned uniformly).
+func (pc *Partitioned) Authenticate(user, password string) error {
+	return pc.partitions[0].Authenticate(user, password)
+}
+
+// Health implements Cluster, aggregated over every partition.
+func (pc *Partitioned) Health() Health {
+	h := Health{Topology: "partitioned"}
+	for _, p := range pc.partitions {
+		ph := p.Health()
+		h.Replicas += ph.Replicas
+		h.HealthyReplicas += ph.HealthyReplicas
+		if ph.Head > h.Head {
+			h.Head = ph.Head
+		}
+		if ph.MaxLag > h.MaxLag {
+			h.MaxLag = ph.MaxLag
+		}
+	}
+	return h
+}
+
 // PSession is a client session on a partitioned cluster.
 type PSession struct {
 	pc   *Partitioned
 	mu   sync.Mutex
 	subs []*MSSession
+	// Explicit transactions bind lazily to the partition of their first
+	// keyed statement and must stay there (single-partition transactions;
+	// cross-partition commits would need 2PC).
+	inTxn   bool
+	txnSub  *MSSession
+	txnPart int
 }
 
 // NewSession opens a session across all partitions.
@@ -129,11 +167,32 @@ func (ps *PSession) Close() {
 	}
 }
 
-// Exec parses and routes a statement (through the statement cache).
-func (ps *PSession) Exec(sql string) (*engine.Result, error) {
+// Exec parses and routes a statement with optional ? bind arguments
+// (through the statement cache).
+func (ps *PSession) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error) {
 	st, err := sqlparse.ParseCached(sql)
 	if err != nil {
 		return nil, err
+	}
+	return ps.ExecStmtArgs(st, args...)
+}
+
+// Query implements Conn; routing is decided by the statement itself.
+func (ps *PSession) Query(sql string, args ...sqltypes.Value) (*engine.Result, error) {
+	return ps.Exec(sql, args...)
+}
+
+// ExecStmtArgs routes a pre-parsed statement with bind arguments. The
+// partition router inspects literal key values, so arguments are inlined
+// into the AST up front; the per-partition clusters then see standalone
+// statements.
+func (ps *PSession) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) (*engine.Result, error) {
+	if len(args) > 0 {
+		bound, err := sqlparse.BindParams(st, args)
+		if err != nil {
+			return nil, err
+		}
+		st = bound
 	}
 	return ps.ExecStmt(st)
 }
@@ -142,11 +201,34 @@ func (ps *PSession) Exec(sql string) (*engine.Result, error) {
 func (ps *PSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	switch s := st.(type) {
-	case *sqlparse.BeginTxn, *sqlparse.CommitTxn, *sqlparse.RollbackTxn:
-		return nil, ErrCrossPartitionTxn
+	switch st.(type) {
+	case *sqlparse.BeginTxn:
+		if ps.inTxn {
+			return nil, fmt.Errorf("core: transaction already in progress")
+		}
+		// Bind lazily: the partition is unknown until the first keyed
+		// statement.
+		ps.inTxn = true
+		ps.txnSub = nil
+		return &engine.Result{}, nil
+	case *sqlparse.CommitTxn, *sqlparse.RollbackTxn:
+		if !ps.inTxn {
+			return nil, fmt.Errorf("core: no transaction in progress")
+		}
+		sub := ps.txnSub
+		ps.inTxn = false
+		ps.txnSub = nil
+		if sub == nil {
+			return &engine.Result{}, nil // empty transaction
+		}
+		return sub.ExecStmt(st)
 	case *sqlparse.UseDatabase:
 		return ps.broadcast(st)
+	}
+	if ps.inTxn {
+		return ps.execInTxn(st)
+	}
+	switch s := st.(type) {
 	case *sqlparse.Insert:
 		return ps.execInsert(s)
 	case *sqlparse.Update:
@@ -159,6 +241,118 @@ func (ps *PSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 		// DDL and everything else goes everywhere.
 		return ps.broadcast(st)
 	}
+}
+
+// execInTxn routes a statement inside a single-partition transaction: every
+// keyed statement must resolve to the same single partition, and the first
+// one binds the transaction (forwarding the deferred BEGIN). Reads that
+// touch no partitioned table route to the bound partition — or, before
+// binding, to partition 0 without binding (they see committed state only,
+// which is sound because the transaction has written nothing yet).
+func (ps *PSession) execInTxn(st sqlparse.Statement) (*engine.Result, error) {
+	if ps.agnosticRead(st) {
+		if ps.txnSub != nil {
+			return ps.txnSub.ExecStmt(st)
+		}
+		return ps.subs[0].ExecStmt(st)
+	}
+	p, ok := ps.partitionOf(st)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrCrossPartitionTxn, st.SQL())
+	}
+	if ps.txnSub == nil {
+		sub := ps.subs[p]
+		if _, err := sub.ExecStmt(&sqlparse.BeginTxn{}); err != nil {
+			return nil, err
+		}
+		ps.txnSub = sub
+		ps.txnPart = p
+	} else if p != ps.txnPart {
+		return nil, fmt.Errorf("%w: statement routes to partition %d, transaction is bound to %d", ErrCrossPartitionTxn, p, ps.txnPart)
+	}
+	return ps.txnSub.ExecStmt(st)
+}
+
+// agnosticRead reports whether st is a read that touches no partitioned
+// table (SELECT with no FROM, or from a fully replicated table) and may
+// therefore run on any partition.
+func (ps *PSession) agnosticRead(st sqlparse.Statement) bool {
+	s, ok := st.(*sqlparse.Select)
+	if !ok || !st.IsRead() {
+		return false
+	}
+	if s.NoTable {
+		return true
+	}
+	return ps.pc.rules[s.From.Name] == nil && (s.Join == nil || ps.pc.rules[s.Join.Table.Name] == nil)
+}
+
+// partitionOf resolves the single partition a statement provably routes to
+// by its key. Writes to unpartitioned (fully replicated) tables never
+// resolve: they must replicate everywhere and therefore cannot join a
+// single-partition transaction.
+func (ps *PSession) partitionOf(st sqlparse.Statement) (int, bool) {
+	keyed := func(table string, where sqlparse.Expr) (int, bool) {
+		rule := ps.pc.rules[table]
+		if rule == nil {
+			return 0, false
+		}
+		v, ok := extractKeyEquality(where, rule.Column)
+		if !ok {
+			return 0, false
+		}
+		p, err := rule.partitionFor(v, len(ps.subs))
+		if err != nil {
+			return 0, false
+		}
+		return p, true
+	}
+	switch s := st.(type) {
+	case *sqlparse.Insert:
+		rule := ps.pc.rules[s.Table.Name]
+		if rule == nil {
+			return 0, false
+		}
+		keyIdx := -1
+		for i, c := range s.Columns {
+			if equalFoldASCII(c, rule.Column) {
+				keyIdx = i
+				break
+			}
+		}
+		if keyIdx < 0 {
+			return 0, false
+		}
+		part := -1
+		for _, row := range s.Rows {
+			lit, ok := row[keyIdx].(*sqlparse.Literal)
+			if !ok {
+				return 0, false
+			}
+			p, err := rule.partitionFor(lit.Val, len(ps.subs))
+			if err != nil {
+				return 0, false
+			}
+			if part >= 0 && p != part {
+				return 0, false // rows split across partitions
+			}
+			part = p
+		}
+		if part < 0 {
+			return 0, false
+		}
+		return part, true
+	case *sqlparse.Update:
+		return keyed(s.Table.Name, s.Where)
+	case *sqlparse.Delete:
+		return keyed(s.Table.Name, s.Where)
+	case *sqlparse.Select:
+		if s.NoTable {
+			return 0, false
+		}
+		return keyed(s.From.Name, s.Where)
+	}
+	return 0, false
 }
 
 // broadcast runs the statement on every partition, returning the first
@@ -458,6 +652,58 @@ func extractKeyEquality(e sqlparse.Expr, column string) (sqltypes.Value, bool) {
 		}
 	}
 	return sqltypes.Null, false
+}
+
+// Prepare implements Conn: parse once, execute many with fresh bindings
+// (the partition router re-binds per execution, so one handle can hit a
+// different partition per call).
+func (ps *PSession) Prepare(sql string) (*Stmt, error) { return newStmt(ps, sql) }
+
+// Begin implements Conn: opens a single-partition transaction that binds to
+// the partition of its first keyed statement.
+func (ps *PSession) Begin() error {
+	_, err := ps.ExecStmt(&sqlparse.BeginTxn{})
+	return err
+}
+
+// Commit implements Conn.
+func (ps *PSession) Commit() error {
+	_, err := ps.ExecStmt(&sqlparse.CommitTxn{})
+	return err
+}
+
+// Rollback implements Conn.
+func (ps *PSession) Rollback() error {
+	_, err := ps.ExecStmt(&sqlparse.RollbackTxn{})
+	return err
+}
+
+// SetIsolation implements Conn across every partition session.
+func (ps *PSession) SetIsolation(level string) error {
+	lv, err := normalizeIsolation(level)
+	if err != nil {
+		return err
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, sub := range ps.subs {
+		if _, err := sub.ExecStmt(&sqlparse.SetIsolation{Level: lv}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetConsistency implements Conn across every partition session.
+func (ps *PSession) SetConsistency(c Consistency) error {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, sub := range ps.subs {
+		if err := sub.SetConsistency(c); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // equalFoldASCII compares identifiers case-insensitively.

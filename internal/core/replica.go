@@ -17,6 +17,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lb"
 	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
 )
 
 // ReplicaConfig describes one backend replica.
@@ -196,13 +197,20 @@ func (r *Replica) ExecOn(s *engine.Session, sql string, isRead bool) (*engine.Re
 // middleware parses (or cache-hits) once and the backend executes the same
 // AST, instead of re-serializing to SQL text and parsing again.
 func (r *Replica) ExecStmtOn(s *engine.Session, st sqlparse.Statement, isRead bool) (*engine.Result, error) {
+	return r.ExecStmtArgsOn(s, st, isRead, nil)
+}
+
+// ExecStmtArgsOn is ExecStmtOn with ? bind arguments: the prepared-statement
+// hot path, where the shared AST never changes and only the argument vector
+// varies per call.
+func (r *Replica) ExecStmtArgsOn(s *engine.Session, st sqlparse.Statement, isRead bool, args []sqltypes.Value) (*engine.Result, error) {
 	if err := r.acquire(); err != nil {
 		return nil, err
 	}
 	defer r.release()
 	r.execs.Add(1)
 	r.serviceSleep(isRead)
-	return s.ExecStmt(st)
+	return s.ExecStmtArgs(st, args...)
 }
 
 // Execs returns how many statements the routers have executed on this

@@ -143,6 +143,34 @@ func (w *WAN) site(name string) *SiteConfig {
 	return nil
 }
 
+// NewConn implements Cluster: the connection is homed at the first
+// configured site. Use NewSession to home a connection elsewhere.
+func (w *WAN) NewConn(user string) (Conn, error) {
+	return w.NewSession(w.sites[0].Name, user)
+}
+
+// Authenticate implements Cluster against the first site's cluster.
+func (w *WAN) Authenticate(user, password string) error {
+	return w.sites[0].Cluster.Authenticate(user, password)
+}
+
+// Health implements Cluster, aggregated over every site.
+func (w *WAN) Health() Health {
+	h := Health{Topology: "wan"}
+	for _, s := range w.sites {
+		sh := s.Cluster.Health()
+		h.Replicas += sh.Replicas
+		h.HealthyReplicas += sh.HealthyReplicas
+		if sh.Head > h.Head {
+			h.Head = sh.Head
+		}
+		if sh.MaxLag > h.MaxLag {
+			h.MaxLag = sh.MaxLag
+		}
+	}
+	return h
+}
+
 // WSession is a client session attached to one site.
 type WSession struct {
 	w     *WAN
@@ -151,6 +179,15 @@ type WSession struct {
 	subs map[string]*MSSession
 	user string
 	db   string
+	// iso / cons are the announced isolation and consistency levels,
+	// replayed onto site sessions opened later.
+	iso  string
+	cons *Consistency
+	// inTxn tracks the explicit transaction open on the LOCAL site's
+	// session: remote-owner writes must be refused while it is set, or
+	// they would silently autocommit at the owning site outside the
+	// transaction (unrollbackable).
+	inTxn bool
 }
 
 // NewSession opens a session homed at the named site.
@@ -179,32 +216,94 @@ func (ws *WSession) sessionAt(site *SiteConfig) (*MSSession, error) {
 				return nil, err
 			}
 		}
+		if ws.iso != "" {
+			if err := s.SetIsolation(ws.iso); err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
+		if ws.cons != nil {
+			if err := s.SetConsistency(*ws.cons); err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
 		ws.subs[site.Name] = s
 	}
 	return s, nil
 }
 
-// Exec routes one statement: reads and un-keyed statements go to the local
-// site; keyed writes go to the owning site (paying the WAN round trip when
-// remote).
-func (ws *WSession) Exec(sql string) (*engine.Result, error) {
+// Exec routes one statement with optional ? bind arguments: reads and
+// un-keyed statements go to the local site; keyed writes go to the owning
+// site (paying the WAN round trip when remote). The geo router inspects
+// literal key values, so arguments are inlined into the AST up front.
+func (ws *WSession) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error) {
 	st, err := sqlparse.ParseCached(sql)
 	if err != nil {
 		return nil, err
+	}
+	return ws.ExecStmtArgs(st, args...)
+}
+
+// Query implements Conn; routing is decided by the statement itself.
+func (ws *WSession) Query(sql string, args ...sqltypes.Value) (*engine.Result, error) {
+	return ws.Exec(sql, args...)
+}
+
+// ExecStmtArgs routes a pre-parsed statement with bind arguments.
+func (ws *WSession) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) (*engine.Result, error) {
+	if len(args) > 0 {
+		bound, err := sqlparse.BindParams(st, args)
+		if err != nil {
+			return nil, err
+		}
+		st = bound
 	}
 	return ws.ExecStmt(st)
 }
 
 // ExecStmt routes a pre-parsed statement.
 func (ws *WSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
-	if use, ok := st.(*sqlparse.UseDatabase); ok {
-		ws.db = use.Name
-		for _, s := range ws.subs {
-			if _, err := s.ExecStmt(st); err != nil {
+	switch s := st.(type) {
+	case *sqlparse.UseDatabase:
+		ws.db = s.Name
+		for _, sub := range ws.subs {
+			if _, err := sub.ExecStmt(st); err != nil {
 				return nil, err
 			}
 		}
 		return &engine.Result{}, nil
+	case *sqlparse.SetIsolation:
+		// Propagate across every site session, current and future: a
+		// forwarded write must run at the level the client announced.
+		ws.iso = s.Level
+		for _, sub := range ws.subs {
+			if _, err := sub.ExecStmt(st); err != nil {
+				return nil, err
+			}
+		}
+		return &engine.Result{}, nil
+	case *sqlparse.SetConsistency:
+		c, err := ParseConsistency(s.Level)
+		if err != nil {
+			return nil, err
+		}
+		return &engine.Result{}, ws.SetConsistency(c)
+	case *sqlparse.BeginTxn, *sqlparse.CommitTxn, *sqlparse.RollbackTxn:
+		// Transactions run on the local site's cluster. Track the bracket
+		// so remote-owner writes can be refused while one is open; a
+		// failed COMMIT still ends it (the engine terminated its txn).
+		sub, err := ws.sessionAt(ws.local)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sub.ExecStmt(st)
+		if _, isBegin := st.(*sqlparse.BeginTxn); isBegin {
+			ws.inTxn = err == nil
+		} else {
+			ws.inTxn = false
+		}
+		return res, err
 	}
 	if st.IsRead() {
 		// "Reads are always local" — possibly stale, by design.
@@ -220,6 +319,14 @@ func (ws *WSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 			owner = o
 		}
 	}
+	if ws.inTxn && owner != ws.local {
+		// The open transaction lives on the local site; forwarding this
+		// write would autocommit it at the owner, outside the transaction
+		// — a rollback could never undo it. Refuse, like the partition
+		// router refuses cross-partition statements.
+		return nil, fmt.Errorf("core: transaction is local to site %s; write for key owned by %s cannot join it (no cross-site 2PC)",
+			ws.local.Name, owner.Name)
+	}
 	s, err := ws.sessionAt(owner)
 	if err != nil {
 		return nil, err
@@ -232,6 +339,50 @@ func (ws *WSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 	res, err := s.ExecStmt(st)
 	time.Sleep(ws.w.latency(owner.Name, ws.local.Name))
 	return res, err
+}
+
+// Prepare implements Conn: parse once, execute many with fresh bindings.
+func (ws *WSession) Prepare(sql string) (*Stmt, error) { return newStmt(ws, sql) }
+
+// Begin implements Conn: the transaction runs on the local site's cluster.
+func (ws *WSession) Begin() error {
+	_, err := ws.ExecStmt(&sqlparse.BeginTxn{})
+	return err
+}
+
+// Commit implements Conn.
+func (ws *WSession) Commit() error {
+	_, err := ws.ExecStmt(&sqlparse.CommitTxn{})
+	return err
+}
+
+// Rollback implements Conn.
+func (ws *WSession) Rollback() error {
+	_, err := ws.ExecStmt(&sqlparse.RollbackTxn{})
+	return err
+}
+
+// SetIsolation implements Conn across every site session.
+func (ws *WSession) SetIsolation(level string) error {
+	lv, err := normalizeIsolation(level)
+	if err != nil {
+		return err
+	}
+	_, err = ws.ExecStmt(&sqlparse.SetIsolation{Level: lv})
+	return err
+}
+
+// SetConsistency implements Conn. The guarantee applies within each site's
+// cluster; cross-site replication stays asynchronous by design ("reads are
+// always local", §4.3.4.1).
+func (ws *WSession) SetConsistency(c Consistency) error {
+	ws.cons = &c
+	for _, sub := range ws.subs {
+		if err := sub.SetConsistency(c); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeKey extracts the geo-partition key from a write statement.

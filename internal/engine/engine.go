@@ -205,6 +205,20 @@ func (e *Engine) CreateUser(name, password string) error {
 	return nil
 }
 
+// SetPassword replaces an existing user's password (operators re-keying a
+// daemon principal; a checkpoint restore may have brought the user back
+// with an older credential).
+func (e *Engine) SetPassword(name, password string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	u, ok := e.users[name]
+	if !ok {
+		return fmt.Errorf("engine: unknown user %q", name)
+	}
+	u.Password = password
+	return nil
+}
+
 // Grant allows user access to database db.
 func (e *Engine) Grant(db, user string) error {
 	e.mu.Lock()

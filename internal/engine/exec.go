@@ -37,7 +37,7 @@ func (s *Session) dmlLocked(st sqlparse.Statement, args []sqltypes.Value, depth 
 		// Record for statement-based shipping. SELECT FOR UPDATE takes
 		// locks but changes nothing, so it is not recorded.
 		if _, isSel := st.(*sqlparse.Select); !isSel {
-			tx.stmts = append(tx.stmts, st.SQL())
+			tx.stmts = append(tx.stmts, recordSQL(st, args))
 		}
 	}
 	if implicit {
@@ -52,6 +52,20 @@ func (s *Session) dmlLocked(st sqlparse.Statement, args []sqltypes.Value, depth 
 		s.dropCommitTempTables()
 	}
 	return res, err
+}
+
+// recordSQL renders the executable text recorded for statement-based
+// shipping. Bound ? parameters are inlined as literals: the recorded text is
+// re-executed standalone on replicas, which have no access to this call's
+// argument vector (shipping "INSERT ... VALUES (?)" verbatim would stall
+// every slave applier on "parameter not bound").
+func recordSQL(st sqlparse.Statement, args []sqltypes.Value) string {
+	if len(args) > 0 {
+		if bound, err := sqlparse.BindParams(st, args); err == nil {
+			return bound.SQL()
+		}
+	}
+	return st.SQL()
 }
 
 // checkTempUse enforces the Sybase-style "no temp tables inside explicit

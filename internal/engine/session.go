@@ -76,9 +76,11 @@ func (s *Session) Close() {
 	s.closed = true
 }
 
-// Exec parses and executes one statement.
-func (s *Session) Exec(sql string) (*Result, error) {
-	return s.ExecArgs(sql)
+// Exec parses and executes one statement, binding ? placeholders to args.
+// The signature is the uniform client contract shared by engine sessions,
+// every router session and the wire driver.
+func (s *Session) Exec(sql string, args ...sqltypes.Value) (*Result, error) {
+	return s.ExecArgs(sql, args...)
 }
 
 // ExecArgs parses and executes one statement with ? parameters bound to
@@ -107,6 +109,16 @@ func (s *Session) ExecStmt(st sqlparse.Statement) (*Result, error) {
 func (s *Session) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) (*Result, error) {
 	if s.closed {
 		return nil, fmt.Errorf("engine: session closed")
+	}
+	if len(args) > 0 {
+		// Enforce the argument count up front. Missing arguments would
+		// surface lazily at evaluation, but SURPLUS ones would be dropped
+		// silently — and a surplus argument almost always means the
+		// statement has a literal where a ? was intended, i.e. it is about
+		// to do the wrong thing without complaint.
+		if n := sqlparse.CountParams(st); n != len(args) {
+			return nil, fmt.Errorf("engine: statement has %d placeholders, got %d arguments", n, len(args))
+		}
 	}
 	if s.sharedRead(st) {
 		s.eng.mu.RLock()
@@ -185,6 +197,11 @@ func (s *Session) execLocked(st sqlparse.Statement, args []sqltypes.Value, depth
 		return s.rollbackLocked()
 	case *sqlparse.SetIsolation:
 		return s.setIsolationLocked(st)
+	case *sqlparse.SetConsistency:
+		// Read consistency is a middleware routing concept (§3.3); the
+		// engine accepts the announcement so every layer speaks the same
+		// SQL surface, but has nothing to do with it.
+		return &Result{}, nil
 	case *sqlparse.SetVar:
 		v, err := s.evalConst(st.Value, args)
 		if err != nil {
@@ -377,6 +394,8 @@ func (s *Session) showLocked(st *sqlparse.Show) (*Result, error) {
 }
 
 // checkAccessLocked enforces per-database grants when auth is required.
+// The "*" grant covers every database (the daemon's -auth principal uses
+// it: databases are created over the wire after the grant is issued).
 func (s *Session) checkAccessLocked(db string) error {
 	if !s.eng.cfg.RequireAuth {
 		return nil
@@ -385,7 +404,7 @@ func (s *Session) checkAccessLocked(db string) error {
 	if !ok {
 		return fmt.Errorf("engine: unknown user %q", s.user)
 	}
-	if !u.Grants[db] {
+	if !u.Grants[db] && !u.Grants["*"] {
 		return fmt.Errorf("engine: user %q has no access to database %q", s.user, db)
 	}
 	return nil
@@ -640,7 +659,7 @@ func (s *Session) callLocked(st *sqlparse.Call, args []sqltypes.Value, depth int
 	// statements run silently (the replica's copy of the procedure will
 	// re-execute them — including any non-determinism, §4.2.1).
 	if depth == 0 && s.txn != nil {
-		s.txn.stmts = append(s.txn.stmts, st.SQL())
+		s.txn.stmts = append(s.txn.stmts, recordSQL(st, args))
 	}
 	recordCall := depth == 0 && s.txn == nil
 
@@ -659,7 +678,7 @@ func (s *Session) callLocked(st *sqlparse.Call, args []sqltypes.Value, depth int
 		// Autocommit CALL: wrap the body in one implicit transaction whose
 		// recorded statement is the CALL.
 		s.txn = s.eng.beginTxnLocked(s.iso)
-		s.txn.stmts = append(s.txn.stmts, st.SQL())
+		s.txn.stmts = append(s.txn.stmts, recordSQL(st, args))
 		if err := runBody(); err != nil {
 			s.eng.rollbackLocked(s.txn)
 			s.txn = nil

@@ -187,6 +187,13 @@ type RollbackTxn struct{}
 // SetIsolation is SET ISOLATION LEVEL <level>.
 type SetIsolation struct{ Level string } // "READ COMMITTED", "SNAPSHOT", "SERIALIZABLE"
 
+// SetConsistency is SET CONSISTENCY <level>: the session-level read
+// guarantee announcement (§3.3). The engine itself treats it as a no-op —
+// consistency is a middleware concept — but routers intercept it, which lets
+// remote clients (wire protocol, database/sql driver) pick their guarantee
+// with plain SQL.
+type SetConsistency struct{ Level string } // "ANY", "SESSION", "STRONG"
+
 // SetVar is SET @name = expr (session variable).
 type SetVar struct {
 	Name  string
@@ -228,6 +235,7 @@ func (*BeginTxn) stmt()        {}
 func (*CommitTxn) stmt()       {}
 func (*RollbackTxn) stmt()     {}
 func (*SetIsolation) stmt()    {}
+func (*SetConsistency) stmt()  {}
 func (*SetVar) stmt()          {}
 func (*Show) stmt()            {}
 func (*CreateUser) stmt()      {}
@@ -255,6 +263,7 @@ func (*BeginTxn) IsRead() bool        { return true }
 func (*CommitTxn) IsRead() bool       { return false }
 func (*RollbackTxn) IsRead() bool     { return false }
 func (*SetIsolation) IsRead() bool    { return true }
+func (*SetConsistency) IsRead() bool  { return true }
 func (*SetVar) IsRead() bool          { return true }
 func (*CreateUser) IsRead() bool      { return false }
 func (*Grant) IsRead() bool           { return false }
@@ -310,6 +319,7 @@ func (*BeginTxn) Tables() []string        { return nil }
 func (*CommitTxn) Tables() []string       { return nil }
 func (*RollbackTxn) Tables() []string     { return nil }
 func (*SetIsolation) Tables() []string    { return nil }
+func (*SetConsistency) Tables() []string  { return nil }
 func (*SetVar) Tables() []string          { return nil }
 func (*Show) Tables() []string            { return nil }
 func (*CreateUser) Tables() []string      { return nil }
@@ -697,6 +707,9 @@ func (*CommitTxn) SQL() string   { return "COMMIT" }
 func (*RollbackTxn) SQL() string { return "ROLLBACK" }
 func (s *SetIsolation) SQL() string {
 	return "SET ISOLATION LEVEL " + s.Level
+}
+func (s *SetConsistency) SQL() string {
+	return "SET CONSISTENCY " + s.Level
 }
 func (s *SetVar) SQL() string { return "SET @" + s.Name + " = " + s.Value.SQL() }
 func (s *Show) SQL() string   { return "SHOW " + s.What }

@@ -1,0 +1,148 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func TestCountParams(t *testing.T) {
+	cases := map[string]int{
+		"SELECT 1":                     0,
+		"SELECT * FROM t WHERE id = ?": 1,
+		"INSERT INTO t (a, b) VALUES (?, ?), (?, 4)":               3,
+		"UPDATE t SET a = ? WHERE b = ? AND c IN (?, ?)":           4,
+		"DELETE FROM t WHERE id IN (SELECT id FROM u WHERE v = ?)": 1,
+		"SELECT * FROM t WHERE a BETWEEN ? AND ?":                  2,
+	}
+	for sql, want := range cases {
+		st, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if got := CountParams(st); got != want {
+			t.Errorf("CountParams(%q) = %d, want %d", sql, got, want)
+		}
+	}
+}
+
+func TestBindParamsInlinesLiterals(t *testing.T) {
+	st, err := Parse("INSERT INTO t (a, b) VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := BindParams(st, []sqltypes.Value{sqltypes.NewInt(7), sqltypes.NewString("it's")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := bound.SQL()
+	if !strings.Contains(sql, "7") || !strings.Contains(sql, "'it''s'") {
+		t.Fatalf("bound SQL = %q", sql)
+	}
+	// The bound text must re-parse (it ships to replicas as text).
+	if _, err := Parse(sql); err != nil {
+		t.Fatalf("bound SQL does not re-parse: %q: %v", sql, err)
+	}
+	// The original shared AST is untouched.
+	if CountParams(st) != 2 {
+		t.Fatal("BindParams mutated the source statement")
+	}
+	if CountParams(bound) != 0 {
+		t.Fatal("bound statement still has placeholders")
+	}
+}
+
+func TestBindParamsSubquery(t *testing.T) {
+	st, err := Parse("DELETE FROM t WHERE id IN (SELECT id FROM u WHERE v = ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := BindParams(st, []sqltypes.Value{sqltypes.NewInt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CountParams(bound) != 0 {
+		t.Fatalf("subquery param not bound: %s", bound.SQL())
+	}
+}
+
+func TestBindParamsErrors(t *testing.T) {
+	st, err := Parse("SELECT * FROM t WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BindParams(st, nil); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	// No placeholders: the same statement comes back without copying.
+	plain, err := Parse("SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := BindParams(plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != plain {
+		t.Fatal("param-free statement was copied")
+	}
+}
+
+func TestParseSetConsistency(t *testing.T) {
+	for _, level := range []string{"ANY", "SESSION", "STRONG"} {
+		st, err := Parse("SET CONSISTENCY " + level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, ok := st.(*SetConsistency)
+		if !ok || sc.Level != level {
+			t.Fatalf("parsed %T %+v", st, st)
+		}
+		// Render/reparse fixed point (statement shipping invariant).
+		again, err := Parse(st.SQL())
+		if err != nil {
+			t.Fatalf("%q does not re-parse: %v", st.SQL(), err)
+		}
+		if again.(*SetConsistency).Level != level {
+			t.Fatalf("round trip changed level: %+v", again)
+		}
+	}
+	// Case-insensitive level.
+	st, err := Parse("set consistency session")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*SetConsistency).Level != "SESSION" {
+		t.Fatalf("level = %q", st.(*SetConsistency).Level)
+	}
+	if _, err := Parse("SET CONSISTENCY EVENTUAL"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestBindParamsRejectsSurplusArgs(t *testing.T) {
+	st, err := Parse("DELETE FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A surplus argument means a literal stands where a ? was intended;
+	// dropping it silently would run the wrong statement.
+	if _, err := BindParams(st, []sqltypes.Value{sqltypes.NewInt(7)}); err == nil {
+		t.Fatal("surplus argument accepted")
+	}
+}
+
+func TestConsistencyIsNotReserved(t *testing.T) {
+	// SET CONSISTENCY is recognized positionally; "consistency" must keep
+	// working as an ordinary identifier or existing schemas/binlogs break.
+	for _, sql := range []string{
+		"SELECT consistency FROM reports",
+		"CREATE TABLE t (consistency TEXT)",
+		"UPDATE t SET consistency = 'x' WHERE id = 1",
+	} {
+		if _, err := Parse(sql); err != nil {
+			t.Errorf("%s: %v", sql, err)
+		}
+	}
+}

@@ -284,8 +284,25 @@ func (p *parser) parseSet() (Statement, error) {
 		}
 		return nil, p.unexpected("isolation level")
 	}
+	// CONSISTENCY is deliberately NOT a reserved keyword (existing schemas
+	// may use it as an identifier); it is recognized positionally after SET,
+	// like the level words below.
+	if p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, "CONSISTENCY") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Levels lex as plain identifiers; match them case-insensitively.
+		if p.tok.kind == tokIdent || p.tok.kind == tokKeyword {
+			switch strings.ToUpper(p.tok.text) {
+			case "ANY", "SESSION", "STRONG":
+				level := strings.ToUpper(p.tok.text)
+				return &SetConsistency{Level: level}, p.advance()
+			}
+		}
+		return nil, p.unexpected("consistency level (ANY, SESSION or STRONG)")
+	}
 	if !p.isOp("@") {
-		return nil, p.unexpected("@var or ISOLATION")
+		return nil, p.unexpected("@var or ISOLATION or CONSISTENCY")
 	}
 	if err := p.advance(); err != nil {
 		return nil, err

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/sqltypes"
+)
+
+// ClusterBackend adapts ANY replication topology to the wire protocol
+// through the unified core.Cluster/core.Conn contract: the same server
+// code fronts master-slave, multi-master, partitioned and WAN clusters
+// (Figure 7's deployment, generalized). Authentication delegates to the
+// cluster's real credential check — the daemon's original ad-hoc adapter
+// accepted every password, silently bypassing engine RequireAuth over the
+// wire.
+type ClusterBackend struct {
+	Cluster core.Cluster
+}
+
+var _ Backend = (*ClusterBackend)(nil)
+
+// Authenticate implements Backend by delegating to the cluster.
+func (b *ClusterBackend) Authenticate(user, password string) error {
+	return b.Cluster.Authenticate(user, password)
+}
+
+// OpenSession implements Backend.
+func (b *ClusterBackend) OpenSession(user, database string) (SessionHandler, error) {
+	conn, err := b.Cluster.NewConn(user)
+	if err != nil {
+		return nil, err
+	}
+	if database != "" {
+		if _, err := conn.Exec("USE " + database); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return &clusterSession{conn: conn}, nil
+}
+
+type clusterSession struct{ conn core.Conn }
+
+func (cs *clusterSession) Exec(sql string, args []sqltypes.Value) (*Response, error) {
+	res, err := cs.conn.Exec(sql, args...)
+	if err != nil {
+		return nil, classifyClusterErr(err)
+	}
+	return FromEngineResult(res), nil
+}
+
+// Prepare implements Preparer over the router's prepared fast path: the
+// statement is parsed once and the routing decision replays per execution
+// with fresh bindings.
+func (cs *clusterSession) Prepare(sql string) (StmtHandler, error) {
+	st, err := cs.conn.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &clusterStmt{st: st}, nil
+}
+
+func (cs *clusterSession) Close() { cs.conn.Close() }
+
+type clusterStmt struct{ st *core.Stmt }
+
+func (ps *clusterStmt) Exec(args []sqltypes.Value) (*Response, error) {
+	res, err := ps.st.Exec(args...)
+	if err != nil {
+		return nil, classifyClusterErr(err)
+	}
+	return FromEngineResult(res), nil
+}
+
+func (ps *clusterStmt) NumInput() int { return ps.st.NumInput() }
+func (ps *clusterStmt) Close()        { ps.st.Close() }
+
+// classifyClusterErr tags errors that mean "this backend session is dead
+// but the cluster may serve a fresh connection" as retryable, so pooled
+// drivers (database/sql) discard the connection and retry instead of
+// surfacing the failure to the application.
+func classifyClusterErr(err error) error {
+	if errors.Is(err, core.ErrReplicaDown) {
+		return &ServerError{Msg: err.Error(), Code: CodeRetryable}
+	}
+	return err
+}

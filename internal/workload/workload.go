@@ -13,19 +13,23 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/sqltypes"
 )
 
-// Client is anything that can execute SQL: an engine session, a middleware
-// session, or a wire connection adapter.
+// Client is anything that can execute SQL with optional ? bind arguments:
+// an engine session, a middleware session, or a wire connection adapter —
+// the same uniform Exec signature the whole stack shares.
 type Client interface {
-	Exec(sql string) (*engine.Result, error)
+	Exec(sql string, args ...sqltypes.Value) (*engine.Result, error)
 }
 
 // ClientFunc adapts a function to the Client interface.
-type ClientFunc func(sql string) (*engine.Result, error)
+type ClientFunc func(sql string, args ...sqltypes.Value) (*engine.Result, error)
 
 // Exec implements Client.
-func (f ClientFunc) Exec(sql string) (*engine.Result, error) { return f(sql) }
+func (f ClientFunc) Exec(sql string, args ...sqltypes.Value) (*engine.Result, error) {
+	return f(sql, args...)
+}
 
 // Mix describes a read/write statement mix over a keyspace.
 type Mix struct {

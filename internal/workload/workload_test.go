@@ -20,7 +20,7 @@ func testEngine(t *testing.T) (Client, func(int) (Client, error)) {
 		if _, err := s.Exec("USE app"); err != nil {
 			return nil, err
 		}
-		return ClientFunc(func(sql string) (*engine.Result, error) { return s.Exec(sql) }), nil
+		return s, nil
 	}
 	s := e.NewSession("w")
 	if _, err := s.Exec("CREATE DATABASE app"); err != nil {
@@ -29,7 +29,7 @@ func testEngine(t *testing.T) (Client, func(int) (Client, error)) {
 	if _, err := s.Exec("USE app"); err != nil {
 		t.Fatal(err)
 	}
-	return ClientFunc(func(sql string) (*engine.Result, error) { return s.Exec(sql) }), mk
+	return s, mk
 }
 
 func testClient(t *testing.T) Client {

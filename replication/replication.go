@@ -47,6 +47,31 @@ import (
 	"repro/internal/simnet"
 )
 
+// Unified client API (PR 5). Cluster and Conn are the topology-agnostic
+// contracts every replication design implements: application code written
+// against them (or against database/sql via replication/sqldriver) runs
+// unmodified on master-slave, multi-master, partitioned and WAN clusters.
+type (
+	// Cluster hands out Conns and reports topology-agnostic health.
+	Cluster = core.Cluster
+	// Conn is the uniform client connection: Exec/Query with ? bind
+	// arguments, Prepare, Begin/Commit/Rollback, SetIsolation,
+	// SetConsistency, Close.
+	Conn = core.Conn
+	// Stmt is a prepared statement on a Conn.
+	Stmt = core.Stmt
+	// ClusterHealth is a topology-agnostic cluster state snapshot.
+	ClusterHealth = core.Health
+	// Consistency is the read-routing guarantee (§3.3).
+	Consistency = core.Consistency
+)
+
+// ParseConsistency maps "any" / "session" / "strong" to the enum (DSNs and
+// SET CONSISTENCY use the same names).
+func ParseConsistency(level string) (Consistency, error) {
+	return core.ParseConsistency(level)
+}
+
 // Core cluster types.
 type (
 	// Replica wraps one database engine with service-time modelling,

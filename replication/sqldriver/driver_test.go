@@ -1,0 +1,74 @@
+package sqldriver
+
+import (
+	"database/sql"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+func TestParseDSN(t *testing.T) {
+	cfg, addr, db, cons, err := parseDSN("repl://app:pw@10.0.0.1:5455/shop?consistency=strong&heartbeat=250ms&keepalive=5s&connect_timeout=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "10.0.0.1:5455" || db != "shop" || cons != "strong" {
+		t.Fatalf("addr=%q db=%q cons=%q", addr, db, cons)
+	}
+	if cfg.User != "app" || cfg.Password != "pw" {
+		t.Fatalf("user=%q password=%q", cfg.User, cfg.Password)
+	}
+	if cfg.HeartbeatInterval != 250*time.Millisecond || cfg.KeepAliveTimeout != 5*time.Second || cfg.ConnectTimeout != time.Second {
+		t.Fatalf("durations: %+v", cfg)
+	}
+}
+
+func TestParseDSNErrors(t *testing.T) {
+	for _, dsn := range []string{
+		"mysql://host:1/db",              // wrong scheme
+		"repl:///db",                     // no host
+		"repl://h:1/db?consistency=bad",  // bad level
+		"repl://h:1/db?heartbeat=nonsap", // bad duration
+	} {
+		if _, _, _, _, err := parseDSN(dsn); err == nil {
+			t.Errorf("parseDSN(%q) accepted", dsn)
+		}
+	}
+}
+
+// TestNumInputMismatch proves the server-reported placeholder count reaches
+// database/sql: an argument-count mismatch fails client-side, before
+// execution.
+func TestNumInputMismatch(t *testing.T) {
+	e := engine.New(engine.Config{})
+	s := e.NewSession("setup")
+	for _, q := range []string{"CREATE DATABASE d", "USE d", "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"} {
+		if _, err := s.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := wire.NewServer("127.0.0.1:0", &wire.EngineBackend{Engine: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	db, err := sql.Open("repl", "repl://app@"+srv.Addr()+"/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	stmt, err := db.Prepare("INSERT INTO t (id, v) VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	if _, err := stmt.Exec(1); err == nil || !strings.Contains(err.Error(), "expected 2 arguments") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := stmt.Exec(1, "ok"); err != nil {
+		t.Fatal(err)
+	}
+}
