@@ -1,0 +1,159 @@
+// History recording must be cheap enough to leave on during any test run:
+// the recorder's contract is ≤10% added latency on the primary-key lookup
+// hot path. The benchmark measures the two paths side by side; the budget
+// test enforces the ratio with a min-of-trials methodology that is robust
+// to scheduler noise on shared CI machines.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+	"repro/replication"
+)
+
+const overheadKeys = 64
+
+// buildOverheadCluster stands up a 1-master/1-slave cluster with a seeded
+// kv table — the same shape the chaos harness records against.
+func buildOverheadCluster(tb testing.TB) replication.Cluster {
+	tb.Helper()
+	ms := testutil.BuildMasterSlave(tb, 1, replication.MasterSlaveConfig{})
+	testutil.CreateDB(tb, ms, "bench")
+	stmts := []string{"USE bench", "CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"}
+	for k := 1; k <= overheadKeys; k++ {
+		stmts = append(stmts, fmt.Sprintf("INSERT INTO kv (k, v) VALUES (%d, %d)", k, k*1000))
+	}
+	testutil.ExecAll(tb, ms, stmts...)
+	testutil.WaitForLag(tb, ms)
+	return ms
+}
+
+// openOverheadConn opens a client connection on the bench database.
+func openOverheadConn(tb testing.TB, c replication.Cluster) replication.Conn {
+	tb.Helper()
+	conn, err := c.NewConn("bench")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := conn.Exec("USE bench"); err != nil {
+		conn.Close()
+		tb.Fatal(err)
+	}
+	return conn
+}
+
+// pkLookups runs n point reads round-robin over the key space and returns
+// the elapsed wall time.
+func pkLookups(tb testing.TB, conn replication.Conn, n int) time.Duration {
+	tb.Helper()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		k := int64(i%overheadKeys + 1)
+		if _, err := conn.Query("SELECT v FROM kv WHERE k = ?", replication.IntValue(k)); err != nil {
+			tb.Fatalf("lookup k=%d: %v", k, err)
+		}
+	}
+	return time.Since(start)
+}
+
+// BenchmarkHistoryRecordingOverhead compares the PK-lookup hot path on a
+// bare connection against the same connection wrapped in a history
+// recorder. Run with -benchmem to see the recorder's allocation cost too:
+//
+//	go test -bench HistoryRecordingOverhead -benchmem .
+func BenchmarkHistoryRecordingOverhead(b *testing.B) {
+	c := buildOverheadCluster(b)
+
+	b.Run("bare", func(b *testing.B) {
+		conn := openOverheadConn(b, c)
+		defer conn.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := int64(i%overheadKeys + 1)
+			if _, err := conn.Query("SELECT v FROM kv WHERE k = ?", replication.IntValue(k)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("recorded", func(b *testing.B) {
+		rec := replication.NewHistoryRecorder(replication.HistorySpec{})
+		conn := replication.RecordConn(openOverheadConn(b, c), rec)
+		defer conn.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := int64(i%overheadKeys + 1)
+			if _, err := conn.Query("SELECT v FROM kv WHERE k = ?", replication.IntValue(k)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestHistoryRecordingOverheadBudget enforces the recorder's performance
+// contract: wrapping a connection adds at most 10% latency to the PK-lookup
+// hot path. Each attempt interleaves bare and recorded trials and compares
+// the *minimum* trial time of each variant — the minimum is the run least
+// disturbed by GC pauses and scheduler preemption, so the ratio converges
+// on the true per-statement overhead instead of on machine noise. A noisy
+// attempt is retried a few times before the test fails.
+func TestHistoryRecordingOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing threshold test skipped in -short mode")
+	}
+	if testutil.RaceEnabled {
+		// The race detector inflates synchronized code unevenly; the ratio
+		// it produces says nothing about production overhead.
+		t.Skip("timing threshold test skipped under -race")
+	}
+
+	c := buildOverheadCluster(t)
+
+	bare := openOverheadConn(t, c)
+	defer bare.Close()
+
+	const (
+		budget   = 1.10 // ≤10% added latency
+		perTrial = 5000 // lookups per timed trial — one workload run's worth
+		trials   = 6    // interleaved trials per variant per attempt
+		attempts = 5
+	)
+
+	// recordedTrial runs one trial against a fresh recorder, the way every
+	// real workload run uses one: a recorder accumulates one bounded run,
+	// not an unbounded stream.
+	recordedTrial := func() time.Duration {
+		rec := replication.NewHistoryRecorder(replication.HistorySpec{})
+		conn := replication.RecordConn(openOverheadConn(t, c), rec)
+		defer conn.Close()
+		return pkLookups(t, conn, perTrial)
+	}
+
+	// Warm both paths: statement cache, session pools, recorder session.
+	pkLookups(t, bare, perTrial)
+	recordedTrial()
+
+	var lastRatio float64
+	for attempt := 1; attempt <= attempts; attempt++ {
+		minBare, minRecorded := time.Duration(1<<62), time.Duration(1<<62)
+		for i := 0; i < trials; i++ {
+			if d := pkLookups(t, bare, perTrial); d < minBare {
+				minBare = d
+			}
+			if d := recordedTrial(); d < minRecorded {
+				minRecorded = d
+			}
+		}
+		lastRatio = float64(minRecorded) / float64(minBare)
+		t.Logf("attempt %d: bare %v, recorded %v per %d lookups (ratio %.3f)",
+			attempt, minBare, minRecorded, perTrial, lastRatio)
+		if lastRatio <= budget {
+			return
+		}
+	}
+	t.Fatalf("history recording adds %.1f%% latency on the PK-lookup hot path, budget is %.0f%%",
+		(lastRatio-1)*100, (budget-1)*100)
+}

@@ -1,7 +1,8 @@
 // Integration tests exercising the full stack end to end: wire clients
 // against a middleware daemon backend, multi-master over real group
 // communication, and the complete replica lifecycle (checkpoint, backup,
-// clone, resync, rejoin).
+// clone, resync, rejoin). Cluster bootstrap/teardown lives in
+// internal/testutil, shared with the recovery and driver suites.
 package repro
 
 import (
@@ -12,62 +13,24 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/gcs"
-	"repro/internal/sqltypes"
+	"repro/internal/testutil"
 	"repro/internal/wire"
 	"repro/replication"
 )
-
-// clusterBackend mirrors cmd/repld's adapter.
-type clusterBackend struct{ ms *replication.MasterSlave }
-
-func (b clusterBackend) Authenticate(user, password string) error { return nil }
-
-func (b clusterBackend) OpenSession(user, database string) (wire.SessionHandler, error) {
-	s := b.ms.NewSession(user)
-	if database != "" {
-		if _, err := s.Exec("USE " + database); err != nil {
-			s.Close()
-			return nil, err
-		}
-	}
-	return clusterSession{s}, nil
-}
-
-type clusterSession struct{ s *replication.MSSession }
-
-func (cs clusterSession) Exec(sql string, args []sqltypes.Value) (*wire.Response, error) {
-	res, err := cs.s.Exec(sql)
-	if err != nil {
-		return nil, err
-	}
-	return wire.FromEngineResult(res), nil
-}
-
-func (cs clusterSession) Close() { cs.s.Close() }
 
 // TestEndToEndWireClientOverReplicatedCluster drives a full client path:
 // wire driver -> middleware -> master-slave replicas, including failover
 // while the client keeps issuing statements.
 func TestEndToEndWireClientOverReplicatedCluster(t *testing.T) {
-	master := replication.NewReplica(replication.ReplicaConfig{Name: "m"})
-	slave := replication.NewReplica(replication.ReplicaConfig{Name: "s"})
-	cluster := replication.NewMasterSlave(master, []*replication.Replica{slave},
-		replication.MasterSlaveConfig{
-			Consistency:         replication.SessionConsistent,
-			TransparentFailover: true,
-		})
-	defer cluster.Close()
+	cluster := testutil.BuildMasterSlave(t, 1, replication.MasterSlaveConfig{
+		Consistency:         replication.SessionConsistent,
+		TransparentFailover: true,
+	})
 	mon := replication.NewMonitor(cluster, time.Millisecond)
 	mon.Start()
 	defer mon.Stop()
 
-	srv, err := wire.NewServer("127.0.0.1:0", clusterBackend{cluster})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-
-	conn, err := wire.Dial(srv.Addr(), wire.DriverConfig{User: "app"})
+	conn, err := wire.Dial(testutil.Serve(t, cluster), wire.DriverConfig{User: "app"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,16 +53,10 @@ func TestEndToEndWireClientOverReplicatedCluster(t *testing.T) {
 	// before killing the master. (The seed relied on the client being
 	// slower than the 200µs applier poll; the PR-2 statement fast path
 	// made the client outrun it.)
-	catchup := time.Now().Add(2 * time.Second)
-	for slave.AppliedSeq() < cluster.MasterSeq() && time.Now().Before(catchup) {
-		time.Sleep(100 * time.Microsecond)
-	}
-	if slave.AppliedSeq() < cluster.MasterSeq() {
-		t.Fatalf("slave never caught up: applied %d of %d", slave.AppliedSeq(), cluster.MasterSeq())
-	}
+	testutil.WaitForLag(t, cluster)
 	// Kill the master mid-stream; the monitor promotes the slave and the
 	// session (autocommit) keeps working.
-	master.Fail()
+	cluster.Master().Fail()
 	deadline := time.Now().Add(2 * time.Second)
 	var lastErr error
 	for time.Now().Before(deadline) {
@@ -125,46 +82,20 @@ func TestEndToEndWireClientOverReplicatedCluster(t *testing.T) {
 // simulated network.
 func TestEndToEndMultiMasterOverGCS(t *testing.T) {
 	const n = 3
-	net, orderers := replication.BuildGCSCluster(n, gcs.Config{
+	_, _, mm := testutil.BuildGCSMultiMaster(t, n, gcs.Config{
 		Ordering:          gcs.Sequencer,
 		HeartbeatInterval: 5 * time.Millisecond,
 		SuspectTimeout:    50 * time.Millisecond,
-	}, 1)
-	defer net.Close()
-	reps := make([]*replication.Replica, n)
-	ords := make([]replication.Orderer, n)
-	for i := range reps {
-		reps[i] = replication.NewReplica(replication.ReplicaConfig{Name: fmt.Sprintf("r%d", i+1)})
-		ords[i] = orderers[i]
-	}
-	mm, err := replication.NewMultiMaster(reps, ords, replication.MultiMasterConfig{
+	}, 1, replication.MultiMasterConfig{
 		Mode: replication.StatementMode,
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer mm.Close()
-	defer func() {
-		for _, o := range orderers {
-			o.Close()
-		}
-	}()
 
-	boot, err := mm.NewSession("boot")
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, sql := range []string{
+	testutil.ExecAll(t, mm,
 		"CREATE DATABASE shop",
 		"USE shop",
 		"CREATE TABLE counters (id INTEGER PRIMARY KEY, n INTEGER DEFAULT 0)",
 		"INSERT INTO counters (id) VALUES (1)",
-	} {
-		if _, err := boot.Exec(sql); err != nil {
-			t.Fatalf("%s: %v", sql, err)
-		}
-	}
-	boot.Close()
+	)
 
 	// Concurrent increments from sessions on all replicas.
 	const perSession = 5
@@ -196,14 +127,7 @@ func TestEndToEndMultiMasterOverGCS(t *testing.T) {
 		}
 	}
 	// Every replica converges to the same counter value.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		rep, err := replication.CheckDivergence(mm.Replicas(), "shop")
-		if err == nil && rep.OK() {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.WaitConverged(t, mm.Replicas(), "shop")
 	for _, r := range mm.Replicas() {
 		s := r.Engine().NewSession("check")
 		if _, err := s.Exec("USE shop"); err != nil {
@@ -224,10 +148,9 @@ func TestEndToEndMultiMasterOverGCS(t *testing.T) {
 // run traffic, checkpoint a backup, bring up a fresh replica from the
 // backup, resync it from the recovery log, and verify it matches.
 func TestEndToEndReplicaLifecycle(t *testing.T) {
-	master := replication.NewReplica(replication.ReplicaConfig{Name: "m"})
-	cluster := replication.NewMasterSlave(master, nil,
+	cluster := testutil.BuildMasterSlave(t, 0,
 		replication.MasterSlaveConfig{ReadFromMaster: true})
-	defer cluster.Close()
+	master := cluster.Master()
 
 	prov := replication.NewProvisioner()
 	sess := cluster.NewSession("app")

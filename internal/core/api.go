@@ -123,6 +123,12 @@ func newStmt(c Conn, sql string) (*Stmt, error) {
 	return &Stmt{conn: c, st: st, sql: sql, n: sqlparse.CountParams(st)}, nil
 }
 
+// NewStmt builds a prepared handle bound to an arbitrary Conn
+// implementation. Decorating Conns (history recording, tracing) need it so
+// their Prepare can route the statement back through the wrapper instead
+// of the wrapped connection.
+func NewStmt(c Conn, sql string) (*Stmt, error) { return newStmt(c, sql) }
+
 // Exec routes the prepared statement with the given bind arguments.
 func (s *Stmt) Exec(args ...Value) (*engine.Result, error) {
 	return s.conn.ExecStmtArgs(s.st, args...)

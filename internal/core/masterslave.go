@@ -133,6 +133,11 @@ type MasterSlave struct {
 	qc          *qcache.Scope
 	invalMu     sync.Mutex
 	invalCursor uint64
+	// skipInval disables write-side cache invalidation. Fault injection for
+	// the consistency certification harness ONLY: with it set, an acked
+	// write leaves stale results cached, and the history checker must catch
+	// the resulting read-your-writes violation.
+	skipInval atomic.Bool
 
 	lostOnLastFailover uint64
 }
@@ -558,7 +563,7 @@ func (ms *MasterSlave) readPos(r *Replica) uint64 {
 // cache's invalidation state. Writers call it after committing and before
 // acknowledging, so no write is ever acked with its tables still cached.
 func (ms *MasterSlave) invalidateThrough(master *Replica, seq uint64) {
-	if ms.qc == nil {
+	if ms.qc == nil || ms.skipInval.Load() {
 		return
 	}
 	ms.invalMu.Lock()
@@ -588,6 +593,12 @@ func min64(a, b uint64) uint64 {
 	}
 	return b
 }
+
+// InjectSkipCacheInvalidation toggles the harness's fault injection: while
+// set, writes are acknowledged WITHOUT invalidating the query result cache.
+// This deliberately breaks read-your-writes so the certification checker can
+// prove it detects real anomalies. Never use outside tests.
+func (ms *MasterSlave) InjectSkipCacheInvalidation(v bool) { ms.skipInval.Store(v) }
 
 // LostTransactions reports how many committed-but-unshipped events the last
 // failover lost (1-safe's exposure, §2.2).
@@ -699,17 +710,26 @@ func (ms *MasterSlave) Failover() (*Replica, error) {
 			reseed = append(reseed, sl)
 		}
 	}
-	ms.mu.Unlock()
-
 	// Failover re-aligns the replication position space (the lost suffix
 	// never happened); cached positions stop being comparable, so drop
 	// everything and restart invalidation from the new master's head.
+	//
+	// This must happen INSIDE the critical section that installs the new
+	// master. When it ran after the unlock, a writer could commit on the
+	// already-visible new master, find invalCursor still pointing into the
+	// old position space (so invalidateThrough was a no-op), and acknowledge
+	// — leaving a pre-failover cached result tagged with an old-space
+	// position high enough to satisfy the session's minPos. The session's
+	// next read would then be served pre-write state: a read-your-writes
+	// violation the certification harness catches. Lock order ms.mu →
+	// invalMu is safe: no path acquires them in the opposite order.
 	if ms.qc != nil {
 		ms.invalMu.Lock()
 		ms.qc.FlushAll()
 		ms.invalCursor = best.Engine().Binlog().Head()
 		ms.invalMu.Unlock()
 	}
+	ms.mu.Unlock()
 
 	// Re-seed overshot slaves from the new master: the seed's position
 	// clamp left the lost rows in their engines (a session-consistent read
@@ -805,8 +825,18 @@ type MSSession struct {
 
 	mu           sync.Mutex
 	lastWriteSeq uint64
-	pinned       *Replica // connection-level read pinning
-	epoch        uint64
+	// lastReadSeq is the highest replication position any state this
+	// session has already observed could reflect. Under session
+	// consistency, reads are only routed to replicas at or past
+	// max(lastWriteSeq, lastReadSeq): lastWriteSeq alone gives
+	// read-your-writes but not monotonic reads — after a failover (or a
+	// pinned slave dying) the session would be re-routed to any replica
+	// that merely covered its own writes, and could observe a version
+	// OLDER than one it already read. The certification harness caught
+	// exactly that regression.
+	lastReadSeq uint64
+	pinned      *Replica // connection-level read pinning
+	epoch       uint64
 	// cons is the session's read guarantee; it defaults to the cluster
 	// configuration and can be overridden per session (SET CONSISTENCY).
 	cons Consistency
@@ -935,6 +965,25 @@ func (cs *MSSession) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value)
 	return cs.execWrite(st, args)
 }
 
+// readFloor is the lowest replication position a read may be served from.
+// Session consistency covers both the session's own writes
+// (read-your-writes) and the freshest state it has already observed
+// (monotonic reads); the other levels derive their bound from
+// lastWriteSeq / the master head alone.
+func (cs *MSSession) readFloor() uint64 {
+	if cs.cons == SessionConsistent && cs.lastReadSeq > cs.lastWriteSeq {
+		return cs.lastReadSeq
+	}
+	return cs.lastWriteSeq
+}
+
+// bumpReadSeq advances the monotonic-reads floor to pos.
+func (cs *MSSession) bumpReadSeq(pos uint64) {
+	if pos > cs.lastReadSeq {
+		cs.lastReadSeq = pos
+	}
+}
+
 // execRead routes a read per the configured level/policy/consistency,
 // serving cache-eligible statements from the cluster's query result cache
 // when one is configured. A hit skips the backend entirely; a miss routes
@@ -949,7 +998,16 @@ func (cs *MSSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*en
 	user := cs.pool.user
 	db := cs.pool.currentDB()
 	text := st.SQL()
-	if res, ok := qc.Get(user, db, text, args, cs.ms.cacheMinPos(cs.cons, cs.lastWriteSeq)); ok {
+	minPos := cs.ms.cacheMinPos(cs.cons, cs.readFloor())
+	if cs.ms.skipInval.Load() {
+		// Fault injection (InjectSkipCacheInvalidation): with write-side
+		// invalidation off, also stop honoring the session's position
+		// floor, so an acked write can be followed by a stale cached read
+		// — the anomaly the certification harness must catch.
+		minPos = 0
+	}
+	if res, posHi, ok := qc.GetPos(user, db, text, args, minPos); ok {
+		cs.bumpReadSeq(posHi)
 		return res, nil
 	}
 	target, err := cs.routeRead()
@@ -965,7 +1023,9 @@ func (cs *MSSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*en
 	if err != nil {
 		return nil, err
 	}
-	qc.Put(user, db, text, args, st.Tables(), pos, res)
+	posHi := cs.ms.readPos(target)
+	cs.bumpReadSeq(posHi)
+	qc.PutAt(user, db, text, args, st.Tables(), pos, posHi, res)
 	return res, nil
 }
 
@@ -982,7 +1042,12 @@ func (cs *MSSession) execReadRouted(st sqlparse.Statement, args []sqltypes.Value
 	// Hand the already-parsed AST to the backend: the seed re-serialized
 	// with st.SQL() here and the engine parsed the text again — a full
 	// parse round-trip on every routed read.
-	return target.ExecStmtArgsOn(sess, st, true, args)
+	res, err := target.ExecStmtArgsOn(sess, st, true, args)
+	if err != nil {
+		return nil, err
+	}
+	cs.bumpReadSeq(cs.ms.readPos(target))
+	return res, nil
 }
 
 // routeRead picks the replica for a read. A connection-level pin is honored
@@ -997,12 +1062,22 @@ func (cs *MSSession) routeRead() (*Replica, error) {
 	if e := cs.ms.Epoch(); e != cs.epoch {
 		cs.epoch = e
 		cs.pinned = nil
+		// The failover truncated the lost suffix and re-aligned the
+		// position space; a read floor pointing into the lost region would
+		// pin this session to the master forever (no replica can ever reach
+		// a position that no longer exists). State observed beyond the new
+		// head was lost with the old master — clamp to what the new lineage
+		// has. (1-safe loss is the paper's accepted exposure, §2.2.)
+		if head := cs.ms.MasterSeq(); cs.lastReadSeq > head {
+			cs.lastReadSeq = head
+		}
 	}
+	floor := cs.readFloor()
 	if cs.ms.cfg.ReadLevel == lb.ConnectionLevel && cs.pinned != nil && cs.pinned.Healthy() &&
-		cs.ms.replicaFresh(cs.pinned, cs.cons, cs.lastWriteSeq) {
+		cs.ms.replicaFresh(cs.pinned, cs.cons, floor) {
 		return cs.pinned, nil
 	}
-	target, err := cs.ms.pickReadReplica(cs.cons, cs.lastWriteSeq)
+	target, err := cs.ms.pickReadReplica(cs.cons, floor)
 	if err != nil {
 		return nil, err
 	}
@@ -1046,7 +1121,15 @@ func (cs *MSSession) execWrite(st sqlparse.Statement, args []sqltypes.Value) (*e
 		}
 		cs.trackTxn(st, args)
 		if !cs.inTxn && !st.IsRead() {
-			seq := master.Engine().Binlog().Head()
+			// Prefer the commit's own binlog position over the head: the
+			// head may already include later commits from concurrent
+			// sessions, which would over-constrain this session's reads
+			// (and mis-tag its history). Statements that committed nothing
+			// (read-only COMMIT, DDL without an AtSeq) fall back to head.
+			seq := res.AtSeq
+			if seq == 0 {
+				seq = master.Engine().Binlog().Head()
+			}
 			cs.lastWriteSeq = seq
 			// Invalidate cached results for the tables this write (or
 			// anything committed before it) touched BEFORE acknowledging:

@@ -25,7 +25,12 @@ type MMSession struct {
 	home         *Replica
 	db           string
 	lastWriteSeq uint64
-	pinnedRead   *Replica
+	// lastReadSeq is the monotonic-reads floor: the highest ordered
+	// position any state this session already observed could reflect.
+	// Mirrors MSSession.lastReadSeq — lastWriteSeq alone gives
+	// read-your-writes but lets a re-routed read go backward.
+	lastReadSeq uint64
+	pinnedRead  *Replica
 	// cons is the session's read guarantee; it defaults to the cluster
 	// configuration and can be overridden per session (SET CONSISTENCY).
 	cons Consistency
@@ -159,10 +164,28 @@ func (s *MMSession) begin() (*engine.Result, error) {
 			}
 		}
 	}
-	s.snapSeq = s.home.AppliedSeq()
-	if _, err := sess.Exec("BEGIN"); err != nil {
+	// Session/strong guarantees extend into explicit transactions, but the
+	// dry run's snapshot is taken on the home engine with no routing in
+	// between — so the home must first catch up to the session's floors
+	// (own writes + previously observed state). Without this wait a
+	// version the session just observed through a routed read can vanish
+	// inside the next BEGIN: a monotonic-reads anomaly.
+	if err := s.waitHomeFloor(); err != nil {
 		return nil, err
 	}
+	// {BEGIN, sample} under snapMu pins snapSeq to exactly the snapshot's
+	// position: nothing past it is in the snapshot (certification stays
+	// sound) and everything up to it is (no spurious conflict aborts, and
+	// the position doubles as the session's observed floor).
+	s.home.snapMu.Lock()
+	_, err = sess.Exec("BEGIN")
+	pos := s.home.AppliedSeq()
+	s.home.snapMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s.snapSeq = pos
+	s.bumpReadSeq(pos)
 	s.inTxn = true
 	s.dryRun = sess
 	s.txnSQL = s.txnSQL[:0]
@@ -274,6 +297,9 @@ func (s *MMSession) commit() (*engine.Result, error) {
 		res, err := s.mm.submitAndWait(s.mm.ordererFor(s.home), s.home, txn)
 		if err == nil {
 			s.lastWriteSeq = s.home.AppliedSeq()
+			if res != nil && res.AtSeq == 0 {
+				res.AtSeq = s.lastWriteSeq
+			}
 		}
 		return res, err
 	}
@@ -334,6 +360,9 @@ func (s *MMSession) submitScript(stmts []string) (*engine.Result, error) {
 	res, err := s.mm.submitAndWait(s.mm.ordererFor(s.home), s.home, txn)
 	if err == nil {
 		s.lastWriteSeq = s.home.AppliedSeq()
+		if res != nil && res.AtSeq == 0 {
+			res.AtSeq = s.lastWriteSeq
+		}
 	}
 	return res, err
 }
@@ -343,6 +372,53 @@ func (s *MMSession) submitScript(stmts []string) (*engine.Result, error) {
 // is configured (entries are tagged with the serving replica's applied
 // position, so the session-consistency re-validation below applies to
 // cached results exactly as it does to replicas).
+// readFloor is the lowest ordered position a read may be served from;
+// session consistency covers own writes and previously observed state.
+func (s *MMSession) readFloor() uint64 {
+	if s.cons == SessionConsistent && s.lastReadSeq > s.lastWriteSeq {
+		return s.lastReadSeq
+	}
+	return s.lastWriteSeq
+}
+
+// bumpReadSeq advances the monotonic-reads floor to pos.
+func (s *MMSession) bumpReadSeq(pos uint64) {
+	if pos > s.lastReadSeq {
+		s.lastReadSeq = pos
+	}
+}
+
+// waitHomeFloor blocks until the home replica's applied position reaches
+// the freshness floor the session's consistency level demands of a BEGIN,
+// bounded by the commit timeout (a lagging or partitioned home fails the
+// BEGIN so pooled drivers retry on a fresh connection).
+func (s *MMSession) waitHomeFloor() error {
+	var floor uint64
+	switch s.cons {
+	case StrongConsistent:
+		floor = s.mm.head.Load()
+	case SessionConsistent:
+		floor = s.readFloor()
+	default:
+		return nil
+	}
+	if s.home.AppliedSeq() >= floor {
+		return nil
+	}
+	deadline := time.Now().Add(s.mm.cfg.CommitTimeout)
+	for s.home.AppliedSeq() < floor {
+		if !s.home.Healthy() {
+			return ErrReplicaDown
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: home %s stuck at position %d, session requires %d",
+				s.home.Name(), s.home.AppliedSeq(), floor)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
 func (s *MMSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
 	qc := s.mm.qc
 	if qc == nil || s.serializable || !engine.CacheableRead(st) {
@@ -351,7 +427,8 @@ func (s *MMSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*eng
 	user := s.user
 	db := s.db
 	text := st.SQL()
-	if res, ok := qc.Get(user, db, text, args, s.mm.cacheMinPos(s.cons, s.lastWriteSeq)); ok {
+	if res, posHi, ok := qc.GetPos(user, db, text, args, s.mm.cacheMinPos(s.cons, s.readFloor())); ok {
+		s.bumpReadSeq(posHi)
 		return res, nil
 	}
 	target, err := s.routeRead()
@@ -367,8 +444,21 @@ func (s *MMSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*eng
 	if err != nil {
 		return nil, err
 	}
-	qc.Put(user, db, text, args, st.Tables(), pos, res)
+	posHi := sampleApplied(target)
+	s.bumpReadSeq(posHi)
+	qc.PutAt(user, db, text, args, st.Tables(), pos, posHi, res)
 	return res, nil
+}
+
+// sampleApplied reads the replica's applied position under snapMu so it is
+// an exact ceiling for state a read just observed: if an applier has made a
+// write set visible but not yet stored its position, the sample waits out
+// the store instead of running a hair behind what was read.
+func sampleApplied(r *Replica) uint64 {
+	r.snapMu.Lock()
+	pos := r.AppliedSeq()
+	r.snapMu.Unlock()
+	return pos
 }
 
 // execReadRouted executes a read on a routed replica with no caching.
@@ -381,18 +471,24 @@ func (s *MMSession) execReadRouted(st sqlparse.Statement, args []sqltypes.Value)
 	if err != nil {
 		return nil, err
 	}
-	return target.ExecStmtArgsOn(sess, st, true, args)
+	res, err := target.ExecStmtArgsOn(sess, st, true, args)
+	if err != nil {
+		return nil, err
+	}
+	s.bumpReadSeq(sampleApplied(target))
+	return res, nil
 }
 
 // routeRead picks the replica for a read. As in the master-slave router, a
 // connection-level pin is only honored while the pinned replica still
 // satisfies the session's consistency guarantee.
 func (s *MMSession) routeRead() (*Replica, error) {
+	floor := s.readFloor()
 	if s.mm.cfg.ReadLevel == lb.ConnectionLevel && s.pinnedRead != nil && s.pinnedRead.Healthy() &&
-		s.mm.replicaFresh(s.pinnedRead, s.cons, s.lastWriteSeq) {
+		s.mm.replicaFresh(s.pinnedRead, s.cons, floor) {
 		return s.pinnedRead, nil
 	}
-	target, err := s.mm.pickRead(s.cons, s.lastWriteSeq)
+	target, err := s.mm.pickRead(s.cons, floor)
 	if err != nil {
 		return nil, err
 	}

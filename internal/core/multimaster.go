@@ -236,6 +236,7 @@ func (mm *MultiMaster) applier(r *Replica, in <-chan Ordered, cert *Certifier, s
 			// Cluster-wide counters tick once per transaction: at the
 			// origin replica only.
 			count := r.Name() == txn.Origin
+			r.snapMu.Lock()
 			if txn.WS != nil {
 				outcome = mm.applyCertified(r, cert, ord.Seq, txn, count)
 			} else {
@@ -243,6 +244,7 @@ func (mm *MultiMaster) applier(r *Replica, in <-chan Ordered, cert *Certifier, s
 			}
 			r.receivedSeq.Store(ord.Seq)
 			r.appliedSeq.Store(ord.Seq)
+			r.snapMu.Unlock()
 			for {
 				h := mm.head.Load()
 				if ord.Seq <= h || mm.head.CompareAndSwap(h, ord.Seq) {
@@ -262,6 +264,15 @@ func (mm *MultiMaster) applier(r *Replica, in <-chan Ordered, cert *Certifier, s
 						Seq: ord.Seq, Stmts: txn.Stmts, Database: txn.Database,
 					})
 				}
+			}
+			// Stamp the outcome with the transaction's own ordered position.
+			// The session must not substitute AppliedSeq() sampled after the
+			// ack: the applier may have applied later transactions by then,
+			// and an inflated position makes the client believe its write is
+			// newer than a subsequent writer's — a phantom session-guarantee
+			// violation in recorded histories.
+			if outcome.err == nil && outcome.res != nil && outcome.res.AtSeq == 0 {
+				outcome.res.AtSeq = ord.Seq
 			}
 			mm.notify(r, txn.ID, outcome)
 		}

@@ -52,6 +52,14 @@ type Replica struct {
 	// "RAID controller loses its battery" scenario (§4.1.3).
 	slowFactor atomic.Value // float64
 
+	// snapMu makes a sampled position exact with respect to engine state:
+	// appliers hold it across {apply, appliedSeq.Store} and sessions hold
+	// it across {BEGIN/read, AppliedSeq sample}, so a sample can never run
+	// behind state the engine already showed the session (the store would
+	// otherwise race the sample by a hair — enough for a certification
+	// snapshot to overstate what it read, or for a session's observed-
+	// version floor to understate it).
+	snapMu sync.Mutex
 	// appliedSeq is the last replication-stream position applied here.
 	appliedSeq atomic.Uint64
 	// receivedSeq is the last position received (≥ appliedSeq); 2-safe

@@ -50,6 +50,9 @@ func (s *Session) dmlLocked(st sqlparse.Statement, args []sqltypes.Value, depth 
 			return nil, cerr
 		}
 		s.dropCommitTempTables()
+		if res != nil {
+			res.AtSeq = tx.commitSeq
+		}
 	}
 	return res, err
 }

@@ -16,6 +16,14 @@ type Result struct {
 	Rows         []sqltypes.Row
 	RowsAffected int64
 	LastInsertID int64
+	// AtSeq is the binlog position of the commit this statement produced:
+	// set on autocommit writes and on COMMIT, zero for reads, statements
+	// inside a still-open transaction, and read-only commits. Middleware
+	// layers use it to tag the exact position a write became visible at
+	// (session-consistency bookkeeping, history recording) instead of
+	// re-reading the binlog head, which may already include later commits
+	// from concurrent sessions.
+	AtSeq uint64
 }
 
 // varEntry is a session variable or procedure parameter binding.
@@ -301,7 +309,7 @@ func (s *Session) commitLocked() (*Result, error) {
 		return nil, err
 	}
 	s.dropCommitTempTables()
-	return &Result{}, nil
+	return &Result{AtSeq: tx.commitSeq}, nil
 }
 
 func (s *Session) rollbackLocked() (*Result, error) {

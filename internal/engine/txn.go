@@ -135,6 +135,9 @@ type Txn struct {
 	stmts   []string // executed write statements (for statement-based binlog)
 	aborted bool
 	done    bool
+	// commitSeq is the binlog position the commit landed at (set by
+	// commitLocked; zero for read-only or rolled-back transactions).
+	commitSeq uint64
 
 	usedTempTables bool
 }
@@ -431,7 +434,7 @@ func (e *Engine) commitLocked(tx *Txn, s *Session) (uint64, *WriteSet, error) {
 	if s != nil {
 		user, db = s.user, s.currentDB
 	}
-	e.binlog.append(Event{
+	tx.commitSeq = e.binlog.append(Event{
 		CommitTS: commitTS,
 		TxnID:    tx.id,
 		Stmts:    append([]string(nil), tx.stmts...),

@@ -294,10 +294,25 @@ func (n *Node) sendReqLocked(req tobReq) {
 	}
 }
 
+// majorityLocked reports whether the current view is a primary component —
+// a majority of the static universe. Only the primary component may assign
+// sequence numbers (virtual synchrony's primary-partition rule): an isolated
+// minority that elects itself coordinator and kept sequencing would collide
+// with the majority's sequencer and fork the total order, which downstream
+// shows up as replicated certifiers reaching different decisions (lost
+// updates). Requests arriving in a minority view are dropped here and
+// re-sent by their origin's retransmit timer once the partition heals.
+func (n *Node) majorityLocked() bool {
+	return len(n.view.Members) > len(n.members)/2
+}
+
 // assignLocked sequences a request (sequencer role), enforcing per-origin
 // FIFO: a request whose predecessors have not arrived yet is held until the
 // gap closes (lost requests are retransmitted by their origin).
 func (n *Node) assignLocked(req tobReq) {
+	if !n.majorityLocked() {
+		return
+	}
 	next := n.originNextLocked(req.Origin)
 	switch {
 	case req.Counter < next:
@@ -566,7 +581,7 @@ func (n *Node) tokenMaintenance() {
 // drainTokenQueueLocked assigns sequence numbers to queued local messages
 // while holding the token.
 func (n *Node) drainTokenQueueLocked() {
-	if !n.haveToken {
+	if !n.haveToken || !n.majorityLocked() {
 		return
 	}
 	for _, req := range n.queue {

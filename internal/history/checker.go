@@ -1,0 +1,692 @@
+package history
+
+import "fmt"
+
+// Level selects the isolation guarantee a history is checked against.
+type Level int
+
+// The checkable isolation levels, weakest first.
+const (
+	ReadCommitted Level = iota
+	SnapshotIsolation
+	Serializable
+)
+
+func (l Level) String() string {
+	switch l {
+	case ReadCommitted:
+		return "read-committed"
+	case SnapshotIsolation:
+		return "snapshot-isolation"
+	}
+	return "serializable"
+}
+
+// Excused is the set of values legitimately lost by 1-safe failover: the
+// suffix of the failed master's binlog the promoted replica never received.
+// Transactions that wrote an excused value, and reads that observed one,
+// are removed before checking — the paper's 1-safe contract explicitly
+// allows losing them.
+type Excused map[string]map[int64]bool
+
+// Add marks (key, value) as excused.
+func (e Excused) Add(key string, value int64) {
+	m := e[key]
+	if m == nil {
+		m = make(map[int64]bool)
+		e[key] = m
+	}
+	m[value] = true
+}
+
+// Has reports whether (key, value) is excused.
+func (e Excused) Has(key string, value int64) bool {
+	return e != nil && e[key][value]
+}
+
+// CheckOpts configures a history check.
+type CheckOpts struct {
+	Level Level
+	// RealTime adds real-time precedence edges (T1 ended before T2
+	// started ⇒ T1 serializes first). Set it only when the run promised
+	// strong (linearizable) consistency; session and any consistency do
+	// not order concurrent clients in real time.
+	RealTime bool
+	// Excused lists values lost to 1-safe failover; see Excused.
+	Excused Excused
+}
+
+// Check verifies a history against the given isolation level following the
+// Biswas & Enea saturation approach over the key-value abstraction. The
+// unique-value write discipline makes the write-read relation exact, so no
+// search is needed: axioms become binary edge disjunctions resolved by
+// saturation, with the replicas' binlog commit positions as ground truth
+// for the write-write order residue. Returns nil if the history is
+// admitted, or a Violation carrying a minimal counterexample cycle.
+func Check(h *History, opts CheckOpts) *Violation {
+	c, v := digestHistory(h, opts)
+	if v != nil {
+		return v
+	}
+	switch opts.Level {
+	case ReadCommitted:
+		return c.checkReadCommitted()
+	case SnapshotIsolation:
+		return c.checkSnapshot()
+	default:
+		return c.checkSerializable()
+	}
+}
+
+// wref identifies a write: which transaction installed a value and at what
+// replication position.
+type wref struct {
+	txn *digest
+	seq uint64
+	// final is false when the transaction overwrote this value itself
+	// before committing (observing it would be an intermediate read).
+	final bool
+}
+
+// extRead is one externally-visible read: the first observation of a key
+// before the transaction's own write to it.
+type extRead struct {
+	key    string
+	value  int64
+	found  bool
+	writer *digest // resolved installer; nil means the initial state
+}
+
+// digest is a committed transaction prepared for graph building.
+type digest struct {
+	t     *Txn
+	node  int // node id (serializable encoding); SI uses 2*node, 2*node+1
+	reads []extRead
+	// writes maps key → final installed (value, seq).
+	writes map[string]wref
+}
+
+func (d *digest) name() string { return d.t.Name() }
+
+type checkerState struct {
+	opts CheckOpts
+	txns []*digest
+	// writerOf resolves (key, value) → installing write.
+	writerOf map[string]map[int64]wref
+	// byKey lists, per key, the committed transactions that wrote it.
+	byKey map[string][]*digest
+}
+
+// digestHistory runs the checks every isolation level shares — aborted
+// reads, intermediate reads, internal (read-own-write) consistency — and
+// builds the per-transaction digests for the graph stage.
+func digestHistory(h *History, opts CheckOpts) (*checkerState, *Violation) {
+	// Classify transactions and index every value written by a
+	// transaction that could have committed.
+	type cand struct {
+		t      *Txn
+		status TxnStatus
+	}
+	var cands []*cand
+	byTxn := make(map[*Txn]*cand)
+	for _, t := range h.Txns() {
+		c := &cand{t: t, status: t.Status}
+		cands = append(cands, c)
+		byTxn[t] = c
+	}
+	// valueTxn: (key, value) → writing transaction, any status.
+	valueTxn := make(map[string]map[int64]*cand)
+	for _, c := range cands {
+		for _, op := range c.t.Ops {
+			if op.Kind != OpWrite || (!op.Applied && c.status == StatusCommitted) {
+				// A committed write that affected no rows installed
+				// nothing. (For unknown-status txns RowsAffected is
+				// unreliable; keep them as candidates.)
+				continue
+			}
+			m := valueTxn[op.Key]
+			if m == nil {
+				m = make(map[int64]*cand)
+				valueTxn[op.Key] = m
+			}
+			m[op.Value] = c
+		}
+	}
+	// Promote unknown-status transactions whose writes were observed:
+	// somebody read the value, so the commit must have landed. The
+	// engine aborts cleanly when COMMIT returns an error locally, so a
+	// genuinely-aborted write is never observable; observation is proof.
+	// Fixpoint because a promoted transaction's reads count as observers.
+	observers := make([]*cand, 0, len(cands))
+	for _, c := range cands {
+		if c.status == StatusCommitted {
+			observers = append(observers, c)
+		}
+	}
+	for qi := 0; qi < len(observers); qi++ {
+		for _, op := range observers[qi].t.Ops {
+			if op.Kind != OpRead || !op.Found {
+				continue
+			}
+			w := valueTxn[op.Key][op.Value]
+			if w != nil && w.status == StatusUnknown {
+				w.status = StatusCommitted
+				observers = append(observers, w)
+			}
+		}
+	}
+
+	// Excuse transactions lost to 1-safe failover, and close the value
+	// set over their writes so every vanished value is skippable.
+	excused := opts.Excused
+	excusedTxn := make(map[*cand]bool)
+	if excused != nil {
+		for _, c := range cands {
+			for _, op := range c.t.Ops {
+				if op.Kind == OpWrite && excused.Has(op.Key, op.Value) {
+					excusedTxn[c] = true
+				}
+			}
+			if excusedTxn[c] {
+				for _, op := range c.t.Ops {
+					if op.Kind == OpWrite {
+						excused.Add(op.Key, op.Value)
+					}
+				}
+			}
+		}
+	}
+
+	// Build digests for the surviving committed transactions.
+	cs := &checkerState{
+		opts:     opts,
+		writerOf: make(map[string]map[int64]wref),
+		byKey:    make(map[string][]*digest),
+	}
+	digests := make(map[*cand]*digest)
+	for _, c := range cands {
+		if c.status != StatusCommitted || excusedTxn[c] {
+			continue
+		}
+		d := &digest{t: c.t, node: len(cs.txns), writes: make(map[string]wref)}
+		cs.txns = append(cs.txns, d)
+		digests[c] = d
+		for _, op := range c.t.Ops {
+			if op.Kind != OpWrite || !op.Applied || excused.Has(op.Key, op.Value) {
+				continue
+			}
+			d.writes[op.Key] = wref{txn: d, seq: op.Seq, final: true}
+		}
+		if len(d.writes) > 0 {
+			for k := range d.writes {
+				cs.byKey[k] = append(cs.byKey[k], d)
+			}
+		}
+	}
+	// Register every written value (final and intermediate) for read
+	// resolution; intermediate values keep final=false.
+	for c, d := range digests {
+		last := make(map[string]int) // key → op index of final write
+		for i, op := range c.t.Ops {
+			if op.Kind == OpWrite && op.Applied && !excused.Has(op.Key, op.Value) {
+				last[op.Key] = i
+			}
+		}
+		for i, op := range c.t.Ops {
+			if op.Kind != OpWrite || !op.Applied || excused.Has(op.Key, op.Value) {
+				continue
+			}
+			m := cs.writerOf[op.Key]
+			if m == nil {
+				m = make(map[int64]wref)
+				cs.writerOf[op.Key] = m
+			}
+			m[op.Value] = wref{txn: d, seq: op.Seq, final: last[op.Key] == i}
+		}
+	}
+
+	// Per-transaction scan: internal consistency, aborted/intermediate
+	// reads, and the external read set.
+	for _, c := range cands {
+		d := digests[c]
+		if d == nil {
+			continue
+		}
+		own := make(map[string]int64) // key → own latest installed value
+		seen := make(map[string]int)  // key → index of first external read
+		for _, op := range c.t.Ops {
+			switch op.Kind {
+			case OpWrite:
+				if op.Applied {
+					own[op.Key] = op.Value
+				}
+			case OpRead:
+				if v, ok := own[op.Key]; ok {
+					// Internal read: must observe the own pending write.
+					if !op.Found || op.Value != v {
+						return nil, &Violation{
+							Level:   opts.Level.String(),
+							Kind:    "internal",
+							Message: fmt.Sprintf("%s read %s after writing it but observed %s instead of its own value %d", d.name(), op.Key, renderRead(op), v),
+							Txns:    []string{d.t.Describe()},
+						}
+					}
+					continue
+				}
+				if op.Found && excused.Has(op.Key, op.Value) {
+					continue // observed a value 1-safe failover erased
+				}
+				er := extRead{key: op.Key, value: op.Value, found: op.Found}
+				if op.Found {
+					w, ok := cs.writerOf[op.Key][op.Value]
+					if !ok {
+						wc := valueTxn[op.Key][op.Value]
+						kind, msg := "phantom-value", fmt.Sprintf("%s observed %s=%d, a value no transaction installed", d.name(), op.Key, op.Value)
+						if wc != nil && wc.status == StatusAborted {
+							kind = "dirty-read"
+							msg = fmt.Sprintf("%s observed %s=%d written by aborted %s", d.name(), op.Key, op.Value, wc.t.Name())
+						}
+						viol := &Violation{Level: opts.Level.String(), Kind: kind, Message: msg, Txns: []string{d.t.Describe()}}
+						if wc != nil {
+							viol.Txns = append(viol.Txns, wc.t.Describe())
+						}
+						return nil, viol
+					}
+					if !w.final {
+						return nil, &Violation{
+							Level:   opts.Level.String(),
+							Kind:    "intermediate-read",
+							Message: fmt.Sprintf("%s observed %s=%d, an intermediate value %s overwrote before committing", d.name(), op.Key, op.Value, w.txn.name()),
+							Txns:    []string{d.t.Describe(), w.txn.t.Describe()},
+						}
+					}
+					er.writer = w.txn
+				}
+				if prev, ok := seen[op.Key]; ok {
+					// Repeated external read. Equal observations are
+					// redundant; differing ones are non-repeatable — an
+					// anomaly at SI and above, legal at read committed
+					// (where each read is checked independently).
+					p := d.reads[prev]
+					if p.found == er.found && p.value == er.value {
+						continue
+					}
+					if opts.Level >= SnapshotIsolation {
+						return nil, &Violation{
+							Level:   opts.Level.String(),
+							Kind:    "non-repeatable-read",
+							Message: fmt.Sprintf("%s read %s twice and observed %s then %s", d.name(), op.Key, renderObs(p.found, p.value), renderRead(op)),
+							Txns:    []string{d.t.Describe()},
+						}
+					}
+				} else {
+					seen[op.Key] = len(d.reads)
+				}
+				d.reads = append(d.reads, er)
+			}
+		}
+	}
+	return cs, nil
+}
+
+func renderRead(op Op) string { return renderObs(op.Found, op.Value) }
+
+func renderObs(found bool, value int64) string {
+	if !found {
+		return "no row"
+	}
+	return fmt.Sprintf("%d", value)
+}
+
+// checkReadCommitted verifies Adya's PL-2: the universal checks already ran
+// in digestHistory (G1a dirty reads, G1b intermediate reads), so what is
+// left is G1c — no cycle of write-read and write-write dependencies. The
+// write-write order per key is taken from binlog commit positions, which
+// are authoritative because co-writers of one key always commit in a
+// single position space (the key's master), whatever the topology.
+func (cs *checkerState) checkReadCommitted() *Violation {
+	g, init := cs.newTxnGraph()
+	// wr edges.
+	if v := cs.addWREdges(g, init); v != nil {
+		return v
+	}
+	// ww edges per key in binlog order.
+	for key, writers := range cs.byKey {
+		ordered := seqOrdered(key, writers)
+		for i := 1; i < len(ordered); i++ {
+			u, v := ordered[i-1].node, ordered[i].node
+			if g.wouldCycle(u, v) {
+				return cs.violation(g, u, v, "ww("+key+")", "cycle",
+					fmt.Sprintf("write-write order of %s closes a dependency cycle (G1c)", key))
+			}
+			g.addEdge(u, v, "ww("+key+")")
+		}
+	}
+	return nil
+}
+
+// checkSerializable encodes each committed transaction as one node and
+// saturates the serializability axiom: for every read of x from W and
+// every other committed writer W' of x, either W' serializes before W or
+// the reader serializes before W'.
+func (cs *checkerState) checkSerializable() *Violation {
+	g, init := cs.newTxnGraph()
+	if v := cs.addWREdges(g, init); v != nil {
+		return v
+	}
+	if v := cs.addOrderEdges(g, func(d *digest) (int, int) { return d.node, d.node }, init); v != nil {
+		return v
+	}
+	var cons []constraint
+	for _, d := range cs.txns {
+		for _, r := range d.reads {
+			w := r.writer
+			for _, w2 := range cs.byKey[r.key] {
+				if w2 == w || w2 == d {
+					continue
+				}
+				if w == nil {
+					// Reading the initial state of the key forces the
+					// reader before every committed writer of it.
+					if g.wouldCycle(d.node, w2.node) {
+						return cs.violation(g, d.node, w2.node, "rw("+r.key+")", "cycle",
+							fmt.Sprintf("%s read the initial state of %s, which %s overwrote", d.name(), r.key, w2.name()))
+					}
+					g.addEdge(d.node, w2.node, "rw("+r.key+")")
+					continue
+				}
+				cons = append(cons, constraint{
+					a1: w2.node, b1: w.node, l1: "ww(" + r.key + ")",
+					a2: d.node, b2: w2.node, l2: "rw(" + r.key + ")",
+					ground: groundOf(r.key, w2, w),
+					desc:   fmt.Sprintf("%s read %s from %s while %s also wrote %s", d.name(), r.key, writerName(w), w2.name(), r.key),
+				})
+			}
+		}
+	}
+	// Total write order per key.
+	cons = append(cons, cs.wwConstraints(func(d *digest) (int, int) { return d.node, d.node })...)
+	return cs.finish(g.solve(cons, cs.opts.Level.String()))
+}
+
+// checkSnapshot uses the two-event encoding (start node s, commit node c
+// per transaction). Reads happen at s, writes install at c; snapshot
+// isolation's axioms become: a read of x from W with co-writer W' needs
+// W'.c before W.c or the reader's start before W'.c, and two committed
+// writers of one key must not overlap (first-committer-wins).
+func (cs *checkerState) checkSnapshot() *Violation {
+	names := make([]string, 0, 2*len(cs.txns)+2)
+	for _, d := range cs.txns {
+		names = append(names, d.name()+".start", d.name()+".commit")
+	}
+	initNode := len(names)
+	names = append(names, "init.start", "init.commit")
+	g := newGraph(names)
+	g.addEdge(initNode, initNode+1, "txn")
+	sOf := func(d *digest) int { return 2 * d.node }
+	cOf := func(d *digest) int { return 2*d.node + 1 }
+	for _, d := range cs.txns {
+		g.addEdge(sOf(d), cOf(d), "txn")
+		g.addEdge(initNode+1, sOf(d), "init")
+	}
+	// wr: the installing commit precedes the reader's snapshot.
+	for _, d := range cs.txns {
+		for _, r := range d.reads {
+			u := initNode + 1
+			label := "wr(" + r.key + ":init)"
+			if r.writer != nil {
+				if r.writer == d {
+					continue
+				}
+				u = cOf(r.writer)
+				label = "wr(" + r.key + ")"
+			}
+			if g.wouldCycle(u, sOf(d)) {
+				return cs.violation(g, u, sOf(d), label, "cycle", fmt.Sprintf("%s cannot observe %s=%s", d.name(), r.key, renderObs(r.found, r.value)))
+			}
+			g.addEdge(u, sOf(d), label)
+		}
+	}
+	if v := cs.addOrderEdges(g, func(d *digest) (int, int) { return sOf(d), cOf(d) }, -1); v != nil {
+		return v
+	}
+	var cons []constraint
+	for _, d := range cs.txns {
+		for _, r := range d.reads {
+			w := r.writer
+			for _, w2 := range cs.byKey[r.key] {
+				if w2 == w || w2 == d {
+					continue
+				}
+				if w == nil {
+					// Reading the initial state: no committed writer of
+					// the key may have committed before this snapshot.
+					if g.wouldCycle(sOf(d), cOf(w2)) {
+						return cs.violation(g, sOf(d), cOf(w2), "rw("+r.key+")", "cycle",
+							fmt.Sprintf("%s read the initial state of %s, which %s overwrote", d.name(), r.key, w2.name()))
+					}
+					g.addEdge(sOf(d), cOf(w2), "rw("+r.key+")")
+					continue
+				}
+				cons = append(cons, constraint{
+					a1: cOf(w2), b1: cOf(w), l1: "ww(" + r.key + ")",
+					a2: sOf(d), b2: cOf(w2), l2: "rw(" + r.key + ")",
+					ground: groundOf(r.key, w2, w),
+					desc:   fmt.Sprintf("%s read %s from %s while %s also wrote %s", d.name(), r.key, writerName(w), w2.name(), r.key),
+				})
+			}
+		}
+	}
+	// First-committer-wins: committed writers of one key never overlap.
+	cons = append(cons, cs.wwConstraints(func(d *digest) (int, int) { return sOf(d), cOf(d) })...)
+	return cs.finish(g.solve(cons, cs.opts.Level.String()))
+}
+
+// wwConstraints emits, for every pair of committed writers of a key, the
+// disjunction "W1 wholly before W2 or W2 wholly before W1" (between their
+// commit events at SER, between commit and start at SI — the caller's
+// node mapper decides). Ground truth orients each pair by binlog order.
+func (cs *checkerState) wwConstraints(nodes func(*digest) (s, c int)) []constraint {
+	var cons []constraint
+	for key, writers := range cs.byKey {
+		for i := 0; i < len(writers); i++ {
+			for j := i + 1; j < len(writers); j++ {
+				w1, w2 := writers[i], writers[j]
+				s1, c1 := nodes(w1)
+				s2, c2 := nodes(w2)
+				cons = append(cons, constraint{
+					a1: c1, b1: s2, l1: "ww(" + key + ")",
+					a2: c2, b2: s1, l2: "ww(" + key + ")",
+					ground: groundOf(key, w1, w2),
+					desc:   fmt.Sprintf("%s and %s both wrote %s", w1.name(), w2.name(), key),
+				})
+			}
+		}
+	}
+	return cons
+}
+
+// groundOf returns which disjunct the binlog orders for the writer pair
+// (1: w1 before w2, 2: w2 before w1, 0: unknown). Both writes carry the
+// exact commit position of the key's master, so when both are present the
+// order is authoritative.
+func groundOf(key string, w1, w2 *digest) int {
+	s1 := w1.writes[key].seq
+	s2 := w2.writes[key].seq
+	switch {
+	case s1 == 0 || s2 == 0 || s1 == s2:
+		return 0
+	case s1 < s2:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func writerName(w *digest) string {
+	if w == nil {
+		return "the initial state"
+	}
+	return w.name()
+}
+
+// newTxnGraph builds the one-node-per-transaction graph plus the virtual
+// initial transaction, returning the graph and the init node id.
+func (cs *checkerState) newTxnGraph() (*graph, int) {
+	names := make([]string, 0, len(cs.txns)+1)
+	for _, d := range cs.txns {
+		names = append(names, d.name())
+	}
+	init := len(names)
+	names = append(names, "init")
+	g := newGraph(names)
+	for _, d := range cs.txns {
+		g.addEdge(init, d.node, "init")
+	}
+	return g, init
+}
+
+// addWREdges installs writer→reader edges on a one-node-per-txn graph.
+func (cs *checkerState) addWREdges(g *graph, init int) *Violation {
+	for _, d := range cs.txns {
+		for _, r := range d.reads {
+			u, label := init, "wr("+r.key+":init)"
+			if r.writer != nil {
+				if r.writer == d {
+					continue
+				}
+				u, label = r.writer.node, "wr("+r.key+")"
+			}
+			if g.has(u, d.node) {
+				g.addEdge(u, d.node, label)
+				continue
+			}
+			if g.wouldCycle(u, d.node) {
+				return cs.violation(g, u, d.node, label, "cycle",
+					fmt.Sprintf("%s observing %s=%s closes a dependency cycle", d.name(), r.key, renderObs(r.found, r.value)))
+			}
+			g.addEdge(u, d.node, label)
+		}
+	}
+	return nil
+}
+
+// addOrderEdges installs session-order and (optionally) real-time edges.
+// nodes maps a digest to its (first, last) event; the edge runs from the
+// predecessor's last event to the successor's first. init < 0 skips
+// nothing — it is only used to keep signatures uniform.
+func (cs *checkerState) addOrderEdges(g *graph, nodes func(*digest) (int, int), init int) *Violation {
+	_ = init
+	// Session order: consecutive committed txns of one session.
+	bySession := make(map[int][]*digest)
+	for _, d := range cs.txns {
+		bySession[d.t.Session] = append(bySession[d.t.Session], d)
+	}
+	for _, seq := range bySession {
+		for i := 1; i < len(seq); i++ {
+			_, c := nodes(seq[i-1])
+			s, _ := nodes(seq[i])
+			if g.wouldCycle(c, s) {
+				return cs.violation(g, c, s, "so", "cycle",
+					fmt.Sprintf("session order %s → %s closes a dependency cycle", seq[i-1].name(), seq[i].name()))
+			}
+			g.addEdge(c, s, "so")
+		}
+	}
+	if !cs.opts.RealTime {
+		return nil
+	}
+	// Real-time order: T1 ended strictly before T2 started. Inserting in
+	// ascending end-time order maximizes O(1) already-implied skips.
+	ordered := make([]*digest, len(cs.txns))
+	copy(ordered, cs.txns)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j-1].t.End > ordered[j].t.End; j-- {
+			ordered[j-1], ordered[j] = ordered[j], ordered[j-1]
+		}
+	}
+	for _, d1 := range ordered {
+		_, c := nodes(d1)
+		for _, d2 := range cs.txns {
+			if d1 == d2 || d1.t.End >= d2.t.Start {
+				continue
+			}
+			s, _ := nodes(d2)
+			if g.has(c, s) {
+				continue
+			}
+			if g.wouldCycle(c, s) {
+				return cs.violation(g, c, s, "rt", "cycle",
+					fmt.Sprintf("real-time order %s → %s closes a dependency cycle", d1.name(), d2.name()))
+			}
+			g.addEdge(c, s, "rt")
+		}
+	}
+	return nil
+}
+
+// violation builds a cycle Violation for the edge u→v(label) and attaches
+// the transactions on the cycle.
+func (cs *checkerState) violation(g *graph, u, v int, label, kind, msg string) *Violation {
+	return cs.finish(&Violation{
+		Level:   cs.opts.Level.String(),
+		Kind:    kind,
+		Message: msg,
+		Steps:   g.cycleWith(u, v, label),
+	})
+}
+
+// finish attaches Describe() lines for the transactions named in the
+// counterexample steps.
+func (cs *checkerState) finish(v *Violation) *Violation {
+	if v == nil || len(v.Txns) > 0 {
+		return v
+	}
+	named := make(map[string]bool)
+	for _, d := range cs.txns {
+		named[d.name()] = false
+	}
+	for _, step := range v.Steps {
+		for _, d := range cs.txns {
+			if !named[d.name()] && containsName(step, d.name()) {
+				named[d.name()] = true
+				v.Txns = append(v.Txns, d.t.Describe())
+				if len(v.Txns) >= 8 {
+					return v
+				}
+			}
+		}
+	}
+	return v
+}
+
+func containsName(step, name string) bool {
+	for i := 0; i+len(name) <= len(step); i++ {
+		if step[i:i+len(name)] == name {
+			// Reject prefix matches like s1/t1 inside s1/t12.
+			j := i + len(name)
+			if j < len(step) && step[j] >= '0' && step[j] <= '9' {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// seqOrdered returns the writers of key that carry a binlog position,
+// sorted by it.
+func seqOrdered(key string, writers []*digest) []*digest {
+	out := make([]*digest, 0, len(writers))
+	for _, w := range writers {
+		if w.writes[key].seq > 0 {
+			out = append(out, w)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].writes[key].seq > out[j].writes[key].seq; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

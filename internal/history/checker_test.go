@@ -1,0 +1,305 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+// Test helpers: hand-built histories, one op constructor per shape.
+
+func rd(key string, val int64) Op { return Op{Kind: OpRead, Key: key, Value: val, Found: true} }
+func rdMiss(key string) Op        { return Op{Kind: OpRead, Key: key} }
+func wr(key string, val int64, seq uint64) Op {
+	return Op{Kind: OpWrite, Key: key, Value: val, Applied: true, Seq: seq}
+}
+
+type hb struct {
+	h *History
+}
+
+func newHB(sessions int) *hb {
+	return &hb{h: &History{Sessions: make([][]*Txn, sessions)}}
+}
+
+func (b *hb) txn(sess int, status TxnStatus, start, end int64, ops ...Op) *hb {
+	t := &Txn{Session: sess, Index: len(b.h.Sessions[sess]), Status: status, Ops: ops, Start: start, End: end}
+	b.h.Sessions[sess] = append(b.h.Sessions[sess], t)
+	return b
+}
+
+// expectViolation asserts the check fails with the given kind and that the
+// violation renders a counterexample mentioning wantIn.
+func expectViolation(t *testing.T, h *History, opts CheckOpts, kind string) *Violation {
+	t.Helper()
+	v := Check(h, opts)
+	if v == nil {
+		t.Fatalf("%s: expected a %q violation, history admitted", opts.Level, kind)
+	}
+	if v.Kind != kind {
+		t.Fatalf("%s: expected kind %q, got %q: %s", opts.Level, kind, v.Kind, v)
+	}
+	if v.String() == "" || !strings.Contains(v.String(), "violation") {
+		t.Fatalf("%s: violation renders empty", opts.Level)
+	}
+	return v
+}
+
+func expectPass(t *testing.T, h *History, opts CheckOpts) {
+	t.Helper()
+	if v := Check(h, opts); v != nil {
+		t.Fatalf("%s: expected pass, got: %s", opts.Level, v)
+	}
+}
+
+// A strictly serial run must pass every level.
+func TestCheckerSerialHistoryPassesAllLevels(t *testing.T) {
+	h := newHB(2).
+		txn(0, StatusCommitted, 0, 10, wr("x", 100, 1)).
+		txn(1, StatusCommitted, 20, 30, rd("x", 100), wr("x", 101, 2)).
+		txn(0, StatusCommitted, 40, 50, rd("x", 101), wr("y", 200, 3)).
+		txn(1, StatusCommitted, 60, 70, rd("y", 200), rd("x", 101)).
+		h
+	for _, lv := range []Level{ReadCommitted, SnapshotIsolation, Serializable} {
+		expectPass(t, h, CheckOpts{Level: lv, RealTime: true})
+	}
+	if v := CheckSessionGuarantees(h, SessionOpts{}); v != nil {
+		t.Fatalf("session guarantees: %s", v)
+	}
+}
+
+// Dirty read (Adya G1a): observing an aborted transaction's write is a
+// violation at every level, including read committed.
+func TestCheckerDirtyRead(t *testing.T) {
+	for _, lv := range []Level{ReadCommitted, SnapshotIsolation, Serializable} {
+		h := newHB(2).
+			txn(0, StatusAborted, 0, 10, wr("x", 500, 0)).
+			txn(1, StatusCommitted, 5, 15, rd("x", 500)).
+			h
+		expectViolation(t, h, CheckOpts{Level: lv}, "dirty-read")
+	}
+}
+
+// Intermediate read (G1b): observing a value its writer overwrote before
+// committing violates every level.
+func TestCheckerIntermediateRead(t *testing.T) {
+	for _, lv := range []Level{ReadCommitted, SnapshotIsolation, Serializable} {
+		h := newHB(2).
+			txn(0, StatusCommitted, 0, 10, wr("x", 1, 0), wr("x", 2, 1)).
+			txn(1, StatusCommitted, 5, 15, rd("x", 1)).
+			h
+		expectViolation(t, h, CheckOpts{Level: lv}, "intermediate-read")
+	}
+}
+
+// Circular information flow (G1c): two committed transactions each reading
+// the other's write is invalid even at read committed.
+func TestCheckerG1cCycleAtReadCommitted(t *testing.T) {
+	h := newHB(2).
+		txn(0, StatusCommitted, 0, 10, wr("x", 1, 1), rd("y", 2)).
+		txn(1, StatusCommitted, 0, 10, wr("y", 2, 2), rd("x", 1)).
+		h
+	v := expectViolation(t, h, CheckOpts{Level: ReadCommitted}, "cycle")
+	if len(v.Steps) == 0 {
+		t.Fatalf("expected a counterexample cycle, got none: %s", v)
+	}
+}
+
+// Lost update: both transactions read the initial version and both commit
+// an overwrite. Snapshot isolation's first-committer-wins forbids it;
+// read committed allows it.
+func TestCheckerLostUpdate(t *testing.T) {
+	build := func() *History {
+		return newHB(3).
+			txn(0, StatusCommitted, 0, 5, wr("x", 10, 1)).
+			txn(1, StatusCommitted, 10, 20, rd("x", 10), wr("x", 11, 2)).
+			txn(2, StatusCommitted, 10, 20, rd("x", 10), wr("x", 12, 3)).
+			h
+	}
+	expectPass(t, build(), CheckOpts{Level: ReadCommitted})
+	expectViolation(t, build(), CheckOpts{Level: SnapshotIsolation}, "cycle")
+	expectViolation(t, build(), CheckOpts{Level: Serializable}, "cycle")
+}
+
+// Write skew: disjoint writes under reads of a shared precondition. Legal
+// under snapshot isolation, a cycle under serializability.
+func TestCheckerWriteSkew(t *testing.T) {
+	build := func() *History {
+		return newHB(3).
+			txn(0, StatusCommitted, 0, 5, wr("x", 10, 1), wr("y", 20, 2)).
+			txn(1, StatusCommitted, 10, 20, rd("x", 10), rd("y", 20), wr("x", 11, 3)).
+			txn(2, StatusCommitted, 10, 20, rd("x", 10), rd("y", 20), wr("y", 21, 4)).
+			h
+	}
+	expectPass(t, build(), CheckOpts{Level: ReadCommitted})
+	expectPass(t, build(), CheckOpts{Level: SnapshotIsolation})
+	expectViolation(t, build(), CheckOpts{Level: Serializable}, "cycle")
+}
+
+// Long fork: two observers see the two independent writes in opposite
+// orders. Snapshot isolation forbids it (snapshots are totally ordered by
+// commit prefix); it is also non-serializable.
+func TestCheckerLongFork(t *testing.T) {
+	build := func() *History {
+		return newHB(4).
+			txn(0, StatusCommitted, 0, 5, wr("x", 1, 1)).
+			txn(1, StatusCommitted, 0, 5, wr("y", 1, 1)).
+			txn(2, StatusCommitted, 10, 20, rd("x", 1), rdMiss("y")).
+			txn(3, StatusCommitted, 10, 20, rdMiss("x"), rd("y", 1)).
+			h
+	}
+	expectViolation(t, build(), CheckOpts{Level: SnapshotIsolation}, "cycle")
+	expectViolation(t, build(), CheckOpts{Level: Serializable}, "cycle")
+	expectPass(t, build(), CheckOpts{Level: ReadCommitted})
+}
+
+// Non-repeatable read inside one transaction: allowed at read committed,
+// an anomaly from snapshot isolation up.
+func TestCheckerNonRepeatableRead(t *testing.T) {
+	build := func() *History {
+		return newHB(2).
+			txn(0, StatusCommitted, 0, 5, wr("x", 10, 1)).
+			txn(0, StatusCommitted, 20, 30, wr("x", 11, 2)).
+			txn(1, StatusCommitted, 0, 40, rd("x", 10), rd("x", 11)).
+			h
+	}
+	expectPass(t, build(), CheckOpts{Level: ReadCommitted})
+	expectViolation(t, build(), CheckOpts{Level: SnapshotIsolation}, "non-repeatable-read")
+	expectViolation(t, build(), CheckOpts{Level: Serializable}, "non-repeatable-read")
+}
+
+// Internal consistency: a transaction must see its own pending write.
+func TestCheckerReadOwnWrite(t *testing.T) {
+	h := newHB(1).
+		txn(0, StatusCommitted, 0, 5, wr("x", 10, 1)).
+		txn(0, StatusCommitted, 10, 20, wr("x", 11, 0), rd("x", 10), wr("x", 11, 2)).
+		h
+	expectViolation(t, h, CheckOpts{Level: ReadCommitted}, "internal")
+}
+
+// A value nobody wrote is flagged.
+func TestCheckerPhantomValue(t *testing.T) {
+	h := newHB(1).
+		txn(0, StatusCommitted, 0, 5, rd("x", 999)).
+		h
+	expectViolation(t, h, CheckOpts{Level: ReadCommitted}, "phantom-value")
+}
+
+// Real-time edges: reading a stale version after the writer finished is
+// fine under plain serializability but a violation with RealTime set
+// (strong consistency promises linearizable read placement).
+func TestCheckerRealTimeStaleRead(t *testing.T) {
+	build := func() *History {
+		return newHB(3).
+			txn(0, StatusCommitted, 0, 5, wr("x", 10, 1)).
+			txn(1, StatusCommitted, 10, 20, wr("x", 11, 2)).
+			txn(2, StatusCommitted, 30, 40, rd("x", 10)).
+			h
+	}
+	expectPass(t, build(), CheckOpts{Level: Serializable})
+	expectViolation(t, build(), CheckOpts{Level: Serializable, RealTime: true}, "cycle")
+}
+
+// An unknown-outcome transaction whose write was observed is promoted to
+// committed; an unobserved one is dropped without complaint.
+func TestCheckerUnknownPromotion(t *testing.T) {
+	h := newHB(2).
+		txn(0, StatusUnknown, 0, 5, wr("x", 10, 1)).
+		txn(0, StatusUnknown, 6, 8, wr("y", 77, 0)).
+		txn(1, StatusCommitted, 10, 20, rd("x", 10)).
+		h
+	for _, lv := range []Level{ReadCommitted, SnapshotIsolation, Serializable} {
+		expectPass(t, h, CheckOpts{Level: lv, RealTime: true})
+	}
+}
+
+// Excused values: a committed write lost to 1-safe failover may vanish;
+// without the excusal the same history is a violation.
+func TestCheckerExcusedLostWrite(t *testing.T) {
+	build := func() *History {
+		return newHB(2).
+			txn(0, StatusCommitted, 0, 5, wr("x", 10, 1)).
+			txn(0, StatusCommitted, 10, 15, wr("x", 11, 7)). // lost: never replicated
+			txn(1, StatusCommitted, 20, 30, rd("x", 11)).    // observed pre-crash
+			txn(1, StatusCommitted, 40, 50, rd("x", 10)).    // after failover: old version
+			h
+	}
+	expectViolation(t, build(), CheckOpts{Level: Serializable, RealTime: true}, "cycle")
+	ex := make(Excused)
+	ex.Add("x", 11)
+	expectPass(t, build(), CheckOpts{Level: Serializable, RealTime: true, Excused: ex})
+	if v := CheckSessionGuarantees(build(), SessionOpts{Excused: ex}); v != nil {
+		t.Fatalf("session guarantees with excusal: %s", v)
+	}
+}
+
+func TestSessionGuaranteeViolations(t *testing.T) {
+	// Monotonic reads: version goes backward across two reads.
+	mr := newHB(2).
+		txn(0, StatusCommitted, 0, 5, wr("x", 10, 1)).
+		txn(0, StatusCommitted, 6, 9, wr("x", 11, 2)).
+		txn(1, StatusCommitted, 10, 20, rd("x", 11)).
+		txn(1, StatusCommitted, 30, 40, rd("x", 10)).
+		h
+	v := CheckSessionGuarantees(mr, SessionOpts{})
+	if v == nil || v.Kind != "monotonic-reads" {
+		t.Fatalf("expected monotonic-reads violation, got %v", v)
+	}
+
+	// Read-your-writes: the session's own committed write disappears.
+	ryw := newHB(1).
+		txn(0, StatusCommitted, 0, 5, wr("x", 10, 1)).
+		txn(0, StatusCommitted, 6, 9, wr("x", 11, 2)).
+		txn(0, StatusCommitted, 10, 20, rd("x", 10)).
+		h
+	v = CheckSessionGuarantees(ryw, SessionOpts{})
+	if v == nil || v.Kind != "read-your-writes" {
+		t.Fatalf("expected read-your-writes violation, got %v", v)
+	}
+
+	// KeyFilter: the same violation on a filtered-out key is ignored.
+	v = CheckSessionGuarantees(ryw, SessionOpts{KeyFilter: func(k string) bool { return k != "x" }})
+	if v != nil {
+		t.Fatalf("filtered key still checked: %s", v)
+	}
+}
+
+// The counterexample renderer names the transactions on the cycle.
+func TestViolationCounterexampleRendering(t *testing.T) {
+	h := newHB(3).
+		txn(0, StatusCommitted, 0, 5, wr("x", 10, 1)).
+		txn(1, StatusCommitted, 10, 20, rd("x", 10), wr("x", 11, 2)).
+		txn(2, StatusCommitted, 10, 20, rd("x", 10), wr("x", 12, 3)).
+		h
+	v := Check(h, CheckOpts{Level: SnapshotIsolation})
+	if v == nil {
+		t.Fatal("lost update not caught")
+	}
+	out := v.String()
+	if !strings.Contains(out, "→") || len(v.Steps) == 0 {
+		t.Fatalf("no counterexample cycle rendered:\n%s", out)
+	}
+	if len(v.Txns) == 0 {
+		t.Fatalf("no involved transactions rendered:\n%s", out)
+	}
+}
+
+func TestHistoryJSONRoundTrip(t *testing.T) {
+	h := newHB(2).
+		txn(0, StatusCommitted, 0, 10, wr("x", 100, 1)).
+		txn(1, StatusAborted, 20, 30, rd("x", 100), wr("x", 101, 0)).
+		h
+	path := t.TempDir() + "/history.json"
+	if err := h.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sessions) != 2 || len(got.Sessions[0]) != 1 || got.Sessions[1][0].Ops[0].Value != 100 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Stats() == "" {
+		t.Fatal("empty stats")
+	}
+}

@@ -1,0 +1,110 @@
+package history
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// WorkloadConfig shapes the randomized certification workload. Given the
+// same seed the generated statement sequence per session is identical
+// run-to-run; only scheduling (and therefore the recorded interleaving)
+// varies, which is exactly what a reproducible chaos harness wants.
+type WorkloadConfig struct {
+	Seed     int64
+	Sessions int // concurrent client sessions
+	Txns     int // work units per session
+	Keys     int // keyspace size; keys are 1..Keys
+	// ReadFraction is the probability a work unit is a lone read;
+	// TxnFraction the probability it is a read-modify-write transaction.
+	// The remainder are autocommit writes.
+	ReadFraction float64
+	TxnFraction  float64
+	// OpsPerTxn is how many keys a read-modify-write transaction touches.
+	OpsPerTxn int
+	// Pace, when set, is a sleep inserted between work units. Chaos runs
+	// use it to hold the workload open long enough that a mid-run fault
+	// provably lands while units are still executing — an unpaced workload
+	// on a fast in-process cluster can drain in milliseconds.
+	Pace time.Duration
+}
+
+// WithDefaults fills zero fields with a workload that exercises every
+// interesting interleaving class at small scale.
+func (c WorkloadConfig) WithDefaults() WorkloadConfig {
+	if c.Sessions == 0 {
+		c.Sessions = 4
+	}
+	if c.Txns == 0 {
+		c.Txns = 40
+	}
+	if c.Keys == 0 {
+		c.Keys = 8
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.4
+	}
+	if c.TxnFraction == 0 {
+		c.TxnFraction = 0.3
+	}
+	if c.OpsPerTxn == 0 {
+		c.OpsPerTxn = 2
+	}
+	return c
+}
+
+// valueCounter hands out process-wide unique write values: the discipline
+// that makes the write-read relation of a recorded history exact.
+var valueCounter atomic.Int64
+
+func init() { valueCounter.Store(1_000_000) }
+
+// NextValue returns a fresh never-before-written value.
+func NextValue() int64 { return valueCounter.Add(1) }
+
+// unit is one generated work unit.
+type unit struct {
+	kind unitKind
+	keys []int64 // distinct keys, ascending (deadlock-free lock order)
+}
+
+type unitKind uint8
+
+const (
+	unitRead unitKind = iota
+	unitWrite
+	unitRMW
+)
+
+// sessionScript deterministically generates session i's work units.
+func (c WorkloadConfig) sessionScript(i int) []unit {
+	rng := rand.New(rand.NewSource(c.Seed*1_000_003 + int64(i)))
+	units := make([]unit, 0, c.Txns)
+	for t := 0; t < c.Txns; t++ {
+		u := unit{kind: unitWrite}
+		n := 1
+		switch p := rng.Float64(); {
+		case p < c.ReadFraction:
+			u.kind = unitRead
+		case p < c.ReadFraction+c.TxnFraction:
+			u.kind = unitRMW
+			n = c.OpsPerTxn
+		}
+		seen := make(map[int64]bool, n)
+		for len(u.keys) < n {
+			k := int64(rng.Intn(c.Keys)) + 1
+			if !seen[k] {
+				seen[k] = true
+				u.keys = append(u.keys, k)
+			}
+		}
+		// Ascending key order keeps 2PL runs deadlock-free by design.
+		for a := 1; a < len(u.keys); a++ {
+			for b := a; b > 0 && u.keys[b-1] > u.keys[b]; b-- {
+				u.keys[b-1], u.keys[b] = u.keys[b], u.keys[b-1]
+			}
+		}
+		units = append(units, u)
+	}
+	return units
+}

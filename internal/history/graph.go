@@ -1,0 +1,249 @@
+package history
+
+import (
+	"fmt"
+	"strings"
+)
+
+// graph is a directed graph over the history's event nodes with an
+// incrementally maintained transitive closure (one bitset row per node).
+// Edge insertion is O(n²/64) worst case; insertions whose reachability is
+// already implied cost O(1). Direct edges keep a label so counterexample
+// cycles render as a chain of named axiom applications.
+type graph struct {
+	n     int
+	names []string
+	words int
+	reach [][]uint64 // reach[u] has bit v set iff a nonempty path u→v exists
+	adj   [][]edgeRef
+}
+
+type edgeRef struct {
+	to    int
+	label string
+}
+
+func newGraph(names []string) *graph {
+	n := len(names)
+	words := (n + 63) / 64
+	g := &graph{n: n, names: names, words: words}
+	g.reach = make([][]uint64, n)
+	buf := make([]uint64, n*words)
+	for i := range g.reach {
+		g.reach[i] = buf[i*words : (i+1)*words]
+	}
+	g.adj = make([][]edgeRef, n)
+	return g
+}
+
+// has reports whether a nonempty path u→v exists.
+func (g *graph) has(u, v int) bool {
+	return g.reach[u][v/64]&(1<<(uint(v)%64)) != 0
+}
+
+// wouldCycle reports whether adding u→v would close a cycle.
+func (g *graph) wouldCycle(u, v int) bool {
+	return u == v || g.has(v, u)
+}
+
+// addEdge inserts the labeled edge u→v and updates the closure. The caller
+// must have checked wouldCycle first; addEdge panics on a cycle-closing
+// insert because every call site turns that case into a Violation instead.
+func (g *graph) addEdge(u, v int, label string) {
+	if g.wouldCycle(u, v) {
+		panic("history: addEdge would close a cycle")
+	}
+	g.adj[u] = append(g.adj[u], edgeRef{to: v, label: label})
+	if g.has(u, v) {
+		return // reachability already implied; direct edge kept for paths
+	}
+	ru, rv := g.reach[u], g.reach[v]
+	for w := range ru {
+		ru[w] |= rv[w]
+	}
+	ru[v/64] |= 1 << (uint(v) % 64)
+	// Propagate to every node that can already reach u.
+	ub, um := u/64, uint64(1)<<(uint(u)%64)
+	for w := 0; w < g.n; w++ {
+		if w == u || g.reach[w][ub]&um == 0 {
+			continue
+		}
+		rw := g.reach[w]
+		for i := range rw {
+			rw[i] |= ru[i]
+		}
+	}
+}
+
+// path returns the labeled steps of some path u→…→v over direct edges
+// (BFS, so it is a fewest-edges path), or nil if none exists.
+func (g *graph) path(u, v int) []string {
+	type hop struct {
+		prev  int // index into visited order
+		node  int
+		label string
+	}
+	if u == v {
+		return []string{g.names[u]}
+	}
+	seen := make([]bool, g.n)
+	queue := []hop{{prev: -1, node: u}}
+	seen[u] = true
+	for qi := 0; qi < len(queue); qi++ {
+		h := queue[qi]
+		for _, e := range g.adj[h.node] {
+			if seen[e.to] {
+				continue
+			}
+			nh := hop{prev: qi, node: e.to, label: e.label}
+			if e.to == v {
+				// Walk back to render the chain.
+				var rev []hop
+				for cur := nh; ; cur = queue[cur.prev] {
+					rev = append(rev, cur)
+					if cur.prev == -1 {
+						break
+					}
+				}
+				steps := make([]string, 0, len(rev))
+				for i := len(rev) - 1; i > 0; i-- {
+					steps = append(steps, fmt.Sprintf("%s —%s→ %s",
+						g.names[rev[i].node], rev[i-1].label, g.names[rev[i-1].node]))
+				}
+				return steps
+			}
+			seen[e.to] = true
+			queue = append(queue, nh)
+		}
+	}
+	return nil
+}
+
+// cycleWith renders the cycle that adding u→v(label) would close: the
+// existing path v→…→u followed by the offending edge.
+func (g *graph) cycleWith(u, v int, label string) []string {
+	steps := g.path(v, u)
+	return append(steps, fmt.Sprintf("%s —%s→ %s", g.names[u], label, g.names[v]))
+}
+
+// constraint is one binary disjunction produced by an isolation axiom:
+// edge d1 (a1→b1) or edge d2 (a2→b2) must hold in any witness execution.
+// ground records which disjunct replication ground truth (binlog commit
+// positions of the two writers) forces: 0 none, 1 → d1, 2 → d2.
+type constraint struct {
+	a1, b1 int
+	l1     string
+	a2, b2 int
+	l2     string
+	ground int
+	desc   string
+}
+
+// solve saturates the graph under the constraints. Resolution sources, in
+// order of preference: a disjunct already implied (constraint satisfied), a
+// disjunct impossible (forces the other), and — only when pure saturation
+// reaches a fixpoint — the binlog ground truth. Returns a Violation when a
+// constraint has both disjuncts impossible or a forced edge contradicts
+// ground truth; returns nil when every constraint is satisfied or the
+// residue is unresolvable either way (sound: no false alarms).
+func (g *graph) solve(cons []constraint, level string) *Violation {
+	pending := make([]*constraint, 0, len(cons))
+	for i := range cons {
+		pending = append(pending, &cons[i])
+	}
+	for len(pending) > 0 {
+		progress := false
+		next := pending[:0]
+		for _, c := range pending {
+			if g.has(c.a1, c.b1) || g.has(c.a2, c.b2) {
+				progress = true
+				continue // satisfied
+			}
+			imp1 := g.wouldCycle(c.a1, c.b1)
+			imp2 := g.wouldCycle(c.a2, c.b2)
+			switch {
+			case imp1 && imp2:
+				return &Violation{
+					Level:   level,
+					Kind:    "cycle",
+					Message: fmt.Sprintf("%s: both resolutions of the constraint close a cycle", c.desc),
+					Steps: append(
+						append([]string{"either:"}, g.cycleWith(c.a1, c.b1, c.l1)...),
+						append([]string{"or:"}, g.cycleWith(c.a2, c.b2, c.l2)...)...),
+				}
+			case imp1:
+				g.addEdge(c.a2, c.b2, c.l2)
+				progress = true
+			case imp2:
+				g.addEdge(c.a1, c.b1, c.l1)
+				progress = true
+			default:
+				next = append(next, c)
+			}
+		}
+		pending = next
+		if progress || len(pending) == 0 {
+			continue
+		}
+		// Fixpoint with pending constraints: let replication ground truth
+		// (binlog commit order of the two writers) pick a direction.
+		grounded := false
+		for i, c := range pending {
+			if c.ground == 0 {
+				continue
+			}
+			a, b, l := c.a1, c.b1, c.l1
+			if c.ground == 2 {
+				a, b, l = c.a2, c.b2, c.l2
+			}
+			if g.wouldCycle(a, b) {
+				return &Violation{
+					Level:   level,
+					Kind:    "cycle",
+					Message: fmt.Sprintf("%s: the resolution forced by binlog commit order closes a cycle", c.desc),
+					Steps:   g.cycleWith(a, b, l),
+				}
+			}
+			g.addEdge(a, b, l)
+			pending = append(pending[:i], pending[i+1:]...)
+			grounded = true
+			break
+		}
+		if !grounded {
+			// No theory-forced and no grounded resolution remains. Accept:
+			// an arbitrary choice could manufacture a false violation.
+			return nil
+		}
+	}
+	return nil
+}
+
+// Violation describes one detected anomaly with a minimal counterexample.
+type Violation struct {
+	Level   string   // which check was running ("serializable", "snapshot", …)
+	Kind    string   // short anomaly class ("dirty-read", "cycle", …)
+	Message string   // one-line description
+	Steps   []string // the counterexample cycle, one edge per line
+	Txns    []string // Describe() of the transactions involved
+}
+
+// Error implements error.
+func (v *Violation) Error() string { return v.String() }
+
+// String renders the violation with its counterexample.
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s violation (%s): %s", v.Level, v.Kind, v.Message)
+	for _, s := range v.Steps {
+		b.WriteString("\n  ")
+		b.WriteString(s)
+	}
+	if len(v.Txns) > 0 {
+		b.WriteString("\n involving:")
+		for _, t := range v.Txns {
+			b.WriteString("\n  ")
+			b.WriteString(t)
+		}
+	}
+	return b.String()
+}

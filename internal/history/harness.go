@@ -1,0 +1,218 @@
+package history
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sqltypes"
+)
+
+// Opener hands the harness a fresh connection to the cluster under test,
+// already authenticated and on the right database. Workers call it again
+// after a connection-level failure; each reconnect becomes a new recorded
+// session, because a new connection carries no session guarantees.
+type Opener func() (core.Conn, error)
+
+// Bootstrap creates the key-value table and installs a unique initial
+// value for every key, recording the inserts so the checkers know each
+// key's first version. It returns once the schema and seed rows are in.
+func Bootstrap(rec *Recorder, open Opener, cfg WorkloadConfig) error {
+	c, err := open()
+	if err != nil {
+		return fmt.Errorf("history: bootstrap connect: %w", err)
+	}
+	rc := WrapConn(c, rec)
+	defer rc.Close()
+	spec := rec.Spec()
+	ddl := fmt.Sprintf("CREATE TABLE IF NOT EXISTS %s (%s INTEGER PRIMARY KEY, %s INTEGER)",
+		spec.Table, spec.KeyCol, spec.ValCol)
+	if _, err := rc.Exec(ddl); err != nil {
+		return fmt.Errorf("history: bootstrap schema: %w", err)
+	}
+	ins := fmt.Sprintf("INSERT INTO %s (%s, %s) VALUES (?, ?)", spec.Table, spec.KeyCol, spec.ValCol)
+	for k := 1; k <= cfg.Keys; k++ {
+		if _, err := rc.Exec(ins, sqltypes.NewInt(int64(k)), sqltypes.NewInt(NextValue())); err != nil {
+			return fmt.Errorf("history: bootstrap insert k=%d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// RunWorkload drives cfg.Sessions concurrent workers through their
+// deterministic scripts, recording everything. Workers survive faults: a
+// statement error is retried on the same connection a few times (covers
+// certification aborts and transient failover windows), and a connection
+// that keeps failing is reopened as a brand-new recorded session. The
+// returned error reports only infrastructure collapse (no connection could
+// be obtained at all); anomaly hunting happens in the checkers.
+func RunWorkload(rec *Recorder, open Opener, cfg WorkloadConfig) error {
+	cfg = cfg.WithDefaults()
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Sessions)
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runSession(rec, open, cfg, i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// worker holds one session's live connection state.
+type worker struct {
+	rec  *Recorder
+	open Opener
+	rc   *RecordedConn
+	spec Spec
+	// consecutive statement failures; crossing the threshold reconnects.
+	failures int
+}
+
+const reconnectAfter = 3
+
+func runSession(rec *Recorder, open Opener, cfg WorkloadConfig, i int) error {
+	w := &worker{rec: rec, open: open, spec: rec.Spec()}
+	if err := w.reconnect(); err != nil {
+		return fmt.Errorf("history: session %d: %w", i, err)
+	}
+	defer w.rc.Close()
+	for _, u := range cfg.sessionScript(i) {
+		switch u.kind {
+		case unitRead:
+			w.exec(fmt.Sprintf("SELECT %s FROM %s WHERE %s = ?", w.spec.ValCol, w.spec.Table, w.spec.KeyCol),
+				sqltypes.NewInt(u.keys[0]))
+		case unitWrite:
+			w.exec(fmt.Sprintf("UPDATE %s SET %s = ? WHERE %s = ?", w.spec.Table, w.spec.ValCol, w.spec.KeyCol),
+				sqltypes.NewInt(NextValue()), sqltypes.NewInt(u.keys[0]))
+		case unitRMW:
+			w.rmw(u.keys)
+		}
+		if w.failures > 10*reconnectAfter {
+			return fmt.Errorf("history: session %d: cluster unreachable", i)
+		}
+		if cfg.Pace > 0 {
+			time.Sleep(cfg.Pace)
+		}
+	}
+	return nil
+}
+
+// exec runs one autocommit statement, recording through the wrapped conn,
+// and maintains the failure/reconnect state machine.
+func (w *worker) exec(sql string, args ...sqltypes.Value) (*engine.Result, error) {
+	res, err := w.rc.Exec(sql, args...)
+	if err == nil {
+		w.failures = 0
+		return res, nil
+	}
+	w.failures++
+	if w.failures%reconnectAfter == 0 {
+		if rerr := w.reconnect(); rerr != nil {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return res, err
+}
+
+// rmw runs one read-modify-write transaction: read every key, then
+// overwrite each with a fresh unique value, then commit. Any statement
+// error rolls the transaction back; the recorder sees the real outcome
+// either way.
+func (w *worker) rmw(keys []int64) {
+	if _, err := w.rc.Exec("BEGIN"); err != nil {
+		w.noteFailure()
+		return
+	}
+	sel := fmt.Sprintf("SELECT %s FROM %s WHERE %s = ?", w.spec.ValCol, w.spec.Table, w.spec.KeyCol)
+	upd := fmt.Sprintf("UPDATE %s SET %s = ? WHERE %s = ?", w.spec.Table, w.spec.ValCol, w.spec.KeyCol)
+	for _, k := range keys {
+		if _, err := w.rc.Exec(sel, sqltypes.NewInt(k)); err != nil {
+			w.abort()
+			return
+		}
+		if _, err := w.rc.Exec(upd, sqltypes.NewInt(NextValue()), sqltypes.NewInt(k)); err != nil {
+			w.abort()
+			return
+		}
+	}
+	if _, err := w.rc.Exec("COMMIT"); err != nil {
+		// Certification abort or lost connection: both are recorded as
+		// outcome Unknown by the session recorder; just move on.
+		w.noteFailure()
+		return
+	}
+	w.failures = 0
+}
+
+func (w *worker) abort() {
+	_, err := w.rc.Exec("ROLLBACK")
+	if err != nil {
+		w.noteFailure()
+		return
+	}
+	w.failures = 0
+}
+
+func (w *worker) noteFailure() {
+	w.failures++
+	if w.failures%reconnectAfter == 0 {
+		if err := w.reconnect(); err != nil {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}
+
+// reconnect closes the current recorded session (an open transaction is
+// recorded aborted) and opens a fresh connection under a new session.
+func (w *worker) reconnect() error {
+	if w.rc != nil {
+		w.rc.Close()
+		w.rc = nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		c, err := w.open()
+		if err == nil {
+			w.rc = WrapConn(c, w.rec)
+			return nil
+		}
+		lastErr = err
+		time.Sleep(25 * time.Millisecond)
+	}
+	return lastErr
+}
+
+// ExcusedFromBinlog extracts the values 1-safe failover lost: every write
+// to spec.Table in the dead master's binlog after the promoted replica's
+// applied position. The checkers skip anomalies that involve only these
+// values — the paper's 1-safe contract explicitly allows losing the
+// unshipped suffix.
+func ExcusedFromBinlog(dead *engine.Engine, promotedApplied uint64, spec Spec) Excused {
+	spec = spec.withDefaults()
+	ex := make(Excused)
+	events, _ := dead.Binlog().ReadFrom(promotedApplied, 1<<20)
+	for _, ev := range events {
+		if ev.WriteSet == nil {
+			continue
+		}
+		for _, op := range ev.WriteSet.Ops {
+			if !strings.EqualFold(op.Table, spec.Table) || len(op.After) < 2 {
+				continue
+			}
+			// The harness owns the schema: (key, value) column order.
+			ex.Add(op.After[0].Str(), op.After[1].Int())
+		}
+	}
+	return ex
+}

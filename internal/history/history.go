@@ -1,0 +1,228 @@
+// Package history is the consistency certification harness: it records
+// client-observable histories at the replication.Conn boundary (and through
+// the database/sql driver), and checks them offline against the guarantees
+// the middleware announces — serializability, snapshot isolation, read
+// committed, and the session guarantees (read-your-writes, monotonic
+// reads).
+//
+// The checkers follow the Biswas & Enea line of work: for the consistency
+// models checked here, verifying a history is polynomial when every write
+// installs a unique value (so write-read inference is exact). Histories are
+// captured over a key-value abstraction of one table — point reads and
+// point writes of (key, value) pairs — which the workload generator
+// produces by construction with a process-wide unique-value counter.
+//
+// A history is a set of sessions; a session is a sequence of transactions;
+// a transaction is a sequence of read and write operations plus a commit
+// status. Autocommit statements are one-operation transactions. The
+// recorder never talks to the cluster: it only parses the SQL the client
+// already sent and the results the cluster already returned, so recording
+// works identically over every topology and over the wire.
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// OpKind distinguishes reads from writes.
+type OpKind uint8
+
+const (
+	// OpRead is a point read: Value/Found hold what the client observed.
+	OpRead OpKind = iota
+	// OpWrite is a point write: Value holds what the client installed.
+	OpWrite
+)
+
+// TxnStatus is the client-observed outcome of a transaction.
+type TxnStatus uint8
+
+const (
+	// StatusCommitted: the client received a successful commit ack.
+	StatusCommitted TxnStatus = iota
+	// StatusAborted: the client rolled back, or received a deterministic
+	// abort (first-committer-wins conflict, constraint violation).
+	StatusAborted
+	// StatusUnknown: the commit outcome is ambiguous (connection died
+	// in flight). The checker treats such transactions as committed only
+	// if another transaction observed one of their writes.
+	StatusUnknown
+)
+
+func (s TxnStatus) String() string {
+	switch s {
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+// Op is one recorded point operation on the key-value table.
+type Op struct {
+	Kind OpKind `json:"kind"`
+	Key  string `json:"key"`
+	// Value is the observed value (reads) or installed value (writes).
+	Value int64 `json:"value"`
+	// Found is false for a read that saw no row (the key's initial,
+	// pre-bootstrap state).
+	Found bool `json:"found"`
+	// Applied is false for a write whose statement affected no rows.
+	Applied bool `json:"applied"`
+	// Seq is the replication position the write's commit landed at
+	// (engine Result.AtSeq), zero when unknown. Reads leave it zero; the
+	// session-guarantee checker derives a read's version position from
+	// the writer that installed the observed value.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// Txn is one recorded transaction.
+type Txn struct {
+	// Session and Index identify the transaction: Index is its position
+	// in its session's sequence.
+	Session int       `json:"session"`
+	Index   int       `json:"index"`
+	Status  TxnStatus `json:"status"`
+	Ops     []Op      `json:"ops"`
+	// Start and End are samples of the recorder's monotonic logical clock
+	// (one clock for the whole process): Start is taken before the first
+	// statement was sent, End after the last response arrived. Sample
+	// order is consistent with real time, so End(a) < Start(b) means a
+	// finished before b began — the real-time order edges need nothing
+	// more. The values are not durations.
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
+// Name renders a short stable identifier for counterexamples.
+func (t *Txn) Name() string { return fmt.Sprintf("s%d/t%d", t.Session, t.Index) }
+
+// Describe renders the transaction's operations for counterexamples.
+func (t *Txn) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[%s]", t.Name(), t.Status)
+	for _, op := range t.Ops {
+		if op.Kind == OpRead {
+			if op.Found {
+				fmt.Fprintf(&b, " r(%s)=%d", op.Key, op.Value)
+			} else {
+				fmt.Fprintf(&b, " r(%s)=∅", op.Key)
+			}
+		} else {
+			fmt.Fprintf(&b, " w(%s):=%d", op.Key, op.Value)
+		}
+	}
+	return b.String()
+}
+
+// History is a complete recorded run: one entry per session, each in
+// session order.
+type History struct {
+	Sessions [][]*Txn `json:"sessions"`
+}
+
+// Txns returns every transaction of every session, session-major.
+func (h *History) Txns() []*Txn {
+	var out []*Txn
+	for _, s := range h.Sessions {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Stats summarizes a history for logs.
+func (h *History) Stats() string {
+	txns, reads, writes, aborted, unknown := 0, 0, 0, 0, 0
+	for _, s := range h.Sessions {
+		for _, t := range s {
+			txns++
+			switch t.Status {
+			case StatusAborted:
+				aborted++
+			case StatusUnknown:
+				unknown++
+			}
+			for _, op := range t.Ops {
+				if op.Kind == OpRead {
+					reads++
+				} else {
+					writes++
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("%d sessions, %d txns (%d aborted, %d unknown), %d reads, %d writes",
+		len(h.Sessions), txns, aborted, unknown, reads, writes)
+}
+
+// WriteFile serializes the history as indented JSON, the on-disk format
+// the driver's record=<path> DSN option produces.
+func (h *History) WriteFile(path string) error {
+	data, err := json.MarshalIndent(h, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads a history serialized by WriteFile.
+func ReadFile(path string) (*History, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var h History
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("history: bad history file %s: %w", path, err)
+	}
+	return &h, nil
+}
+
+// registry is the process-wide named-recorder table behind the driver's
+// record=mem:<name> DSN option: the application records through the DSN,
+// the test retrieves the same recorder by name.
+var registry struct {
+	mu sync.Mutex
+	m  map[string]*Recorder
+}
+
+// Shared returns the process-wide named recorder, creating it with the
+// given spec on first use (later calls ignore the spec argument).
+func Shared(name string, spec Spec) *Recorder {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.m == nil {
+		registry.m = make(map[string]*Recorder)
+	}
+	r, ok := registry.m[name]
+	if !ok {
+		r = NewRecorder(spec)
+		registry.m[name] = r
+	}
+	return r
+}
+
+// DropShared removes a named recorder (so tests can reuse names).
+func DropShared(name string) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	delete(registry.m, name)
+}
+
+// recorderClock is the recorder's shared monotonic clock: a process-wide
+// atomic counter rather than a nanosecond clock. A fetch-and-increment is
+// linearizable, so sample order is consistent with real time — if one
+// statement's End sample happened before another's Start sample, the
+// counter values compare the same way — which is exactly the property the
+// real-time-order edges need. It is also several times cheaper than a
+// clock read, which matters on the recording hot path. The values are NOT
+// durations; they only compare.
+var recorderClock atomic.Int64
+
+func monotonicNow() int64 { return recorderClock.Add(1) }

@@ -1,0 +1,488 @@
+package history
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
+)
+
+// Spec tells the recorder which table carries the key-value abstraction.
+// Statements that are not point reads/writes of this table are ignored;
+// they can't violate guarantees the checkers reason about.
+type Spec struct {
+	Table  string // table name, default "kv"
+	KeyCol string // primary-key column, default "k"
+	ValCol string // value column, default "v"
+}
+
+// DefaultSpec is the shape the workload generator uses.
+var DefaultSpec = Spec{Table: "kv", KeyCol: "k", ValCol: "v"}
+
+func (s Spec) withDefaults() Spec {
+	if s.Table == "" {
+		s.Table = DefaultSpec.Table
+	}
+	if s.KeyCol == "" {
+		s.KeyCol = DefaultSpec.KeyCol
+	}
+	if s.ValCol == "" {
+		s.ValCol = DefaultSpec.ValCol
+	}
+	return s
+}
+
+// Recorder accumulates the history of many concurrent sessions. It is safe
+// for concurrent use; each client connection gets its own SessionRecorder.
+//
+// Recording is deliberately split in two: the online half appends one
+// compact raw event per statement (a couple of pointer copies under an
+// uncontended per-session lock), and the offline half — statement parsing,
+// operation extraction, transaction assembly — runs lazily in History().
+// That keeps the recorder's hot-path tax on the cluster within the ≤10%
+// latency budget TestHistoryRecordingOverheadBudget enforces.
+type Recorder struct {
+	spec     Spec
+	mu       sync.Mutex
+	sessions []*SessionRecorder
+}
+
+// NewRecorder returns an empty recorder. Zero fields of spec take the
+// DefaultSpec values.
+func NewRecorder(spec Spec) *Recorder {
+	return &Recorder{spec: spec.withDefaults()}
+}
+
+// Spec returns the key-value table shape the recorder extracts.
+func (r *Recorder) Spec() Spec { return r.spec }
+
+// NewSession registers a new client session and returns its recorder. A
+// reconnected client must use a fresh session: a new connection carries no
+// session guarantees from the old one.
+func (r *Recorder) NewSession() *SessionRecorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sr := &SessionRecorder{r: r, id: len(r.sessions)}
+	r.sessions = append(r.sessions, sr)
+	return sr
+}
+
+// History extracts everything recorded so far. It may be called while the
+// workload is still running (the chaos driver polls it for progress): each
+// session contributes the transactions its event prefix completes; an
+// explicit transaction still open on a live session is not included, and
+// one left open by a closed session is recorded as aborted.
+func (r *Recorder) History() *History {
+	r.mu.Lock()
+	sessions := make([]*SessionRecorder, len(r.sessions))
+	copy(sessions, r.sessions)
+	r.mu.Unlock()
+	h := &History{Sessions: make([][]*Txn, len(sessions))}
+	for i, sr := range sessions {
+		h.Sessions[i] = sr.extract()
+	}
+	return h
+}
+
+// Now returns a timestamp on the recorder clock; wrappers sample it
+// immediately before sending a statement and pass it to Observe.
+func Now() int64 { return monotonicNow() }
+
+// Observed carries what the cluster returned for one statement. It is a
+// subset of engine.Result flattened so the recorder does not care whether
+// the response came from an in-process Conn or over the wire.
+type Observed struct {
+	Columns      []string
+	Rows         []sqltypes.Row
+	RowsAffected int64
+	// AtSeq is the replication position of the commit (autocommit writes
+	// and COMMIT), zero otherwise.
+	AtSeq uint64
+}
+
+// rawEvent is the online half of one observed statement: everything the
+// offline extractor needs, captured without parsing. The common point-op
+// shape — at most two integer arguments, at most one single-integer result
+// cell in the value column — is stored inline, keeping the event log free
+// of references into the engine's result graph (retaining those would tax
+// every GC cycle for the rest of the run). Anything else spills.
+type rawEvent struct {
+	start, end   int64
+	sql          string
+	spill        *spilledEvent // non-nil when the statement exceeded the inline shape
+	argv         [2]int64      // integer arguments, inline
+	cell         int64         // the single observed result cell, inline
+	rowsAffected int64
+	atSeq        uint64
+	nargs        uint8
+	flags        uint8
+}
+
+const (
+	evFailed uint8 = 1 << iota // the client saw an error
+	evHasRow                   // exactly one (value-column, integer) result cell
+)
+
+// spilledEvent holds the full argument vector and observation for the rare
+// statement that does not fit rawEvent's inline shape.
+type spilledEvent struct {
+	args []sqltypes.Value
+	obs  Observed
+}
+
+// eventChunk is the fixed chunk size of a session's event log. Chunked
+// storage keeps the append path allocation-flat: a plain slice would
+// memmove the whole (fat-element) log on every doubling and leave the
+// abandoned half-size arrays behind for the collector.
+const eventChunk = 512
+
+// SessionRecorder records one session's statement stream. Like the
+// connection it shadows, it is not safe for concurrent use by multiple
+// statement issuers; the internal lock only coordinates with History()
+// extracting a snapshot mid-run.
+type SessionRecorder struct {
+	r  *Recorder
+	id int
+
+	mu       sync.Mutex
+	chunks   []*[eventChunk]rawEvent
+	n        int // events recorded
+	closed   bool
+	closedAt int64
+}
+
+// ID returns the session's index in the recorded history.
+func (sr *SessionRecorder) ID() int { return sr.id }
+
+// Observe records the outcome of one executed statement. start/end are
+// Now() samples bracketing the round-trip; execErr is the error the client
+// saw (nil on success). This is the hot path: it only appends the raw
+// event — statements outside the key-value abstraction are discarded later
+// by the extractor, off the cluster's latency path.
+func (sr *SessionRecorder) Observe(start, end int64, sqlText string, args []sqltypes.Value, obs Observed, execErr error) {
+	ev := rawEvent{start: start, end: end, sql: sqlText,
+		rowsAffected: obs.RowsAffected, atSeq: obs.AtSeq}
+	if execErr != nil {
+		ev.flags |= evFailed
+	}
+	compact := len(args) <= 2
+	if compact {
+		for i, a := range args {
+			if a.K != sqltypes.KindInt {
+				compact = false
+				break
+			}
+			ev.argv[i] = a.I
+		}
+		ev.nargs = uint8(len(args))
+	}
+	if compact {
+		switch {
+		case len(obs.Rows) == 0:
+			// Columns are only consulted when a row came back.
+		case len(obs.Rows) == 1 && len(obs.Rows[0]) == 1 && len(obs.Columns) == 1 &&
+			obs.Rows[0][0].K == sqltypes.KindInt &&
+			strings.EqualFold(obs.Columns[0], sr.r.spec.ValCol):
+			ev.flags |= evHasRow
+			ev.cell = obs.Rows[0][0].I
+		default:
+			compact = false
+		}
+	}
+	if !compact {
+		ev.spill = &spilledEvent{args: args, obs: obs}
+	}
+	sr.mu.Lock()
+	if sr.n%eventChunk == 0 {
+		sr.chunks = append(sr.chunks, new([eventChunk]rawEvent))
+	}
+	sr.chunks[sr.n/eventChunk][sr.n%eventChunk] = ev
+	sr.n++
+	sr.mu.Unlock()
+}
+
+// Close finishes the session. An open transaction is recorded as aborted:
+// its COMMIT was never sent, so the middleware rolls it back on disconnect.
+func (sr *SessionRecorder) Close() {
+	sr.mu.Lock()
+	if !sr.closed {
+		sr.closed = true
+		sr.closedAt = monotonicNow()
+	}
+	sr.mu.Unlock()
+}
+
+// extract replays the session's raw events through the transaction state
+// machine. It is pure with respect to the event prefix, so concurrent
+// calls (the chaos driver polling progress) always agree on the completed
+// transactions.
+func (sr *SessionRecorder) extract() []*Txn {
+	sr.mu.Lock()
+	n := sr.n
+	chunks := sr.chunks[:len(sr.chunks):len(sr.chunks)]
+	closed, closedAt := sr.closed, sr.closedAt
+	sr.mu.Unlock()
+	x := extractor{spec: sr.r.spec, session: sr.id}
+	for i := 0; i < n; i++ {
+		x.step(&chunks[i/eventChunk][i%eventChunk])
+	}
+	if x.cur != nil && closed {
+		// The session died with the transaction open; the middleware
+		// rolled it back on disconnect.
+		x.cur.End = closedAt
+		x.cur.Status = StatusAborted
+		x.publish(x.cur)
+		x.cur = nil
+	}
+	return x.txns
+}
+
+// extractor assembles transactions from one session's event stream.
+type extractor struct {
+	spec    Spec
+	session int
+	txns    []*Txn
+	cur     *Txn // open explicit transaction, nil in autocommit
+
+	// Scratch buffers for materializing compact events; safe to reuse per
+	// event because extracted Ops copy what they keep.
+	argbuf  [2]sqltypes.Value
+	cellbuf [1]sqltypes.Value
+	rowbuf  [1]sqltypes.Row
+	colbuf  [1]string
+}
+
+// materialize reconstructs the argument vector and observation a compact
+// event encoded inline (spilled events carry theirs verbatim).
+func (x *extractor) materialize(ev *rawEvent) ([]sqltypes.Value, Observed) {
+	if ev.spill != nil {
+		return ev.spill.args, ev.spill.obs
+	}
+	for i := 0; i < int(ev.nargs); i++ {
+		x.argbuf[i] = sqltypes.NewInt(ev.argv[i])
+	}
+	obs := Observed{RowsAffected: ev.rowsAffected, AtSeq: ev.atSeq}
+	if ev.flags&evHasRow != 0 {
+		x.cellbuf[0] = sqltypes.NewInt(ev.cell)
+		x.rowbuf[0] = x.cellbuf[:1]
+		x.colbuf[0] = x.spec.ValCol
+		obs.Columns = x.colbuf[:1]
+		obs.Rows = x.rowbuf[:1]
+	}
+	return x.argbuf[:ev.nargs], obs
+}
+
+func (x *extractor) step(ev *rawEvent) {
+	st, err := sqlparse.ParseCached(ev.sql)
+	if err != nil {
+		return // not SQL the cluster accepted either
+	}
+	args, obs := x.materialize(ev)
+	failed := ev.flags&evFailed != 0
+	switch s := st.(type) {
+	case *sqlparse.BeginTxn:
+		if failed || x.cur != nil {
+			return
+		}
+		x.cur = &Txn{Session: x.session, Start: ev.start}
+	case *sqlparse.CommitTxn:
+		if x.cur == nil {
+			return
+		}
+		t := x.cur
+		x.cur = nil
+		t.End = ev.end
+		if failed {
+			// The outcome is genuinely ambiguous: a conflict abort and a
+			// connection lost after the commit landed look the same here.
+			// The checker promotes Unknown to Committed only when another
+			// transaction observed one of its writes.
+			t.Status = StatusUnknown
+		} else {
+			t.Status = StatusCommitted
+			for i := range t.Ops {
+				if t.Ops[i].Kind == OpWrite {
+					t.Ops[i].Seq = obs.AtSeq
+				}
+			}
+		}
+		x.publish(t)
+	case *sqlparse.RollbackTxn:
+		if x.cur == nil {
+			return
+		}
+		t := x.cur
+		x.cur = nil
+		t.End = ev.end
+		t.Status = StatusAborted
+		x.publish(t)
+	case *sqlparse.Select:
+		op, ok := x.readOp(s, args, obs)
+		if !ok || failed {
+			return // a failed read observed nothing
+		}
+		x.add(op, ev, StatusCommitted)
+	case *sqlparse.Update:
+		op, ok := x.updateOp(s, args, obs)
+		if ok {
+			x.add(op, ev, writeStatus(failed))
+		}
+	case *sqlparse.Insert:
+		op, ok := x.insertOp(s, args, obs)
+		if ok {
+			x.add(op, ev, writeStatus(failed))
+		}
+	}
+}
+
+// writeStatus maps an autocommit write's outcome to a transaction status:
+// success is a commit ack, any error is ambiguous (the write may have
+// committed before the failure reached us).
+func writeStatus(failed bool) TxnStatus {
+	if failed {
+		return StatusUnknown
+	}
+	return StatusCommitted
+}
+
+// add appends op to the open transaction or publishes it as a one-op
+// autocommit transaction.
+func (x *extractor) add(op Op, ev *rawEvent, status TxnStatus) {
+	if x.cur != nil {
+		if ev.flags&evFailed != 0 {
+			return // an errored in-transaction statement installed nothing
+		}
+		x.cur.Ops = append(x.cur.Ops, op)
+		return
+	}
+	x.publish(&Txn{Session: x.session, Status: status, Ops: []Op{op}, Start: ev.start, End: ev.end})
+}
+
+func (x *extractor) publish(t *Txn) {
+	t.Index = len(x.txns)
+	x.txns = append(x.txns, t)
+}
+
+// ---- statement → operation extraction ----
+
+// readOp recognizes SELECT ... FROM <table> WHERE <key>=<const> and builds
+// the read operation from the returned rows.
+func (x *extractor) readOp(sel *sqlparse.Select, args []sqltypes.Value, obs Observed) (Op, bool) {
+	spec := x.spec
+	if sel.NoTable || sel.Join != nil || !strings.EqualFold(sel.From.Name, spec.Table) {
+		return Op{}, false
+	}
+	key, ok := keyFromWhere(sel.Where, spec.KeyCol, args)
+	if !ok {
+		return Op{}, false
+	}
+	op := Op{Kind: OpRead, Key: key}
+	if len(obs.Rows) == 0 {
+		return op, true // key absent: the read observed the initial state
+	}
+	vi := columnIndex(obs.Columns, spec.ValCol)
+	if vi < 0 || len(obs.Rows) > 1 {
+		return Op{}, false // not a point read of the value column
+	}
+	op.Found = true
+	op.Value = obs.Rows[0][vi].Int()
+	return op, true
+}
+
+// updateOp recognizes UPDATE <table> SET <val>=<const> WHERE <key>=<const>.
+func (x *extractor) updateOp(up *sqlparse.Update, args []sqltypes.Value, obs Observed) (Op, bool) {
+	spec := x.spec
+	if !strings.EqualFold(up.Table.Name, spec.Table) {
+		return Op{}, false
+	}
+	key, ok := keyFromWhere(up.Where, spec.KeyCol, args)
+	if !ok {
+		return Op{}, false
+	}
+	for _, a := range up.Set {
+		if !strings.EqualFold(a.Column, spec.ValCol) {
+			continue
+		}
+		v, ok := resolveExpr(a.Value, args)
+		if !ok {
+			return Op{}, false // v = v+1 style writes break value uniqueness
+		}
+		return Op{
+			Kind:    OpWrite,
+			Key:     key,
+			Value:   v.Int(),
+			Applied: obs.RowsAffected > 0,
+			Seq:     obs.AtSeq,
+		}, true
+	}
+	return Op{}, false
+}
+
+// insertOp recognizes single-row INSERT INTO <table> (cols) VALUES (...).
+func (x *extractor) insertOp(ins *sqlparse.Insert, args []sqltypes.Value, obs Observed) (Op, bool) {
+	spec := x.spec
+	if !strings.EqualFold(ins.Table.Name, spec.Table) || len(ins.Rows) != 1 {
+		return Op{}, false
+	}
+	ki := columnIndex(ins.Columns, spec.KeyCol)
+	vi := columnIndex(ins.Columns, spec.ValCol)
+	row := ins.Rows[0]
+	if ki < 0 || vi < 0 || ki >= len(row) || vi >= len(row) {
+		return Op{}, false
+	}
+	kv, ok1 := resolveExpr(row[ki], args)
+	vv, ok2 := resolveExpr(row[vi], args)
+	if !ok1 || !ok2 {
+		return Op{}, false
+	}
+	return Op{
+		Kind:    OpWrite,
+		Key:     kv.Str(),
+		Value:   vv.Int(),
+		Applied: obs.RowsAffected > 0,
+		Seq:     obs.AtSeq,
+	}, true
+}
+
+// keyFromWhere extracts the key from a `<keycol> = <const>` predicate
+// (either operand order, optional table qualifier on the column).
+func keyFromWhere(where sqlparse.Expr, keyCol string, args []sqltypes.Value) (string, bool) {
+	be, ok := where.(*sqlparse.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return "", false
+	}
+	if col, ok := be.Left.(*sqlparse.ColumnRef); ok && strings.EqualFold(col.Name, keyCol) {
+		if v, ok := resolveExpr(be.Right, args); ok {
+			return v.Str(), true
+		}
+	}
+	if col, ok := be.Right.(*sqlparse.ColumnRef); ok && strings.EqualFold(col.Name, keyCol) {
+		if v, ok := resolveExpr(be.Left, args); ok {
+			return v.Str(), true
+		}
+	}
+	return "", false
+}
+
+// resolveExpr evaluates a literal or a bound placeholder to a value.
+func resolveExpr(e sqlparse.Expr, args []sqltypes.Value) (sqltypes.Value, bool) {
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		return x.Val, true
+	case *sqlparse.Param:
+		if x.Index >= 0 && x.Index < len(args) {
+			return args[x.Index], true
+		}
+	}
+	return sqltypes.Value{}, false
+}
+
+func columnIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}

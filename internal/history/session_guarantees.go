@@ -1,0 +1,135 @@
+package history
+
+import "fmt"
+
+// SessionOpts configures the session-guarantee check.
+type SessionOpts struct {
+	// Excused lists values lost to 1-safe failover; a session whose own
+	// write was lost legitimately reads older values afterwards, so
+	// checks involving excused values are skipped.
+	Excused Excused
+	// KeyFilter restricts checking to the keys it accepts (nil = all).
+	// WAN runs pass the home site's owned keys: remote-owned keys are
+	// served by asynchronous refresh and promise no session guarantees.
+	KeyFilter func(key string) bool
+}
+
+// CheckSessionGuarantees verifies read-your-writes and monotonic reads,
+// per key, for every session of the history. Unlike the isolation
+// checkers this needs no graph: every committed write carries the exact
+// binlog position of its commit (Op.Seq), and same-key writes always
+// share one position space (the key's master), so "version A is older
+// than version B" is a direct integer comparison between the positions of
+// the writes that installed the two observed values.
+//
+// Read-your-writes: after a session's own committed write of key k at
+// position p, every later read of k in that session must observe a
+// version installed at position ≥ p. Monotonic reads: once a session
+// observed k's version from position p, it must never observe an older
+// one. Both are per key — the middleware orders a session's reads against
+// positions, which are comparable only within one key's replica set.
+func CheckSessionGuarantees(h *History, opts SessionOpts) *Violation {
+	// Position of the write that installed each observable value.
+	writerSeq := make(map[string]map[int64]uint64)
+	for _, t := range h.Txns() {
+		if t.Status == StatusAborted {
+			continue
+		}
+		for _, op := range t.Ops {
+			if op.Kind != OpWrite || !op.Applied || op.Seq == 0 {
+				continue
+			}
+			m := writerSeq[op.Key]
+			if m == nil {
+				m = make(map[int64]uint64)
+				writerSeq[op.Key] = m
+			}
+			m[op.Value] = op.Seq
+		}
+	}
+	check := func(key string) bool { return opts.KeyFilter == nil || opts.KeyFilter(key) }
+
+	for si, sess := range h.Sessions {
+		floorWrite := make(map[string]uint64) // own committed writes
+		floorRead := make(map[string]uint64)  // observed versions
+		for _, t := range sess {
+			if t.Status == StatusUnknown {
+				// An unacked transaction promises nothing and its reads
+				// may predate the failure that killed it; skip.
+				continue
+			}
+			own := make(map[string]bool)
+			for _, op := range t.Ops {
+				switch op.Kind {
+				case OpWrite:
+					if op.Applied {
+						own[op.Key] = true
+					}
+				case OpRead:
+					if own[op.Key] || !check(op.Key) {
+						continue // internal read; checked by the isolation pass
+					}
+					var obsSeq uint64
+					if op.Found {
+						if opts.Excused.Has(op.Key, op.Value) {
+							continue // version from the erased 1-safe suffix
+						}
+						var ok bool
+						obsSeq, ok = lookup(writerSeq, op.Key, op.Value)
+						if !ok {
+							continue // unattributable; the isolation pass flags it
+						}
+					}
+					if fw := floorWrite[op.Key]; fw > obsSeq {
+						return &Violation{
+							Level: "session",
+							Kind:  "read-your-writes",
+							Message: fmt.Sprintf("session %d wrote %s at position %d in %s but later observed %s (position %d)",
+								si, op.Key, fw, t.Name(), renderRead(op), obsSeq),
+							Txns: []string{t.Describe()},
+						}
+					}
+					if fr := floorRead[op.Key]; fr > obsSeq {
+						return &Violation{
+							Level: "session",
+							Kind:  "monotonic-reads",
+							Message: fmt.Sprintf("session %d observed %s at position %d but %s later observed %s (position %d)",
+								si, op.Key, fr, t.Name(), renderRead(op), obsSeq),
+							Txns: []string{t.Describe()},
+						}
+					}
+					if obsSeq > floorRead[op.Key] {
+						floorRead[op.Key] = obsSeq
+					}
+				}
+			}
+			// A session's write floor rises only once the commit is acked.
+			if t.Status != StatusCommitted {
+				continue
+			}
+			for _, op := range t.Ops {
+				if op.Kind != OpWrite || !op.Applied || op.Seq == 0 ||
+					opts.Excused.Has(op.Key, op.Value) || !check(op.Key) {
+					continue
+				}
+				if op.Seq > floorWrite[op.Key] {
+					floorWrite[op.Key] = op.Seq
+				}
+				// The own write is also an observation of that version.
+				if op.Seq > floorRead[op.Key] {
+					floorRead[op.Key] = op.Seq
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func lookup(m map[string]map[int64]uint64, key string, value int64) (uint64, bool) {
+	inner, ok := m[key]
+	if !ok {
+		return 0, false
+	}
+	s, ok := inner[value]
+	return s, ok
+}

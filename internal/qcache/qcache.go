@@ -123,7 +123,12 @@ type qentry struct {
 	// pos is the replication position the producing replica had applied
 	// when the result was computed (a lower bound on its freshness).
 	pos uint64
-	res *engine.Result
+	// posHi is the producing replica's applied position observed AFTER the
+	// result was computed: an upper bound on the state the result reflects.
+	// Sessions enforcing monotonic reads advance their read floor to it on
+	// a hit, so a later read can never be routed behind this result.
+	posHi uint64
+	res   *engine.Result
 }
 
 // New builds a cache.
@@ -255,6 +260,15 @@ func (s *Scope) staleLocked(pos uint64, tables, dbs []string) bool {
 // produced before it are misses. The returned result is shared and must be
 // treated as immutable.
 func (s *Scope) Get(user, db, stmt string, binds []sqltypes.Value, minPos uint64) (*engine.Result, bool) {
+	res, _, ok := s.GetPos(user, db, stmt, binds, minPos)
+	return res, ok
+}
+
+// GetPos is Get, additionally returning the upper bound on the replication
+// position the cached result reflects (the serving replica's applied
+// position right after the fill read). Sessions that guarantee monotonic
+// reads advance their read floor to it.
+func (s *Scope) GetPos(user, db, stmt string, binds []sqltypes.Value, minPos uint64) (*engine.Result, uint64, bool) {
 	s.mu.RLock()
 	epoch := s.epoch
 	s.mu.RUnlock()
@@ -267,7 +281,7 @@ func (s *Scope) Get(user, db, stmt string, binds []sqltypes.Value, minPos uint64
 	if !ok {
 		sh.mu.Unlock()
 		c.misses.Inc()
-		return nil, false
+		return nil, 0, false
 	}
 	e := el.Value.(*qentry)
 	sh.mu.Unlock()
@@ -284,14 +298,14 @@ func (s *Scope) Get(user, db, stmt string, binds []sqltypes.Value, minPos uint64
 		}
 		sh.mu.Unlock()
 		c.misses.Inc()
-		return nil, false
+		return nil, 0, false
 	}
 	if e.pos < minPos {
 		// Too old for this session's guarantee, but still the freshest
 		// committed state for the entry's tables — keep it for sessions
 		// with weaker requirements.
 		c.misses.Inc()
-		return nil, false
+		return nil, 0, false
 	}
 	sh.mu.Lock()
 	if cur, ok := sh.entries[key]; ok && cur == el {
@@ -299,7 +313,7 @@ func (s *Scope) Get(user, db, stmt string, binds []sqltypes.Value, minPos uint64
 	}
 	sh.mu.Unlock()
 	c.hits.Inc()
-	return e.res, true
+	return e.res, e.posHi, true
 }
 
 // Put inserts a result the given user's session produced at replication
@@ -307,10 +321,22 @@ func (s *Scope) Get(user, db, stmt string, binds []sqltypes.Value, minPos uint64
 // when the result is too large or when a concurrent invalidation has
 // already outpaced pos (fill race).
 func (s *Scope) Put(user, db, stmt string, binds []sqltypes.Value, tables []string, pos uint64, res *engine.Result) {
+	s.PutAt(user, db, stmt, binds, tables, pos, pos, res)
+}
+
+// PutAt is Put with the freshness bounds split: pos is the sound lower
+// bound used for invalidation and minimum-position checks (the replica's
+// applied position BEFORE the fill read), posHi the upper bound on the
+// state the result can reflect (applied position AFTER it), handed back by
+// GetPos for monotonic-read floors.
+func (s *Scope) PutAt(user, db, stmt string, binds []sqltypes.Value, tables []string, pos, posHi uint64, res *engine.Result) {
 	c := s.c
 	if res == nil || len(res.Rows) > c.maxRows {
 		c.rejectedPuts.Inc()
 		return
+	}
+	if posHi < pos {
+		posHi = pos
 	}
 	qt := qualifyTables(db, tables)
 	dbs := distinctDBs(qt)
@@ -324,7 +350,7 @@ func (s *Scope) Put(user, db, stmt string, binds []sqltypes.Value, tables []stri
 		return
 	}
 	key := s.key(epoch, user, db, stmt, binds)
-	e := &qentry{key: key, tables: qt, dbs: dbs, pos: pos, res: res}
+	e := &qentry{key: key, tables: qt, dbs: dbs, pos: pos, posHi: posHi, res: res}
 
 	sh := &c.shards[sqltypes.HashString(key)&c.mask]
 	sh.mu.Lock()

@@ -115,6 +115,21 @@ func (n *Network) Partition(groupA, groupB []NodeID) {
 	}
 }
 
+// Isolate cuts one node off from every other attached node (both
+// directions) — the common minority-of-one partition chaos scenarios use.
+// Heal undoes it along with any other partition.
+func (n *Network) Isolate(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for other := range n.nodes {
+		if other == id {
+			continue
+		}
+		n.blocked[[2]NodeID{id, other}] = true
+		n.blocked[[2]NodeID{other, id}] = true
+	}
+}
+
 // Heal removes all partitions.
 func (n *Network) Heal() {
 	n.mu.Lock()

@@ -1,0 +1,9 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in. Timing
+// threshold tests use it to relax or skip latency budgets: the detector
+// multiplies the cost of synchronized paths unevenly, so a ratio measured
+// under -race does not reflect production overhead.
+const RaceEnabled = true

@@ -1,0 +1,187 @@
+// Package testutil collects the cluster bootstrap and teardown helpers the
+// integration suites share: topology builders with t.Cleanup teardown, a
+// wire front-end on an ephemeral port, database provisioning, and the
+// wait-for-catchup/convergence polls. Everything is written against the
+// public replication facade so the helpers work for any topology.
+package testutil
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/gcs"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+	"repro/replication"
+)
+
+// Serve fronts a cluster with a wire server on an ephemeral port and
+// returns the address to dial. The server is closed on test cleanup.
+func Serve(t testing.TB, c replication.Cluster) string {
+	t.Helper()
+	srv, err := wire.NewServer("127.0.0.1:0", &wire.ClusterBackend{Cluster: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv.Addr()
+}
+
+// CreateDB provisions a database on the cluster before the application
+// connects (DSNs name the database, so every pooled connection lands in it).
+func CreateDB(t testing.TB, c replication.Cluster, name string) {
+	t.Helper()
+	conn, err := c.NewConn("setup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Exec("CREATE DATABASE " + name); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ExecAll opens one connection and runs the statements in order — the
+// shared shape of every suite's schema bootstrap.
+func ExecAll(t testing.TB, c replication.Cluster, stmts ...string) {
+	t.Helper()
+	conn, err := c.NewConn("setup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, sql := range stmts {
+		if _, err := conn.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+}
+
+// WaitForLag blocks until every slave of a master-slave cluster has applied
+// the master's head, or fails the test after 5 s.
+func WaitForLag(t testing.TB, ms *replication.MasterSlave) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		max := uint64(0)
+		for _, l := range ms.SlaveLag() {
+			if l > max {
+				max = l
+			}
+		}
+		if max == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("slaves never caught up: %v", ms.SlaveLag())
+}
+
+// WaitConverged polls until every replica reports identical table checksums
+// for db, or fails the test after 10 s.
+func WaitConverged(t testing.TB, replicas []*replication.Replica, db string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		rep, err := replication.CheckDivergence(replicas, db)
+		if err == nil && rep.OK() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep, _ := replication.CheckDivergence(replicas, db)
+	t.Fatalf("replicas did not converge: %v", rep)
+}
+
+// NewReplicas builds n replicas named prefix1..prefixN.
+func NewReplicas(prefix string, n int) []*replication.Replica {
+	reps := make([]*replication.Replica, n)
+	for i := range reps {
+		reps[i] = replication.NewReplica(replication.ReplicaConfig{
+			Name: fmt.Sprintf("%s%d", prefix, i+1),
+		})
+	}
+	return reps
+}
+
+// BuildMasterSlave wires a master plus nSlaves slaves under cfg and closes
+// the cluster on test cleanup.
+func BuildMasterSlave(t testing.TB, nSlaves int, cfg replication.MasterSlaveConfig) *replication.MasterSlave {
+	t.Helper()
+	master := replication.NewReplica(replication.ReplicaConfig{Name: "m"})
+	ms := replication.NewMasterSlave(master, NewReplicas("s", nSlaves), cfg)
+	t.Cleanup(ms.Close)
+	return ms
+}
+
+// BuildMultiMaster wires n replicas over a single in-process sequencer and
+// closes the cluster on test cleanup.
+func BuildMultiMaster(t testing.TB, n int, cfg replication.MultiMasterConfig) *replication.MultiMaster {
+	t.Helper()
+	mm, err := replication.NewMultiMaster(NewReplicas("n", n),
+		[]replication.Orderer{replication.NewLocalOrderer()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mm.Close)
+	return mm
+}
+
+// BuildGCSMultiMaster wires n replicas over real group-communication
+// orderers on a simulated network. The network, orderers and cluster are
+// all torn down on test cleanup (cluster first, network last). The
+// orderers are returned so partition tests can inspect each node's view.
+func BuildGCSMultiMaster(t testing.TB, n int, gcfg gcs.Config, seed int64,
+	cfg replication.MultiMasterConfig) (*simnet.Network, []*replication.GCSOrderer, *replication.MultiMaster) {
+	t.Helper()
+	net, orderers := replication.BuildGCSCluster(n, gcfg, seed)
+	t.Cleanup(net.Close)
+	t.Cleanup(func() {
+		for _, o := range orderers {
+			o.Close()
+		}
+	})
+	ords := make([]replication.Orderer, n)
+	for i := range ords {
+		ords[i] = orderers[i]
+	}
+	mm, err := replication.NewMultiMaster(NewReplicas("r", n), ords, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mm.Close)
+	return net, orderers, mm
+}
+
+// BuildPartitioned wires nParts master-slave sub-clusters (slavesPer slaves
+// each) under the given partition rules. The sub-clusters are returned so
+// chaos actions can target one partition's master; Close cascades from the
+// partitioned cluster.
+func BuildPartitioned(t testing.TB, nParts, slavesPer int, rules []*replication.PartitionRule,
+	cfg replication.MasterSlaveConfig) (*replication.Partitioned, []*replication.MasterSlave) {
+	t.Helper()
+	parts := make([]*replication.MasterSlave, nParts)
+	for i := range parts {
+		m := replication.NewReplica(replication.ReplicaConfig{Name: fmt.Sprintf("p%d-m", i)})
+		parts[i] = replication.NewMasterSlave(m, NewReplicas(fmt.Sprintf("p%d-s", i), slavesPer), cfg)
+	}
+	pc, err := replication.NewPartitioned(parts, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pc.Close)
+	return pc, parts
+}
+
+// BuildWAN wires the sites (each a master-slave cluster built by the
+// caller) and closes the WAN plus every site cluster on test cleanup.
+func BuildWAN(t testing.TB, sites []*replication.SiteConfig, cfg replication.WANConfig) *replication.WAN {
+	t.Helper()
+	w, err := replication.NewWAN(sites, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}

@@ -79,5 +79,6 @@ func FromEngineResult(res *engine.Result) *Response {
 		Rows:         res.Rows,
 		RowsAffected: res.RowsAffected,
 		LastInsertID: res.LastInsertID,
+		AtSeq:        res.AtSeq,
 	}
 }

@@ -94,7 +94,12 @@ type Response struct {
 	Rows         []sqltypes.Row
 	RowsAffected int64
 	LastInsertID int64
-	Err          string
+	// AtSeq is the replication position the statement's commit landed at
+	// (engine.Result.AtSeq over the wire): zero for reads and statements
+	// inside a still-open transaction. Client-side history recorders use it
+	// to order observed versions without server cooperation.
+	AtSeq uint64
+	Err   string
 	// Code classifies Err (CodeOK, CodeError, CodeRetryable).
 	Code int
 	// StmtID and NumInput describe the handle a PREPARE created.

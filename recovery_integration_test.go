@@ -1,7 +1,7 @@
 // End-to-end recovery tests (PR 4): durable restart of a wire-served
 // cluster, chaos failover with exact lost-transaction accounting driven by
 // internal/failure, and a simnet-driven partition/heal scenario through the
-// wire layer.
+// wire layer. Cluster bootstrap/teardown lives in internal/testutil.
 package repro
 
 import (
@@ -15,29 +15,10 @@ import (
 	"repro/internal/failure"
 	"repro/internal/gcs"
 	"repro/internal/simnet"
-	"repro/internal/sqltypes"
+	"repro/internal/testutil"
 	"repro/internal/wire"
 	"repro/replication"
 )
-
-// waitSlavesCaughtUp polls until every slave applied the master head.
-func waitSlavesCaughtUp(t *testing.T, ms *replication.MasterSlave) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		max := uint64(0)
-		for _, l := range ms.SlaveLag() {
-			if l > max {
-				max = l
-			}
-		}
-		if max == 0 {
-			return
-		}
-		time.Sleep(time.Millisecond)
-	}
-	t.Fatalf("slaves never caught up: %v", ms.SlaveLag())
-}
 
 // TestDurableClusterRestartServesCommittedRows is the -data-dir acceptance
 // test: a cluster stopped and reopened against the same directory serves
@@ -57,7 +38,7 @@ func TestDurableClusterRestartServesCommittedRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv1, err := wire.NewServer("127.0.0.1:0", clusterBackend{d1.Cluster()})
+	srv1, err := wire.NewServer("127.0.0.1:0", &wire.ClusterBackend{Cluster: d1.Cluster()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,18 +71,14 @@ func TestDurableClusterRestartServesCommittedRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d2.Close()
+	// Cleanup (not defer) so the wire server registered below closes first.
+	t.Cleanup(func() { d2.Close() })
 	// The first run's automatic checkpoints compacted the log, so this
 	// recovery necessarily went checkpoint + tail, not full replay.
 	if d2.RecoveryLog().CompactedThrough() == 0 {
 		t.Fatal("log was never compacted; restart did not exercise checkpoint+tail")
 	}
-	srv2, err := wire.NewServer("127.0.0.1:0", clusterBackend{d2.Cluster()})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv2.Close()
-	conn2, err := wire.Dial(srv2.Addr(), wire.DriverConfig{User: "app", Database: "shop"})
+	conn2, err := wire.Dial(testutil.Serve(t, d2.Cluster()), wire.DriverConfig{User: "app", Database: "shop"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +108,7 @@ func TestDurableClusterRestartServesCommittedRows(t *testing.T) {
 	if got := resp.Rows[0][0].Int(); got != rows+1 {
 		t.Fatalf("count after post-restart insert = %d", got)
 	}
-	waitSlavesCaughtUp(t, d2.Cluster())
+	testutil.WaitForLag(t, d2.Cluster())
 	if err := d2.Provisioner().RecorderErr(); err != nil {
 		t.Fatalf("recorder unhealthy after restart: %v", err)
 	}
@@ -182,16 +159,12 @@ func TestEndToEndChaosMasterCrashExactLossAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Close()
+	// Cleanup (not defer) so the wire server registered below closes first.
+	t.Cleanup(func() { d.Close() })
 	cluster := d.Cluster()
 
-	srv, err := wire.NewServer("127.0.0.1:0", clusterBackend{cluster})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-
-	boot, err := wire.Dial(srv.Addr(), wire.DriverConfig{User: "boot"})
+	addr := testutil.Serve(t, cluster)
+	boot, err := wire.Dial(addr, wire.DriverConfig{User: "boot"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +177,7 @@ func TestEndToEndChaosMasterCrashExactLossAccounting(t *testing.T) {
 		}
 	}
 	boot.Close()
-	waitSlavesCaughtUp(t, cluster)
+	testutil.WaitForLag(t, cluster)
 
 	old := cluster.Master()
 	inj := failure.NewInjector(4)
@@ -218,7 +191,7 @@ func TestEndToEndChaosMasterCrashExactLossAccounting(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			conn, err := wire.Dial(srv.Addr(), wire.DriverConfig{
+			conn, err := wire.Dial(addr, wire.DriverConfig{
 				User: fmt.Sprintf("w%d", w), Database: "shop",
 			})
 			if err != nil {
@@ -251,7 +224,7 @@ func TestEndToEndChaosMasterCrashExactLossAccounting(t *testing.T) {
 	if cluster.Master() == old {
 		t.Fatal("monitor never failed over during the chaos run")
 	}
-	waitSlavesCaughtUp(t, cluster)
+	testutil.WaitForLag(t, cluster)
 
 	// Exact 1-safe loss accounting: ids committed on the frozen old master
 	// but absent from the promoted lineage == LostTransactions. (The old
@@ -271,7 +244,7 @@ func TestEndToEndChaosMasterCrashExactLossAccounting(t *testing.T) {
 
 	// Session-consistent reads on the promoted cluster: write then read on
 	// one wire session must observe the write immediately.
-	check, err := wire.Dial(srv.Addr(), wire.DriverConfig{User: "check", Database: "shop"})
+	check, err := wire.Dial(addr, wire.DriverConfig{User: "check", Database: "shop"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,51 +273,10 @@ func TestEndToEndChaosMasterCrashExactLossAccounting(t *testing.T) {
 	if len(cluster.Slaves()) != 2 {
 		t.Fatalf("slave set after rejoin = %d, want 2", len(cluster.Slaves()))
 	}
-	waitSlavesCaughtUp(t, cluster)
+	testutil.WaitForLag(t, cluster)
 	all := append([]*replication.Replica{cluster.Master()}, cluster.Slaves()...)
-	deadline = time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		rep, err := replication.CheckDivergence(all, "shop")
-		if err == nil && rep.OK() {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	rep, _ := replication.CheckDivergence(all, "shop")
-	t.Fatalf("cluster did not reconverge after rejoin: %v", rep)
+	testutil.WaitConverged(t, all, "shop")
 }
-
-// mmBackend adapts a multi-master cluster to the wire protocol (each wire
-// session is homed on a replica by the cluster's balancing policy).
-type mmBackend struct{ mm *replication.MultiMaster }
-
-func (b mmBackend) Authenticate(user, password string) error { return nil }
-
-func (b mmBackend) OpenSession(user, database string) (wire.SessionHandler, error) {
-	s, err := b.mm.NewSession(user)
-	if err != nil {
-		return nil, err
-	}
-	if database != "" {
-		if _, err := s.Exec("USE " + database); err != nil {
-			s.Close()
-			return nil, err
-		}
-	}
-	return mmWireSession{s}, nil
-}
-
-type mmWireSession struct{ s *replication.MMSession }
-
-func (ws mmWireSession) Exec(sql string, args []sqltypes.Value) (*wire.Response, error) {
-	res, err := ws.s.Exec(sql)
-	if err != nil {
-		return nil, err
-	}
-	return wire.FromEngineResult(res), nil
-}
-
-func (ws mmWireSession) Close() { ws.s.Close() }
 
 // TestEndToEndChaosPartitionHealOverWire drives a simnet partition through
 // the wire layer: a minority replica is cut off mid-traffic, the majority
@@ -352,40 +284,18 @@ func (ws mmWireSession) Close() { ws.s.Close() }
 // catches up (gap nacks + retransmission) until all replicas reconverge.
 func TestEndToEndChaosPartitionHealOverWire(t *testing.T) {
 	const n = 3
-	net, orderers := replication.BuildGCSCluster(n, gcs.Config{
+	net, orderers, mm := testutil.BuildGCSMultiMaster(t, n, gcs.Config{
 		Ordering:          gcs.Sequencer,
 		HeartbeatInterval: 5 * time.Millisecond,
 		SuspectTimeout:    40 * time.Millisecond,
-	}, 7)
-	defer net.Close()
-	reps := make([]*replication.Replica, n)
-	ords := make([]replication.Orderer, n)
-	for i := range reps {
-		reps[i] = replication.NewReplica(replication.ReplicaConfig{Name: fmt.Sprintf("r%d", i+1)})
-		ords[i] = orderers[i]
-	}
-	mm, err := replication.NewMultiMaster(reps, ords, replication.MultiMasterConfig{
+	}, 7, replication.MultiMasterConfig{
 		Mode:          replication.StatementMode,
 		QuorumOf:      n,
 		CommitTimeout: 500 * time.Millisecond,
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer mm.Close()
-	defer func() {
-		for _, o := range orderers {
-			o.Close()
-		}
-	}()
 
-	srv, err := wire.NewServer("127.0.0.1:0", mmBackend{mm})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-
-	boot, err := wire.Dial(srv.Addr(), wire.DriverConfig{User: "boot"})
+	addr := testutil.Serve(t, mm)
+	boot, err := wire.Dial(addr, wire.DriverConfig{User: "boot"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,7 +326,7 @@ func TestEndToEndChaosPartitionHealOverWire(t *testing.T) {
 		// A wire session homed on the minority replica refuses writes
 		// (ErrNoQuorum); reopen until one lands on the majority — that is
 		// exactly what an application-side driver would do.
-		conn, err := wire.Dial(srv.Addr(), wire.DriverConfig{User: fmt.Sprintf("p%d", id), Database: "shop"})
+		conn, err := wire.Dial(addr, wire.DriverConfig{User: fmt.Sprintf("p%d", id), Database: "shop"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -435,14 +345,5 @@ func TestEndToEndChaosPartitionHealOverWire(t *testing.T) {
 
 	// Heal. The straggler must close its gaps and reconverge.
 	net.Heal()
-	deadline = time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		rep, err := replication.CheckDivergence(reps, "shop")
-		if err == nil && rep.OK() {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	rep, _ := replication.CheckDivergence(reps, "shop")
-	t.Fatalf("replicas did not reconverge after heal: %v", rep)
+	testutil.WaitConverged(t, mm.Replicas(), "shop")
 }

@@ -1,0 +1,76 @@
+package replication
+
+import "repro/internal/history"
+
+// Client-observable history recording and offline consistency checking
+// (internal/history). Record at either boundary:
+//
+//   - in-process: wrap any Conn with RecordConn — works for every topology
+//     because they all hand out the unified Conn;
+//   - database/sql: add record=mem:<name> (or record=<path>) to the DSN and
+//     fetch the recorder with SharedHistoryRecorder(<name>).
+//
+// Then verify the recorded history offline against an isolation level
+// (CheckHistory) and the session guarantees read-your-writes and monotonic
+// reads (CheckSessionGuarantees). The checkers are polynomial-time and
+// sound: a reported Violation carries a genuine counterexample cycle.
+type (
+	// History is a recorded client-observable history (JSON-serializable).
+	History = history.History
+	// HistoryRecorder accumulates sessions of a recorded history.
+	HistoryRecorder = history.Recorder
+	// HistorySpec names the key-value table/columns under observation.
+	HistorySpec = history.Spec
+	// RecordedConn is a Conn decorated with history recording.
+	RecordedConn = history.RecordedConn
+	// HistoryViolation is one detected anomaly with its counterexample.
+	HistoryViolation = history.Violation
+	// HistoryCheckOpts configures an isolation-level check.
+	HistoryCheckOpts = history.CheckOpts
+	// HistorySessionOpts configures the session-guarantee check.
+	HistorySessionOpts = history.SessionOpts
+	// ExcusedWrites marks values legitimately lost by 1-safe failover.
+	ExcusedWrites = history.Excused
+	// HistoryLevel is the isolation level a history is checked against.
+	HistoryLevel = history.Level
+)
+
+// Isolation levels for HistoryCheckOpts.
+const (
+	IsolationReadCommitted = history.ReadCommitted
+	IsolationSnapshot      = history.SnapshotIsolation
+	IsolationSerializable  = history.Serializable
+)
+
+// NewHistoryRecorder builds a recorder observing the spec's table.
+func NewHistoryRecorder(spec HistorySpec) *HistoryRecorder {
+	return history.NewRecorder(spec)
+}
+
+// SharedHistoryRecorder returns the process-shared recorder registered
+// under name, creating it on first use — the same registry DSN record=
+// sinks use, so a test can point database/sql at mem:<name> and collect
+// the history here.
+func SharedHistoryRecorder(name string, spec HistorySpec) *HistoryRecorder {
+	return history.Shared(name, spec)
+}
+
+// DropSharedHistoryRecorder removes a shared recorder (between test runs).
+func DropSharedHistoryRecorder(name string) { history.DropShared(name) }
+
+// RecordConn wraps a Conn so its statements are recorded as one session.
+func RecordConn(c Conn, r *HistoryRecorder) *RecordedConn {
+	return history.WrapConn(c, r)
+}
+
+// CheckHistory verifies a history against an isolation level; nil means no
+// violation was found.
+func CheckHistory(h *History, opts HistoryCheckOpts) *HistoryViolation {
+	return history.Check(h, opts)
+}
+
+// CheckSessionGuarantees verifies read-your-writes and monotonic reads per
+// recorded session; nil means no violation was found.
+func CheckSessionGuarantees(h *History, opts HistorySessionOpts) *HistoryViolation {
+	return history.CheckSessionGuarantees(h, opts)
+}

@@ -4,9 +4,8 @@ import (
 	"database/sql"
 	"fmt"
 	"testing"
-	"time"
 
-	"repro/internal/wire"
+	"repro/internal/testutil"
 	"repro/replication"
 	_ "repro/replication/sqldriver"
 )
@@ -17,53 +16,8 @@ import (
 // It exercises CRUD with bind arguments, explicit transactions (commit and
 // rollback), prepared point lookups over server-side statement handles, and
 // a mid-run failover that the application never observes (§4.3.3: the
-// driver+pool absorb it).
-
-// serve fronts a cluster with a wire server and returns its address.
-func serve(t *testing.T, c replication.Cluster) string {
-	t.Helper()
-	srv, err := wire.NewServer("127.0.0.1:0", &wire.ClusterBackend{Cluster: c})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(srv.Close)
-	return srv.Addr()
-}
-
-// createDB provisions the application database before the app connects
-// (the DSN names it, so every pooled connection lands in it).
-func createDB(t *testing.T, c replication.Cluster) {
-	t.Helper()
-	conn, err := c.NewConn("setup")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	if _, err := conn.Exec("CREATE DATABASE app"); err != nil {
-		t.Fatal(err)
-	}
-}
-
-// waitForLag blocks until every slave of a master-slave cluster caught up.
-func waitForLag(t *testing.T, ms *replication.MasterSlave) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		done := true
-		for _, lag := range ms.SlaveLag() {
-			if lag > 0 {
-				done = false
-			}
-		}
-		if done {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("slaves never caught up")
-		}
-		time.Sleep(time.Millisecond)
-	}
-}
+// driver+pool absorb it). Cluster bootstrap/teardown (wire front-end,
+// database provisioning, catchup waits) lives in internal/testutil.
 
 // topology builds one cluster kind and returns its DSN target plus a chaos
 // action that kills a replica mid-run (with the failover the operator or
@@ -76,42 +30,27 @@ type topology struct {
 func topologies() []topology {
 	return []topology{
 		{name: "master-slave", setup: func(t *testing.T) (string, func()) {
-			master := replication.NewReplica(replication.ReplicaConfig{Name: "m"})
-			slaves := []*replication.Replica{
-				replication.NewReplica(replication.ReplicaConfig{Name: "s1"}),
-				replication.NewReplica(replication.ReplicaConfig{Name: "s2"}),
-			}
-			ms := replication.NewMasterSlave(master, slaves, replication.MasterSlaveConfig{
+			ms := testutil.BuildMasterSlave(t, 2, replication.MasterSlaveConfig{
 				Consistency:         replication.SessionConsistent,
 				TransparentFailover: true,
 			})
-			t.Cleanup(ms.Close)
-			createDB(t, ms)
+			testutil.CreateDB(t, ms, "app")
 			chaos := func() {
-				waitForLag(t, ms)
+				testutil.WaitForLag(t, ms)
 				ms.Master().Fail()
 				if _, err := ms.Failover(); err != nil {
 					t.Fatalf("failover: %v", err)
 				}
 			}
-			return serve(t, ms), chaos
+			return testutil.Serve(t, ms), chaos
 		}},
 		{name: "multi-master", setup: func(t *testing.T) (string, func()) {
-			reps := make([]*replication.Replica, 3)
-			for i := range reps {
-				reps[i] = replication.NewReplica(replication.ReplicaConfig{Name: fmt.Sprintf("n%d", i+1)})
-			}
-			mm, err := replication.NewMultiMaster(reps,
-				[]replication.Orderer{replication.NewLocalOrderer()},
-				replication.MultiMasterConfig{
-					Mode:        replication.StatementMode,
-					Consistency: replication.SessionConsistent,
-				})
-			if err != nil {
-				t.Fatal(err)
-			}
-			t.Cleanup(mm.Close)
-			createDB(t, mm)
+			mm := testutil.BuildMultiMaster(t, 3, replication.MultiMasterConfig{
+				Mode:        replication.StatementMode,
+				Consistency: replication.SessionConsistent,
+			})
+			testutil.CreateDB(t, mm, "app")
+			reps := mm.Replicas()
 			chaos := func() {
 				// Kill two of three replicas. Any pooled connection homed
 				// on a dead one becomes useless for writes; the pool must
@@ -120,35 +59,24 @@ func topologies() []topology {
 				reps[0].Fail()
 				reps[1].Fail()
 			}
-			return serve(t, mm), chaos
+			return testutil.Serve(t, mm), chaos
 		}},
 		{name: "partitioned", setup: func(t *testing.T) (string, func()) {
-			parts := make([]*replication.MasterSlave, 2)
-			for i := range parts {
-				m := replication.NewReplica(replication.ReplicaConfig{Name: fmt.Sprintf("p%d-m", i)})
-				s := replication.NewReplica(replication.ReplicaConfig{Name: fmt.Sprintf("p%d-s", i)})
-				parts[i] = replication.NewMasterSlave(m, []*replication.Replica{s},
-					replication.MasterSlaveConfig{
-						Consistency:         replication.SessionConsistent,
-						TransparentFailover: true,
-					})
-			}
-			pc, err := replication.NewPartitioned(parts, []*replication.PartitionRule{{
+			pc, parts := testutil.BuildPartitioned(t, 2, 1, []*replication.PartitionRule{{
 				Table: "kv", Column: "id", Strategy: replication.HashPartition,
-			}})
-			if err != nil {
-				t.Fatal(err)
-			}
-			t.Cleanup(pc.Close)
-			createDB(t, pc)
+			}}, replication.MasterSlaveConfig{
+				Consistency:         replication.SessionConsistent,
+				TransparentFailover: true,
+			})
+			testutil.CreateDB(t, pc, "app")
 			chaos := func() {
-				waitForLag(t, parts[0])
+				testutil.WaitForLag(t, parts[0])
 				parts[0].Master().Fail()
 				if _, err := parts[0].Failover(); err != nil {
 					t.Fatalf("partition failover: %v", err)
 				}
 			}
-			return serve(t, pc), chaos
+			return testutil.Serve(t, pc), chaos
 		}},
 	}
 }

@@ -21,6 +21,14 @@
 //	                 (Go duration, e.g. 250ms; 0 disables — §4.3.4.2)
 //	keepalive        per-request read deadline (Go duration)
 //	connect_timeout  dial timeout (Go duration)
+//	record           history sink: mem:<name> appends to the process-shared
+//	                 in-memory recorder <name> (see internal/history);
+//	                 any other value is a file path the history is
+//	                 JSON-snapshotted to whenever a pooled connection
+//	                 closes. Each pooled connection records as one session.
+//	record_table, record_key, record_val
+//	                 the key-value schema the recorded workload uses
+//	                 (defaults kv/k/v); only valid with record=
 //
 // Example:
 //
@@ -49,6 +57,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/sqltypes"
 	"repro/internal/wire"
 )
@@ -64,7 +73,7 @@ var _ driver.Driver = (*Driver)(nil)
 
 // Open implements driver.Driver.
 func (d *Driver) Open(dsn string) (driver.Conn, error) {
-	cfg, addr, database, consistency, err := parseDSN(dsn)
+	cfg, addr, database, consistency, ro, err := parseDSN(dsn)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +82,7 @@ func (d *Driver) Open(dsn string) (driver.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &conn{wc: wc}
+	c := &conn{wc: wc, rec: newRecorder(ro)}
 	if consistency != "" {
 		if _, err := wc.Exec("SET CONSISTENCY " + strings.ToUpper(consistency)); err != nil {
 			wc.Close()
@@ -84,8 +93,8 @@ func (d *Driver) Open(dsn string) (driver.Conn, error) {
 }
 
 // parseDSN splits a repl:// DSN into the wire driver config, address,
-// database and consistency override.
-func parseDSN(dsn string) (cfg wire.DriverConfig, addr, database, consistency string, err error) {
+// database, consistency override and recording options.
+func parseDSN(dsn string) (cfg wire.DriverConfig, addr, database, consistency string, ro recordOpts, err error) {
 	u, perr := url.Parse(dsn)
 	if perr != nil {
 		err = fmt.Errorf("sqldriver: bad DSN %q: %w", dsn, perr)
@@ -130,6 +139,7 @@ func parseDSN(dsn string) (cfg wire.DriverConfig, addr, database, consistency st
 			*dst = d
 		}
 	}
+	ro, err = parseRecordOpts(q.Get)
 	return
 }
 
@@ -137,7 +147,19 @@ func parseDSN(dsn string) (cfg wire.DriverConfig, addr, database, consistency st
 // driver.Conn is used by one goroutine at a time.
 type conn struct {
 	wc     *wire.Conn
+	rec    *recorder // nil unless the DSN asked for history recording
 	broken bool
+}
+
+// exec is the recorded round-trip path for text statements: Execer,
+// Queryer and BEGIN/COMMIT/ROLLBACK funnel through here. Prepared handles
+// keep their server-side fast path and record in stmt with their own SQL
+// text.
+func (c *conn) exec(query string, vals []sqltypes.Value) (*wire.Response, error) {
+	start := history.Now()
+	resp, err := c.wc.Exec(query, vals...)
+	c.rec.observe(start, query, vals, resp, err)
+	return resp, err
 }
 
 var (
@@ -168,18 +190,20 @@ func (c *conn) Prepare(query string) (driver.Stmt, error) {
 	if err != nil {
 		return nil, c.mapErr(err)
 	}
-	return &stmt{c: c, st: st}, nil
+	return &stmt{c: c, st: st, query: query}, nil
 }
 
-// Close implements driver.Conn.
+// Close implements driver.Conn; a recorded connection finalizes its
+// session (and file sinks snapshot) before the wire drops.
 func (c *conn) Close() error {
+	err := c.rec.close()
 	c.wc.Close()
-	return nil
+	return err
 }
 
 // Begin implements driver.Conn.
 func (c *conn) Begin() (driver.Tx, error) {
-	if _, err := c.wc.Exec("BEGIN"); err != nil {
+	if _, err := c.exec("BEGIN", nil); err != nil {
 		return nil, c.mapErr(err)
 	}
 	return &tx{c: c}, nil
@@ -191,7 +215,7 @@ func (c *conn) Exec(query string, args []driver.Value) (driver.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.wc.Exec(query, vals...)
+	resp, err := c.exec(query, vals)
 	if err != nil {
 		return nil, c.mapErr(err)
 	}
@@ -204,7 +228,7 @@ func (c *conn) Query(query string, args []driver.Value) (driver.Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.wc.Exec(query, vals...)
+	resp, err := c.exec(query, vals)
 	if err != nil {
 		return nil, c.mapErr(err)
 	}
@@ -222,10 +246,12 @@ func (c *conn) Ping(_ context.Context) error {
 // ErrBadConn is never handed out again.
 func (c *conn) IsValid() bool { return !c.broken }
 
-// stmt is a prepared statement backed by a server-side handle.
+// stmt is a prepared statement backed by a server-side handle. query keeps
+// the SQL text so recorded executions can be re-attributed to it.
 type stmt struct {
-	c  *conn
-	st *wire.Stmt
+	c     *conn
+	st    *wire.Stmt
+	query string
 }
 
 var _ driver.Stmt = (*stmt)(nil)
@@ -248,7 +274,9 @@ func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := history.Now()
 	resp, err := s.st.Exec(vals...)
+	s.c.rec.observe(start, s.query, vals, resp, err)
 	if err != nil {
 		return nil, s.c.mapErr(err)
 	}
@@ -261,7 +289,9 @@ func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := history.Now()
 	resp, err := s.st.Exec(vals...)
+	s.c.rec.observe(start, s.query, vals, resp, err)
 	if err != nil {
 		return nil, s.c.mapErr(err)
 	}
@@ -272,12 +302,12 @@ func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
 type tx struct{ c *conn }
 
 func (t *tx) Commit() error {
-	_, err := t.c.wc.Exec("COMMIT")
+	_, err := t.c.exec("COMMIT", nil)
 	return t.c.mapErr(err)
 }
 
 func (t *tx) Rollback() error {
-	_, err := t.c.wc.Exec("ROLLBACK")
+	_, err := t.c.exec("ROLLBACK", nil)
 	return t.c.mapErr(err)
 }
 

@@ -11,7 +11,7 @@ import (
 )
 
 func TestParseDSN(t *testing.T) {
-	cfg, addr, db, cons, err := parseDSN("repl://app:pw@10.0.0.1:5455/shop?consistency=strong&heartbeat=250ms&keepalive=5s&connect_timeout=1s")
+	cfg, addr, db, cons, ro, err := parseDSN("repl://app:pw@10.0.0.1:5455/shop?consistency=strong&heartbeat=250ms&keepalive=5s&connect_timeout=1s")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,6 +24,9 @@ func TestParseDSN(t *testing.T) {
 	if cfg.HeartbeatInterval != 250*time.Millisecond || cfg.KeepAliveTimeout != 5*time.Second || cfg.ConnectTimeout != time.Second {
 		t.Fatalf("durations: %+v", cfg)
 	}
+	if ro.sink != "" {
+		t.Fatalf("recording on without record=: %+v", ro)
+	}
 }
 
 func TestParseDSNErrors(t *testing.T) {
@@ -32,8 +35,9 @@ func TestParseDSNErrors(t *testing.T) {
 		"repl:///db",                     // no host
 		"repl://h:1/db?consistency=bad",  // bad level
 		"repl://h:1/db?heartbeat=nonsap", // bad duration
+		"repl://h:1/db?record_table=kv",  // record_* without record=
 	} {
-		if _, _, _, _, err := parseDSN(dsn); err == nil {
+		if _, _, _, _, _, err := parseDSN(dsn); err == nil {
 			t.Errorf("parseDSN(%q) accepted", dsn)
 		}
 	}

@@ -1,0 +1,102 @@
+package sqldriver
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/history"
+	"repro/internal/sqltypes"
+	"repro/internal/wire"
+)
+
+// History recording (the record= DSN option). The driver is the one spot
+// every topology's traffic funnels through, so recording here captures a
+// client-observable history — what the application actually saw, over the
+// wire, pool reconnects included — without touching any cluster code.
+//
+//	record=mem:<name>   append to the process-shared in-memory recorder
+//	                    <name> (tests fetch it via history.Shared)
+//	record=<path>       additionally snapshot the history as JSON to <path>
+//	                    every time a pooled connection closes
+//	record_table/record_key/record_val
+//	                    override the recorded key-value schema (defaults
+//	                    kv/k/v)
+//
+// Every pooled connection becomes one recorded session: database/sql may
+// hand a logical application "session" to different connections over time,
+// and only the per-connection view carries the session guarantees the
+// checkers verify.
+
+// recordOpts is the parsed record* DSN option set.
+type recordOpts struct {
+	sink string // "" = recording off
+	spec history.Spec
+}
+
+func parseRecordOpts(get func(string) string) (recordOpts, error) {
+	ro := recordOpts{
+		sink: get("record"),
+		spec: history.Spec{
+			Table:  get("record_table"),
+			KeyCol: get("record_key"),
+			ValCol: get("record_val"),
+		},
+	}
+	if ro.sink == "" && (ro.spec.Table != "" || ro.spec.KeyCol != "" || ro.spec.ValCol != "") {
+		return ro, fmt.Errorf("sqldriver: record_table/record_key/record_val need record=<sink>")
+	}
+	return ro, nil
+}
+
+// recorder is the per-connection recording state.
+type recorder struct {
+	rec  *history.Recorder
+	sr   *history.SessionRecorder
+	path string // non-empty: snapshot the history here on Close
+}
+
+// newRecorder resolves the sink. Both sink kinds share one process-wide
+// Recorder per name/path, so every pooled connection of a *sql.DB (and of
+// concurrent DBs pointed at the same sink) lands in the same history.
+func newRecorder(ro recordOpts) *recorder {
+	if ro.sink == "" {
+		return nil
+	}
+	r := &recorder{rec: history.Shared(ro.sink, ro.spec)}
+	if !strings.HasPrefix(ro.sink, "mem:") {
+		r.path = ro.sink
+	}
+	r.sr = r.rec.NewSession()
+	return r
+}
+
+// observe records one statement round trip.
+func (r *recorder) observe(start int64, sql string, args []sqltypes.Value, resp *wire.Response, err error) {
+	if r == nil {
+		return
+	}
+	var obs history.Observed
+	if resp != nil {
+		obs = history.Observed{
+			Columns:      resp.Columns,
+			Rows:         resp.Rows,
+			RowsAffected: resp.RowsAffected,
+			AtSeq:        resp.AtSeq,
+		}
+	}
+	r.sr.Observe(start, history.Now(), sql, args, obs, err)
+}
+
+// close finalizes the session (an open transaction is recorded aborted)
+// and, for file sinks, snapshots the accumulated history. The last pooled
+// connection to close writes the fullest snapshot.
+func (r *recorder) close() error {
+	if r == nil {
+		return nil
+	}
+	r.sr.Close()
+	if r.path == "" {
+		return nil
+	}
+	return r.rec.History().WriteFile(r.path)
+}

@@ -1,0 +1,167 @@
+package sqldriver_test
+
+import (
+	"database/sql"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/testutil"
+	"repro/replication"
+	_ "repro/replication/sqldriver"
+)
+
+// TestDriverRecordsHistory proves the record= DSN option captures a
+// client-observable history at the database/sql boundary: a plain
+// database/sql application runs against a wire-served cluster with
+// recording on, and the shared in-memory recorder afterwards holds a
+// history whose committed transactions carry binlog positions — enough for
+// the offline checkers to verify isolation and session guarantees. A file
+// sink snapshot of the same run round-trips through JSON.
+func TestDriverRecordsHistory(t *testing.T) {
+	ms := testutil.BuildMasterSlave(t, 1, replication.MasterSlaveConfig{
+		Consistency: replication.SessionConsistent,
+	})
+	testutil.CreateDB(t, ms, "app")
+	addr := testutil.Serve(t, ms)
+
+	const sink = "mem:driver-record-test"
+	replication.DropSharedHistoryRecorder(sink)
+	path := filepath.Join(t.TempDir(), "history.json")
+
+	db, err := sql.Open("repl", fmt.Sprintf(
+		"repl://app@%s/app?consistency=session&record=%s", addr, sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One connection so the run is a single recorded session; the session
+	// guarantees below are per-connection properties.
+	db.SetMaxOpenConns(1)
+
+	mustExecDB(t, db, "CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)")
+	for k := 1; k <= 4; k++ {
+		mustExecDB(t, db, "INSERT INTO kv (k, v) VALUES (?, ?)", k, history.NextValue())
+	}
+	// Autocommit write then read-your-write.
+	w1 := history.NextValue()
+	mustExecDB(t, db, "UPDATE kv SET v = ? WHERE k = ?", w1, 1)
+	var got int64
+	if err := db.QueryRow("SELECT v FROM kv WHERE k = ?", 1).Scan(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got != w1 {
+		t.Fatalf("read-your-write through recorded driver: v=%d want %d", got, w1)
+	}
+	// Explicit transaction: read-modify-write two keys, committed.
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 3} {
+		if err := tx.QueryRow("SELECT v FROM kv WHERE k = ?", k).Scan(&got); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Exec("UPDATE kv SET v = ? WHERE k = ?", history.NextValue(), k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Rolled-back transaction: its write must be recorded as aborted.
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("UPDATE kv SET v = ? WHERE k = ?", history.NextValue(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// Prepared point lookups record through their statement handle.
+	st, err := db.Prepare("SELECT v FROM kv WHERE k = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.QueryRow(2).Scan(&got); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := replication.SharedHistoryRecorder(sink, replication.HistorySpec{}).History()
+	reads, writes, committed, aborted := historyStats(h)
+	if reads < 4 || writes < 7 {
+		t.Fatalf("history too sparse: %d reads, %d writes", reads, writes)
+	}
+	if committed == 0 || aborted == 0 {
+		t.Fatalf("outcomes not captured: %d committed, %d aborted", committed, aborted)
+	}
+	// Committed SQL-level writes carry their binlog position.
+	for _, txn := range h.Txns() {
+		if txn.Status != history.StatusCommitted {
+			continue
+		}
+		for _, op := range txn.Ops {
+			if op.Kind == history.OpWrite && op.Applied && op.Seq == 0 {
+				t.Fatalf("committed write without binlog position: %s", txn.Describe())
+			}
+		}
+	}
+	// The recorded history passes the offline checkers.
+	if v := replication.CheckHistory(h, replication.HistoryCheckOpts{Level: replication.IsolationSnapshot}); v != nil {
+		t.Fatalf("snapshot check failed on a clean run:\n%v", v)
+	}
+	if v := replication.CheckSessionGuarantees(h, replication.HistorySessionOpts{}); v != nil {
+		t.Fatalf("session guarantees failed on a clean run:\n%v", v)
+	}
+
+	// File sink: same application shape, snapshot written on close.
+	db2, err := sql.Open("repl", fmt.Sprintf(
+		"repl://app@%s/app?record=%s", addr, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2.SetMaxOpenConns(1)
+	mustExecDB(t, db2, "UPDATE kv SET v = ? WHERE k = ?", history.NextValue(), 1)
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := history.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, w, _, _ := historyStats(fromFile); w == 0 {
+		t.Fatal("file sink snapshot recorded no writes")
+	}
+}
+
+func historyStats(h *history.History) (reads, writes, committed, aborted int) {
+	for _, txn := range h.Txns() {
+		switch txn.Status {
+		case history.StatusCommitted:
+			committed++
+		case history.StatusAborted:
+			aborted++
+		}
+		for _, op := range txn.Ops {
+			if op.Kind == history.OpRead {
+				reads++
+			} else {
+				writes++
+			}
+		}
+	}
+	return
+}
+
+func mustExecDB(t *testing.T, db *sql.DB, query string, args ...any) {
+	t.Helper()
+	if _, err := db.Exec(query, args...); err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+}
