@@ -27,12 +27,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
+	"repro/internal/ops"
 	"repro/internal/wire"
 	"repro/replication"
 )
@@ -49,8 +51,15 @@ func main() {
 	twoSafe := flag.Bool("two-safe", false, "wait for slave receipt before acking commits (ms)")
 	readCost := flag.Duration("read-cost", 0, "modelled per-read service time")
 	writeCost := flag.Duration("write-cost", 0, "modelled per-write service time")
-	monitorEvery := flag.Duration("monitor", 10*time.Millisecond, "health monitor poll interval (ms)")
+	monitorEvery := flag.Duration("monitor", 10*time.Millisecond, "health monitor poll interval (durable master-slave only)")
 	queryCache := flag.Int("query-cache", 4096, "query result cache entries (0 disables)")
+	maxConns := flag.Int("max-conns", 0, "max concurrent client connections (0 = unbounded); over-limit connects are refused before handshake with a retryable error")
+	httpAddr := flag.String("http", "", "ops HTTP listen address serving /healthz and /metrics (empty disables)")
+	admSlots := flag.Int("admission-slots", 0, "admission control concurrency slots (0 disables admission control)")
+	admQueue := flag.Int("admission-queue", 0, "admission wait-queue capacity (0 = 4x slots)")
+	admPerUser := flag.Int("admission-per-user", 0, "per-user concurrent statement limit (0 = unlimited)")
+	stmtTimeout := flag.Duration("statement-timeout", 0, "default per-statement deadline, covering queueing and execution (0 = none; clients override with SET DEADLINE)")
+	slowQuery := flag.Duration("slow-query", 100*time.Millisecond, "slow-statement threshold for admission metrics")
 	auth := flag.String("auth", "", "user:password required on connect (enables engine RequireAuth)")
 	dataDir := flag.String("data-dir", "", "recovery log directory (ms only); empty runs in-memory")
 	checkpointEvery := flag.Int("checkpoint-every", 256, "committed events between automatic checkpoint backups (<0 disables)")
@@ -78,6 +87,16 @@ func main() {
 		qc = replication.NewQueryCache(replication.QueryCacheConfig{MaxEntries: *queryCache})
 	}
 
+	var adm *replication.AdmissionController
+	if *admSlots > 0 {
+		adm = replication.NewAdmissionController(replication.AdmissionConfig{
+			Slots:         *admSlots,
+			Queue:         *admQueue,
+			PerUser:       *admPerUser,
+			SlowThreshold: *slowQuery,
+		})
+	}
+
 	// createAuthUser registers the -auth principal (with a grant on every
 	// database) on one replica's engine. Access control is deliberately
 	// not replicated (§4.1.5), so it runs per engine. A durable restart
@@ -102,7 +121,10 @@ func main() {
 	var durable *replication.DurableCluster
 	switch *topology {
 	case "ms":
-		msCfg := replication.MasterSlaveConfig{Consistency: cons, TransparentFailover: true, QueryCache: qc}
+		msCfg := replication.MasterSlaveConfig{
+			Consistency: cons, TransparentFailover: true, QueryCache: qc,
+			Admission: adm, StatementTimeout: *stmtTimeout,
+		}
 		if *twoSafe {
 			msCfg.Safety = replication.TwoSafe
 		}
@@ -135,7 +157,10 @@ func main() {
 			reps[i] = replication.NewReplica(tpl)
 			createAuthUser(reps[i])
 		}
-		mmCfg := replication.MultiMasterConfig{Consistency: cons, QueryCache: qc}
+		mmCfg := replication.MultiMasterConfig{
+			Consistency: cons, QueryCache: qc,
+			Admission: adm, StatementTimeout: *stmtTimeout,
+		}
 		switch *mmMode {
 		case "statement":
 			mmCfg.Mode = replication.StatementMode
@@ -167,8 +192,13 @@ func main() {
 				sls[j] = replication.NewReplica(stpl)
 				createAuthUser(sls[j])
 			}
+			// Sub-clusters get the statement deadline (it is enforced at
+			// the executing layer) but NOT the admission controller: in a
+			// layered deployment exactly one controller — the top-level
+			// one, attached below — gates each statement.
 			parts[i] = replication.NewMasterSlave(master, sls, replication.MasterSlaveConfig{
 				Consistency: cons, TransparentFailover: true, QueryCache: qc,
+				StatementTimeout: *stmtTimeout,
 			})
 		}
 		var rules []*replication.PartitionRule
@@ -187,16 +217,43 @@ func main() {
 		if err != nil {
 			log.Fatalf("repld: %v", err)
 		}
+		pc.SetAdmission(adm)
 		cluster = pc
 	default:
 		log.Fatalf("repld: unknown -topology %q (want ms, mm or partitioned)", *topology)
 	}
 
-	srv, err := wire.NewServer(*listen, &wire.ClusterBackend{Cluster: cluster})
+	var wireOpts []wire.ServerOption
+	if *maxConns > 0 {
+		wireOpts = append(wireOpts, wire.WithMaxConns(*maxConns))
+	}
+	srv, err := wire.NewServer(*listen, &wire.ClusterBackend{Cluster: cluster}, wireOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+
+	if *httpAddr != "" {
+		opsSrv, err := ops.NewServer(*httpAddr, ops.Options{
+			Cluster:      cluster,
+			Admission:    adm,
+			QueryCache:   qc,
+			WireRejected: srv.RejectedConns,
+			Extra: func(w io.Writer) {
+				if durable != nil {
+					mon := durable.Monitor()
+					fmt.Fprintf(w, "repl_failovers_total %d\n", mon.Failovers())
+					fmt.Fprintf(w, "repl_rejoins_total %d\n", mon.Rejoins())
+				}
+			},
+		})
+		if err != nil {
+			log.Fatalf("repld: ops endpoint: %v", err)
+		}
+		defer opsSrv.Close()
+		log.Printf("repld: ops endpoint on http://%s (/healthz /metrics)", opsSrv.Addr())
+	}
+
 	h := cluster.Health()
 	extra := ""
 	if durable != nil {
@@ -223,6 +280,11 @@ func main() {
 		st := qc.Stats()
 		log.Printf("repld: query cache: hits=%d misses=%d puts=%d invalidations=%d evictions=%d",
 			st.Hits, st.Misses, st.Puts, st.InvalidationEvents, st.Evictions)
+	}
+	if adm != nil {
+		st := adm.Stats()
+		log.Printf("repld: admission: admitted=%d queued=%d shed=%d expired=%d slow=%d rejected-conns=%d",
+			st.Admitted, st.Queued, st.ShedTotal(), st.Expired, st.SlowTotal(), srv.RejectedConns())
 	}
 	if durable != nil {
 		if err := durable.Close(); err != nil {

@@ -1,0 +1,341 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var c *Controller
+	slot, err := c.Acquire("u", ClassWrite, time.Time{})
+	if err != nil {
+		t.Fatalf("nil controller Acquire: %v", err)
+	}
+	slot.Done(nil) // nil slot must be safe
+	if c.Shedding() {
+		t.Fatal("nil controller reports shedding")
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil controller stats = %+v", st)
+	}
+}
+
+func TestAcquireReleaseBasic(t *testing.T) {
+	c := NewController(Config{Slots: 2})
+	s1, err := c.Acquire("a", ClassReadAny, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Acquire("a", ClassWrite, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Active != 2 || st.Admitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s1.Done(nil)
+	s2.Release()
+	s2.Release() // double release must be a no-op
+	if st := c.Stats(); st.Active != 0 {
+		t.Fatalf("active after release = %d", st.Active)
+	}
+}
+
+func TestQueueGrantsInPriorityOrder(t *testing.T) {
+	c := NewController(Config{Slots: 1, Queue: 8})
+	hold, err := c.Acquire("h", ClassWrite, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type res struct {
+		class Class
+		when  time.Time
+	}
+	order := make(chan res, 3)
+	var wg sync.WaitGroup
+	start := func(class Class) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := c.Acquire("w", class, time.Now().Add(5*time.Second))
+			if err != nil {
+				t.Errorf("class %v: %v", class, err)
+				return
+			}
+			order <- res{class, time.Now()}
+			time.Sleep(5 * time.Millisecond)
+			s.Done(nil)
+		}()
+	}
+	start(ClassReadAny)
+	waitQueued(t, c, 1)
+	start(ClassReadSession)
+	waitQueued(t, c, 2)
+	start(ClassWrite)
+	waitQueued(t, c, 3)
+
+	hold.Done(nil)
+	wg.Wait()
+	close(order)
+	var got []Class
+	for r := range order {
+		got = append(got, r.class)
+	}
+	want := []Class{ClassWrite, ClassReadSession, ClassReadAny}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", got, want)
+		}
+	}
+	if st := c.Stats(); st.Active != 0 || st.Waiting != 0 {
+		t.Fatalf("end state = %+v", st)
+	}
+}
+
+// waitQueued blocks until the controller reports n waiters.
+func waitQueued(t *testing.T, c *Controller, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Waiting < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %d waiters (stats %+v)", n, c.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDegradationLadderAllowances(t *testing.T) {
+	// Queue=8: ANY reads may queue while waiting < 2, SESSION while < 4,
+	// writes while < 8. Fill the queue with writes and check each class's
+	// cutoff.
+	c := NewController(Config{Slots: 1, Queue: 8})
+	hold, _ := c.Acquire("h", ClassWrite, time.Time{})
+	defer hold.Done(nil)
+
+	enqueue := func(n int) {
+		for i := 0; i < n; i++ {
+			go func() {
+				s, err := c.Acquire("w", ClassWrite, time.Now().Add(5*time.Second))
+				if err == nil {
+					defer s.Done(nil)
+					time.Sleep(100 * time.Millisecond)
+				}
+			}()
+		}
+	}
+
+	enqueue(2)
+	waitQueued(t, c, 2)
+	// waiting=2 ≥ ANY allowance (8/4=2): ANY sheds, SESSION still queues.
+	if _, err := c.Acquire("x", ClassReadAny, time.Time{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("ANY at waiting=2: err=%v, want ErrOverloaded", err)
+	}
+	if !c.Shedding() {
+		t.Fatal("Shedding() false while ANY reads are being shed")
+	}
+
+	enqueue(2)
+	waitQueued(t, c, 4)
+	// waiting=4 ≥ SESSION allowance (8/2=4): SESSION sheds, writes queue.
+	if _, err := c.Acquire("x", ClassReadSession, time.Time{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("SESSION at waiting=4: err=%v, want ErrOverloaded", err)
+	}
+
+	enqueue(4)
+	waitQueued(t, c, 8)
+	// waiting=8 ≥ write allowance (8): even writes shed now.
+	if _, err := c.Acquire("x", ClassWrite, time.Time{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("WRITE at waiting=8: err=%v, want ErrOverloaded", err)
+	}
+	st := c.Stats()
+	if st.Shed[ClassReadAny] != 1 || st.Shed[ClassReadSession] != 1 || st.Shed[ClassWrite] != 1 {
+		t.Fatalf("shed counters = %v", st.Shed)
+	}
+}
+
+func TestWaitDeadlineExpiryDoesNotLeakSlot(t *testing.T) {
+	c := NewController(Config{Slots: 1, Queue: 8})
+	hold, _ := c.Acquire("h", ClassWrite, time.Time{})
+
+	_, err := c.Acquire("w", ClassReadSession, time.Now().Add(20*time.Millisecond))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("ErrDeadlineExceeded must wrap context.DeadlineExceeded")
+	}
+	if st := c.Stats(); st.Waiting != 0 || st.Expired != 1 {
+		t.Fatalf("after expiry: %+v", st)
+	}
+
+	// The expired waiter must not have consumed the slot: releasing the
+	// holder must leave capacity for a fresh request.
+	hold.Done(nil)
+	s, err := c.Acquire("w2", ClassReadAny, time.Time{})
+	if err != nil {
+		t.Fatalf("slot leaked: %v", err)
+	}
+	s.Done(nil)
+	if st := c.Stats(); st.Active != 0 {
+		t.Fatalf("end active = %d", st.Active)
+	}
+}
+
+func TestDefaultMaxWaitBoundsQueueTime(t *testing.T) {
+	c := NewController(Config{Slots: 1, Queue: 4, MaxWait: 25 * time.Millisecond})
+	hold, _ := c.Acquire("h", ClassWrite, time.Time{})
+	defer hold.Done(nil)
+	start := time.Now()
+	_, err := c.Acquire("w", ClassWrite, time.Time{}) // no deadline → MaxWait
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("waited %v, MaxWait bound not applied", waited)
+	}
+}
+
+func TestPerUserLimit(t *testing.T) {
+	c := NewController(Config{Slots: 8, PerUser: 2})
+	s1, _ := c.Acquire("alice", ClassWrite, time.Time{})
+	s2, _ := c.Acquire("alice", ClassWrite, time.Time{})
+	if _, err := c.Acquire("alice", ClassWrite, time.Time{}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("3rd alice acquire: err=%v, want ErrOverloaded", err)
+	}
+	// Other users are unaffected.
+	sb, err := c.Acquire("bob", ClassWrite, time.Time{})
+	if err != nil {
+		t.Fatalf("bob blocked by alice's limit: %v", err)
+	}
+	sb.Done(nil)
+	s1.Done(nil)
+	// Alice has a free per-user slot again.
+	s3, err := c.Acquire("alice", ClassWrite, time.Time{})
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	s3.Done(nil)
+	s2.Done(nil)
+}
+
+func TestPerUserLimitSkippedInHandoff(t *testing.T) {
+	// Two global slots held by bob and carol; alice (PerUser=1) queues two
+	// writes, dave queues an ANY read. The first release grants alice's
+	// first write, putting her at her per-user limit — so the second
+	// release must SKIP her remaining (higher-class) waiter and grant
+	// dave's read instead. Alice's second write lands only once alice
+	// herself releases.
+	c := NewController(Config{Slots: 2, PerUser: 1, Queue: 16})
+	hold1, _ := c.Acquire("bob", ClassWrite, time.Time{})
+	hold2, _ := c.Acquire("carol", ClassWrite, time.Time{})
+
+	granted := make(chan string, 3)
+	aliceHold := make(chan chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			s, err := c.Acquire("alice", ClassWrite, time.Now().Add(5*time.Second))
+			if err != nil {
+				t.Errorf("alice: %v", err)
+				return
+			}
+			granted <- "alice"
+			release := make(chan struct{})
+			aliceHold <- release
+			<-release
+			s.Done(nil)
+		}()
+		waitQueued(t, c, i+1)
+	}
+	go func() {
+		s, err := c.Acquire("dave", ClassReadAny, time.Now().Add(5*time.Second))
+		if err != nil {
+			t.Errorf("dave read: %v", err)
+			return
+		}
+		granted <- "dave"
+		s.Done(nil)
+	}()
+	waitQueued(t, c, 3)
+
+	hold1.Done(nil) // → alice's first write (highest class)
+	if got := <-granted; got != "alice" {
+		t.Fatalf("first grant = %s, want alice", got)
+	}
+	aliceRelease := <-aliceHold
+	hold2.Done(nil) // alice at limit → her second write is skipped, dave's read wins
+	if got := <-granted; got != "dave" {
+		t.Fatalf("second grant = %s, want dave (alice over per-user limit)", got)
+	}
+	close(aliceRelease) // alice releases → her queued second write is granted
+	if got := <-granted; got != "alice" {
+		t.Fatalf("third grant should be alice's second write")
+	}
+	(<-aliceHold) <- struct{}{}
+}
+
+func TestSlowQueryAccounting(t *testing.T) {
+	c := NewController(Config{Slots: 2, SlowThreshold: 10 * time.Millisecond})
+	fast, _ := c.Acquire("u", ClassReadAny, time.Time{})
+	fast.Done(nil)
+	slow, _ := c.Acquire("u", ClassWrite, time.Time{})
+	time.Sleep(15 * time.Millisecond)
+	slow.Done(nil)
+	st := c.Stats()
+	if st.Slow[ClassWrite] != 1 {
+		t.Fatalf("slow writes = %d, want 1", st.Slow[ClassWrite])
+	}
+	if st.SlowTotal() != 1 {
+		t.Fatalf("slow total = %d", st.SlowTotal())
+	}
+	if c.Latency(ClassWrite).Count() != 1 || c.Latency(ClassReadAny).Count() != 1 {
+		t.Fatal("latency histograms missed observations")
+	}
+	if c.Latency(ClassWrite).Max() < 10*time.Millisecond {
+		t.Fatalf("write latency max = %v", c.Latency(ClassWrite).Max())
+	}
+}
+
+func TestConcurrentChurnNoLeaks(t *testing.T) {
+	c := NewController(Config{Slots: 4, PerUser: 3, Queue: 16, MaxWait: 50 * time.Millisecond})
+	users := []string{"a", "b", "c"}
+	classes := []Class{ClassReadAny, ClassReadSession, ClassWrite}
+	var ops, failures atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 24; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s, err := c.Acquire(users[(g+i)%3], classes[(g*7+i)%3], time.Time{})
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) && !errors.Is(err, context.DeadlineExceeded) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					failures.Add(1)
+					continue
+				}
+				ops.Add(1)
+				if i%5 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+				s.Done(nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Active != 0 || st.Waiting != 0 {
+		t.Fatalf("leaked state after churn: %+v", st)
+	}
+	if ops.Load() == 0 {
+		t.Fatal("no operations admitted")
+	}
+	if got := st.Admitted; got != uint64(ops.Load()) {
+		t.Fatalf("admitted counter %d != successful ops %d", got, ops.Load())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/lb"
 	"repro/internal/qcache"
@@ -106,6 +107,17 @@ type MasterSlaveConfig struct {
 	// collisions. Entries are position-tagged: a session-consistent read
 	// is never served a result older than the session's last write.
 	QueryCache *qcache.Cache
+	// Admission, when non-nil, gates every routed statement through the
+	// cluster's overload-protection controller: bounded concurrency, a
+	// prioritized wait queue (writes rejected last), per-user limits, and
+	// slow-query accounting. Nil means no admission control. In layered
+	// deployments (partitioned, WAN) attach the controller to the TOP
+	// cluster only, or statements pay admission twice.
+	Admission *admission.Controller
+	// StatementTimeout is the default per-statement budget for new
+	// sessions (admission-queue wait + replica wait + execution). Zero
+	// means none; sessions override it with SET DEADLINE.
+	StatementTimeout time.Duration
 }
 
 // MasterSlave is a master-slave replication controller (Figures 1 and 3).
@@ -487,8 +499,10 @@ func (ms *MasterSlave) replicaFresh(r *Replica, cons Consistency, lastWriteSeq u
 }
 
 // pickReadReplica selects a replica for a read under the session's
-// consistency requirement.
-func (ms *MasterSlave) pickReadReplica(cons Consistency, lastWriteSeq uint64) (*Replica, error) {
+// consistency requirement. relaxed (overload shedding, ReadAny only) admits
+// every healthy slave regardless of freshness bound, spreading reads onto
+// lagging replicas the bound would normally exclude.
+func (ms *MasterSlave) pickReadReplica(cons Consistency, lastWriteSeq uint64, relaxed bool) (*Replica, error) {
 	ms.mu.Lock()
 	master := ms.master
 	slaves := append([]*Replica(nil), ms.slaves...)
@@ -500,7 +514,7 @@ func (ms *MasterSlave) pickReadReplica(cons Consistency, lastWriteSeq uint64) (*
 		if !sl.Healthy() {
 			continue
 		}
-		if ms.freshAt(cons, sl.AppliedSeq(), head, lastWriteSeq) {
+		if relaxed || ms.freshAt(cons, sl.AppliedSeq(), head, lastWriteSeq) {
 			candidates = append(candidates, sl)
 		}
 	}
@@ -524,6 +538,10 @@ func (ms *MasterSlave) pickReadReplica(cons Consistency, lastWriteSeq uint64) (*
 // QueryCacheScope exposes the cluster's result cache scope (nil when
 // caching is off); tests and operators use it to probe entries directly.
 func (ms *MasterSlave) QueryCacheScope() *qcache.Scope { return ms.qc }
+
+// Admission exposes the cluster's admission controller (nil when admission
+// control is off); the metrics endpoint and tests read its counters.
+func (ms *MasterSlave) Admission() *admission.Controller { return ms.cfg.Admission }
 
 // cacheMinPos is the lowest replication position a cached result must carry
 // to satisfy the given read guarantee for a session whose last write
@@ -849,6 +867,11 @@ type MSSession struct {
 	// serializable reads take 2PL table locks, which a result-cache hit
 	// would silently skip, so they bypass the cache.
 	serializable bool
+	// stmtTimeout is the session's SET DEADLINE budget (0 = none): each
+	// statement gets now+stmtTimeout as its absolute deadline, covering
+	// admission-queue wait, replica worker wait, modelled service time and
+	// engine execution together.
+	stmtTimeout time.Duration
 }
 
 // NewSession opens a client session on the cluster.
@@ -857,6 +880,7 @@ func (ms *MasterSlave) NewSession(user string) *MSSession {
 		ms: ms, pool: newSessionPool(user), epoch: ms.Epoch(),
 		cons:         ms.cfg.Consistency,
 		serializable: ms.Master().Engine().Profile().DefaultIsolation == engine.Serializable,
+		stmtTimeout:  ms.cfg.StatementTimeout,
 	}
 }
 
@@ -936,6 +960,11 @@ func (cs *MSSession) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value)
 		}
 		cs.cons = c
 		return &engine.Result{}, nil
+	case *sqlparse.SetDeadline:
+		// Per-session statement budget; intercepted here (not routed) so
+		// the deadline also covers admission-queue and replica waits.
+		cs.stmtTimeout = s.D
+		return &engine.Result{}, nil
 	case *sqlparse.SetIsolation:
 		// Track and propagate the level across every pooled backend
 		// session: the seed routed SET ISOLATION like a read, changing
@@ -965,6 +994,29 @@ func (cs *MSSession) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value)
 	return cs.execWrite(st, args)
 }
 
+// stmtDeadline is the absolute deadline for a statement starting now under
+// the session's SET DEADLINE budget (zero when none).
+func (cs *MSSession) stmtDeadline() time.Time {
+	if cs.stmtTimeout > 0 {
+		return time.Now().Add(cs.stmtTimeout)
+	}
+	return time.Time{}
+}
+
+// readClass maps the session's read guarantee to its admission class: an
+// ANY-consistency read is the first work shed under overload.
+func (cs *MSSession) readClass() admission.Class {
+	if cs.cons == ReadAny {
+		return admission.ClassReadAny
+	}
+	return admission.ClassReadSession
+}
+
+// admit takes an admission slot (nil controller = admission off, nil slot).
+func (cs *MSSession) admit(class admission.Class, deadline time.Time) (*admission.Slot, error) {
+	return cs.ms.cfg.Admission.Acquire(cs.pool.user, class, deadline)
+}
+
 // readFloor is the lowest replication position a read may be served from.
 // Session consistency covers both the session's own writes
 // (read-your-writes) and the freshest state it has already observed
@@ -991,14 +1043,30 @@ func (cs *MSSession) bumpReadSeq(pos uint64) {
 // position the serving replica had applied before the read. Bind arguments
 // are part of the cache key.
 func (cs *MSSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
+	deadline := cs.stmtDeadline()
+	// Degradation ladder, first rung: under sustained overload ANY-
+	// consistency reads relax freshness entirely — any cached result and
+	// any healthy (however lagging) replica qualifies. A stale answer the
+	// client already accepted the staleness contract for beats a typed
+	// rejection, and a cache hit costs no admission slot at all.
+	relaxed := cs.cons == ReadAny && cs.ms.cfg.Admission.Shedding()
 	qc := cs.ms.qc
 	if qc == nil || cs.serializable || !engine.CacheableRead(st) {
-		return cs.execReadRouted(st, args)
+		slot, err := cs.admit(cs.readClass(), deadline)
+		if err != nil {
+			return nil, err
+		}
+		res, err := cs.execReadRouted(st, args, deadline, relaxed)
+		slot.Done(err)
+		return res, err
 	}
 	user := cs.pool.user
 	db := cs.pool.currentDB()
 	text := st.SQL()
 	minPos := cs.ms.cacheMinPos(cs.cons, cs.readFloor())
+	if relaxed {
+		minPos = 0
+	}
 	if cs.ms.skipInval.Load() {
 		// Fault injection (InjectSkipCacheInvalidation): with write-side
 		// invalidation off, also stop honoring the session's position
@@ -1006,11 +1074,25 @@ func (cs *MSSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*en
 		// — the anomaly the certification harness must catch.
 		minPos = 0
 	}
+	// The cache probe runs BEFORE admission: a hit consumes no backend
+	// capacity, so it must not consume (or be rejected for) a slot either.
 	if res, posHi, ok := qc.GetPos(user, db, text, args, minPos); ok {
 		cs.bumpReadSeq(posHi)
 		return res, nil
 	}
-	target, err := cs.routeRead()
+	slot, err := cs.admit(cs.readClass(), deadline)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cs.execReadCacheFill(st, args, deadline, relaxed, qc, user, db, text)
+	slot.Done(err)
+	return res, err
+}
+
+// execReadCacheFill routes a cache-miss read and fills the cache with the
+// result, tagged with the serving replica's applied position.
+func (cs *MSSession) execReadCacheFill(st sqlparse.Statement, args []sqltypes.Value, deadline time.Time, relaxed bool, qc *qcache.Scope, user, db, text string) (*engine.Result, error) {
+	target, err := cs.routeRead(relaxed)
 	if err != nil {
 		return nil, err
 	}
@@ -1019,7 +1101,7 @@ func (cs *MSSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*en
 		return nil, err
 	}
 	pos := cs.ms.readPos(target)
-	res, err := target.ExecStmtArgsOn(sess, st, true, args)
+	res, err := target.ExecStmtArgsDeadlineOn(sess, st, true, args, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -1030,8 +1112,8 @@ func (cs *MSSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*en
 }
 
 // execReadRouted executes a read on a routed replica with no caching.
-func (cs *MSSession) execReadRouted(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
-	target, err := cs.routeRead()
+func (cs *MSSession) execReadRouted(st sqlparse.Statement, args []sqltypes.Value, deadline time.Time, relaxed bool) (*engine.Result, error) {
+	target, err := cs.routeRead(relaxed)
 	if err != nil {
 		return nil, err
 	}
@@ -1042,7 +1124,7 @@ func (cs *MSSession) execReadRouted(st sqlparse.Statement, args []sqltypes.Value
 	// Hand the already-parsed AST to the backend: the seed re-serialized
 	// with st.SQL() here and the engine parsed the text again — a full
 	// parse round-trip on every routed read.
-	res, err := target.ExecStmtArgsOn(sess, st, true, args)
+	res, err := target.ExecStmtArgsDeadlineOn(sess, st, true, args, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -1055,7 +1137,7 @@ func (cs *MSSession) execReadRouted(st sqlparse.Statement, args []sqltypes.Value
 // guarantee — serving a pinned but lagging replica would silently break
 // read-your-writes (this bit the wire path once statements got fast enough
 // to outrun the appliers).
-func (cs *MSSession) routeRead() (*Replica, error) {
+func (cs *MSSession) routeRead(relaxed bool) (*Replica, error) {
 	// A failover may have promoted the pinned slave to master; drop the pin
 	// on any epoch change so the session stops absorbing reads on the new
 	// master. The epoch load is atomic — no cluster mutex on the hot path.
@@ -1074,10 +1156,10 @@ func (cs *MSSession) routeRead() (*Replica, error) {
 	}
 	floor := cs.readFloor()
 	if cs.ms.cfg.ReadLevel == lb.ConnectionLevel && cs.pinned != nil && cs.pinned.Healthy() &&
-		cs.ms.replicaFresh(cs.pinned, cs.cons, floor) {
+		(relaxed || cs.ms.replicaFresh(cs.pinned, cs.cons, floor)) {
 		return cs.pinned, nil
 	}
-	target, err := cs.ms.pickReadReplica(cs.cons, floor)
+	target, err := cs.ms.pickReadReplica(cs.cons, floor, relaxed)
 	if err != nil {
 		return nil, err
 	}
@@ -1091,15 +1173,29 @@ func (cs *MSSession) routeRead() (*Replica, error) {
 }
 
 // execWrite sends the statement to the master, handling safety mode and
-// (optionally) transparent failover.
+// (optionally) transparent failover. Writes are the LAST class the
+// admission ladder rejects; once admitted, the slot is held across a
+// failover retry (the cluster is doing real work for this statement the
+// whole time).
 func (cs *MSSession) execWrite(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
+	deadline := cs.stmtDeadline()
+	slot, err := cs.admit(admission.ClassWrite, deadline)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cs.execWriteAdmitted(st, args, deadline)
+	slot.Done(err)
+	return res, err
+}
+
+func (cs *MSSession) execWriteAdmitted(st sqlparse.Statement, args []sqltypes.Value, deadline time.Time) (*engine.Result, error) {
 	for attempt := 0; ; attempt++ {
 		master := cs.ms.Master()
 		sess, err := cs.pool.get(master)
 		if err != nil {
 			return nil, err
 		}
-		res, err := master.ExecStmtArgsOn(sess, st, false, args)
+		res, err := master.ExecStmtArgsDeadlineOn(sess, st, false, args, deadline)
 		if err != nil {
 			if errors.Is(err, ErrReplicaDown) && attempt == 0 {
 				if rerr := cs.recoverFromMasterFailure(master); rerr == nil {

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/lb"
+	"repro/internal/qcache"
 	"repro/internal/sqlparse"
 	"repro/internal/sqltypes"
 )
@@ -35,6 +37,12 @@ type MMSession struct {
 	// configuration and can be overridden per session (SET CONSISTENCY).
 	cons Consistency
 
+	// stmtTimeout is the per-statement deadline budget (SET DEADLINE); it
+	// bounds admission wait, replica queueing, and read/dry-run execution.
+	// Ordered commits stay bounded by CommitTimeout: aborting a transaction
+	// after it has been ordered would be unsafe.
+	stmtTimeout time.Duration
+
 	inTxn   bool
 	txnSQL  []string // rewritten scripts for replay
 	dryRun  *engine.Session
@@ -54,8 +62,33 @@ func (mm *MultiMaster) NewSession(user string) (*MMSession, error) {
 	return &MMSession{
 		mm: mm, pool: newSessionPool(user), user: user, home: home,
 		cons:         mm.cfg.Consistency,
+		stmtTimeout:  mm.cfg.StatementTimeout,
 		serializable: home.Engine().Profile().DefaultIsolation == engine.Serializable,
 	}, nil
+}
+
+// stmtDeadline converts the session's statement-timeout budget into an
+// absolute deadline for the statement starting now; zero means unbounded.
+func (s *MMSession) stmtDeadline() time.Time {
+	if s.stmtTimeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(s.stmtTimeout)
+}
+
+// readClass maps the session's read guarantee onto an admission class: ANY
+// reads are shed first under the degradation ladder, SESSION/STRONG reads
+// queue longer.
+func (s *MMSession) readClass() admission.Class {
+	if s.cons == ReadAny {
+		return admission.ClassReadAny
+	}
+	return admission.ClassReadSession
+}
+
+// admit acquires an admission slot (nil slot when admission is off).
+func (s *MMSession) admit(class admission.Class, deadline time.Time) (*admission.Slot, error) {
+	return s.mm.cfg.Admission.Acquire(s.user, class, deadline)
 }
 
 // Home returns the session's home replica.
@@ -103,11 +136,32 @@ func (s *MMSession) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) 
 		}
 		return &engine.Result{}, nil
 	case *sqlparse.BeginTxn:
-		return s.begin()
+		// Transaction brackets hold write-class admission for their own
+		// duration only; the statements inside admit individually (a slot
+		// held across an interactive transaction would let one slow client
+		// starve the cluster).
+		slot, err := s.admit(admission.ClassWrite, s.stmtDeadline())
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.begin()
+		slot.Done(err)
+		return res, err
 	case *sqlparse.CommitTxn:
-		return s.commit()
+		slot, err := s.admit(admission.ClassWrite, s.stmtDeadline())
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.commit()
+		slot.Done(err)
+		return res, err
 	case *sqlparse.RollbackTxn:
+		// Rollback discards local state only — never shed it: refusing a
+		// rollback under overload would strand open transactions.
 		return s.rollback()
+	case *sqlparse.SetDeadline:
+		s.stmtTimeout = stmt.D
+		return &engine.Result{}, nil
 	case *sqlparse.SetConsistency:
 		c, err := ParseConsistency(stmt.Level)
 		if err != nil {
@@ -134,12 +188,26 @@ func (s *MMSession) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) 
 		st, args = bound, nil
 	}
 	if s.inTxn {
-		return s.execInTxn(st, args)
+		deadline := s.stmtDeadline()
+		slot, err := s.admit(admission.ClassWrite, deadline)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.execInTxn(st, args, deadline)
+		slot.Done(err)
+		return res, err
 	}
 	if st.IsRead() {
 		return s.execRead(st, args)
 	}
-	return s.execAutocommitWrite(st, args)
+	deadline := s.stmtDeadline()
+	slot, err := s.admit(admission.ClassWrite, deadline)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.execAutocommitWrite(st, args, deadline)
+	slot.Done(err)
+	return res, err
 }
 
 func (s *MMSession) begin() (*engine.Result, error) {
@@ -210,7 +278,7 @@ func isDDL(st sqlparse.Statement) bool {
 // statement mode write arguments were already inlined by ExecStmtArgs, so
 // the recorded script is standalone; in certification mode the argument
 // vector binds at the dry run and the captured write set carries row images.
-func (s *MMSession) execInTxn(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
+func (s *MMSession) execInTxn(st sqlparse.Statement, args []sqltypes.Value, deadline time.Time) (*engine.Result, error) {
 	if isDDL(st) {
 		// DDL is non-transactional (§4.1.2) and would double-execute on
 		// the home replica during script replay.
@@ -228,7 +296,7 @@ func (s *MMSession) execInTxn(st sqlparse.Statement, args []sqltypes.Value) (*en
 		// directly — no re-parse.
 		s.txnSQL = append(s.txnSQL, rewritten.SQL())
 	}
-	res, err := s.home.ExecStmtArgsOn(s.dryRun, exec, st.IsRead(), args)
+	res, err := s.home.ExecStmtArgsDeadlineOn(s.dryRun, exec, st.IsRead(), args, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -318,18 +386,19 @@ func (s *MMSession) rollback() (*engine.Result, error) {
 
 // execAutocommitWrite orders a single write statement (arguments already
 // inlined in statement mode; bound at the dry run in certification mode).
-func (s *MMSession) execAutocommitWrite(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
+func (s *MMSession) execAutocommitWrite(st sqlparse.Statement, args []sqltypes.Value, deadline time.Time) (*engine.Result, error) {
 	if isDDL(st) {
 		// Schema changes replicate as ordered statements in either mode:
 		// write sets cannot carry DDL (§4.3.2).
 		return s.submitScript([]string{st.SQL()})
 	}
 	if s.mm.cfg.Mode == CertificationMode {
-		// An autocommit write is a one-statement transaction.
+		// An autocommit write is a one-statement transaction; the caller's
+		// admission slot covers the whole begin/execute/commit composition.
 		if _, err := s.begin(); err != nil {
 			return nil, err
 		}
-		if _, err := s.execInTxn(st, args); err != nil {
+		if _, err := s.execInTxn(st, args, deadline); err != nil {
 			_, _ = s.rollback()
 			return nil, err
 		}
@@ -420,18 +489,46 @@ func (s *MMSession) waitHomeFloor() error {
 }
 
 func (s *MMSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
+	deadline := s.stmtDeadline()
+	// Under sustained overload ANY-consistency reads shed first (ladder
+	// rung 1): serve them from the cache or any healthy replica, however
+	// stale, before spending a slot.
+	relaxed := s.cons == ReadAny && s.mm.cfg.Admission.Shedding()
 	qc := s.mm.qc
 	if qc == nil || s.serializable || !engine.CacheableRead(st) {
-		return s.execReadRouted(st, args)
+		slot, err := s.admit(s.readClass(), deadline)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.execReadRouted(st, args, deadline, relaxed)
+		slot.Done(err)
+		return res, err
 	}
 	user := s.user
 	db := s.db
 	text := st.SQL()
-	if res, posHi, ok := qc.GetPos(user, db, text, args, s.mm.cacheMinPos(s.cons, s.readFloor())); ok {
+	minPos := s.mm.cacheMinPos(s.cons, s.readFloor())
+	if relaxed {
+		minPos = 0 // shedding: any cached result beats queueing for a slot
+	}
+	// Probe the cache BEFORE admission: hits cost no slot, so under
+	// overload the cache keeps absorbing read traffic at full speed.
+	if res, posHi, ok := qc.GetPos(user, db, text, args, minPos); ok {
 		s.bumpReadSeq(posHi)
 		return res, nil
 	}
-	target, err := s.routeRead()
+	slot, err := s.admit(s.readClass(), deadline)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.execReadCacheFill(st, args, deadline, relaxed, qc, user, db, text)
+	slot.Done(err)
+	return res, err
+}
+
+// execReadCacheFill routes a cache-miss read and installs the result.
+func (s *MMSession) execReadCacheFill(st sqlparse.Statement, args []sqltypes.Value, deadline time.Time, relaxed bool, qc *qcache.Scope, user, db, text string) (*engine.Result, error) {
+	target, err := s.routeRead(relaxed)
 	if err != nil {
 		return nil, err
 	}
@@ -440,7 +537,7 @@ func (s *MMSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*eng
 		return nil, err
 	}
 	pos := target.AppliedSeq()
-	res, err := target.ExecStmtArgsOn(sess, st, true, args)
+	res, err := target.ExecStmtArgsDeadlineOn(sess, st, true, args, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -462,8 +559,8 @@ func sampleApplied(r *Replica) uint64 {
 }
 
 // execReadRouted executes a read on a routed replica with no caching.
-func (s *MMSession) execReadRouted(st sqlparse.Statement, args []sqltypes.Value) (*engine.Result, error) {
-	target, err := s.routeRead()
+func (s *MMSession) execReadRouted(st sqlparse.Statement, args []sqltypes.Value, deadline time.Time, relaxed bool) (*engine.Result, error) {
+	target, err := s.routeRead(relaxed)
 	if err != nil {
 		return nil, err
 	}
@@ -471,7 +568,7 @@ func (s *MMSession) execReadRouted(st sqlparse.Statement, args []sqltypes.Value)
 	if err != nil {
 		return nil, err
 	}
-	res, err := target.ExecStmtArgsOn(sess, st, true, args)
+	res, err := target.ExecStmtArgsDeadlineOn(sess, st, true, args, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -481,14 +578,15 @@ func (s *MMSession) execReadRouted(st sqlparse.Statement, args []sqltypes.Value)
 
 // routeRead picks the replica for a read. As in the master-slave router, a
 // connection-level pin is only honored while the pinned replica still
-// satisfies the session's consistency guarantee.
-func (s *MMSession) routeRead() (*Replica, error) {
+// satisfies the session's consistency guarantee (or the read is relaxed by
+// overload shedding, which waives freshness).
+func (s *MMSession) routeRead(relaxed bool) (*Replica, error) {
 	floor := s.readFloor()
 	if s.mm.cfg.ReadLevel == lb.ConnectionLevel && s.pinnedRead != nil && s.pinnedRead.Healthy() &&
-		s.mm.replicaFresh(s.pinnedRead, s.cons, floor) {
+		(relaxed || s.mm.replicaFresh(s.pinnedRead, s.cons, floor)) {
 		return s.pinnedRead, nil
 	}
-	target, err := s.mm.pickRead(s.cons, floor)
+	target, err := s.mm.pickRead(s.cons, floor, relaxed)
 	if err != nil {
 		return nil, err
 	}
@@ -501,21 +599,22 @@ func (s *MMSession) routeRead() (*Replica, error) {
 // Prepare implements Conn: parse once, execute many with fresh bindings.
 func (s *MMSession) Prepare(sql string) (*Stmt, error) { return newStmt(s, sql) }
 
-// Begin implements Conn.
+// Begin implements Conn. It routes through ExecStmt so transaction
+// brackets pass admission control exactly like their SQL-text form.
 func (s *MMSession) Begin() error {
-	_, err := s.begin()
+	_, err := s.ExecStmt(&sqlparse.BeginTxn{})
 	return err
 }
 
 // Commit implements Conn.
 func (s *MMSession) Commit() error {
-	_, err := s.commit()
+	_, err := s.ExecStmt(&sqlparse.CommitTxn{})
 	return err
 }
 
 // Rollback implements Conn.
 func (s *MMSession) Rollback() error {
-	_, err := s.rollback()
+	_, err := s.ExecStmt(&sqlparse.RollbackTxn{})
 	return err
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/lb"
 	"repro/internal/qcache"
@@ -82,6 +83,16 @@ type MultiMasterConfig struct {
 	// writes invalidate exactly the tables of their write set; statement-
 	// mode scripts have an unknown footprint and flush their database.
 	QueryCache *qcache.Cache
+	// Admission, when non-nil, gates every statement through the overload
+	// controller (see MasterSlaveConfig.Admission). In layered deployments
+	// attach a controller to the TOP-level cluster only.
+	Admission *admission.Controller
+	// StatementTimeout is the default per-statement deadline applied to
+	// every session (overridable per session with SET DEADLINE). Zero means
+	// no deadline. It bounds admission wait, replica queueing, and read /
+	// dry-run execution; ordered commits stay bounded by CommitTimeout
+	// (aborting after ordering would be unsafe).
+	StatementTimeout time.Duration
 }
 
 // mmTxn is the ordered payload: either a statement script or a write set.
@@ -410,6 +421,10 @@ func (mm *MultiMaster) ordererFor(home *Replica) Orderer {
 // caching is off).
 func (mm *MultiMaster) QueryCacheScope() *qcache.Scope { return mm.qc }
 
+// Admission returns the cluster's admission controller (nil when overload
+// protection is off).
+func (mm *MultiMaster) Admission() *admission.Controller { return mm.cfg.Admission }
+
 // cacheMinPos is the lowest ordered position a cached result must carry to
 // satisfy the given read guarantee — the cache-side mirror of replicaFresh.
 func (mm *MultiMaster) cacheMinPos(cons Consistency, lastWriteSeq uint64) uint64 {
@@ -437,14 +452,17 @@ func (mm *MultiMaster) replicaFresh(r *Replica, cons Consistency, lastWriteSeq u
 	return true
 }
 
-// pickRead selects a read replica under the given consistency.
-func (mm *MultiMaster) pickRead(cons Consistency, lastWriteSeq uint64) (*Replica, error) {
+// pickRead selects a read replica under the given consistency. With
+// relaxed set (ANY-consistency reads under overload shedding) freshness
+// bounds are waived: any healthy replica — however far behind — is a valid
+// target, which keeps lagging replicas absorbing load during a flash crowd.
+func (mm *MultiMaster) pickRead(cons Consistency, lastWriteSeq uint64, relaxed bool) (*Replica, error) {
 	var candidates []lb.Target
 	for _, r := range mm.replicas {
 		if !r.Healthy() {
 			continue
 		}
-		if mm.replicaFresh(r, cons, lastWriteSeq) {
+		if relaxed || mm.replicaFresh(r, cons, lastWriteSeq) {
 			candidates = append(candidates, r)
 		}
 	}

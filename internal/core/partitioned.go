@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/sqlparse"
 	"repro/internal/sqltypes"
@@ -76,6 +78,10 @@ var ErrCrossPartitionTxn = errors.New("core: transactions on partitioned cluster
 type Partitioned struct {
 	partitions []*MasterSlave
 	rules      map[string]*PartitionRule
+	// adm gates statements at the partition router; in layered deployments
+	// attach the controller HERE and leave the per-partition clusters
+	// unguarded, or every statement pays admission twice.
+	adm *admission.Controller
 }
 
 // NewPartitioned builds a partitioned cluster from per-partition clusters
@@ -96,6 +102,13 @@ func NewPartitioned(partitions []*MasterSlave, rules []*PartitionRule) (*Partiti
 	}
 	return &Partitioned{partitions: partitions, rules: rm}, nil
 }
+
+// SetAdmission attaches an overload controller to the partition router.
+// Call it before serving traffic (it is not synchronized with sessions).
+func (pc *Partitioned) SetAdmission(c *admission.Controller) { pc.adm = c }
+
+// Admission returns the router's admission controller (nil when off).
+func (pc *Partitioned) Admission() *admission.Controller { return pc.adm }
 
 // Partitions returns the sub-clusters.
 func (pc *Partitioned) Partitions() []*MasterSlave {
@@ -141,8 +154,17 @@ func (pc *Partitioned) Health() Health {
 // PSession is a client session on a partitioned cluster.
 type PSession struct {
 	pc   *Partitioned
+	user string
 	mu   sync.Mutex
 	subs []*MSSession
+	// cons shadows the session's read guarantee (the per-partition sessions
+	// hold the authoritative copy) so the router can classify reads for
+	// admission without reaching into a sub-session.
+	cons Consistency
+	// stmtTimeout is the per-statement deadline budget (SET DEADLINE); it
+	// bounds the router-level admission wait. The forwarded SET DEADLINE
+	// gives the per-partition sessions the same budget for execution.
+	stmtTimeout time.Duration
 	// Explicit transactions bind lazily to the partition of their first
 	// keyed statement and must stay there (single-partition transactions;
 	// cross-partition commits would need 2PC).
@@ -157,7 +179,20 @@ func (pc *Partitioned) NewSession(user string) *PSession {
 	for i, p := range pc.partitions {
 		subs[i] = p.NewSession(user)
 	}
-	return &PSession{pc: pc, subs: subs}
+	return &PSession{
+		pc: pc, user: user, subs: subs,
+		cons:        pc.partitions[0].cfg.Consistency,
+		stmtTimeout: pc.partitions[0].cfg.StatementTimeout,
+	}
+}
+
+// stmtDeadline converts the session's statement-timeout budget into an
+// absolute deadline for the statement starting now; zero means unbounded.
+func (ps *PSession) stmtDeadline() time.Time {
+	if ps.stmtTimeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(ps.stmtTimeout)
 }
 
 // Close releases all per-partition sessions.
@@ -201,7 +236,7 @@ func (ps *PSession) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) 
 func (ps *PSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	switch st.(type) {
+	switch sd := st.(type) {
 	case *sqlparse.BeginTxn:
 		if ps.inTxn {
 			return nil, fmt.Errorf("core: transaction already in progress")
@@ -224,7 +259,46 @@ func (ps *PSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 		return sub.ExecStmt(st)
 	case *sqlparse.UseDatabase:
 		return ps.broadcast(st)
+	case *sqlparse.SetDeadline:
+		// Record the router-level budget and forward: the per-partition
+		// sessions bound replica execution with the same budget.
+		ps.stmtTimeout = sd.D
+		for _, sub := range ps.subs {
+			if _, err := sub.ExecStmt(sd); err != nil {
+				return nil, err
+			}
+		}
+		return &engine.Result{}, nil
+	case *sqlparse.SetConsistency:
+		c, err := ParseConsistency(sd.Level)
+		if err != nil {
+			return nil, err
+		}
+		ps.cons = c
+		return ps.broadcast(st)
 	}
+	// Everything else is real work: gate it through the router's admission
+	// controller (in-transaction statements count as writes — they hold
+	// locks on the bound partition).
+	class := admission.ClassWrite
+	if !ps.inTxn && st.IsRead() {
+		if ps.cons == ReadAny {
+			class = admission.ClassReadAny
+		} else {
+			class = admission.ClassReadSession
+		}
+	}
+	slot, err := ps.pc.adm.Acquire(ps.user, class, ps.stmtDeadline())
+	if err != nil {
+		return nil, err
+	}
+	res, err := ps.execRouted(st)
+	slot.Done(err)
+	return res, err
+}
+
+// execRouted dispatches an admitted statement to the partition layer.
+func (ps *PSession) execRouted(st sqlparse.Statement) (*engine.Result, error) {
 	if ps.inTxn {
 		return ps.execInTxn(st)
 	}
@@ -698,6 +772,7 @@ func (ps *PSession) SetIsolation(level string) error {
 func (ps *PSession) SetConsistency(c Consistency) error {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
+	ps.cons = c
 	for _, sub := range ps.subs {
 		if err := sub.SetConsistency(c); err != nil {
 			return err

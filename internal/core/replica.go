@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,13 @@ type Replica struct {
 	// slowFactor scales service time; fault injection uses it for the
 	// "RAID controller loses its battery" scenario (§4.1.3).
 	slowFactor atomic.Value // float64
+
+	// stallCh gates client statements while the replica is stalled
+	// (responding to nothing, crashed for nobody — the gray failure the
+	// Stall injector models). Non-nil while stalled; closed on unstall so
+	// every parked statement wakes at once.
+	stallMu sync.Mutex
+	stallCh chan struct{}
 
 	// snapMu makes a sampled position exact with respect to engine state:
 	// appliers hold it across {apply, appliedSeq.Store} and sessions hold
@@ -141,8 +149,36 @@ func (r *Replica) ApplyStats() (events, batches uint64) {
 // Fail marks the replica down (crash injection).
 func (r *Replica) Fail() { r.healthy.Store(false) }
 
-// Recover marks the replica healthy again.
-func (r *Replica) Recover() { r.healthy.Store(true) }
+// Recover marks the replica healthy again (and clears any stall — a
+// restarted process is by definition responding again).
+func (r *Replica) Recover() {
+	r.SetStalled(false)
+	r.healthy.Store(true)
+}
+
+// SetStalled makes the replica stop serving client statements without
+// reporting unhealthy (on=true), or resume (on=false). Unlike Fail, health
+// checks still pass — this is the gray-failure mode where only a request
+// deadline saves the client.
+func (r *Replica) SetStalled(on bool) {
+	r.stallMu.Lock()
+	defer r.stallMu.Unlock()
+	if on && r.stallCh == nil {
+		r.stallCh = make(chan struct{})
+	} else if !on && r.stallCh != nil {
+		close(r.stallCh)
+		r.stallCh = nil
+	}
+}
+
+// Stalled reports whether the replica is currently stalled.
+func (r *Replica) Stalled() bool { return r.stallGate() != nil }
+
+func (r *Replica) stallGate() chan struct{} {
+	r.stallMu.Lock()
+	defer r.stallMu.Unlock()
+	return r.stallCh
+}
 
 // SetSlowFactor scales the replica's service time (1 = nominal, 2 = half
 // speed). Models degraded hardware (§4.1.3).
@@ -155,6 +191,12 @@ func (r *Replica) SetSlowFactor(f float64) {
 
 // ErrReplicaDown is returned when executing against a failed replica.
 var ErrReplicaDown = fmt.Errorf("core: replica is down")
+
+// ErrDeadlineExceeded is returned when a statement's deadline expires while
+// waiting for a worker slot or during its modelled service time. It wraps
+// context.DeadlineExceeded so one errors.Is check classifies deadline
+// expiry from every layer of the stack.
+var ErrDeadlineExceeded = fmt.Errorf("core: replica wait deadline exceeded: %w", context.DeadlineExceeded)
 
 // acquire takes a worker slot, counting queue depth for LPRF.
 func (r *Replica) acquire() error {
@@ -171,12 +213,41 @@ func (r *Replica) acquire() error {
 	return nil
 }
 
+// acquireDeadline is acquire with a bound on the wait: a statement that
+// cannot get a worker slot before its deadline gives up without the slot —
+// no leak to release later.
+func (r *Replica) acquireDeadline(deadline time.Time) error {
+	if deadline.IsZero() {
+		return r.acquire()
+	}
+	if !r.healthy.Load() {
+		return ErrReplicaDown
+	}
+	r.queued.Inc()
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case r.sem <- struct{}{}:
+	case <-timer.C:
+		r.queued.Dec()
+		return ErrDeadlineExceeded
+	}
+	if !r.healthy.Load() {
+		<-r.sem
+		r.queued.Dec()
+		return ErrReplicaDown
+	}
+	return nil
+}
+
 func (r *Replica) release() {
 	<-r.sem
 	r.queued.Dec()
 }
 
-// serviceSleep models the statement's service time.
+// serviceSleep models the statement's service time. Used by appliers,
+// which have no deadline and ignore stalls (a stalled replica stops
+// answering clients; its replication stream keeps draining).
 func (r *Replica) serviceSleep(isRead bool) {
 	cost := r.cfg.WriteCost
 	if isRead {
@@ -187,6 +258,46 @@ func (r *Replica) serviceSleep(isRead bool) {
 	}
 	f := r.slowFactor.Load().(float64)
 	time.Sleep(time.Duration(float64(cost) * f))
+}
+
+// serviceWait is serviceSleep for the client path: it parks while the
+// replica is stalled and truncates the service time at the statement's
+// deadline (zero deadline = unbounded).
+func (r *Replica) serviceWait(isRead bool, deadline time.Time) error {
+	for stall := r.stallGate(); stall != nil; stall = r.stallGate() {
+		if deadline.IsZero() {
+			<-stall
+			continue
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-stall:
+			timer.Stop()
+		case <-timer.C:
+			return ErrDeadlineExceeded
+		}
+	}
+	cost := r.cfg.WriteCost
+	if isRead {
+		cost = r.cfg.ReadCost
+	}
+	if cost <= 0 {
+		return nil
+	}
+	f := r.slowFactor.Load().(float64)
+	d := time.Duration(float64(cost) * f)
+	if !deadline.IsZero() {
+		if rem := time.Until(deadline); rem < d {
+			// The statement cannot finish inside its budget: pay only the
+			// remaining budget, then time out.
+			if rem > 0 {
+				time.Sleep(rem)
+			}
+			return ErrDeadlineExceeded
+		}
+	}
+	time.Sleep(d)
+	return nil
 }
 
 // ExecOn runs one SQL-text statement on the given session with the
@@ -212,12 +323,24 @@ func (r *Replica) ExecStmtOn(s *engine.Session, st sqlparse.Statement, isRead bo
 // hot path, where the shared AST never changes and only the argument vector
 // varies per call.
 func (r *Replica) ExecStmtArgsOn(s *engine.Session, st sqlparse.Statement, isRead bool, args []sqltypes.Value) (*engine.Result, error) {
-	if err := r.acquire(); err != nil {
+	return r.ExecStmtArgsDeadlineOn(s, st, isRead, args, time.Time{})
+}
+
+// ExecStmtArgsDeadlineOn is the deadline-aware hot path: the absolute
+// deadline bounds the worker-slot wait, the modelled service time (stall
+// included), and — via Session.SetDeadline — the engine execution itself,
+// so one budget covers the whole statement no matter where it spends it.
+func (r *Replica) ExecStmtArgsDeadlineOn(s *engine.Session, st sqlparse.Statement, isRead bool, args []sqltypes.Value, deadline time.Time) (*engine.Result, error) {
+	if err := r.acquireDeadline(deadline); err != nil {
 		return nil, err
 	}
 	defer r.release()
 	r.execs.Add(1)
-	r.serviceSleep(isRead)
+	if err := r.serviceWait(isRead, deadline); err != nil {
+		return nil, err
+	}
+	s.SetDeadline(deadline)
+	defer s.SetDeadline(time.Time{})
 	return s.ExecStmtArgs(st, args...)
 }
 

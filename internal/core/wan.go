@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/sqlparse"
 	"repro/internal/sqltypes"
@@ -48,11 +49,22 @@ type WANConfig struct {
 type WAN struct {
 	cfg   WANConfig
 	sites []*SiteConfig
+	// adm gates statements at the geo router; in layered deployments attach
+	// the controller HERE and leave the site clusters unguarded, or every
+	// statement pays admission twice.
+	adm *admission.Controller
 
 	mu       sync.Mutex
 	shippers []func() // cancel functions
 	shipped  map[string]uint64
 }
+
+// SetAdmission attaches an overload controller to the geo router. Call it
+// before serving traffic (it is not synchronized with sessions).
+func (w *WAN) SetAdmission(c *admission.Controller) { w.adm = c }
+
+// Admission returns the router's admission controller (nil when off).
+func (w *WAN) Admission() *admission.Controller { return w.adm }
 
 // NewWAN wires the sites and starts cross-site shipping.
 func NewWAN(sites []*SiteConfig, cfg WANConfig) (*WAN, error) {
@@ -179,10 +191,11 @@ type WSession struct {
 	subs map[string]*MSSession
 	user string
 	db   string
-	// iso / cons are the announced isolation and consistency levels,
-	// replayed onto site sessions opened later.
-	iso  string
-	cons *Consistency
+	// iso / cons / deadline are the announced isolation, consistency, and
+	// statement-timeout settings, replayed onto site sessions opened later.
+	iso      string
+	cons     *Consistency
+	deadline *time.Duration
 	// inTxn tracks the explicit transaction open on the LOCAL site's
 	// session: remote-owner writes must be refused while it is set, or
 	// they would silently autocommit at the owning site outside the
@@ -224,6 +237,12 @@ func (ws *WSession) sessionAt(site *SiteConfig) (*MSSession, error) {
 		}
 		if ws.cons != nil {
 			if err := s.SetConsistency(*ws.cons); err != nil {
+				s.Close()
+				return nil, err
+			}
+		}
+		if ws.deadline != nil {
+			if _, err := s.ExecStmt(&sqlparse.SetDeadline{D: *ws.deadline}); err != nil {
 				s.Close()
 				return nil, err
 			}
@@ -289,6 +308,17 @@ func (ws *WSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 			return nil, err
 		}
 		return &engine.Result{}, ws.SetConsistency(c)
+	case *sqlparse.SetDeadline:
+		// Record (for router-level admission and future site sessions) and
+		// forward so open site sessions bound execution with the budget.
+		d := s.D
+		ws.deadline = &d
+		for _, sub := range ws.subs {
+			if _, err := sub.ExecStmt(st); err != nil {
+				return nil, err
+			}
+		}
+		return &engine.Result{}, nil
 	case *sqlparse.BeginTxn, *sqlparse.CommitTxn, *sqlparse.RollbackTxn:
 		// Transactions run on the local site's cluster. Track the bracket
 		// so remote-owner writes can be refused while one is open; a
@@ -305,6 +335,46 @@ func (ws *WSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 		}
 		return res, err
 	}
+	// Real work from here on: gate it through the geo router's admission
+	// controller (in-transaction statements count as writes — they hold
+	// locks on the local site).
+	class := admission.ClassWrite
+	if st.IsRead() && !ws.inTxn {
+		cons := ws.local.Cluster.cfg.Consistency
+		if ws.cons != nil {
+			cons = *ws.cons
+		}
+		if cons == ReadAny {
+			class = admission.ClassReadAny
+		} else {
+			class = admission.ClassReadSession
+		}
+	}
+	slot, err := ws.w.adm.Acquire(ws.user, class, ws.stmtDeadline())
+	if err != nil {
+		return nil, err
+	}
+	res, err := ws.execRouted(st)
+	slot.Done(err)
+	return res, err
+}
+
+// stmtDeadline converts the session's statement-timeout budget (SET
+// DEADLINE, defaulting to the local site's configured timeout) into an
+// absolute deadline starting now; zero means unbounded.
+func (ws *WSession) stmtDeadline() time.Time {
+	d := ws.local.Cluster.cfg.StatementTimeout
+	if ws.deadline != nil {
+		d = *ws.deadline
+	}
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
+}
+
+// execRouted dispatches an admitted statement to the owning site.
+func (ws *WSession) execRouted(st sqlparse.Statement) (*engine.Result, error) {
 	if st.IsRead() {
 		// "Reads are always local" — possibly stale, by design.
 		s, err := ws.sessionAt(ws.local)

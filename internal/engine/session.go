@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -42,6 +43,14 @@ type Session struct {
 	// tempTables is the session-private temp namespace (§4.1.4).
 	tempTables map[string]*Table
 	closed     bool
+	// stmtTimeout is the session's SET DEADLINE value: a per-statement
+	// execution budget (0 = none). deadline is the externally imposed
+	// absolute deadline for the CURRENT statement (set by the router via
+	// SetDeadline so queue wait upstream and execution here share one
+	// budget); effDeadline is the min of both, computed per statement.
+	stmtTimeout time.Duration
+	deadline    time.Time
+	effDeadline time.Time
 	// paramScope holds procedure parameter bindings during CALL.
 	paramScope []map[string]sqltypes.Value
 	// scanBufs is a free list of scan buffers reused by non-point-lookup
@@ -51,6 +60,20 @@ type Session struct {
 
 // ErrNoDatabase is returned for table references with no current database.
 var ErrNoDatabase = errors.New("engine: no database selected")
+
+// ErrDeadlineExceeded is returned when a statement's deadline (SET DEADLINE
+// or a router-imposed absolute deadline) expires before or during
+// execution. It wraps context.DeadlineExceeded so one errors.Is check
+// classifies deadline expiry from every layer of the stack.
+var ErrDeadlineExceeded = fmt.Errorf("engine: statement deadline exceeded: %w", context.DeadlineExceeded)
+
+// SetDeadline imposes an absolute deadline on subsequent statements (zero
+// clears it). Routers use it to hand the engine whatever remains of a
+// statement's budget after admission-queue and replica-semaphore waits.
+func (s *Session) SetDeadline(t time.Time) { s.deadline = t }
+
+// StmtTimeout returns the session's SET DEADLINE per-statement budget.
+func (s *Session) StmtTimeout() time.Duration { return s.stmtTimeout }
 
 // ID returns the session id.
 func (s *Session) ID() int64 { return s.id }
@@ -128,6 +151,12 @@ func (s *Session) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) (*
 			return nil, fmt.Errorf("engine: statement has %d placeholders, got %d arguments", n, len(args))
 		}
 	}
+	s.effDeadline = s.deadline
+	if s.stmtTimeout > 0 {
+		if d := time.Now().Add(s.stmtTimeout); s.effDeadline.IsZero() || d.Before(s.effDeadline) {
+			s.effDeadline = d
+		}
+	}
 	if s.sharedRead(st) {
 		s.eng.mu.RLock()
 		defer s.eng.mu.RUnlock()
@@ -140,7 +169,22 @@ func (s *Session) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) (*
 
 // execTop runs one top-level statement under whichever engine lock mode
 // the caller chose, paying the configured per-statement service time.
+// Deadlines are enforced at statement boundaries: a statement whose
+// deadline expired while waiting for the engine lock fails before doing any
+// work, and the modelled service time is truncated at the deadline.
 func (s *Session) execTop(st sqlparse.Statement, args []sqltypes.Value) (*Result, error) {
+	if !s.effDeadline.IsZero() {
+		rem := time.Until(s.effDeadline)
+		if rem <= 0 {
+			return nil, ErrDeadlineExceeded
+		}
+		if c := s.eng.cfg.ExecCost; c > 0 && rem < c {
+			// The statement cannot finish inside its budget: pay only the
+			// remaining budget, then time out.
+			time.Sleep(rem)
+			return nil, ErrDeadlineExceeded
+		}
+	}
 	if c := s.eng.cfg.ExecCost; c > 0 {
 		time.Sleep(c)
 	}
@@ -209,6 +253,12 @@ func (s *Session) execLocked(st sqlparse.Statement, args []sqltypes.Value, depth
 		// Read consistency is a middleware routing concept (§3.3); the
 		// engine accepts the announcement so every layer speaks the same
 		// SQL surface, but has nothing to do with it.
+		return &Result{}, nil
+	case *sqlparse.SetDeadline:
+		// Routers normally intercept SET DEADLINE (so the budget also
+		// covers admission-queue and replica waits); the engine honors it
+		// directly for embedded single-node use.
+		s.stmtTimeout = st.D
 		return &Result{}, nil
 	case *sqlparse.SetVar:
 		v, err := s.evalConst(st.Value, args)

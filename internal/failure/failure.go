@@ -50,6 +50,55 @@ func (in *Injector) Degrade(r *core.Replica, factor float64, after time.Duration
 	in.schedule(after, func() { r.SetSlowFactor(factor) })
 }
 
+// Stall freezes the replica's client-facing service after the delay without
+// failing it, restoring it `length` later — the gray failure overload
+// protection has to survive: health checks pass (Healthy() stays true, the
+// failover monitor sees nothing) while every routed statement hangs until
+// its deadline. Replication appliers are unaffected, as a real wedged
+// query-execution path leaves the apply path running.
+func (in *Injector) Stall(r *core.Replica, after, length time.Duration) {
+	in.schedule(after, func() {
+		r.SetStalled(true)
+		in.schedule(length, func() { r.SetStalled(false) })
+	})
+}
+
+// Overload launches a flash crowd after the delay: `clients` goroutines
+// hammering the cluster with fn (one call per iteration, its error
+// discarded — the point is pressure, not correctness) until `length`
+// elapses or the injector stops. It models the paper's ticket-broker
+// scenario: demand arrives all at once, not gradually.
+func (in *Injector) Overload(clients int, after, length time.Duration, fn func(client int)) {
+	in.schedule(after, func() {
+		stop := make(chan struct{})
+		in.mu.Lock()
+		if in.stopped {
+			in.mu.Unlock()
+			close(stop)
+			return
+		}
+		in.stops = append(in.stops, stop)
+		in.mu.Unlock()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				end := time.Now().Add(length)
+				for time.Now().Before(end) {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					fn(c)
+				}
+			}(c)
+		}
+		wg.Wait()
+	})
+}
+
 // MTBFProcess continuously crash-restarts random replicas with
 // exponentially distributed inter-failure times (mean mtbf) and fixed
 // repair time. Stop() ends the process.

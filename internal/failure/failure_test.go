@@ -1,6 +1,7 @@
 package failure
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -70,4 +71,56 @@ func TestMTBFProcessFailsAndRepairs(t *testing.T) {
 	if !sawDown {
 		t.Fatal("MTBF process never failed the replica")
 	}
+}
+
+func TestStallIsGrayFailure(t *testing.T) {
+	r := core.NewReplica(core.ReplicaConfig{Name: "r"})
+	in := NewInjector(1)
+	defer in.Stop()
+	in.Stall(r, 5*time.Millisecond, 30*time.Millisecond)
+	deadline := time.Now().Add(time.Second)
+	for !r.Stalled() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !r.Stalled() {
+		t.Fatal("stall never fired")
+	}
+	// The defining property: the replica still looks healthy.
+	if !r.Healthy() {
+		t.Fatal("stall must not fail the replica")
+	}
+	deadline = time.Now().Add(time.Second)
+	for r.Stalled() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if r.Stalled() {
+		t.Fatal("stall never cleared")
+	}
+}
+
+func TestOverloadBurst(t *testing.T) {
+	in := NewInjector(1)
+	defer in.Stop()
+	var hits atomic.Int64
+	seen := make([]atomic.Bool, 8)
+	in.Overload(8, 0, 50*time.Millisecond, func(c int) {
+		hits.Add(1)
+		seen[c].Store(true)
+		time.Sleep(time.Millisecond)
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for i := range seen {
+			if !seen[i].Load() {
+				all = false
+				break
+			}
+		}
+		if all && hits.Load() >= 8 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("burst incomplete: %d hits", hits.Load())
 }

@@ -3,6 +3,7 @@ package sqlparse
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/sqltypes"
 )
@@ -194,6 +195,15 @@ type SetIsolation struct{ Level string } // "READ COMMITTED", "SNAPSHOT", "SERIA
 // with plain SQL.
 type SetConsistency struct{ Level string } // "ANY", "SESSION", "STRONG"
 
+// SetDeadline is SET DEADLINE '<duration>' | <ms> | OFF: the per-statement
+// timeout for subsequent statements on this session. Like SET CONSISTENCY it
+// is a middleware announcement — routers intercept it (bounding both
+// admission-queue wait and execution), the engine honors it directly for
+// embedded use — and having it in SQL means remote clients (wire protocol,
+// database/sql driver `statement_timeout=` DSN option) can set it with no
+// protocol extension. D == 0 means OFF.
+type SetDeadline struct{ D time.Duration }
+
 // SetVar is SET @name = expr (session variable).
 type SetVar struct {
 	Name  string
@@ -236,6 +246,7 @@ func (*CommitTxn) stmt()       {}
 func (*RollbackTxn) stmt()     {}
 func (*SetIsolation) stmt()    {}
 func (*SetConsistency) stmt()  {}
+func (*SetDeadline) stmt()     {}
 func (*SetVar) stmt()          {}
 func (*Show) stmt()            {}
 func (*CreateUser) stmt()      {}
@@ -264,6 +275,7 @@ func (*CommitTxn) IsRead() bool       { return false }
 func (*RollbackTxn) IsRead() bool     { return false }
 func (*SetIsolation) IsRead() bool    { return true }
 func (*SetConsistency) IsRead() bool  { return true }
+func (*SetDeadline) IsRead() bool     { return true }
 func (*SetVar) IsRead() bool          { return true }
 func (*CreateUser) IsRead() bool      { return false }
 func (*Grant) IsRead() bool           { return false }
@@ -320,6 +332,7 @@ func (*CommitTxn) Tables() []string       { return nil }
 func (*RollbackTxn) Tables() []string     { return nil }
 func (*SetIsolation) Tables() []string    { return nil }
 func (*SetConsistency) Tables() []string  { return nil }
+func (*SetDeadline) Tables() []string     { return nil }
 func (*SetVar) Tables() []string          { return nil }
 func (*Show) Tables() []string            { return nil }
 func (*CreateUser) Tables() []string      { return nil }
@@ -710,6 +723,12 @@ func (s *SetIsolation) SQL() string {
 }
 func (s *SetConsistency) SQL() string {
 	return "SET CONSISTENCY " + s.Level
+}
+func (s *SetDeadline) SQL() string {
+	if s.D <= 0 {
+		return "SET DEADLINE OFF"
+	}
+	return "SET DEADLINE '" + s.D.String() + "'"
 }
 func (s *SetVar) SQL() string { return "SET @" + s.Name + " = " + s.Value.SQL() }
 func (s *Show) SQL() string   { return "SHOW " + s.What }

@@ -3,6 +3,7 @@ package sqlparse
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/sqltypes"
 )
@@ -118,6 +119,45 @@ func TestParseSetConsistency(t *testing.T) {
 	}
 	if _, err := Parse("SET CONSISTENCY EVENTUAL"); err == nil {
 		t.Fatal("bad level accepted")
+	}
+}
+
+func TestParseSetDeadline(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want time.Duration
+	}{
+		{"SET DEADLINE '250ms'", 250 * time.Millisecond},
+		{"SET DEADLINE '1.5s'", 1500 * time.Millisecond},
+		{"set deadline 250", 250 * time.Millisecond}, // bare int = milliseconds
+		{"SET DEADLINE 0", 0},
+		{"SET DEADLINE OFF", 0},
+		{"set deadline off", 0},
+	}
+	for _, c := range cases {
+		st, err := Parse(c.sql)
+		if err != nil {
+			t.Fatalf("%q: %v", c.sql, err)
+		}
+		sd, ok := st.(*SetDeadline)
+		if !ok || sd.D != c.want {
+			t.Fatalf("%q parsed as %T %+v, want D=%v", c.sql, st, st, c.want)
+		}
+		// Render/reparse fixed point (statement shipping invariant).
+		again, err := Parse(st.SQL())
+		if err != nil {
+			t.Fatalf("%q does not re-parse: %v", st.SQL(), err)
+		}
+		if again.(*SetDeadline).D != c.want {
+			t.Fatalf("round trip changed deadline: %+v", again)
+		}
+	}
+	for _, bad := range []string{
+		"SET DEADLINE", "SET DEADLINE 'abc'", "SET DEADLINE -5", "SET DEADLINE '-1s'", "SET DEADLINE ON",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
 	}
 }
 

@@ -301,8 +301,33 @@ func (p *parser) parseSet() (Statement, error) {
 		}
 		return nil, p.unexpected("consistency level (ANY, SESSION or STRONG)")
 	}
+	// DEADLINE is recognized positionally for the same reason as CONSISTENCY.
+	// Forms: SET DEADLINE '250ms' (Go duration literal), SET DEADLINE 250
+	// (milliseconds), SET DEADLINE OFF | 0 (disable).
+	if p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, "DEADLINE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.tok.kind == tokString:
+			d, err := time.ParseDuration(p.tok.text)
+			if err != nil || d < 0 {
+				return nil, p.unexpected("duration literal like '250ms'")
+			}
+			return &SetDeadline{D: d}, p.advance()
+		case p.tok.kind == tokInt:
+			ms, err := strconv.Atoi(p.tok.text)
+			if err != nil || ms < 0 {
+				return nil, p.unexpected("non-negative millisecond count")
+			}
+			return &SetDeadline{D: time.Duration(ms) * time.Millisecond}, p.advance()
+		case (p.tok.kind == tokIdent || p.tok.kind == tokKeyword) && strings.EqualFold(p.tok.text, "OFF"):
+			return &SetDeadline{D: 0}, p.advance()
+		}
+		return nil, p.unexpected("deadline ('250ms', milliseconds, or OFF)")
+	}
 	if !p.isOp("@") {
-		return nil, p.unexpected("@var or ISOLATION or CONSISTENCY")
+		return nil, p.unexpected("@var or ISOLATION or CONSISTENCY or DEADLINE")
 	}
 	if err := p.advance(); err != nil {
 		return nil, err

@@ -1,8 +1,10 @@
 package wire
 
 import (
+	"context"
 	"errors"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/sqltypes"
 )
@@ -79,9 +81,18 @@ func (ps *clusterStmt) Close()        { ps.st.Close() }
 // classifyClusterErr tags errors that mean "this backend session is dead
 // but the cluster may serve a fresh connection" as retryable, so pooled
 // drivers (database/sql) discard the connection and retry instead of
-// surfacing the failure to the application.
+// surfacing the failure to the application. Overload sheds and deadline
+// expiries get their own codes: the cluster is alive, the driver should
+// back off (not fail over) before retrying.
 func classifyClusterErr(err error) error {
-	if errors.Is(err, core.ErrReplicaDown) {
+	switch {
+	case errors.Is(err, admission.ErrOverloaded):
+		return &ServerError{Msg: err.Error(), Code: CodeOverloaded}
+	case errors.Is(err, context.DeadlineExceeded):
+		// Covers admission queue-wait, replica-wait, and engine statement
+		// deadlines — they all wrap context.DeadlineExceeded.
+		return &ServerError{Msg: err.Error(), Code: CodeDeadline}
+	case errors.Is(err, core.ErrReplicaDown):
 		return &ServerError{Msg: err.Error(), Code: CodeRetryable}
 	}
 	return err

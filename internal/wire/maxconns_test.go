@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// TestMaxConnsRejectsTyped exercises the -max-conns guard: connections over
+// the limit are refused before the handshake with a typed retryable
+// overload error, and a slot freed by a disconnect becomes usable again.
+func TestMaxConnsRejectsTyped(t *testing.T) {
+	e := engine.New(engine.Config{})
+	srv, err := NewServer("127.0.0.1:0", &EngineBackend{Engine: e}, WithMaxConns(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c1, err := Dial(srv.Addr(), DriverConfig{User: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(srv.Addr(), DriverConfig{User: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// Third connection: over the limit, must get the typed rejection.
+	_, err = Dial(srv.Addr(), DriverConfig{User: "app"})
+	if err == nil {
+		t.Fatal("over-limit dial succeeded")
+	}
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != CodeOverloaded {
+		t.Fatalf("over-limit dial error = %v (want ServerError CodeOverloaded)", err)
+	}
+	if !Retryable(err) {
+		t.Fatalf("overload rejection not classified retryable: %v", err)
+	}
+	if got := srv.RejectedConns(); got != 1 {
+		t.Fatalf("RejectedConns = %d, want 1", got)
+	}
+
+	// Admitted connections keep working while the server sheds.
+	if err := c1.Ping(); err != nil {
+		t.Fatalf("admitted conn broken after rejection: %v", err)
+	}
+
+	// Freeing a slot readmits: close one, retry until the server notices
+	// the disconnect (asynchronous).
+	c2.Close()
+	readmitted := false
+	for i := 0; i < 200; i++ {
+		c3, err := Dial(srv.Addr(), DriverConfig{User: "app"})
+		if err == nil {
+			c3.Close()
+			readmitted = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !readmitted {
+		t.Fatal("slot never freed after disconnect")
+	}
+}

@@ -85,6 +85,14 @@ const (
 	// the pool discards the connection and retries transparently — the
 	// application-invisible failover of §4.3.3.
 	CodeRetryable = 2
+	// CodeOverloaded means admission control shed the request (or the
+	// server refused the connection at its -max-conns limit). Retryable:
+	// the cluster is healthy, just saturated — back off and try again.
+	CodeOverloaded = 3
+	// CodeDeadline means the request's statement deadline expired while it
+	// was queued or executing. Retryable: a later attempt may find a
+	// shorter queue.
+	CodeDeadline = 4
 )
 
 // Response is one server->client message: the wire form of a statement
@@ -129,7 +137,24 @@ func (e *ServerError) Error() string { return e.Msg }
 // should treat as "discard this connection and retry on a fresh one".
 func Retryable(err error) bool {
 	var se *ServerError
-	return errors.As(err, &se) && se.Code == CodeRetryable
+	if !errors.As(err, &se) {
+		return false
+	}
+	switch se.Code {
+	case CodeRetryable, CodeOverloaded, CodeDeadline:
+		return true
+	}
+	return false
+}
+
+// ErrorCode extracts a ServerError's classification code; CodeOK when err
+// is nil or carries no server classification.
+func ErrorCode(err error) int {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return CodeOK
 }
 
 // SessionHandler executes statements for one client connection.
@@ -169,25 +194,48 @@ type Backend interface {
 
 // Server accepts wire connections and dispatches them to a Backend.
 type Server struct {
-	backend Backend
-	ln      net.Listener
+	backend  Backend
+	ln       net.Listener
+	maxConns int
 
-	mu     sync.Mutex
-	conns  map[net.Conn]bool
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[net.Conn]bool
+	rejected uint64
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithMaxConns bounds concurrent client connections (0 = unbounded). A
+// connection over the limit is refused BEFORE its handshake with a typed
+// retryable overload error — a flash crowd costs one short-lived goroutine
+// per refusal instead of an unbounded serving goroutine per socket.
+func WithMaxConns(n int) ServerOption {
+	return func(s *Server) { s.maxConns = n }
 }
 
 // NewServer starts a server on addr ("127.0.0.1:0" picks a free port).
-func NewServer(addr string, backend Backend) (*Server, error) {
+func NewServer(addr string, backend Backend, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{backend: backend, ln: ln, conns: make(map[net.Conn]bool)}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// RejectedConns reports how many connections the -max-conns guard refused.
+func (s *Server) RejectedConns() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejected
 }
 
 // Addr returns the server's listen address.
@@ -222,11 +270,35 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.rejected++
+			s.mu.Unlock()
+			go rejectConn(conn, s.maxConns)
+			continue
+		}
 		s.conns[conn] = true
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
+}
+
+// rejectConn answers an over-limit connection's first request (the auth
+// handshake) with a typed retryable overload error, then hangs up. Reading
+// the request first matters: responding before the client writes would race
+// its send and could surface as a bare connection reset instead of the
+// typed error.
+func rejectConn(conn net.Conn, limit int) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	var req request
+	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+		return
+	}
+	_ = newMessageConn(conn).send(&Response{
+		Err:  fmt.Sprintf("wire: server at max-conns limit (%d), try again later", limit),
+		Code: CodeOverloaded,
+	})
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -380,6 +452,10 @@ type DriverConfig struct {
 	// HeartbeatTimeout bounds one heartbeat round trip; zero means
 	// 3× HeartbeatInterval.
 	HeartbeatTimeout time.Duration
+	// StatementTimeout, when non-zero, is announced to the server (SET
+	// DEADLINE) by callers that layer session setup over Dial; the wire
+	// layer itself does not act on it.
+	StatementTimeout time.Duration
 }
 
 // Conn is a client connection. Calls are serialized, like a real driver
@@ -422,7 +498,10 @@ func Dial(addr string, cfg DriverConfig) (*Conn, error) {
 	}
 	if resp.Err != "" {
 		nc.Close()
-		return nil, errors.New(resp.Err)
+		// Keep the server's classification (e.g. CodeOverloaded from the
+		// max-conns guard) so drivers can tell "back off and retry" from
+		// "bad credentials".
+		return nil, resp.Error()
 	}
 	if cfg.HeartbeatInterval > 0 {
 		if err := c.startHeartbeat(); err != nil {

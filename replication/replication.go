@@ -37,6 +37,7 @@ package replication
 import (
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gcs"
@@ -162,6 +163,29 @@ type (
 // NewQueryCache builds a query result cache. One cache may back several
 // clusters (each attaches its own scope), sharing a single memory budget.
 func NewQueryCache(cfg QueryCacheConfig) *QueryCache { return qcache.New(cfg) }
+
+// Overload-protection types (set MasterSlaveConfig.Admission /
+// MultiMasterConfig.Admission, or Partitioned.SetAdmission /
+// WAN.SetAdmission, to gate statements through admission control; in
+// layered deployments attach ONE controller at the top-level cluster).
+type (
+	// AdmissionController bounds in-flight statements with a prioritized
+	// wait queue and a graceful degradation ladder.
+	AdmissionController = admission.Controller
+	// AdmissionConfig sizes an AdmissionController.
+	AdmissionConfig = admission.Config
+	// AdmissionStats are the controller's occupancy and shed counters.
+	AdmissionStats = admission.Stats
+)
+
+// NewAdmissionController builds an overload controller.
+func NewAdmissionController(cfg AdmissionConfig) *AdmissionController {
+	return admission.NewController(cfg)
+}
+
+// ErrOverloaded returns the sentinel wrapped by admission-control sheds
+// (concurrency slots and wait queue full, or per-user limit reached).
+func ErrOverloaded() error { return admission.ErrOverloaded }
 
 // Safety, shipping, consistency and mode enums.
 const (

@@ -21,6 +21,17 @@
 //	                 (Go duration, e.g. 250ms; 0 disables — §4.3.4.2)
 //	keepalive        per-request read deadline (Go duration)
 //	connect_timeout  dial timeout (Go duration)
+//	statement_timeout (alias: deadline)
+//	                 per-statement deadline — issues SET DEADLINE on
+//	                 connect; requests that overrun it (queued or
+//	                 executing) fail with a typed retryable error
+//	retry_backoff    base for the bounded exponential backoff (with
+//	                 jitter) the driver sleeps before surfacing an
+//	                 overload/deadline shed as driver.ErrBadConn, so
+//	                 pool retries don't hammer a saturated cluster.
+//	                 Default 4ms; 0 disables.
+//	retry_backoff_max
+//	                 backoff ceiling (default 250ms)
 //	record           history sink: mem:<name> appends to the process-shared
 //	                 in-memory recorder <name> (see internal/history);
 //	                 any other value is a file path the history is
@@ -53,8 +64,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/history"
@@ -73,28 +86,91 @@ var _ driver.Driver = (*Driver)(nil)
 
 // Open implements driver.Driver.
 func (d *Driver) Open(dsn string) (driver.Conn, error) {
-	cfg, addr, database, consistency, ro, err := parseDSN(dsn)
+	cfg, addr, database, consistency, bo, ro, err := parseDSN(dsn)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Database = database
 	wc, err := wire.Dial(addr, cfg)
 	if err != nil {
+		if wire.ErrorCode(err) == wire.CodeOverloaded {
+			// The server shed this connection at its max-conns limit: back
+			// off (per address, shared by the whole pool) before letting
+			// database/sql redial, or a flash crowd turns into a dial storm.
+			dialFailures.backoff(addr, bo)
+		}
 		return nil, err
 	}
-	c := &conn{wc: wc, rec: newRecorder(ro)}
+	dialFailures.reset(addr)
+	c := &conn{wc: wc, rec: newRecorder(ro), bo: bo}
 	if consistency != "" {
 		if _, err := wc.Exec("SET CONSISTENCY " + strings.ToUpper(consistency)); err != nil {
 			wc.Close()
 			return nil, fmt.Errorf("sqldriver: set consistency: %w", err)
 		}
 	}
+	if cfg.StatementTimeout > 0 {
+		if _, err := wc.Exec(fmt.Sprintf("SET DEADLINE '%s'", cfg.StatementTimeout)); err != nil {
+			wc.Close()
+			return nil, fmt.Errorf("sqldriver: set deadline: %w", err)
+		}
+	}
 	return c, nil
 }
 
+// backoffOpts is the driver-side retry backoff configuration.
+type backoffOpts struct {
+	base time.Duration // 0 disables backoff
+	max  time.Duration
+}
+
+// sleep blocks for the bounded, jittered exponential backoff after the
+// given number of consecutive shed requests (0 = first failure).
+func (b backoffOpts) sleep(fails int) {
+	if b.base <= 0 {
+		return
+	}
+	if fails > 16 {
+		fails = 16 // 2^16 × base saturates any sane ceiling
+	}
+	d := b.base << uint(fails)
+	if d > b.max || d <= 0 {
+		d = b.max
+	}
+	// Full jitter in [d/2, d]: concurrent shed clients decorrelate instead
+	// of retrying in lockstep against the same saturated cluster.
+	half := d / 2
+	d = half + time.Duration(rand.Int63n(int64(half)+1))
+	time.Sleep(d)
+}
+
+// addrBackoff tracks consecutive connection-level sheds per server address,
+// shared across the process so every pool hitting one saturated server
+// backs off together.
+type addrBackoff struct {
+	mu    sync.Mutex
+	fails map[string]int
+}
+
+var dialFailures = &addrBackoff{fails: make(map[string]int)}
+
+func (a *addrBackoff) backoff(addr string, bo backoffOpts) {
+	a.mu.Lock()
+	n := a.fails[addr]
+	a.fails[addr] = n + 1
+	a.mu.Unlock()
+	bo.sleep(n)
+}
+
+func (a *addrBackoff) reset(addr string) {
+	a.mu.Lock()
+	delete(a.fails, addr)
+	a.mu.Unlock()
+}
+
 // parseDSN splits a repl:// DSN into the wire driver config, address,
-// database, consistency override and recording options.
-func parseDSN(dsn string) (cfg wire.DriverConfig, addr, database, consistency string, ro recordOpts, err error) {
+// database, consistency override, backoff and recording options.
+func parseDSN(dsn string) (cfg wire.DriverConfig, addr, database, consistency string, bo backoffOpts, ro recordOpts, err error) {
 	u, perr := url.Parse(dsn)
 	if perr != nil {
 		err = fmt.Errorf("sqldriver: bad DSN %q: %w", dsn, perr)
@@ -124,10 +200,15 @@ func parseDSN(dsn string) (cfg wire.DriverConfig, addr, database, consistency st
 			return
 		}
 	}
+	bo = backoffOpts{base: 4 * time.Millisecond, max: 250 * time.Millisecond}
 	durations := map[string]*time.Duration{
-		"heartbeat":       &cfg.HeartbeatInterval,
-		"keepalive":       &cfg.KeepAliveTimeout,
-		"connect_timeout": &cfg.ConnectTimeout,
+		"heartbeat":         &cfg.HeartbeatInterval,
+		"keepalive":         &cfg.KeepAliveTimeout,
+		"connect_timeout":   &cfg.ConnectTimeout,
+		"statement_timeout": &cfg.StatementTimeout,
+		"deadline":          &cfg.StatementTimeout, // alias
+		"retry_backoff":     &bo.base,
+		"retry_backoff_max": &bo.max,
 	}
 	for name, dst := range durations {
 		if v := q.Get(name); v != "" {
@@ -149,6 +230,12 @@ type conn struct {
 	wc     *wire.Conn
 	rec    *recorder // nil unless the DSN asked for history recording
 	broken bool
+	// bo / fails drive the bounded exponential backoff slept before an
+	// overload/deadline shed surfaces as ErrBadConn: database/sql retries
+	// ErrBadConn transparently, and without the pause those retries would
+	// hammer a cluster that just said it is saturated.
+	bo    backoffOpts
+	fails int
 }
 
 // exec is the recorded round-trip path for text statements: Execer,
@@ -159,6 +246,9 @@ func (c *conn) exec(query string, vals []sqltypes.Value) (*wire.Response, error)
 	start := history.Now()
 	resp, err := c.wc.Exec(query, vals...)
 	c.rec.observe(start, query, vals, resp, err)
+	if err == nil {
+		c.fails = 0
+	}
 	return resp, err
 }
 
@@ -172,12 +262,20 @@ var (
 
 // mapErr converts transport failures and server-reported retryable errors
 // to driver.ErrBadConn so the pool discards this connection and retries
-// elsewhere; plain statement errors pass through.
+// elsewhere; plain statement errors pass through. Overload and deadline
+// sheds additionally pay a jittered exponential backoff first — failover
+// retries (dead connection / dead home replica) stay immediate, because
+// there waiting helps nobody.
 func (c *conn) mapErr(err error) error {
 	if err == nil {
 		return nil
 	}
 	if errors.Is(err, wire.ErrConnDead) || wire.Retryable(err) {
+		switch wire.ErrorCode(err) {
+		case wire.CodeOverloaded, wire.CodeDeadline:
+			c.bo.sleep(c.fails)
+			c.fails++
+		}
 		c.broken = true
 		return driver.ErrBadConn
 	}

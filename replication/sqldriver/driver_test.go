@@ -11,7 +11,7 @@ import (
 )
 
 func TestParseDSN(t *testing.T) {
-	cfg, addr, db, cons, ro, err := parseDSN("repl://app:pw@10.0.0.1:5455/shop?consistency=strong&heartbeat=250ms&keepalive=5s&connect_timeout=1s")
+	cfg, addr, db, cons, bo, ro, err := parseDSN("repl://app:pw@10.0.0.1:5455/shop?consistency=strong&heartbeat=250ms&keepalive=5s&connect_timeout=1s")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,8 +24,50 @@ func TestParseDSN(t *testing.T) {
 	if cfg.HeartbeatInterval != 250*time.Millisecond || cfg.KeepAliveTimeout != 5*time.Second || cfg.ConnectTimeout != time.Second {
 		t.Fatalf("durations: %+v", cfg)
 	}
+	if bo.base != 4*time.Millisecond || bo.max != 250*time.Millisecond {
+		t.Fatalf("default backoff: %+v", bo)
+	}
 	if ro.sink != "" {
 		t.Fatalf("recording on without record=: %+v", ro)
+	}
+}
+
+func TestParseDSNOverloadOptions(t *testing.T) {
+	cfg, _, _, _, bo, _, err := parseDSN("repl://h:1/db?statement_timeout=300ms&retry_backoff=2ms&retry_backoff_max=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.StatementTimeout != 300*time.Millisecond {
+		t.Fatalf("statement_timeout: %v", cfg.StatementTimeout)
+	}
+	if bo.base != 2*time.Millisecond || bo.max != 50*time.Millisecond {
+		t.Fatalf("backoff: %+v", bo)
+	}
+	// The deadline alias maps to the same knob; 0 disables backoff.
+	cfg, _, _, _, bo, _, err = parseDSN("repl://h:1/db?deadline=1s&retry_backoff=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.StatementTimeout != time.Second || bo.base != 0 {
+		t.Fatalf("alias/disable: timeout=%v backoff=%+v", cfg.StatementTimeout, bo)
+	}
+}
+
+func TestBackoffSleepBounded(t *testing.T) {
+	bo := backoffOpts{base: time.Millisecond, max: 8 * time.Millisecond}
+	for fails := 0; fails < 20; fails++ {
+		start := time.Now()
+		bo.sleep(fails)
+		if d := time.Since(start); d > 100*time.Millisecond {
+			t.Fatalf("fails=%d slept %v, want bounded by ~max", fails, d)
+		}
+	}
+	// Disabled backoff never sleeps.
+	off := backoffOpts{}
+	start := time.Now()
+	off.sleep(10)
+	if time.Since(start) > 5*time.Millisecond {
+		t.Fatal("disabled backoff slept")
 	}
 }
 
@@ -37,7 +79,7 @@ func TestParseDSNErrors(t *testing.T) {
 		"repl://h:1/db?heartbeat=nonsap", // bad duration
 		"repl://h:1/db?record_table=kv",  // record_* without record=
 	} {
-		if _, _, _, _, _, err := parseDSN(dsn); err == nil {
+		if _, _, _, _, _, _, err := parseDSN(dsn); err == nil {
 			t.Errorf("parseDSN(%q) accepted", dsn)
 		}
 	}
