@@ -1,0 +1,172 @@
+package analysis
+
+// This file is the fixture harness: a stdlib-only reimplementation of the
+// golang.org/x/tools analysistest idea. Fixture packages live under
+// testdata/src/<importPath>/ (GOPATH-style), import stub packages from the
+// same tree (a testdata "sync" stands in for the real one — the analyzers
+// deliberately match package *names* so fixtures stay hermetic), and mark
+// expected diagnostics with trailing `// want "substring"` comments on the
+// offending line. The harness typechecks the fixture, runs one analyzer,
+// and requires an exact match between expected and reported lines.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// runFixture analyzes the fixture package at testdata/src/<importPath> with
+// the given analyzer and checks its `// want` expectations.
+func runFixture(t *testing.T, a *Analyzer, importPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		fset: fset,
+		root: filepath.Join("testdata", "src"),
+		pkgs: map[string]*types.Package{},
+	}
+	files, pkg, info, err := ld.load(importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+
+	diags := RunAnalyzers([]*Analyzer{a}, fset, files, pkg, info)
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, d := range diags {
+		p := fset.Position(d.pos)
+		got[key{p.Filename, p.Line}] = append(got[key{p.Filename, p.Line}], d.message)
+	}
+	want := map[key][]string{}
+	wantRe := regexp.MustCompile(`// want "([^"]*)"`)
+	for _, f := range files {
+		fileName := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					line := fset.Position(c.Pos()).Line
+					want[key{fileName, line}] = append(want[key{fileName, line}], m[1])
+				}
+			}
+		}
+	}
+
+	for k, subs := range want {
+		msgs := got[k]
+		for _, sub := range subs {
+			found := false
+			for _, msg := range msgs {
+				if strings.Contains(msg, sub) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s:%d: expected diagnostic containing %q, got %v", k.file, k.line, sub, msgs)
+			}
+		}
+		if len(msgs) > len(subs) {
+			t.Errorf("%s:%d: %d diagnostics for %d want comments: %v", k.file, k.line, len(msgs), len(subs), msgs)
+		}
+	}
+	for k, msgs := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s:%d: unexpected diagnostic(s): %v", k.file, k.line, msgs)
+		}
+	}
+}
+
+// fixtureLoader typechecks fixture packages from testdata/src, resolving
+// their imports recursively within the same tree.
+type fixtureLoader struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*types.Package
+	// current accumulates the files/info of the top-level load target.
+	files []*ast.File
+	info  *types.Info
+}
+
+func (ld *fixtureLoader) load(importPath string) ([]*ast.File, *types.Package, *types.Info, error) {
+	info := newTypesInfo()
+	files, pkg, err := ld.check(importPath, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, pkg, info, nil
+}
+
+func (ld *fixtureLoader) check(importPath string, info *types.Info) ([]*ast.File, *types.Package, error) {
+	dir := filepath.Join(ld.root, filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	tc := &types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			return ld.importPkg(path)
+		}),
+		Sizes: types.SizesFor("gc", "amd64"),
+	}
+	pkg, err := tc.Check(importPath, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return files, pkg, nil
+}
+
+func (ld *fixtureLoader) importPkg(path string) (*types.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if _, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err != nil {
+		// Not stubbed in the fixture tree: fall back to the real package
+		// so fixtures may use the actual standard library when the
+		// analyzer's matching doesn't need a stub.
+		pkg, err := importer.Default().Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("import %q: not in fixture tree and %v", path, err)
+		}
+		ld.pkgs[path] = pkg
+		return pkg, nil
+	}
+	// Imported fixture packages get throwaway info: only the top-level
+	// target's info is analyzed.
+	_, pkg, err := ld.check(path, newTypesInfo())
+	if err != nil {
+		return nil, err
+	}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}

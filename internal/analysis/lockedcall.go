@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockedCallAnalyzer enforces the *Locked naming contract: a function whose
+// name ends in "Locked" asserts that its caller holds the guarding mutex,
+// so it may only be called from (a) a function that is itself *Locked, (b)
+// a function that acquires a mutex (mu.Lock / mu.RLock) on every path
+// reaching the call, or (c) a site or function annotated
+// `// lint:holds <mu>` documenting an acquisition the analyzer cannot see.
+//
+// Motivating bug: PR 6's gcs split-brain fix lives in assignLocked /
+// drainTokenQueueLocked / majorityLocked — helpers whose correctness
+// (and the snapMu snapshot-position sampling in internal/core) silently
+// evaporates if any call site forgets n.mu. The analyzer tracks lock state
+// lexically with branch awareness: a Lock inside one arm of an if does not
+// count after the branch rejoins, and an Unlock (not deferred) clears the
+// held state.
+var LockedCallAnalyzer = &Analyzer{
+	Name: "lockedcall",
+	Doc:  "calls to *Locked helpers must hold the corresponding mutex (or carry a lint:holds annotation)",
+	Run:  runLockedCall,
+}
+
+func runLockedCall(pass *Pass) error {
+	for _, f := range pass.prodFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if hasLockedSuffix(fn.Name.Name) {
+				// A *Locked function's own callees inherit its caller's
+				// lock; the contract is discharged at the outermost
+				// non-Locked caller.
+				continue
+			}
+			if pass.funcAnnotated(fn, "holds") {
+				continue
+			}
+			lw := &lockWalker{pass: pass}
+			lw.walkStmts(fn.Body.List, newLockState())
+		}
+	}
+	return nil
+}
+
+func hasLockedSuffix(name string) bool {
+	return len(name) > len("Locked") && name[len(name)-len("Locked"):] == "Locked"
+}
+
+// lockState tracks which mutexes are held at a program point, keyed by the
+// source text of the expression they were locked through (c.mu, s.eng.mu,
+// ...). The int is a hold count so Lock/Unlock pairs nest.
+type lockState map[string]int
+
+func newLockState() lockState { return lockState{} }
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// merge intersects two states: after control flow rejoins, a mutex counts
+// as held only if both arms held it.
+func merge(a, b lockState) lockState {
+	out := newLockState()
+	for k, v := range a {
+		if bv, ok := b[k]; ok {
+			if bv < v {
+				v = bv
+			}
+			if v > 0 {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+func (s lockState) anyHeld() bool {
+	for _, v := range s {
+		if v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// walkStmts walks a statement list in source order, threading lock state
+// through it, and returns the state at the fall-through exit.
+func (lw *lockWalker) walkStmts(stmts []ast.Stmt, state lockState) lockState {
+	for _, st := range stmts {
+		state = lw.walkStmt(st, state)
+	}
+	return state
+}
+
+func (lw *lockWalker) walkStmt(st ast.Stmt, state lockState) lockState {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		return lw.walkStmts(s.List, state)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			state = lw.walkStmt(s.Init, state)
+		}
+		lw.scanExpr(s.Cond, state)
+		thenOut := lw.walkStmt(s.Body, state.clone())
+		elseOut := state.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseOut = lw.walkStmt(s.Else, state.clone())
+			elseTerm = terminates(s.Else)
+		}
+		// An arm that cannot fall through (return/branch/panic) does not
+		// contribute to the rejoin state: `mu.Lock(); if c { mu.Unlock();
+		// return }` leaves the mutex held on the fall-through path.
+		switch {
+		case terminates(s.Body) && elseTerm:
+			return state // unreachable fall-through; keep entry state
+		case terminates(s.Body):
+			return elseOut
+		case elseTerm:
+			return thenOut
+		}
+		return merge(thenOut, elseOut)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			state = lw.walkStmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			lw.scanExpr(s.Cond, state)
+		}
+		body := lw.walkStmt(s.Body, state.clone())
+		if s.Post != nil {
+			lw.walkStmt(s.Post, body)
+		}
+		return merge(state, body)
+	case *ast.RangeStmt:
+		lw.scanExpr(s.X, state)
+		body := lw.walkStmt(s.Body, state.clone())
+		return merge(state, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			state = lw.walkStmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			lw.scanExpr(s.Tag, state)
+		}
+		return lw.walkClauses(s.Body, state)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			state = lw.walkStmt(s.Init, state)
+		}
+		return lw.walkClauses(s.Body, state)
+	case *ast.SelectStmt:
+		return lw.walkClauses(s.Body, state)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the mutex held for the remainder of the
+		// function, so deferred calls do not mutate lock state; a *Locked
+		// call deferred while the lock is held runs after the deferred
+		// Unlock in LIFO order, but flagging that shape costs more noise
+		// than it catches — the walk just scans nested literals.
+		lw.scanFuncLits(s.Call)
+		return state
+	case *ast.GoStmt:
+		// A goroutine does not inherit the spawner's lock; its literal is
+		// walked with fresh state by scanFuncLits.
+		lw.scanFuncLits(s.Call)
+		return state
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			lw.scanExpr(r, state)
+		}
+		return state
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			state = lw.scanExpr(r, state)
+		}
+		return state
+	case *ast.ExprStmt:
+		return lw.scanExpr(s.X, state)
+	case *ast.LabeledStmt:
+		return lw.walkStmt(s.Stmt, state)
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				lw.scanExpr(e, state)
+				return false
+			}
+			return true
+		})
+		return state
+	default:
+		return state
+	}
+}
+
+func (lw *lockWalker) walkClauses(body *ast.BlockStmt, state lockState) lockState {
+	out := state.clone()
+	first := true
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				stmts = append([]ast.Stmt{c.Comm}, c.Body...)
+			} else {
+				stmts = c.Body
+			}
+		}
+		clauseOut := lw.walkStmts(stmts, state.clone())
+		if first {
+			out = clauseOut
+			first = false
+		} else {
+			out = merge(out, clauseOut)
+		}
+	}
+	return merge(state, out)
+}
+
+// scanExpr visits calls inside e in source order, updating lock state for
+// Lock/Unlock calls and checking *Locked calls; function literals get a
+// fresh state (they may run at any time).
+func (lw *lockWalker) scanExpr(e ast.Expr, state lockState) lockState {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			lw.walkStmts(x.Body.List, newLockState())
+			return false
+		case *ast.CallExpr:
+			lw.checkCall(x, state)
+		}
+		return true
+	})
+	return state
+}
+
+// scanFuncLits visits only nested function literals (defer and go
+// arguments), walking each with fresh lock state.
+func (lw *lockWalker) scanFuncLits(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lw.walkStmts(lit.Body.List, newLockState())
+			return false
+		}
+		return true
+	})
+}
+
+// terminates reports whether a statement (or the last statement of a
+// block) cannot fall through: return, branch, or a panic/Fatal-style call.
+func terminates(st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		if n := len(s.List); n > 0 {
+			return terminates(s.List[n-1])
+		}
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body) && terminates(s.Else)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch calleeName(call) {
+			case "panic", "Fatal", "Fatalf", "Exit", "Goexit":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (lw *lockWalker) checkCall(call *ast.CallExpr, state lockState) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if isSel {
+		if t, ok := lw.pass.TypesInfo.Types[sel.X]; ok && isMutex(t.Type) {
+			key := types.ExprString(sel.X)
+			switch sel.Sel.Name {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				state[key]++
+				return
+			case "Unlock", "RUnlock":
+				if state[key] > 0 {
+					state[key]--
+				}
+				return
+			}
+		}
+	}
+	name := calleeName(call)
+	if !hasLockedSuffix(name) {
+		return
+	}
+	if state.anyHeld() {
+		return
+	}
+	if lw.pass.annotatedAt(call.Pos(), "holds") {
+		return
+	}
+	lw.pass.Reportf(call.Pos(),
+		"call to %s without its mutex: caller is neither *Locked nor holds a Lock/RLock on every path here (annotate with // lint:holds <mu> if the lock is taken elsewhere)", name)
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	default:
+		return ""
+	}
+}

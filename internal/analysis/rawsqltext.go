@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RawSQLTextAnalyzer guards the boundary-crossing contract for statement
+// text: wherever SQL text leaves the process or replica that parsed it —
+// binlog records for statement-based shipping, ordering scripts, wire
+// sends, partition-key routing — a parameterized statement must first have
+// its ? placeholders inlined via sqlparse.BindParams, or every replica-side
+// re-parse stalls on "parameter not bound" (the PR-5 slave-applier bug).
+//
+// The analyzer flags every call to the SQL() text renderer inside the
+// boundary packages (internal/core, internal/engine, internal/wire,
+// internal/history) when the receiver's static type could carry a ?
+// placeholder, unless:
+//
+//   - the receiver demonstrably came from sqlparse.BindParams (directly, or
+//     via a local variable assigned from it), or
+//   - the receiver's concrete type cannot carry placeholders (DDL and the
+//     other statements BindParams passes through untouched), or
+//   - the site or its enclosing function carries `// lint:rawsql-ok
+//     <reason>` — the explicit allowlist for render, backup, error-message
+//     and history-recording sites where raw text is the point.
+var RawSQLTextAnalyzer = &Analyzer{
+	Name: "rawsqltext",
+	Doc:  "statement text crossing a boundary must flow through sqlparse.BindParams (lint:rawsql-ok to allowlist)",
+	Run:  runRawSQLText,
+}
+
+// rawSQLBoundaryPkgs are the packages where SQL() output reaches process or
+// replica boundaries. sqlparse itself (the renderer) is deliberately not
+// listed.
+var rawSQLBoundaryPkgs = []string{
+	"internal/core",
+	"internal/engine",
+	"internal/wire",
+	"internal/history",
+}
+
+// paramFreeStatements are sqlparse types BindParams passes through
+// unchanged because they cannot carry a ? placeholder; rendering them raw
+// is always safe. This mirrors the switch in sqlparse/bind.go.
+var paramFreeStatements = map[string]bool{
+	"CreateDatabase": true, "DropDatabase": true, "UseDatabase": true,
+	"CreateTable": true, "DropTable": true,
+	"CreateSequence": true, "DropSequence": true,
+	"CreateTrigger": true, "DropTrigger": true,
+	"CreateProcedure": true, "DropProcedure": true,
+	"CreateUser": true, "Grant": true, "Show": true,
+	"BeginTxn": true, "CommitTxn": true, "RollbackTxn": true,
+	"SetIsolation": true, "SetConsistency": true, "SetDeadline": true,
+	// Param-free expression nodes (rendered in error messages and scan
+	// plans): a bare column reference or literal has no placeholder.
+	"ColumnRef": true, "Literal": true, "VarRef": true, "TableRef": true,
+}
+
+func runRawSQLText(pass *Pass) error {
+	if !pass.pkgPathHasSuffix(rawSQLBoundaryPkgs...) {
+		return nil
+	}
+	for _, f := range pass.prodFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if pass.funcAnnotated(fn, "rawsql-ok") {
+				continue
+			}
+			checkRawSQLFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkRawSQLFunc(pass *Pass, fn *ast.FuncDecl) {
+	// bound tracks local variables whose value came from
+	// sqlparse.BindParams; their SQL() render is the sanctioned shape.
+	bound := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			markBoundAssignments(pass, x, bound)
+		case *ast.CallExpr:
+			checkSQLCall(pass, x, bound)
+		}
+		return true
+	})
+}
+
+// markBoundAssignments records `v, err := sqlparse.BindParams(...)` (and
+// plain `v := sqlparse.BindParams(...)`) so later v.SQL() calls pass.
+func markBoundAssignments(pass *Pass, as *ast.AssignStmt, bound map[types.Object]bool) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !pkgFuncCall(pass.TypesInfo, call, "sqlparse", "BindParams") {
+		return
+	}
+	if id, ok := as.Lhs[0].(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			bound[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			bound[obj] = true
+		}
+	}
+}
+
+func checkSQLCall(pass *Pass, call *ast.CallExpr, bound map[types.Object]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "SQL" || len(call.Args) != 0 {
+		return
+	}
+	recvType, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return
+	}
+	name, pkgName := namedTypeName(recvType.Type)
+	if pkgName != "sqlparse" {
+		// Interface types Statement/Expr also live in sqlparse; anything
+		// else with a SQL() method is not statement text.
+		if !isSqlparseInterface(recvType.Type) {
+			return
+		}
+	} else if paramFreeStatements[name] {
+		return
+	}
+	// Receiver provably bound: `bound.SQL()` through a BindParams local,
+	// or the direct call chain sqlparse.BindParams(...).SQL() — the latter
+	// cannot occur (BindParams returns two values) but a helper may.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && bound[obj] {
+			return
+		}
+	}
+	if pass.annotatedAt(call.Pos(), "rawsql-ok") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"raw statement text: %s.SQL() in a boundary package without sqlparse.BindParams — a ? placeholder here ships unbound to replicas (wrap with BindParams, or annotate // lint:rawsql-ok <reason> for render/backup/error-message sites)",
+		types.ExprString(sel.X))
+}
+
+// namedTypeName returns the type name and defining package name of t after
+// pointer indirection, or empty strings.
+func namedTypeName(t types.Type) (name, pkgName string) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name(), ""
+	}
+	return obj.Name(), obj.Pkg().Name()
+}
+
+// isSqlparseInterface reports whether t is an interface defined in a
+// package named sqlparse (Statement or Expr): the static type says nothing
+// about placeholders, so the dynamic value must be assumed parameterized.
+func isSqlparseInterface(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == "sqlparse"
+}

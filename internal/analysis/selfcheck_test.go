@@ -1,0 +1,28 @@
+package analysis
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepllintSelfCheck builds the real vettool and runs it — through the
+// exact `go vet -vettool` invocation CI uses — over the analysis suite and
+// its command. The linter must be clean under its own rules, and this
+// doubles as an end-to-end test of the unitchecker protocol implementation.
+func TestRepllintSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds the vettool and re-enters the go toolchain")
+	}
+	bin := filepath.Join(t.TempDir(), "repllint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/repllint")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building repllint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/analysis/...", "./cmd/repllint")
+	vet.Dir = "../.."
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("repllint is not clean on its own source: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,393 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SlotLeakAnalyzer enforces the acquire/release pairing PR 7's overload
+// protection depends on: every admission.Acquire (and every Replica worker
+// semaphore acquire) must be matched by a Release/Done (or release) on
+// every control-flow path, including early error returns. A leaked slot is
+// permanent capacity loss — enough of them and the admission controller
+// rejects all traffic forever, the failure shape the deadline-cancellation
+// tests guard dynamically and this analyzer guards statically.
+//
+// Tracking is ownership-based and deliberately conservative about escapes:
+//
+//   - a token is created when a call whose results include *admission.Slot
+//     is assigned to a variable, or when Replica.acquire/acquireDeadline is
+//     called (keyed by receiver);
+//   - inside an `if err != nil` guard on the acquire's own error, the token
+//     is not held (Acquire returns no slot alongside an error);
+//   - ANY later statement mentioning the slot variable discharges the token
+//     — calling Done/Release, deferring it, passing the slot to a helper,
+//     storing it, or returning it all transfer ownership out of this
+//     function's obligation;
+//   - the replica-semaphore token is discharged by a (possibly deferred)
+//     receiver.release() call;
+//   - a return reached with a live token, or falling off the end of the
+//     function with one, is a leak.
+//
+// Sites where ownership provably moves in a way the analyzer cannot see
+// carry `// lint:slotleak-ok <reason>`.
+var SlotLeakAnalyzer = &Analyzer{
+	Name: "slotleak",
+	Doc:  "every admission slot / replica semaphore acquire must be released on all control-flow paths",
+	Run:  runSlotLeak,
+}
+
+func runSlotLeak(pass *Pass) error {
+	for _, f := range pass.prodFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if pass.funcAnnotated(fn, "slotleak-ok") {
+				continue
+			}
+			sw := &slotWalker{pass: pass}
+			out := sw.walkStmts(fn.Body.List, slotState{})
+			for _, tok := range out {
+				pass.Reportf(fn.Body.Rbrace,
+					"%s acquired at line %d is still held when the function falls off its end — release it on every path (or annotate // lint:slotleak-ok <reason>)",
+					tok.desc, pass.Fset.Position(tok.pos).Line)
+			}
+		}
+	}
+	return nil
+}
+
+// slotToken is one outstanding acquisition.
+type slotToken struct {
+	key     string       // identity within the state map
+	desc    string       // human description for diagnostics
+	slotObj types.Object // the *admission.Slot variable (nil for semaphores)
+	errObj  types.Object // the error assigned alongside the acquire
+	recvKey string       // receiver source text for semaphore release matching
+	pos     token.Pos    // acquire site
+}
+
+type slotState map[string]slotToken
+
+func (s slotState) clone() slotState {
+	out := make(slotState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// union keeps a token live if it is live on either arm: a leak on any path
+// is a leak.
+func union(a, b slotState) slotState {
+	out := a.clone()
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+type slotWalker struct {
+	pass *Pass
+}
+
+func (sw *slotWalker) walkStmts(stmts []ast.Stmt, state slotState) slotState {
+	for _, st := range stmts {
+		state = sw.walkStmt(st, state)
+	}
+	return state
+}
+
+func (sw *slotWalker) walkStmt(st ast.Stmt, state slotState) slotState {
+	// For simple statements, any mention of a live token's slot variable —
+	// or its release call — discharges it, whatever the statement shape.
+	// Compound statements are NOT discharged wholesale: a release inside
+	// one arm must not absolve the other arms, so recursion handles their
+	// inner statements one by one.
+	switch st.(type) {
+	case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt:
+	default:
+		state = sw.discharge(st, state)
+	}
+
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		return sw.walkStmts(s.List, state)
+	case *ast.AssignStmt:
+		return sw.acquireFromAssign(s, state)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			return sw.acquireFromCall(call, nil, state)
+		}
+		return state
+	case *ast.IfStmt:
+		if s.Init != nil {
+			state = sw.walkStmt(s.Init, state)
+		}
+		thenState, elseState := sw.splitOnErrGuard(s.Cond, state)
+		thenOut := sw.walkStmt(s.Body, thenState)
+		elseOut := elseState
+		elseTerm := false
+		if s.Else != nil {
+			elseOut = sw.walkStmt(s.Else, elseState)
+			elseTerm = terminates(s.Else)
+		}
+		switch {
+		case terminates(s.Body) && elseTerm:
+			return slotState{}
+		case terminates(s.Body):
+			return elseOut
+		case elseTerm:
+			return thenOut
+		}
+		return union(thenOut, elseOut)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			state = sw.walkStmt(s.Init, state)
+		}
+		body := sw.walkStmt(s.Body, state.clone())
+		if s.Post != nil {
+			body = sw.walkStmt(s.Post, body)
+		}
+		return union(state, body)
+	case *ast.RangeStmt:
+		return union(state, sw.walkStmt(s.Body, state.clone()))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return sw.walkBranchBody(st, state)
+	case *ast.ReturnStmt:
+		for _, tok := range state {
+			if sw.pass.annotatedAt(s.Pos(), "slotleak-ok") {
+				continue
+			}
+			sw.pass.Reportf(s.Pos(),
+				"return leaks %s acquired at line %d: no Release/Done on this path (early error returns after a successful acquire are the classic shape; or annotate // lint:slotleak-ok <reason>)",
+				tok.desc, sw.pass.Fset.Position(tok.pos).Line)
+		}
+		return slotState{}
+	case *ast.LabeledStmt:
+		return sw.walkStmt(s.Stmt, state)
+	default:
+		return state
+	}
+}
+
+func (sw *slotWalker) walkBranchBody(st ast.Stmt, state slotState) slotState {
+	var body *ast.BlockStmt
+	switch s := st.(type) {
+	case *ast.SwitchStmt:
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	out := state.clone()
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		out = union(out, sw.walkStmts(stmts, state.clone()))
+	}
+	return out
+}
+
+// splitOnErrGuard recognizes `if err != nil` / `if err == nil` over the
+// error variable of a live acquire token: the token is only held on the
+// err==nil side (Acquire returns no slot alongside an error).
+func (sw *slotWalker) splitOnErrGuard(cond ast.Expr, state slotState) (thenState, elseState slotState) {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return state.clone(), state.clone()
+	}
+	var errIdent *ast.Ident
+	if id, ok := bin.X.(*ast.Ident); ok && isNilIdent(bin.Y) {
+		errIdent = id
+	} else if id, ok := bin.Y.(*ast.Ident); ok && isNilIdent(bin.X) {
+		errIdent = id
+	}
+	if errIdent == nil {
+		return state.clone(), state.clone()
+	}
+	obj := sw.pass.TypesInfo.Uses[errIdent]
+	if obj == nil {
+		return state.clone(), state.clone()
+	}
+	errSide := state.clone()     // err != nil: token not held
+	successSide := state.clone() // err == nil: token held
+	for k, tok := range state {
+		if tok.errObj == obj {
+			delete(errSide, k)
+		}
+	}
+	if bin.Op == token.NEQ {
+		return errSide, successSide
+	}
+	return successSide, errSide
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// discharge removes tokens whose slot variable is mentioned anywhere in the
+// statement (ownership transfers: Done/Release, defer, helper call, store,
+// return) and semaphore tokens whose receiver.release() is called.
+func (sw *slotWalker) discharge(st ast.Stmt, state slotState) slotState {
+	if len(state) == 0 {
+		return state
+	}
+	out := state
+	copied := false
+	remove := func(k string) {
+		if !copied {
+			out = state.clone()
+			copied = true
+		}
+		delete(out, k)
+	}
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if obj := sw.pass.TypesInfo.Uses[x]; obj != nil {
+				for k, tok := range state {
+					if tok.slotObj != nil && tok.slotObj == obj {
+						remove(k)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "release" {
+				key := types.ExprString(sel.X)
+				for k, tok := range state {
+					if tok.recvKey != "" && tok.recvKey == key {
+						remove(k)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// acquireFromAssign creates tokens for `slot, err := ...Acquire(...)`
+// shapes: any single-call assignment whose results include *admission.Slot,
+// or a Replica.acquire/acquireDeadline error assignment.
+func (sw *slotWalker) acquireFromAssign(as *ast.AssignStmt, state slotState) slotState {
+	if len(as.Rhs) != 1 {
+		return state
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return state
+	}
+	return sw.acquireFromCall(call, as, state)
+}
+
+func (sw *slotWalker) acquireFromCall(call *ast.CallExpr, as *ast.AssignStmt, state slotState) slotState {
+	t, ok := sw.pass.TypesInfo.Types[call]
+	if !ok {
+		return state
+	}
+	// Replica worker-semaphore acquire: method named acquire/acquireDeadline
+	// on a core.Replica receiver.
+	if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel &&
+		(sel.Sel.Name == "acquire" || sel.Sel.Name == "acquireDeadline") {
+		if rt, ok := sw.pass.TypesInfo.Types[sel.X]; ok && namedTypeIn(rt.Type, "core", "Replica") {
+			if sw.pass.annotatedAt(call.Pos(), "slotleak-ok") {
+				return state
+			}
+			key := "sem:" + types.ExprString(sel.X)
+			tok := slotToken{
+				key:     key,
+				desc:    "replica worker semaphore (" + types.ExprString(sel.X) + ".acquire)",
+				recvKey: types.ExprString(sel.X),
+				pos:     call.Pos(),
+			}
+			tok.errObj = errObjOf(sw.pass, as)
+			ns := state.clone()
+			ns[key] = tok
+			return ns
+		}
+	}
+	// Admission slot acquire: results include *admission.Slot.
+	slotIdx := -1
+	switch tt := t.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < tt.Len(); i++ {
+			if namedTypeIn(tt.At(i).Type(), "admission", "Slot") {
+				slotIdx = i
+			}
+		}
+	default:
+		if namedTypeIn(t.Type, "admission", "Slot") {
+			slotIdx = 0
+		}
+	}
+	if slotIdx < 0 {
+		return state
+	}
+	if sw.pass.annotatedAt(call.Pos(), "slotleak-ok") {
+		return state
+	}
+	if as == nil || len(as.Lhs) <= slotIdx {
+		// Result discarded outright: on the success path the slot can
+		// never be released.
+		sw.pass.Reportf(call.Pos(),
+			"admission slot result discarded: the slot acquired here can never be released")
+		return state
+	}
+	slotIdent, ok := as.Lhs[slotIdx].(*ast.Ident)
+	if !ok || slotIdent.Name == "_" {
+		sw.pass.Reportf(call.Pos(),
+			"admission slot assigned to _: the slot acquired here can never be released")
+		return state
+	}
+	slotObj := sw.pass.TypesInfo.Defs[slotIdent]
+	if slotObj == nil {
+		slotObj = sw.pass.TypesInfo.Uses[slotIdent]
+	}
+	if slotObj == nil {
+		return state
+	}
+	tok := slotToken{
+		key:     "slot:" + slotIdent.Name + ":" + sw.pass.Fset.Position(slotObj.Pos()).String(),
+		desc:    "admission slot `" + slotIdent.Name + "`",
+		slotObj: slotObj,
+		pos:     call.Pos(),
+	}
+	tok.errObj = errObjOf(sw.pass, as)
+	ns := state.clone()
+	ns[tok.key] = tok
+	return ns
+}
+
+// errObjOf finds the error variable assigned alongside the acquire, if any.
+func errObjOf(pass *Pass, as *ast.AssignStmt) types.Object {
+	if as == nil {
+		return nil
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		var obj types.Object
+		if obj = pass.TypesInfo.Defs[id]; obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil && isErrorType(obj.Type()) {
+			return obj
+		}
+	}
+	return nil
+}

@@ -1,0 +1,5 @@
+// Package engine is a fixture stub matched by package name: Result marks
+// the statement-execution signature typederr treats as request-path.
+package engine
+
+type Result struct{}

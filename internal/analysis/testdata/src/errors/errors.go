@@ -1,0 +1,6 @@
+// Package errors is a fixture stub matched by package name.
+package errors
+
+func New(text string) error { return nil }
+
+func Is(err, target error) bool { return false }

@@ -1,0 +1,6 @@
+// Package fmt is a fixture stub matched by package name.
+package fmt
+
+func Errorf(format string, args ...interface{}) error { return nil }
+
+func Sprintf(format string, args ...interface{}) string { return "" }

@@ -1,0 +1,82 @@
+package a
+
+import "sync"
+
+type node struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (n *node) assignLocked() { n.n++ }
+func (n *node) drainLocked()  { n.n-- }
+
+func (n *node) good() {
+	n.mu.Lock()
+	n.assignLocked()
+	n.mu.Unlock()
+}
+
+func (n *node) goodDeferred() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.assignLocked()
+}
+
+func (n *node) goodRLock() {
+	n.rw.RLock()
+	n.assignLocked()
+	n.rw.RUnlock()
+}
+
+func (n *node) helperLocked() {
+	// A *Locked function's callees inherit the caller's lock.
+	n.assignLocked()
+}
+
+func (n *node) bad() {
+	n.assignLocked() // want "without its mutex"
+}
+
+func (n *node) badAfterUnlock() {
+	n.mu.Lock()
+	n.assignLocked()
+	n.mu.Unlock()
+	n.drainLocked() // want "without its mutex"
+}
+
+func (n *node) badBranchOnly(c bool) {
+	if c {
+		n.mu.Lock()
+		n.assignLocked()
+		n.mu.Unlock()
+	}
+	n.drainLocked() // want "without its mutex"
+}
+
+func (n *node) goodEarlyReturn(c bool) {
+	n.mu.Lock()
+	if c {
+		n.mu.Unlock()
+		return
+	}
+	n.assignLocked()
+	n.mu.Unlock()
+}
+
+// lint:holds n.mu — every caller pins the mutex before invoking this helper.
+func (n *node) annotatedFunc() {
+	n.assignLocked()
+}
+
+func (n *node) annotatedSite() {
+	n.assignLocked() // lint:holds n.mu taken two frames up
+}
+
+func (n *node) badGoroutine() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		n.assignLocked() // want "without its mutex"
+	}()
+}

@@ -1,0 +1,19 @@
+// Package rand is a fixture stub; wallclock matches it by import path
+// ("math/rand"), which the fixture loader preserves.
+package rand
+
+type Source interface {
+	Int63() int64
+}
+
+type Rand struct{}
+
+func (r *Rand) Intn(n int) int                     { return 0 }
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {}
+
+func New(src Source) *Rand        { return &Rand{} }
+func NewSource(seed int64) Source { return nil }
+
+func Intn(n int) int                     { return 0 }
+func Int63() int64                       { return 0 }
+func Shuffle(n int, swap func(i, j int)) {}

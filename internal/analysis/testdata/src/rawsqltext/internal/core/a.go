@@ -1,0 +1,33 @@
+package core
+
+import "sqlparse"
+
+func ship(st sqlparse.Statement) string {
+	return st.SQL() // want "raw statement text"
+}
+
+func shipBound(st sqlparse.Statement, args []interface{}) (string, error) {
+	bound, err := sqlparse.BindParams(st, args)
+	if err != nil {
+		return "", err
+	}
+	return bound.SQL(), nil
+}
+
+func shipDDL(ct *sqlparse.CreateTable) string {
+	// Concrete param-free type: cannot carry a ? placeholder.
+	return ct.SQL()
+}
+
+func shipInsert(ins *sqlparse.Insert) string {
+	return ins.SQL() // want "raw statement text"
+}
+
+func logText(st sqlparse.Statement) string {
+	return st.SQL() // lint:rawsql-ok error-message rendering only, never re-parsed
+}
+
+// lint:rawsql-ok backup files store raw text by design
+func backupText(st sqlparse.Statement) string {
+	return st.SQL()
+}

@@ -1,0 +1,9 @@
+// Package other is outside the boundary packages: raw SQL() renders are
+// not flagged here.
+package other
+
+import "sqlparse"
+
+func render(st sqlparse.Statement) string {
+	return st.SQL()
+}

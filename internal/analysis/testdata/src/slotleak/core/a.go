@@ -1,0 +1,90 @@
+package core
+
+import "admission"
+
+type Replica struct{}
+
+func (r *Replica) acquire() error                { return nil }
+func (r *Replica) acquireDeadline(d int64) error { return nil }
+func (r *Replica) release()                      {}
+
+func good(ctrl *admission.Controller) error {
+	slot, err := ctrl.Acquire("u", "oltp")
+	if err != nil {
+		return err
+	}
+	defer slot.Release()
+	return nil
+}
+
+func leakEarlyReturn(ctrl *admission.Controller, c bool) error {
+	slot, err := ctrl.Acquire("u", "oltp")
+	if err != nil {
+		return err
+	}
+	if c {
+		return nil // want "leaks admission slot"
+	}
+	slot.Done(nil)
+	return nil
+}
+
+func discarded(ctrl *admission.Controller) {
+	ctrl.Acquire("u", "oltp") // want "discarded"
+}
+
+func blankSlot(ctrl *admission.Controller) error {
+	_, err := ctrl.Acquire("u", "oltp") // want "assigned to _"
+	return err
+}
+
+func handoff(ctrl *admission.Controller, sink func(*admission.Slot)) error {
+	slot, err := ctrl.Acquire("u", "oltp")
+	if err != nil {
+		return err
+	}
+	// Passing the slot onward transfers the release obligation.
+	sink(slot)
+	return nil
+}
+
+func semGood(r *Replica) error {
+	if err := r.acquire(); err != nil {
+		return err
+	}
+	defer r.release()
+	return nil
+}
+
+func semLeak(r *Replica, c bool) error {
+	if err := r.acquire(); err != nil {
+		return err
+	}
+	if c {
+		return nil // want "leaks replica worker semaphore"
+	}
+	r.release()
+	return nil
+}
+
+func fallOffLeak(ctrl *admission.Controller, c bool) {
+	slot, err := ctrl.Acquire("u", "oltp")
+	if err != nil {
+		return
+	}
+	if c {
+		slot.Done(nil)
+	}
+} // want "falls off its end"
+
+func annotatedReturn(ctrl *admission.Controller, c bool) error {
+	slot, err := ctrl.Acquire("u", "oltp")
+	if err != nil {
+		return err
+	}
+	if c {
+		return nil // lint:slotleak-ok admission timer reclaims the slot in this mode
+	}
+	slot.Done(nil)
+	return nil
+}

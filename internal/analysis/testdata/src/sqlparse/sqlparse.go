@@ -1,0 +1,32 @@
+// Package sqlparse is a fixture stub matched by package name: Statement and
+// Expr interfaces, one parameterized statement (Insert), one param-free DDL
+// statement (CreateTable), and BindParams.
+package sqlparse
+
+type Statement interface {
+	SQL() string
+}
+
+type Expr interface {
+	SQL() string
+}
+
+type Insert struct{}
+
+func (i *Insert) SQL() string { return "" }
+
+type Select struct{}
+
+func (s *Select) SQL() string { return "" }
+
+type CreateTable struct{}
+
+func (c *CreateTable) SQL() string { return "" }
+
+type Literal struct{}
+
+func (l *Literal) SQL() string { return "" }
+
+func BindParams(st Statement, args []interface{}) (Statement, error) {
+	return st, nil
+}

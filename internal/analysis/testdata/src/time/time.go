@@ -1,0 +1,13 @@
+// Package time is a fixture stub matched by package name.
+package time
+
+type Duration int64
+
+type Time struct{}
+
+func (t Time) Add(d Duration) Time { return t }
+
+func Now() Time             { return Time{} }
+func Since(t Time) Duration { return 0 }
+func Until(t Time) Duration { return 0 }
+func Sleep(d Duration)      {}

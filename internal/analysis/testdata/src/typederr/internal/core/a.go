@@ -1,0 +1,43 @@
+package core
+
+import (
+	"engine"
+	"errors"
+	"fmt"
+)
+
+var ErrOverloaded = errors.New("core: overloaded")
+
+type Session struct{}
+
+func (s *Session) waitFreshness(ok bool) error {
+	if !ok {
+		return errors.New("home stuck") // want "naked errors.New"
+	}
+	return nil
+}
+
+func (s *Session) Exec(q string) (*engine.Result, error) {
+	if q == "" {
+		return nil, fmt.Errorf("empty query %q", q) // want "without %w"
+	}
+	if len(q) > 10 {
+		return nil, fmt.Errorf("%w: queue full", ErrOverloaded)
+	}
+	return &engine.Result{}, nil
+}
+
+func (s *Session) validate(q string) error {
+	if q == "bad" {
+		return errors.New("client misuse") // lint:typederr-ok usage error, deliberately matches no sentinel
+	}
+	return nil
+}
+
+// parseHint has no request-path signature: untyped errors are fine here.
+func parseHint(h string) error {
+	if h == "" {
+		return errors.New("no hint")
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package history
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now"
+}
+
+func pace() {
+	time.Sleep(10)
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since"
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "global rand.Intn"
+}
+
+func pickSeeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+func keysBad(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "iteration order leaks"
+	}
+	return out
+}
+
+func keysAnnotated(m map[string]int) []string {
+	var out []string
+	for k := range m { // lint:maporder-ok caller sorts before recording
+		out = append(out, k)
+	}
+	return out
+}
+
+func countsOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func innerScope(m map[string]int) {
+	for k := range m {
+		var tmp []string
+		tmp = append(tmp, k)
+		_ = tmp
+	}
+}
+
+func deliberate() time.Time {
+	return time.Now() // lint:wallclock-ok operator-facing timestamp, never enters a recorded order
+}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` compilation-unit protocol, the
+// same contract golang.org/x/tools/go/analysis/unitchecker speaks, on the
+// standard library alone (the module deliberately has no dependencies):
+//
+//	repllint -V=full      describe the executable      (to the go command)
+//	repllint -flags       describe the tool's flags    (to the go command)
+//	repllint <unit>.cfg   analyze one compilation unit (per package)
+//
+// For each package, the go command writes a JSON config naming the unit's
+// source files and the export-data files of every import, then invokes the
+// tool with the config's path. The tool parses and type-checks the unit
+// (imports are satisfied from the compiler's export data via go/importer),
+// runs the analyzers, and exits non-zero if any diagnostics were reported —
+// which fails the overall `go vet` invocation.
+
+// unitConfig describes a vet compilation unit; it mirrors the JSON the go
+// command writes (cmd/go/internal/work.vetConfig). Unknown fields are
+// ignored by encoding/json, so the subset here is forward-compatible.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the vettool protocol for the given analyzers and exits.
+// It expects os.Args[1:] to be one of -V=full, -flags, or a single path
+// ending in .cfg.
+func Main(analyzers []*Analyzer) {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V="):
+			printVersion(args[0])
+			os.Exit(0)
+		case args[0] == "-flags":
+			// No tool-specific flags: every analyzer always runs.
+			fmt.Println("[]")
+			os.Exit(0)
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(runUnit(args[0], analyzers))
+		}
+	}
+	fmt.Fprintf(os.Stderr, `repllint: this tool speaks the go vet -vettool protocol and expects a
+single <unit>.cfg argument from the go command; run it via
+
+	go run ./cmd/repllint ./...
+
+(or go vet -vettool=$(command -v repllint) ./...), not directly.
+`)
+	os.Exit(64)
+}
+
+// printVersion answers `-V=full`: the go command hashes the reply into its
+// action cache so analysis re-runs when the tool binary changes. The reply
+// must be of the form "<progname> version <ver>"; using "devel" plus a
+// content hash of the executable mirrors what cmd/compile and unitchecker
+// do, and makes the cache key track the tool's actual bytes.
+func printVersion(flagArg string) {
+	if flagArg != "-V=full" {
+		fmt.Fprintf(os.Stderr, "repllint: unsupported flag %q\n", flagArg)
+		os.Exit(2)
+	}
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], h.Sum(nil))
+}
+
+// runUnit analyzes one compilation unit and returns the process exit code:
+// 0 clean, 1 on operational errors, 2 when diagnostics were reported.
+func runUnit(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repllint: %v\n", err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "repllint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command asks for a "vetx" facts file per unit so dependent
+	// units can consume cross-package facts. These analyzers keep no
+	// cross-package facts, so the file is written empty — but it must be
+	// written, before any other outcome, for the caching contract.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0666); err != nil {
+			fmt.Fprintf(os.Stderr, "repllint: %v\n", err)
+			return 1
+		}
+	}
+	// VetxOnly units are pure dependencies: the driver wants only their
+	// facts. With no facts to compute, skip the parse and type-check
+	// entirely — this is what keeps whole-tree runs fast (the standard
+	// library is never analyzed, only this module's packages are).
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "repllint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheckUnit(fset, &cfg, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "repllint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := RunAnalyzers(analyzers, fset, files, pkg, info)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.pos), d.message, d.analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheckUnit type-checks the unit's parsed files, resolving imports
+// through the export data the go command listed in the config.
+func typecheckUnit(fset *token.FileSet, cfg *unitConfig, files []*ast.File) (*types.Package, *types.Info, error) {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped // resolve vendoring and test-variant remapping
+		}
+		return compilerImporter.(types.ImporterFrom).ImportFrom(importPath, cfg.Dir, 0)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// unitDiag is one diagnostic tagged with its analyzer, position-sortable.
+type unitDiag struct {
+	pos      token.Pos
+	analyzer string
+	message  string
+}
+
+// RunAnalyzers runs every analyzer over one type-checked package and
+// returns the diagnostics sorted by position. It is the shared core of the
+// unitchecker driver and the analysistest harness.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []unitDiag {
+	var diags []unitDiag
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			diags = append(diags, unitDiag{pos: d.Pos, analyzer: pass.Analyzer.Name, message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, unitDiag{pos: token.NoPos, analyzer: a.Name, message: "analyzer error: " + err.Error()})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].pos != diags[j].pos {
+			return diags[i].pos < diags[j].pos
+		}
+		return diags[i].analyzer < diags[j].analyzer
+	})
+	return diags
+}
+
+// Position exposes a diagnostic's location for the test harness.
+func (d unitDiag) Position(fset *token.FileSet) token.Position { return fset.Position(d.pos) }
+
+// Analyzer names the analyzer that produced the diagnostic.
+func (d unitDiag) Analyzer() string { return d.analyzer }
+
+// Message returns the diagnostic text.
+func (d unitDiag) Message() string { return d.message }

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClockAnalyzer keeps nondeterminism out of the certification paths.
+// PR 6's offline checkers (Biswas & Enea-style polynomial certification)
+// are only sound if the recorded orders are ground truth: history recording
+// uses a process-wide logical clock instead of time.Now, and the workload /
+// chaos generators derive every choice from CERT_SEED so a failing cell
+// reproduces bit-for-bit. Wall-clock reads, global (unseeded) randomness,
+// or iteration order of a Go map leaking into recorded sequences all break
+// that reproducibility silently.
+//
+// In package internal/history the analyzer forbids:
+//
+//   - time.Now / time.Since / time.Until (time.Sleep is allowed: pacing
+//     changes interleavings, never recorded facts);
+//   - package-level math/rand functions (rand.Intn, rand.Shuffle, ...):
+//     all randomness must flow from a seeded *rand.Rand (rand.New /
+//     rand.NewSource are allowed);
+//   - ranging over a map while appending to a slice declared outside the
+//     loop — the shape that turns map iteration order into a recorded or
+//     reported sequence. Sort the result, or annotate
+//     `// lint:maporder-ok <reason>` when order provably cannot escape.
+//
+// Deliberate wall-clock reads (none today) carry `// lint:wallclock-ok`.
+var WallClockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "certification paths must stay deterministic: no wall clock, no global rand, no map-order-dependent sequences",
+	Run:  runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	if !pass.pkgPathHasSuffix("internal/history") {
+		return nil
+	}
+	for _, f := range pass.prodFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkWallClockCall(pass, x)
+			case *ast.RangeStmt:
+				checkMapOrderRange(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkWallClockCall(pass *Pass, call *ast.CallExpr) {
+	for _, fname := range [...]string{"Now", "Since", "Until"} {
+		if pkgFuncCall(pass.TypesInfo, call, "time", fname) {
+			if !pass.annotatedAt(call.Pos(), "wallclock-ok") {
+				pass.Reportf(call.Pos(),
+					"time.%s on a certification path: recorded orders must come from the logical clock, not wall time (annotate // lint:wallclock-ok <reason> if this never reaches a recorded fact)", fname)
+			}
+			return
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "math/rand" {
+		switch sel.Sel.Name {
+		case "New", "NewSource":
+			return // building a seeded generator is the sanctioned use
+		}
+		if !pass.annotatedAt(call.Pos(), "wallclock-ok") {
+			pass.Reportf(call.Pos(),
+				"global rand.%s on a certification path: CERT_SEED reproducibility requires every choice to flow from a seeded *rand.Rand", sel.Sel.Name)
+		}
+	}
+}
+
+// checkMapOrderRange flags `for ... range <map>` loops that append to a
+// slice declared outside the loop: map iteration order becomes sequence
+// order, and a recorded or reported sequence must not depend on it.
+func checkMapOrderRange(pass *Pass, rng *ast.RangeStmt) {
+	t, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := t.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if pass.annotatedAt(rng.Pos(), "maporder-ok") {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+			return true
+		}
+		target, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[target]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[target]
+		}
+		// Declared inside the loop body: order cannot outlive one
+		// iteration.
+		if obj == nil || (obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End()) {
+			return true
+		}
+		if pass.annotatedAt(as.Pos(), "maporder-ok") {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"append to %s while ranging over a map: iteration order leaks into a sequence — sort the result deterministically, or annotate // lint:maporder-ok <reason>", target.Name)
+		return true
+	})
+}

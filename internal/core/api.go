@@ -1,12 +1,30 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/sqlparse"
 )
+
+// Typed sentinels shared by every topology's session implementation. The
+// wire server and the database/sql driver classify errors exclusively via
+// errors.Is, so request-path errors must wrap one of these (or another
+// package sentinel) — enforced by the typederr analyzer (cmd/repllint).
+
+// ErrTxnState is wrapped by transaction-bracket misuse: BEGIN inside an
+// open transaction, COMMIT/ROLLBACK without one. Deliberately not
+// retryable — retrying cannot fix a client-side sequencing bug.
+var ErrTxnState = errors.New("core: invalid transaction state")
+
+// ErrUnsupportedStatement is wrapped when a statement is valid SQL but
+// cannot be executed under the cluster's topology or replication mode
+// (DDL inside multi-master transactions, scatter aggregates the partition
+// router cannot merge, non-literal partition keys). Not retryable: the
+// same statement fails the same way every time.
+var ErrUnsupportedStatement = errors.New("core: statement not supported on this cluster topology")
 
 // This file defines the unified client API every replication topology
 // implements: the Go equivalent of the paper's central practical lesson that

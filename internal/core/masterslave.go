@@ -120,6 +120,13 @@ type MasterSlaveConfig struct {
 	StatementTimeout time.Duration
 }
 
+// ErrTxnLost is wrapped when a master failover destroys an in-flight
+// transaction and TransparentFailover is off (§4.3.3: session failover
+// only). Deliberately not retryable — the application must restart the
+// transaction from BEGIN; replaying just the failed statement would apply
+// it outside any transaction.
+var ErrTxnLost = errors.New("core: transaction lost by master failover")
+
 // MasterSlave is a master-slave replication controller (Figures 1 and 3).
 type MasterSlave struct {
 	cfg MasterSlaveConfig
@@ -1062,7 +1069,7 @@ func (cs *MSSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*en
 	}
 	user := cs.pool.user
 	db := cs.pool.currentDB()
-	text := st.SQL()
+	text := st.SQL() // lint:rawsql-ok process-local query-cache key; never crosses a replica boundary
 	minPos := cs.ms.cacheMinPos(cs.cons, cs.readFloor())
 	if relaxed {
 		minPos = 0
@@ -1279,7 +1286,11 @@ func (cs *MSSession) recoverFromMasterFailure(failed *Replica) error {
 			break
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("core: no failover within %v", cs.ms.cfg.FailoverTimeout)
+			// No replica was promoted in time: the cluster currently has no
+			// master. Wrapping ErrReplicaDown keeps the session-failover
+			// contract — pooled drivers discard the connection and retry,
+			// and a later attempt may find a promoted master.
+			return fmt.Errorf("%w: no failover within %v", ErrReplicaDown, cs.ms.cfg.FailoverTimeout)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -1290,7 +1301,7 @@ func (cs *MSSession) recoverFromMasterFailure(failed *Replica) error {
 	if !cs.ms.cfg.TransparentFailover {
 		cs.inTxn = false
 		cs.txnLog = nil
-		return fmt.Errorf("core: transaction lost by master failover (session failover only, §4.3.3)")
+		return fmt.Errorf("%w: session failover only, §4.3.3", ErrTxnLost)
 	}
 	// Replay the transaction context on the new master.
 	master := cs.ms.Master()

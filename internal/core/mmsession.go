@@ -180,13 +180,6 @@ func (s *MMSession) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) 
 			return &engine.Result{}, nil
 		}
 	}
-	if len(args) > 0 && !st.IsRead() && s.mm.cfg.Mode == StatementMode {
-		bound, err := sqlparse.BindParams(st, args)
-		if err != nil {
-			return nil, err
-		}
-		st, args = bound, nil
-	}
 	if s.inTxn {
 		deadline := s.stmtDeadline()
 		slot, err := s.admit(admission.ClassWrite, deadline)
@@ -212,7 +205,7 @@ func (s *MMSession) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) 
 
 func (s *MMSession) begin() (*engine.Result, error) {
 	if s.inTxn {
-		return nil, fmt.Errorf("core: transaction already in progress")
+		return nil, fmt.Errorf("%w: transaction already in progress", ErrTxnState)
 	}
 	if !s.home.Healthy() {
 		// The home replica executes this session's transactions; starting
@@ -275,14 +268,15 @@ func isDDL(st sqlparse.Statement) bool {
 }
 
 // execInTxn runs a statement inside the interactive transaction. In
-// statement mode write arguments were already inlined by ExecStmtArgs, so
-// the recorded script is standalone; in certification mode the argument
-// vector binds at the dry run and the captured write set carries row images.
+// statement mode the write's ? arguments are inlined right here, where the
+// statement text is recorded for the ordering channel, so the script is
+// standalone by construction; in certification mode the argument vector
+// binds at the dry run and the captured write set carries row images.
 func (s *MMSession) execInTxn(st sqlparse.Statement, args []sqltypes.Value, deadline time.Time) (*engine.Result, error) {
 	if isDDL(st) {
 		// DDL is non-transactional (§4.1.2) and would double-execute on
 		// the home replica during script replay.
-		return nil, fmt.Errorf("core: DDL inside explicit transactions is not supported on multi-master clusters")
+		return nil, fmt.Errorf("%w: DDL inside explicit transactions on multi-master clusters", ErrUnsupportedStatement)
 	}
 	exec := st
 	if !st.IsRead() && s.mm.cfg.Mode == StatementMode {
@@ -290,11 +284,17 @@ func (s *MMSession) execInTxn(st sqlparse.Statement, args []sqltypes.Value, dead
 		if err != nil {
 			return nil, err
 		}
-		exec = rewritten
-		// The broadcast script needs SQL text (it crosses the ordering
-		// channel), but the local dry run executes the rewritten AST
-		// directly — no re-parse.
-		s.txnSQL = append(s.txnSQL, rewritten.SQL())
+		// The broadcast script crosses the ordering channel as SQL text and
+		// re-executes standalone on every replica, which has no access to
+		// this call's argument vector: bind ? placeholders before rendering.
+		// The local dry run executes the same bound AST directly (no
+		// re-parse), so dry run and replay see identical statements.
+		bound, err := sqlparse.BindParams(rewritten, args)
+		if err != nil {
+			return nil, err
+		}
+		exec, args = bound, nil
+		s.txnSQL = append(s.txnSQL, bound.SQL())
 	}
 	res, err := s.home.ExecStmtArgsDeadlineOn(s.dryRun, exec, st.IsRead(), args, deadline)
 	if err != nil {
@@ -318,13 +318,13 @@ func (s *MMSession) prepareStatement(st sqlparse.Statement) (sqlparse.Statement,
 			rewritten, _ := sqlparse.RewriteTimeFuncs(st, time.Now())
 			return rewritten, nil
 		}
-		return nil, fmt.Errorf("%w: %s", ErrNonDeterministic, st.SQL())
+		return nil, fmt.Errorf("%w: %s", ErrNonDeterministic, st.SQL()) // lint:rawsql-ok error-message rendering; text never reaches the ordering channel
 	}
 }
 
 func (s *MMSession) commit() (*engine.Result, error) {
 	if !s.inTxn {
-		return nil, fmt.Errorf("core: no transaction in progress")
+		return nil, fmt.Errorf("%w: no transaction in progress", ErrTxnState)
 	}
 	defer func() {
 		s.inTxn = false
@@ -375,7 +375,7 @@ func (s *MMSession) commit() (*engine.Result, error) {
 
 func (s *MMSession) rollback() (*engine.Result, error) {
 	if !s.inTxn {
-		return nil, fmt.Errorf("core: no transaction in progress")
+		return nil, fmt.Errorf("%w: no transaction in progress", ErrTxnState)
 	}
 	s.dryRun.Rollback()
 	s.inTxn = false
@@ -384,13 +384,14 @@ func (s *MMSession) rollback() (*engine.Result, error) {
 	return &engine.Result{}, nil
 }
 
-// execAutocommitWrite orders a single write statement (arguments already
-// inlined in statement mode; bound at the dry run in certification mode).
+// execAutocommitWrite orders a single write statement (? arguments are
+// inlined below in statement mode; bound at the dry run in certification
+// mode).
 func (s *MMSession) execAutocommitWrite(st sqlparse.Statement, args []sqltypes.Value, deadline time.Time) (*engine.Result, error) {
 	if isDDL(st) {
 		// Schema changes replicate as ordered statements in either mode:
 		// write sets cannot carry DDL (§4.3.2).
-		return s.submitScript([]string{st.SQL()})
+		return s.submitScript([]string{st.SQL()}) // lint:rawsql-ok isDDL-guarded: DDL statements cannot carry ? placeholders (see sqlparse/bind.go)
 	}
 	if s.mm.cfg.Mode == CertificationMode {
 		// An autocommit write is a one-statement transaction; the caller's
@@ -408,7 +409,14 @@ func (s *MMSession) execAutocommitWrite(st sqlparse.Statement, args []sqltypes.V
 	if err != nil {
 		return nil, err
 	}
-	return s.submitScript([]string{prepared.SQL()})
+	// The ordered script re-executes standalone on every replica: inline the
+	// ? arguments at the ship site so the text can never leave with unbound
+	// placeholders.
+	bound, err := sqlparse.BindParams(prepared, args)
+	if err != nil {
+		return nil, err
+	}
+	return s.submitScript([]string{bound.SQL()})
 }
 
 func (s *MMSession) submitScript(stmts []string) (*engine.Result, error) {
@@ -480,8 +488,12 @@ func (s *MMSession) waitHomeFloor() error {
 			return ErrReplicaDown
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("core: home %s stuck at position %d, session requires %d",
-				s.home.Name(), s.home.AppliedSeq(), floor)
+			// A stuck freshness wait is a deadline, not a hard failure: the
+			// read never executed, so wrapping the deadline sentinel lets
+			// pooled drivers back off and retry on a fresh connection
+			// (likely homed on a replica that has caught up).
+			return fmt.Errorf("%w: home %s stuck at position %d, session requires %d",
+				ErrDeadlineExceeded, s.home.Name(), s.home.AppliedSeq(), floor)
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
@@ -506,7 +518,7 @@ func (s *MMSession) execRead(st sqlparse.Statement, args []sqltypes.Value) (*eng
 	}
 	user := s.user
 	db := s.db
-	text := st.SQL()
+	text := st.SQL() // lint:rawsql-ok process-local query-cache key; never crosses a replica boundary
 	minPos := s.mm.cacheMinPos(s.cons, s.readFloor())
 	if relaxed {
 		minPos = 0 // shedding: any cached result beats queueing for a slot

@@ -56,6 +56,14 @@ var ErrCertificationAbort = errors.New("core: transaction aborted by certificati
 // (the replicated database "must favor C and A over P", §4.3.4.3).
 var ErrNoQuorum = errors.New("core: no quorum — writes refused in minority partition")
 
+// ErrCommitUncertain is wrapped when a commit was submitted for total-order
+// delivery but no decision arrived within CommitTimeout. The outcome is
+// unknown: the script may yet commit cluster-wide. Deliberately NOT a
+// deadline sentinel (it must not wrap context.DeadlineExceeded): a pooled
+// driver that classified this as retryable would re-submit and could
+// double-apply a non-idempotent write after the original commits.
+var ErrCommitUncertain = errors.New("core: commit outcome uncertain — ordered but unacknowledged")
+
 // MultiMasterConfig configures a multi-master cluster.
 type MultiMasterConfig struct {
 	Mode MMMode
@@ -400,7 +408,7 @@ func (mm *MultiMaster) submitAndWait(ord Orderer, home *Replica, txn mmTxn) (*en
 		mm.mu.Lock()
 		delete(mm.waiters, txn.ID)
 		mm.mu.Unlock()
-		return nil, fmt.Errorf("core: commit timed out after %v (partition or overload)", mm.cfg.CommitTimeout)
+		return nil, fmt.Errorf("%w: no ordering decision after %v (partition or overload)", ErrCommitUncertain, mm.cfg.CommitTimeout)
 	}
 }
 

@@ -239,7 +239,7 @@ func (ps *PSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 	switch sd := st.(type) {
 	case *sqlparse.BeginTxn:
 		if ps.inTxn {
-			return nil, fmt.Errorf("core: transaction already in progress")
+			return nil, fmt.Errorf("%w: transaction already in progress", ErrTxnState)
 		}
 		// Bind lazily: the partition is unknown until the first keyed
 		// statement.
@@ -248,7 +248,7 @@ func (ps *PSession) ExecStmt(st sqlparse.Statement) (*engine.Result, error) {
 		return &engine.Result{}, nil
 	case *sqlparse.CommitTxn, *sqlparse.RollbackTxn:
 		if !ps.inTxn {
-			return nil, fmt.Errorf("core: no transaction in progress")
+			return nil, fmt.Errorf("%w: no transaction in progress", ErrTxnState)
 		}
 		sub := ps.txnSub
 		ps.inTxn = false
@@ -332,7 +332,7 @@ func (ps *PSession) execInTxn(st sqlparse.Statement) (*engine.Result, error) {
 	}
 	p, ok := ps.partitionOf(st)
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrCrossPartitionTxn, st.SQL())
+		return nil, fmt.Errorf("%w: %s", ErrCrossPartitionTxn, st.SQL()) // lint:rawsql-ok error-message rendering; text never leaves the process
 	}
 	if ps.txnSub == nil {
 		sub := ps.subs[p]
@@ -476,13 +476,13 @@ func (ps *PSession) execInsert(ins *sqlparse.Insert) (*engine.Result, error) {
 		}
 	}
 	if keyIdx < 0 {
-		return nil, fmt.Errorf("core: INSERT into partitioned table %s must supply key column %s", ins.Table.Name, rule.Column)
+		return nil, fmt.Errorf("%w: INSERT into partitioned table %s must supply key column %s", ErrUnsupportedStatement, ins.Table.Name, rule.Column)
 	}
 	groups := make(map[int][][]sqlparse.Expr)
 	for _, row := range ins.Rows {
 		lit, ok := row[keyIdx].(*sqlparse.Literal)
 		if !ok {
-			return nil, fmt.Errorf("core: partition key must be a literal in INSERT")
+			return nil, fmt.Errorf("%w: partition key must be a literal in INSERT", ErrUnsupportedStatement)
 		}
 		p, err := rule.partitionFor(lit.Val, len(ps.subs))
 		if err != nil {
@@ -575,13 +575,13 @@ func (ps *PSession) execSelect(sel *sqlparse.Select) (*engine.Result, error) {
 				case "COUNT", "SUM", "MIN", "MAX":
 					hasAgg = true
 				case "AVG":
-					return nil, fmt.Errorf("core: AVG over scattered partitions is not supported; use SUM and COUNT")
+					return nil, fmt.Errorf("%w: AVG over scattered partitions; use SUM and COUNT", ErrUnsupportedStatement)
 				}
 			}
 		}
 	}
 	if hasAgg && len(sel.GroupBy) > 0 {
-		return nil, fmt.Errorf("core: GROUP BY over scattered partitions is not supported")
+		return nil, fmt.Errorf("%w: GROUP BY over scattered partitions", ErrUnsupportedStatement)
 	}
 
 	type out struct {

@@ -394,8 +394,8 @@ func (ws *WSession) execRouted(st sqlparse.Statement) (*engine.Result, error) {
 		// write would autocommit it at the owner, outside the transaction
 		// — a rollback could never undo it. Refuse, like the partition
 		// router refuses cross-partition statements.
-		return nil, fmt.Errorf("core: transaction is local to site %s; write for key owned by %s cannot join it (no cross-site 2PC)",
-			ws.local.Name, owner.Name)
+		return nil, fmt.Errorf("%w: transaction is local to site %s; write for key owned by %s cannot join it (no cross-site 2PC)",
+			ErrUnsupportedStatement, ws.local.Name, owner.Name)
 	}
 	s, err := ws.sessionAt(owner)
 	if err != nil {

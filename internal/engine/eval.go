@@ -263,7 +263,8 @@ func evalIn(env *evalEnv, e *sqlparse.InExpr) (sqltypes.Value, error) {
 		}
 		// Uncorrelated subqueries only: evaluated once per outer row for
 		// simplicity (the engine is a substrate, not an optimizer).
-		res, err := env.s.execSelect(env.tx, e.Sub, env.args)
+		// lint:holds env.s.eng.mu — expression evaluation only runs inside execLocked
+		res, err := env.s.execSelectLocked(env.tx, e.Sub, env.args)
 		if err != nil {
 			return sqltypes.Null, err
 		}

@@ -23,13 +23,13 @@ func (s *Session) dmlLocked(st sqlparse.Statement, args []sqltypes.Value, depth 
 	var err error
 	switch st := st.(type) {
 	case *sqlparse.Insert:
-		res, err = s.execInsert(tx, st, args, depth)
+		res, err = s.execInsertLocked(tx, st, args, depth)
 	case *sqlparse.Update:
-		res, err = s.execUpdate(tx, st, args, depth)
+		res, err = s.execUpdateLocked(tx, st, args, depth)
 	case *sqlparse.Delete:
-		res, err = s.execDelete(tx, st, args, depth)
+		res, err = s.execDeleteLocked(tx, st, args, depth)
 	case *sqlparse.Select:
-		res, err = s.execSelect(tx, st, args)
+		res, err = s.execSelectLocked(tx, st, args)
 	default:
 		err = fmt.Errorf("engine: not a DML statement: %T", st)
 	}
@@ -68,7 +68,10 @@ func recordSQL(st sqlparse.Statement, args []sqltypes.Value) string {
 			return bound.SQL()
 		}
 	}
-	return st.SQL()
+	// Unreachable placeholder case: args==0 means the statement had no ?
+	// (ExecStmtArgs enforces the count) and a bind error above implies the
+	// statement could not have executed. Raw text is safe here.
+	return st.SQL() // lint:rawsql-ok no-args statements carry no placeholders; see comment above
 }
 
 // checkTempUse enforces the Sybase-style "no temp tables inside explicit
@@ -159,9 +162,9 @@ func coerce(col Column, v sqltypes.Value) (sqltypes.Value, error) {
 	return v, nil
 }
 
-// uniqueViolation checks PK/unique constraints of candidate against rows
+// uniqueViolationLocked checks PK/unique constraints of candidate against rows
 // visible to tx (excluding excludeID).
-func (s *Session) uniqueViolation(tx *Txn, key tableKey, t *Table, candidate sqltypes.Row, excludeID int64) error {
+func (s *Session) uniqueViolationLocked(tx *Txn, key tableKey, t *Table, candidate sqltypes.Row, excludeID int64) error {
 	if len(t.uniqueCols) == 0 {
 		return nil
 	}
@@ -200,8 +203,8 @@ func (s *Session) uniqueViolation(tx *Txn, key tableKey, t *Table, candidate sql
 	return nil
 }
 
-func (s *Session) execInsert(tx *Txn, st *sqlparse.Insert, args []sqltypes.Value, depth int) (*Result, error) {
-	t, key, err := s.lookupTable(st.Table)
+func (s *Session) execInsertLocked(tx *Txn, st *sqlparse.Insert, args []sqltypes.Value, depth int) (*Result, error) {
+	t, key, err := s.lookupTableLocked(st.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +275,7 @@ func (s *Session) execInsert(tx *Txn, st *sqlparse.Insert, args []sqltypes.Value
 			}
 			row[i] = cv
 		}
-		if err := s.uniqueViolation(tx, key, t, row, -1); err != nil {
+		if err := s.uniqueViolationLocked(tx, key, t, row, -1); err != nil {
 			return nil, err
 		}
 		if t.Temp {
@@ -294,15 +297,15 @@ func (s *Session) execInsert(tx *Txn, st *sqlparse.Insert, args []sqltypes.Value
 			tx.ops = append(tx.ops, pendingOp{key: key, rowID: id, kind: WriteInsert})
 		}
 		res.RowsAffected++
-		if err := s.fireTriggers(tx, key, "INSERT", depth); err != nil {
+		if err := s.fireTriggersLocked(tx, key, "INSERT", depth); err != nil {
 			return nil, err
 		}
 	}
 	return res, nil
 }
 
-func (s *Session) execUpdate(tx *Txn, st *sqlparse.Update, args []sqltypes.Value, depth int) (*Result, error) {
-	t, key, err := s.lookupTable(st.Table)
+func (s *Session) execUpdateLocked(tx *Txn, st *sqlparse.Update, args []sqltypes.Value, depth int) (*Result, error) {
+	t, key, err := s.lookupTableLocked(st.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -387,7 +390,7 @@ func (s *Session) execUpdate(tx *Txn, st *sqlparse.Update, args []sqltypes.Value
 			}
 		}
 		if changedKey {
-			if err := s.uniqueViolation(tx, key, t, newRow, sr.rowID); err != nil {
+			if err := s.uniqueViolationLocked(tx, key, t, newRow, sr.rowID); err != nil {
 				return nil, err
 			}
 		}
@@ -417,15 +420,15 @@ func (s *Session) execUpdate(tx *Txn, st *sqlparse.Update, args []sqltypes.Value
 			}
 		}
 		res.RowsAffected++
-		if err := s.fireTriggers(tx, key, "UPDATE", depth); err != nil {
+		if err := s.fireTriggersLocked(tx, key, "UPDATE", depth); err != nil {
 			return nil, err
 		}
 	}
 	return res, nil
 }
 
-func (s *Session) execDelete(tx *Txn, st *sqlparse.Delete, args []sqltypes.Value, depth int) (*Result, error) {
-	t, key, err := s.lookupTable(st.Table)
+func (s *Session) execDeleteLocked(tx *Txn, st *sqlparse.Delete, args []sqltypes.Value, depth int) (*Result, error) {
+	t, key, err := s.lookupTableLocked(st.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -486,7 +489,7 @@ func (s *Session) execDelete(tx *Txn, st *sqlparse.Delete, args []sqltypes.Value
 			tx.ops = append(tx.ops, pendingOp{key: key, rowID: sr.rowID, kind: WriteDelete})
 		}
 		res.RowsAffected++
-		if err := s.fireTriggers(tx, key, "DELETE", depth); err != nil {
+		if err := s.fireTriggersLocked(tx, key, "DELETE", depth); err != nil {
 			return nil, err
 		}
 	}
@@ -508,8 +511,8 @@ func (e *Engine) releaseRow(tx *Txn, t *Table, rowID int64) {
 	}
 }
 
-// fireTriggers runs AFTER <event> triggers for the table (§4.1.1).
-func (s *Session) fireTriggers(tx *Txn, key tableKey, event string, depth int) error {
+// fireTriggersLocked runs AFTER <event> triggers for the table (§4.1.1).
+func (s *Session) fireTriggersLocked(tx *Txn, key tableKey, event string, depth int) error {
 	if key.db == "" {
 		return nil // temp tables have no triggers
 	}
@@ -546,7 +549,7 @@ type joinedRow struct {
 	valid bool
 }
 
-func (s *Session) execSelect(tx *Txn, st *sqlparse.Select, args []sqltypes.Value) (*Result, error) {
+func (s *Session) execSelectLocked(tx *Txn, st *sqlparse.Select, args []sqltypes.Value) (*Result, error) {
 	if st.NoTable {
 		env := &evalEnv{s: s, args: args}
 		res := &Result{}
@@ -566,7 +569,7 @@ func (s *Session) execSelect(tx *Txn, st *sqlparse.Select, args []sqltypes.Value
 		return res, nil
 	}
 
-	t, key, err := s.lookupTable(st.From)
+	t, key, err := s.lookupTableLocked(st.From)
 	if err != nil {
 		return nil, err
 	}
@@ -610,7 +613,7 @@ func (s *Session) execSelect(tx *Txn, st *sqlparse.Select, args []sqltypes.Value
 			lockTargets = append(lockTargets, sr)
 		}
 	} else {
-		t2, key2, err := s.lookupTable(st.Join.Table)
+		t2, key2, err := s.lookupTableLocked(st.Join.Table)
 		if err != nil {
 			return nil, err
 		}
@@ -686,7 +689,7 @@ func (s *Session) execSelect(tx *Txn, st *sqlparse.Select, args []sqltypes.Value
 				res.Columns = append(res.Columns, c.Name)
 			}
 			if st.Join != nil {
-				t2, _, _ := s.lookupTable(st.Join.Table)
+				t2, _, _ := s.lookupTableLocked(st.Join.Table)
 				for _, c := range t2.Columns {
 					res.Columns = append(res.Columns, c.Name)
 				}
@@ -855,7 +858,7 @@ func itemName(it sqlparse.SelectItem) string {
 	if cr, ok := it.Expr.(*sqlparse.ColumnRef); ok {
 		return cr.Name
 	}
-	return it.Expr.SQL()
+	return it.Expr.SQL() // lint:rawsql-ok result-set column naming; the header text never re-parses
 }
 
 // sortEnvRows orders the row set by the ORDER BY keys.

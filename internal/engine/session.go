@@ -160,19 +160,19 @@ func (s *Session) ExecStmtArgs(st sqlparse.Statement, args ...sqltypes.Value) (*
 	if s.sharedRead(st) {
 		s.eng.mu.RLock()
 		defer s.eng.mu.RUnlock()
-		return s.execTop(st, args)
+		return s.execTopLocked(st, args)
 	}
 	s.eng.mu.Lock()
 	defer s.eng.mu.Unlock()
-	return s.execTop(st, args)
+	return s.execTopLocked(st, args)
 }
 
-// execTop runs one top-level statement under whichever engine lock mode
+// execTopLocked runs one top-level statement under whichever engine lock mode
 // the caller chose, paying the configured per-statement service time.
 // Deadlines are enforced at statement boundaries: a statement whose
 // deadline expired while waiting for the engine lock fails before doing any
 // work, and the modelled service time is truncated at the deadline.
-func (s *Session) execTop(st sqlparse.Statement, args []sqltypes.Value) (*Result, error) {
+func (s *Session) execTopLocked(st sqlparse.Statement, args []sqltypes.Value) (*Result, error) {
 	if !s.effDeadline.IsZero() {
 		rem := time.Until(s.effDeadline)
 		if rem <= 0 {
@@ -479,9 +479,9 @@ func (s *Session) resolveDB(ref sqlparse.TableRef) (string, error) {
 	return s.currentDB, nil
 }
 
-// lookupTable resolves a table reference: session temp tables shadow
+// lookupTableLocked resolves a table reference: session temp tables shadow
 // permanent tables when the reference is unqualified.
-func (s *Session) lookupTable(ref sqlparse.TableRef) (*Table, tableKey, error) {
+func (s *Session) lookupTableLocked(ref sqlparse.TableRef) (*Table, tableKey, error) {
 	if ref.Database == "" {
 		if t, ok := s.tempTables[ref.Name]; ok {
 			return t, tableKey{db: "", table: ref.Name}, nil

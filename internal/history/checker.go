@@ -1,6 +1,9 @@
 package history
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Level selects the isolation guarantee a history is checked against.
 type Level int
@@ -488,7 +491,16 @@ func (cs *checkerState) checkSnapshot() *Violation {
 // node mapper decides). Ground truth orients each pair by binlog order.
 func (cs *checkerState) wwConstraints(nodes func(*digest) (s, c int)) []constraint {
 	var cons []constraint
-	for key, writers := range cs.byKey {
+	// Constraint order feeds the solver and its counterexamples: iterate
+	// the key set in sorted order so a failing history reproduces the same
+	// counterexample on every run instead of varying with map layout.
+	keys := make([]string, 0, len(cs.byKey))
+	for key := range cs.byKey { // lint:maporder-ok keys are sorted immediately below
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		writers := cs.byKey[key]
 		for i := 0; i < len(writers); i++ {
 			for j := i + 1; j < len(writers); j++ {
 				w1, w2 := writers[i], writers[j]

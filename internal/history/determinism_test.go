@@ -1,0 +1,32 @@
+package history
+
+import "testing"
+
+// PR 8 regression: wwConstraints used to iterate its per-key map directly,
+// so the counterexample Check reported for a multi-key anomaly depended on
+// Go's randomized map order. The checker now walks keys in sorted order —
+// the same history must yield a byte-identical violation every run.
+func TestCheckerCounterexampleDeterministic(t *testing.T) {
+	build := func() *History {
+		// Write skew across two keys (x and y): at Serializable the
+		// cycle can be entered from either key's ww constraint, which is
+		// exactly the case map iteration order used to perturb.
+		return newHB(3).
+			txn(0, StatusCommitted, 0, 5, wr("x", 10, 1), wr("y", 20, 2)).
+			txn(1, StatusCommitted, 10, 20, rd("x", 10), rd("y", 20), wr("x", 11, 3)).
+			txn(2, StatusCommitted, 10, 20, rd("x", 10), rd("y", 20), wr("y", 21, 4)).
+			h
+	}
+	first := expectViolation(t, build(), CheckOpts{Level: Serializable}, "cycle")
+	want := first.String()
+	wantSteps := len(first.Steps)
+	for i := 0; i < 20; i++ {
+		v := expectViolation(t, build(), CheckOpts{Level: Serializable}, "cycle")
+		if got := v.String(); got != want {
+			t.Fatalf("run %d: counterexample differs:\n first: %s\n   got: %s", i, want, got)
+		}
+		if len(v.Steps) != wantSteps {
+			t.Fatalf("run %d: step count %d != %d", i, len(v.Steps), wantSteps)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// PR 8 regression: the sentinels introduced for the typederr analyzer must
+// keep their retry semantics when they cross the wire boundary.
+//
+//   - core.ErrDeadlineExceeded wraps context.DeadlineExceeded, so a
+//     freshness-wait timeout classifies as CodeDeadline (retryable on a
+//     fresh connection — the read never executed).
+//   - ErrCommitUncertain, ErrTxnState, ErrUnsupportedStatement and
+//     ErrTxnLost must NOT classify as retryable: replaying an ordered but
+//     unacknowledged commit could double-apply it, and state/topology
+//     errors don't heal on retry.
+func TestClassifyClusterErrSentinels(t *testing.T) {
+	deadline := fmt.Errorf("%w: home n1 stuck at position 7, session requires 9", core.ErrDeadlineExceeded)
+	ce := classifyClusterErr(deadline)
+	if !Retryable(ce) {
+		t.Fatalf("deadline-wrapped error should be retryable, got %v", ce)
+	}
+	if ErrorCode(ce) != CodeDeadline {
+		t.Fatalf("deadline-wrapped error: code %v, want CodeDeadline", ErrorCode(ce))
+	}
+
+	down := fmt.Errorf("%w: no failover within 50ms", core.ErrReplicaDown)
+	if ce := classifyClusterErr(down); ErrorCode(ce) != CodeRetryable {
+		t.Fatalf("replica-down error: code %v, want CodeRetryable", ErrorCode(ce))
+	}
+
+	nonRetryable := []error{
+		fmt.Errorf("%w: no ordering decision after 1s", core.ErrCommitUncertain),
+		fmt.Errorf("%w: no transaction in progress", core.ErrTxnState),
+		fmt.Errorf("%w: DDL inside explicit transactions", core.ErrUnsupportedStatement),
+		fmt.Errorf("%w: session failover only", core.ErrTxnLost),
+	}
+	for _, err := range nonRetryable {
+		ce := classifyClusterErr(err)
+		if Retryable(ce) {
+			t.Fatalf("%v classified retryable; replaying it is unsafe or useless", err)
+		}
+	}
+}
