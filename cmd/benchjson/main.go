@@ -1,0 +1,217 @@
+// Command benchjson parses `go test -bench` output into the committed
+// bench-trajectory JSON schema (PR 9). CI's bench-trajectory job pipes the
+// full benchmark sweep through it and uploads the result as an artifact;
+// the repository keeps one generated snapshot per PR (BENCH_<n>.json) so
+// the performance trajectory across PRs is diffable data, not prose.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -benchtime=100x -run '^$' ./... | \
+//	    benchjson -pr 9 -benchtime 100x > BENCH_9.json
+//
+// Schema (bench-trajectory/v1):
+//
+//	{
+//	  "schema": "bench-trajectory/v1",
+//	  "pr": 9, "go": "go1.24.2", "benchtime": "100x",
+//	  "benchmarks": [{"package", "name", "iterations", "ns_per_op",
+//	                  "bytes_per_op", "allocs_per_op", "metrics"}...],
+//	  "speedups":   [{"package", "family", "baseline", "variants": {...}}...]
+//	}
+//
+// Speedups are derived per benchmark family (the name before the first
+// '/'): within a family of two or more sub-benchmarks, the slowest variant
+// is the baseline and every variant's speedup is baseline-ns over
+// variant-ns. That turns the gob-vs-binary-vs-pipelined (and
+// fsync-per-commit vs group-commit) comparisons into first-class numbers a
+// later PR can regress against.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Speedup compares the variants of one benchmark family against its
+// slowest member.
+type Speedup struct {
+	Package  string             `json:"package"`
+	Family   string             `json:"family"`
+	Baseline string             `json:"baseline"`
+	Variants map[string]float64 `json:"variants"`
+}
+
+// Report is the bench-trajectory/v1 document.
+type Report struct {
+	Schema     string      `json:"schema"`
+	PR         int         `json:"pr"`
+	Go         string      `json:"go"`
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups"`
+}
+
+func main() {
+	pr := flag.Int("pr", 0, "PR number stamped into the report")
+	benchtime := flag.String("benchtime", "", "the -benchtime the sweep ran with, recorded verbatim")
+	flag.Parse()
+
+	benches, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	sort.Slice(benches, func(i, j int) bool {
+		if benches[i].Package != benches[j].Package {
+			return benches[i].Package < benches[j].Package
+		}
+		return benches[i].Name < benches[j].Name
+	})
+	rep := Report{
+		Schema:     "bench-trajectory/v1",
+		PR:         *pr,
+		Go:         runtime.Version(),
+		Benchtime:  *benchtime,
+		Benchmarks: benches,
+		Speedups:   speedups(benches),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output: pkg: lines set the current package,
+// Benchmark lines carry "<name>-<procs> <iters> <value> <unit> ...".
+func parse(r *os.File) ([]Benchmark, error) {
+	var out []Benchmark
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "<name> <iterations> <value> <unit> [...]"; a
+		// bare "BenchmarkFoo" line (the echo before the result) is not.
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "BenchmarkFoo 	--- FAIL" and friends
+		}
+		b := Benchmark{Package: pkg, Name: trimProcs(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// trimProcs strips the trailing -<GOMAXPROCS> suffix go test appends to
+// benchmark names ("BenchmarkX/variant-8" -> "BenchmarkX/variant").
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// speedups derives per-family ratios: families (name before the first '/')
+// with two or more variants get each variant scored against the slowest.
+func speedups(benches []Benchmark) []Speedup {
+	type key struct{ pkg, family string }
+	groups := make(map[key][]Benchmark)
+	for _, b := range benches {
+		fam, _, ok := strings.Cut(b.Name, "/")
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		k := key{b.Package, fam}
+		groups[k] = append(groups[k], b)
+	}
+	var out []Speedup
+	for k, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		base := members[0]
+		for _, m := range members[1:] {
+			if m.NsPerOp > base.NsPerOp {
+				base = m
+			}
+		}
+		s := Speedup{
+			Package:  k.pkg,
+			Family:   k.family,
+			Baseline: strings.TrimPrefix(base.Name, k.family+"/"),
+			Variants: make(map[string]float64, len(members)),
+		}
+		for _, m := range members {
+			variant := strings.TrimPrefix(m.Name, k.family+"/")
+			s.Variants[variant] = round2(base.NsPerOp / m.NsPerOp)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Package != out[j].Package {
+			return out[i].Package < out[j].Package
+		}
+		return out[i].Family < out[j].Family
+	})
+	return out
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/wire
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkWireProtocol/gob-exec-8         	     100	     30000 ns/op	    9000 B/op	     120 allocs/op
+BenchmarkWireProtocol/binary-exec-8      	     100	     20000 ns/op	    3000 B/op	      40 allocs/op
+BenchmarkWireProtocol/binary-pipelined-8 	     100	     10000 ns/op	    2900 B/op	      39 allocs/op
+PASS
+pkg: repro/internal/core
+BenchmarkGroupCommit/fsync-per-commit-8  	     100	    170000 ns/op	         1.000 syncs/op
+BenchmarkGroupCommit/group-commit-8      	     100	     94000 ns/op	         0.075 syncs/op
+BenchmarkLonely-8                        	     100	      5000 ns/op
+ok  	repro/internal/core	1.0s
+`
+
+func parseSample(t *testing.T) []Benchmark {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.out")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	benches, err := parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return benches
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	benches := parseSample(t)
+	if len(benches) != 6 {
+		t.Fatalf("parsed %d benchmarks, want 6", len(benches))
+	}
+	byName := make(map[string]Benchmark)
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	gob := byName["BenchmarkWireProtocol/gob-exec"]
+	if gob.Package != "repro/internal/wire" || gob.Iterations != 100 ||
+		gob.NsPerOp != 30000 || gob.BytesPerOp != 9000 || gob.AllocsOp != 120 {
+		t.Fatalf("gob-exec parsed as %+v", gob)
+	}
+	gc := byName["BenchmarkGroupCommit/group-commit"]
+	if gc.Package != "repro/internal/core" || gc.Metrics["syncs/op"] != 0.075 {
+		t.Fatalf("group-commit custom metric parsed as %+v", gc)
+	}
+}
+
+func TestSpeedupsAgainstSlowestVariant(t *testing.T) {
+	sp := speedups(parseSample(t))
+	if len(sp) != 2 {
+		t.Fatalf("derived %d speedup families, want 2 (lonely benchmarks excluded): %+v", len(sp), sp)
+	}
+	// Sorted by package: core first, then wire.
+	if sp[0].Family != "BenchmarkGroupCommit" || sp[0].Baseline != "fsync-per-commit" {
+		t.Fatalf("core family: %+v", sp[0])
+	}
+	wire := sp[1]
+	if wire.Family != "BenchmarkWireProtocol" || wire.Baseline != "gob-exec" {
+		t.Fatalf("wire family: %+v", wire)
+	}
+	if wire.Variants["gob-exec"] != 1.0 || wire.Variants["binary-exec"] != 1.5 || wire.Variants["binary-pipelined"] != 3.0 {
+		t.Fatalf("wire speedups: %+v", wire.Variants)
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":           "BenchmarkX",
+		"BenchmarkX/sub-case-16": "BenchmarkX/sub-case",
+		"BenchmarkX/sub-case":    "BenchmarkX/sub-case",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -65,6 +65,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 256, "committed events between automatic checkpoint backups (<0 disables)")
 	segmentEntries := flag.Int("segment-entries", 1024, "recovery log entries per segment file")
 	fsyncEvery := flag.Int("fsync-every", 64, "batch size between recovery log fsyncs (1 = every commit)")
+	groupCommit := flag.Duration("group-commit-window", 0, "commit acks wait for a recovery-log fsync, batched over this coalescing window (ms with -data-dir only; 0 keeps async fsync batching)")
 	flag.Parse()
 
 	cons, err := replication.ParseConsistency(*consistency)
@@ -129,13 +130,14 @@ func main() {
 			msCfg.Safety = replication.TwoSafe
 		}
 		durable, err = replication.OpenDurable(replication.DurableConfig{
-			Dir:             *dataDir,
-			Log:             replication.RecoveryLogOptions{SegmentEntries: *segmentEntries, FsyncEvery: *fsyncEvery},
-			Slaves:          *slaves,
-			Replica:         replicaTpl,
-			Cluster:         msCfg,
-			CheckpointEvery: *checkpointEvery,
-			MonitorInterval: *monitorEvery,
+			Dir:               *dataDir,
+			Log:               replication.RecoveryLogOptions{SegmentEntries: *segmentEntries, FsyncEvery: *fsyncEvery},
+			Slaves:            *slaves,
+			Replica:           replicaTpl,
+			Cluster:           msCfg,
+			CheckpointEvery:   *checkpointEvery,
+			MonitorInterval:   *monitorEvery,
+			GroupCommitWindow: *groupCommit,
 		})
 		if err != nil {
 			log.Fatalf("repld: %v", err)
@@ -149,6 +151,9 @@ func main() {
 	case "mm":
 		if *dataDir != "" {
 			log.Fatalf("repld: -data-dir durability is master-slave only (use -topology ms)")
+		}
+		if *groupCommit > 0 {
+			log.Fatalf("repld: -group-commit-window is master-slave only (use -topology ms)")
 		}
 		reps := make([]*replication.Replica, *replicas)
 		for i := range reps {
@@ -178,6 +183,9 @@ func main() {
 	case "partitioned":
 		if *dataDir != "" {
 			log.Fatalf("repld: -data-dir durability is master-slave only (use -topology ms)")
+		}
+		if *groupCommit > 0 {
+			log.Fatalf("repld: -group-commit-window is master-slave only (use -topology ms)")
 		}
 		parts := make([]*replication.MasterSlave, *partitions)
 		for i := range parts {

@@ -158,7 +158,31 @@ type MasterSlave struct {
 	// the resulting read-your-writes violation.
 	skipInval atomic.Bool
 
+	// durab, when set, is awaited before any committed write is
+	// acknowledged: the commit's position must be flushed to the recovery
+	// log first (cross-connection group commit, PR 9). Atomic holder so the
+	// write hot path never takes ms.mu for it.
+	durab atomic.Value // holds durabHolder
+
 	lostOnLastFailover uint64
+}
+
+// durabHolder wraps the DurabilityWaiter for atomic.Value (which requires a
+// single concrete stored type).
+type durabHolder struct{ w DurabilityWaiter }
+
+// SetDurability installs (or, with nil, removes) the durability gate awaited
+// before commit acknowledgements. DurableCluster wires a GroupCommitter here
+// when a group-commit window is configured.
+func (ms *MasterSlave) SetDurability(w DurabilityWaiter) {
+	ms.durab.Store(durabHolder{w: w})
+}
+
+func (ms *MasterSlave) durability() DurabilityWaiter {
+	if h, ok := ms.durab.Load().(durabHolder); ok {
+		return h.w
+	}
+	return nil
 }
 
 // slaveApplier consumes the master binlog serially into one slave.
@@ -1239,6 +1263,19 @@ func (cs *MSSession) execWriteAdmitted(st sqlparse.Statement, args []sqltypes.Va
 			// once the client sees the commit, no read — from any session
 			// the ack is relayed to — may be served the pre-write result.
 			cs.ms.invalidateThrough(master, seq)
+			// Group commit: hold the acknowledgement until this commit's
+			// position is on disk, sharing the fsync with every commit that
+			// lands in the same window. Rollbacks made nothing durable and
+			// skip the wait. A durability failure is reported even though
+			// the commit executed — the caller cannot be told "durable" when
+			// the log could not confirm it.
+			if w := cs.ms.durability(); w != nil {
+				if _, rollback := st.(*sqlparse.RollbackTxn); !rollback {
+					if err := w.WaitDurable(seq); err != nil {
+						return nil, err
+					}
+				}
+			}
 			if cs.ms.cfg.Safety == TwoSafe {
 				if err := cs.ms.waitTwoSafe(seq); err != nil {
 					return nil, err

@@ -903,23 +903,20 @@ func applyLimit(res *Result, st *sqlparse.Select) {
 	}
 }
 
-// rowEnv builds an evaluation environment for a single-table row.
+// rowEnv builds an evaluation environment for a single-table row. It shares
+// the table's precomputed column map instead of building per-row maps —
+// only the env struct itself allocates, which matters because selects and
+// updates build one env per candidate row.
 func (s *Session) rowEnv(tx *Txn, t *Table, ref sqlparse.TableRef, alias string, row sqltypes.Row, args []sqltypes.Value) *evalEnv {
-	env := &evalEnv{
-		s: s, tx: tx, args: args, row: row,
-		cols:  make(map[string]int, len(t.Columns)),
-		qcols: make(map[string]int, len(t.Columns)),
-	}
 	if alias == "" {
 		alias = ref.Name
 	}
-	for i, c := range t.Columns {
-		lower := toLower(c.Name)
-		env.cols[lower] = i
-		env.qcols[toLower(alias)+"."+lower] = i
-		env.qcols[toLower(ref.Name)+"."+lower] = i
+	return &evalEnv{
+		s: s, tx: tx, args: args, row: row,
+		cols:    t.colsLower,
+		alias:   toLower(alias),
+		refName: toLower(ref.Name),
 	}
-	return env
 }
 
 // joinEnv builds an environment over the concatenation of two rows.
@@ -951,6 +948,18 @@ func (s *Session) joinEnv(tx *Txn, t1 *Table, a1 string, r1 sqltypes.Row, t2 *Ta
 }
 
 func toLower(s string) string {
+	// Scan before converting: the common case (already lower-case, the
+	// norm for column names in hot statements) must not allocate.
+	lower := true
+	for i := 0; i < len(s); i++ {
+		if 'A' <= s[i] && s[i] <= 'Z' {
+			lower = false
+			break
+		}
+	}
+	if lower {
+		return s
+	}
 	b := []byte(s)
 	changed := false
 	for i, c := range b {

@@ -115,6 +115,12 @@ type Table struct {
 	uniqueCols   []int
 	pkOnlyUnique bool
 
+	// colsLower maps lower-cased column name -> position. Built once at
+	// table creation (Columns never changes afterwards) and shared
+	// read-only by every evalEnv over this table, so per-row evaluation
+	// allocates no per-call maps.
+	colsLower map[string]int
+
 	// pkIndex maps HashValue(pk) -> rowIDs whose chain ever committed a
 	// version with that primary key; see pkindex.go for the semantics.
 	pkIndex map[uint64][]int64
@@ -144,6 +150,13 @@ func newTable(name string, cols []Column, temp bool) *Table {
 			unique = append(unique, i)
 		}
 	}
+	colsLower := make(map[string]int, len(cols))
+	for i, c := range cols {
+		lower := toLower(c.Name)
+		if _, dup := colsLower[lower]; !dup {
+			colsLower[lower] = i
+		}
+	}
 	return &Table{
 		Name:         name,
 		Columns:      cols,
@@ -151,6 +164,7 @@ func newTable(name string, cols []Column, temp bool) *Table {
 		pkCol:        pk,
 		uniqueCols:   unique,
 		pkOnlyUnique: pk >= 0 && len(unique) == 1 && unique[0] == pk,
+		colsLower:    colsLower,
 		pkIndex:      make(map[uint64][]int64),
 		rows:         make(map[int64]*rowChain),
 		lastWriter:   make(map[int64]uint64),
@@ -159,12 +173,12 @@ func newTable(name string, cols []Column, temp bool) *Table {
 	}
 }
 
-// colIndex returns the position of column name, or -1.
+// colIndex returns the position of column name, or -1. Case-insensitive via
+// the colsLower map — an O(1) probe instead of an equalFold scan, which
+// per-row evaluation and per-insert binding hit hard.
 func (t *Table) colIndex(name string) int {
-	for i, c := range t.Columns {
-		if equalFold(c.Name, name) {
-			return i
-		}
+	if i, ok := t.colsLower[toLower(name)]; ok {
+		return i
 	}
 	return -1
 }

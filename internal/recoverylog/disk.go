@@ -63,6 +63,7 @@ type diskStore struct {
 	segs    []segMeta
 	active  *os.File // last segment, open for append; nil until first write
 	pending int      // appends since the last fsync
+	syncs   uint64   // fsyncs actually issued (group-commit accounting)
 }
 
 func segPath(dir string, first uint64) string {
@@ -295,6 +296,7 @@ func (st *diskStore) sync() error {
 	if err := st.active.Sync(); err != nil {
 		return err
 	}
+	st.syncs++
 	st.pending = 0
 	return nil
 }

@@ -116,6 +116,18 @@ func (l *Log) syncLocked() error {
 	return l.ioErr
 }
 
+// SyncCount returns how many fsyncs the backing store has actually issued
+// (0 in memory mode). Group-commit amortization is measured against it:
+// commits acknowledged divided by fsyncs issued.
+func (l *Log) SyncCount() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.store == nil {
+		return 0
+	}
+	return l.store.syncs
+}
+
 // Err returns the first storage error the log has hit (nil when healthy).
 func (l *Log) Err() error {
 	l.mu.Lock()

@@ -1,0 +1,261 @@
+// Payload codecs for the binary protocol: hand-rolled varint/raw encoders
+// for the request and Response structs and the sqltypes value kinds. The
+// append side writes into the frameWriter's reused buffer; the read side
+// decodes in place from the frameReader's reused payload (copying only
+// strings, which escape the buffer's lifetime). Every read is bounds-checked
+// and returns a typed ErrFrameCorrupt — never a panic, never an allocation
+// sized by an unvalidated count.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/sqltypes"
+)
+
+func errTruncated(what string) error {
+	return fmt.Errorf("%w: truncated %s", ErrFrameCorrupt, what)
+}
+
+func readUvarint(b []byte, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errTruncated(what)
+	}
+	return v, b[n:], nil
+}
+
+func readVarint(b []byte, what string) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, errTruncated(what)
+	}
+	return v, b[n:], nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte, what string) (string, []byte, error) {
+	n, rest, err := readUvarint(b, what)
+	if err != nil {
+		return "", nil, err
+	}
+	// Length is validated against the bytes actually present BEFORE any
+	// slice or copy: a corrupt count cannot over-read or over-allocate.
+	if n > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("%w: %s length %d overruns payload (%d bytes left)", ErrFrameCorrupt, what, n, len(rest))
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// appendValue encodes one value as a kind byte plus a kind-specific body:
+// Int and Time (unix-nanos in I) as zigzag varints, Float as 8 raw
+// little-endian IEEE bits (varints buy nothing on mantissas), Bool as one
+// byte, String length-prefixed, Null as the kind byte alone.
+func appendValue(b []byte, v sqltypes.Value) []byte {
+	b = append(b, byte(v.K))
+	switch v.K {
+	case sqltypes.KindInt, sqltypes.KindTime:
+		b = binary.AppendVarint(b, v.I)
+	case sqltypes.KindFloat:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.F))
+	case sqltypes.KindBool:
+		if v.B {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	case sqltypes.KindString:
+		b = appendString(b, v.S)
+	}
+	return b
+}
+
+func readValue(b []byte) (sqltypes.Value, []byte, error) {
+	var v sqltypes.Value
+	if len(b) == 0 {
+		return v, nil, errTruncated("value kind")
+	}
+	v.K = sqltypes.Kind(b[0])
+	b = b[1:]
+	var err error
+	switch v.K {
+	case sqltypes.KindNull:
+	case sqltypes.KindInt, sqltypes.KindTime:
+		v.I, b, err = readVarint(b, "int value")
+	case sqltypes.KindFloat:
+		if len(b) < 8 {
+			return v, nil, errTruncated("float value")
+		}
+		v.F = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	case sqltypes.KindBool:
+		if len(b) < 1 {
+			return v, nil, errTruncated("bool value")
+		}
+		v.B = b[0] != 0
+		b = b[1:]
+	case sqltypes.KindString:
+		v.S, b, err = readString(b, "string value")
+	default:
+		return v, nil, fmt.Errorf("%w: unknown value kind %d", ErrFrameCorrupt, v.K)
+	}
+	return v, b, err
+}
+
+func appendValues(b []byte, vals []sqltypes.Value) []byte {
+	b = binary.AppendUvarint(b, uint64(len(vals)))
+	for _, v := range vals {
+		b = appendValue(b, v)
+	}
+	return b
+}
+
+func readValues(b []byte, what string) ([]sqltypes.Value, []byte, error) {
+	n, b, err := readUvarint(b, what)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	// Every encoded value is at least one byte, so a count beyond the
+	// remaining payload is corrupt — checked before make() sizes anything.
+	if n > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("%w: %s count %d overruns payload (%d bytes left)", ErrFrameCorrupt, what, n, len(b))
+	}
+	vals := make([]sqltypes.Value, n)
+	for i := range vals {
+		vals[i], b, err = readValue(b)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return vals, b, nil
+}
+
+// appendRequest encodes a request payload. All ops share one layout — the
+// unused fields of cheap ops (ping, close) cost a handful of zero bytes,
+// which is cheaper than per-op codecs are bug-prone.
+func appendRequest(b []byte, req *request) []byte {
+	b = appendString(b, req.SQL)
+	b = appendString(b, req.User)
+	b = appendString(b, req.Password)
+	b = appendString(b, req.Database)
+	b = binary.AppendUvarint(b, req.StmtID)
+	b = appendValues(b, req.Args)
+	return b
+}
+
+// decodeRequest decodes a request payload (the Kind travels in the frame
+// header's op byte, not the payload). Trailing bytes are ignored — room for
+// future versions to append fields without a frame-format break.
+func decodeRequest(b []byte, req *request) error {
+	var err error
+	if req.SQL, b, err = readString(b, "request sql"); err != nil {
+		return err
+	}
+	if req.User, b, err = readString(b, "request user"); err != nil {
+		return err
+	}
+	if req.Password, b, err = readString(b, "request password"); err != nil {
+		return err
+	}
+	if req.Database, b, err = readString(b, "request database"); err != nil {
+		return err
+	}
+	if req.StmtID, b, err = readUvarint(b, "request stmt id"); err != nil {
+		return err
+	}
+	if req.Args, _, err = readValues(b, "request args"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// appendResponse encodes a Response payload.
+func appendResponse(b []byte, r *Response) []byte {
+	b = binary.AppendUvarint(b, uint64(r.Code))
+	b = appendString(b, r.Err)
+	b = binary.AppendUvarint(b, r.StmtID)
+	b = binary.AppendVarint(b, int64(r.NumInput))
+	b = binary.AppendUvarint(b, r.AtSeq)
+	b = binary.AppendVarint(b, r.RowsAffected)
+	b = binary.AppendVarint(b, r.LastInsertID)
+	b = binary.AppendUvarint(b, uint64(len(r.Columns)))
+	for _, c := range r.Columns {
+		b = appendString(b, c)
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Rows)))
+	for _, row := range r.Rows {
+		b = appendValues(b, row)
+	}
+	return b
+}
+
+// decodeResponse decodes a Response payload. Same trailing-bytes tolerance
+// as decodeRequest.
+func decodeResponse(b []byte, r *Response) error {
+	var err error
+	var u uint64
+	var i int64
+	if u, b, err = readUvarint(b, "response code"); err != nil {
+		return err
+	}
+	r.Code = int(u)
+	if r.Err, b, err = readString(b, "response err"); err != nil {
+		return err
+	}
+	if r.StmtID, b, err = readUvarint(b, "response stmt id"); err != nil {
+		return err
+	}
+	if i, b, err = readVarint(b, "response num input"); err != nil {
+		return err
+	}
+	r.NumInput = int(i)
+	if r.AtSeq, b, err = readUvarint(b, "response at seq"); err != nil {
+		return err
+	}
+	if r.RowsAffected, b, err = readVarint(b, "response rows affected"); err != nil {
+		return err
+	}
+	if r.LastInsertID, b, err = readVarint(b, "response last insert id"); err != nil {
+		return err
+	}
+	if u, b, err = readUvarint(b, "response column count"); err != nil {
+		return err
+	}
+	if u > uint64(len(b)) {
+		return fmt.Errorf("%w: column count %d overruns payload (%d bytes left)", ErrFrameCorrupt, u, len(b))
+	}
+	if u > 0 {
+		r.Columns = make([]string, u)
+		for i := range r.Columns {
+			if r.Columns[i], b, err = readString(b, "response column"); err != nil {
+				return err
+			}
+		}
+	}
+	if u, b, err = readUvarint(b, "response row count"); err != nil {
+		return err
+	}
+	if u > uint64(len(b)) {
+		return fmt.Errorf("%w: row count %d overruns payload (%d bytes left)", ErrFrameCorrupt, u, len(b))
+	}
+	if u > 0 {
+		r.Rows = make([]sqltypes.Row, u)
+		for i := range r.Rows {
+			var vals []sqltypes.Value
+			if vals, b, err = readValues(b, "response row"); err != nil {
+				return err
+			}
+			r.Rows[i] = vals
+		}
+	}
+	return nil
+}

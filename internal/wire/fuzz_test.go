@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+// FuzzFrameDecode throws arbitrary bytes at the full binary read path —
+// frame header parsing, payload buffering, and both payload decoders. The
+// invariants: truncated, corrupt or oversized input must produce an error
+// (typed ErrFrameTooLarge / ErrFrameCorrupt or plain EOF), never a panic,
+// and never an allocation sized by an unvalidated length (the decoders are
+// bounds-checked; a violation here surfaces as the fuzzer OOMing).
+func FuzzFrameDecode(f *testing.F) {
+	// Seed with well-formed frames so the fuzzer starts from the happy
+	// path and mutates toward the edges.
+	var seed bytes.Buffer
+	fw := newFrameWriter(&seed)
+	req := request{Kind: reqExec, SQL: "SELECT * FROM items WHERE id = ?", User: "u", Database: "db",
+		Args: []sqltypes.Value{sqltypes.NewInt(7), sqltypes.NewString("x"), sqltypes.NewFloat(1.5), sqltypes.NewBool(true), {}}}
+	_ = fw.writeFrame(byte(reqExec), 0, 1, func(b []byte) []byte { return appendRequest(b, &req) })
+	resp := Response{Columns: []string{"id", "name"}, Rows: []sqltypes.Row{{sqltypes.NewInt(1), sqltypes.NewString("a")}}, AtSeq: 9}
+	_ = fw.writeFrame(opResult, 0, 2, func(b []byte) []byte { return appendResponse(b, &resp) })
+	_ = fw.flush()
+	f.Add(seed.Bytes())
+
+	// A header declaring a just-over-limit and a maximal payload.
+	over := make([]byte, frameHeaderLen)
+	binary.LittleEndian.PutUint32(over, MaxFrameSize+1)
+	f.Add(over)
+	huge := make([]byte, frameHeaderLen)
+	binary.LittleEndian.PutUint32(huge, 0xFFFFFFFF)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := newFrameReader(bytes.NewReader(data))
+		for {
+			_, _, _, payload, err := fr.readFrame()
+			if err != nil {
+				// Any error is fine; an UNTYPED non-IO error is not. IO
+				// errors (EOF, unexpected EOF) come from truncation.
+				if errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrFrameCorrupt) {
+					return
+				}
+				return
+			}
+			// Decode the payload both ways: must error or succeed, never
+			// panic, regardless of which kind of frame it "is".
+			var rq request
+			_ = decodeRequest(payload, &rq)
+			var rs Response
+			_ = decodeResponse(payload, &rs)
+		}
+	})
+}

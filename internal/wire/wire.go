@@ -283,22 +283,136 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// overloadedResp is the typed retryable answer the -max-conns guard gives.
+func overloadedResp(limit int) *Response {
+	return &Response{
+		Err:  fmt.Sprintf("wire: server at max-conns limit (%d), try again later", limit),
+		Code: CodeOverloaded,
+	}
+}
+
 // rejectConn answers an over-limit connection's first request (the auth
 // handshake) with a typed retryable overload error, then hangs up. Reading
 // the request first matters: responding before the client writes would race
 // its send and could surface as a bare connection reset instead of the
-// typed error.
+// typed error. The refusal speaks whichever protocol the client opened
+// with, so binary and gob clients alike see the typed code.
 func rejectConn(conn net.Conn, limit int) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
-	var req request
-	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+	br := bufio.NewReader(conn)
+	if sniffBinaryHello(br) {
+		if err := acceptBinaryHello(br, conn); err != nil {
+			return
+		}
+		fr := newFrameReader(br)
+		_, _, id, _, err := fr.readFrame() // the AUTH frame
+		if err != nil {
+			return
+		}
+		fw := newFrameWriter(conn)
+		resp := overloadedResp(limit)
+		if err := fw.writeFrame(opResult, 0, id, func(b []byte) []byte { return appendResponse(b, resp) }); err != nil {
+			return
+		}
+		_ = fw.flush()
 		return
 	}
-	_ = newMessageConn(conn).send(&Response{
-		Err:  fmt.Sprintf("wire: server at max-conns limit (%d), try again later", limit),
-		Code: CodeOverloaded,
-	})
+	var req request
+	if err := gob.NewDecoder(br).Decode(&req); err != nil {
+		return
+	}
+	_ = newMessageConn(conn).send(overloadedResp(limit))
+}
+
+// serverSession holds one connection's server-side state — the backend
+// session and its prepared-statement handles — and executes requests
+// against it. Both transports drive the same handler, so gob and binary
+// semantics cannot diverge.
+type serverSession struct {
+	backend  Backend
+	session  SessionHandler
+	stmts    map[uint64]StmtHandler
+	nextStmt uint64
+}
+
+func newServerSession(backend Backend) *serverSession {
+	return &serverSession{backend: backend, stmts: make(map[uint64]StmtHandler)}
+}
+
+// handle executes one request and returns its response; ok=false means the
+// request kind is unknown and the connection should be dropped (a framing
+// or version bug — answering could desynchronize the stream).
+func (ss *serverSession) handle(kind int, req *request) (resp *Response, ok bool) {
+	switch kind {
+	case reqAuth:
+		resp = &Response{}
+		if err := ss.backend.Authenticate(req.User, req.Password); err != nil {
+			resp.Err = err.Error()
+			resp.Code = CodeError
+		} else {
+			sess, err := ss.backend.OpenSession(req.User, req.Database)
+			if err != nil {
+				resp.Err = err.Error()
+				resp.Code = CodeError
+			} else {
+				ss.session = sess
+			}
+		}
+		return resp, true
+	case reqPing:
+		return &Response{}, true
+	case reqExec:
+		if ss.session == nil {
+			return &Response{Err: "wire: not authenticated", Code: CodeError}, true
+		}
+		r, err := ss.session.Exec(req.SQL, req.Args)
+		if err != nil {
+			return errResponse(err), true
+		}
+		return r, true
+	case reqPrepare:
+		switch p := ss.session.(type) {
+		case nil:
+			return &Response{Err: "wire: not authenticated", Code: CodeError}, true
+		case Preparer:
+			st, err := p.Prepare(req.SQL)
+			if err != nil {
+				return errResponse(err), true
+			}
+			ss.nextStmt++
+			ss.stmts[ss.nextStmt] = st
+			return &Response{StmtID: ss.nextStmt, NumInput: st.NumInput()}, true
+		default:
+			return &Response{Err: "wire: backend does not support prepared statements", Code: CodeError}, true
+		}
+	case reqExecStmt:
+		if st, found := ss.stmts[req.StmtID]; found {
+			r, err := st.Exec(req.Args)
+			if err != nil {
+				return errResponse(err), true
+			}
+			return r, true
+		}
+		return &Response{Err: fmt.Sprintf("wire: unknown statement handle %d", req.StmtID), Code: CodeError}, true
+	case reqCloseStmt:
+		if st, found := ss.stmts[req.StmtID]; found {
+			delete(ss.stmts, req.StmtID)
+			st.Close()
+		}
+		return &Response{}, true
+	default:
+		return nil, false
+	}
+}
+
+func (ss *serverSession) close() {
+	for _, st := range ss.stmts {
+		st.Close()
+	}
+	if ss.session != nil {
+		ss.session.Close()
+	}
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -309,111 +423,126 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	out := newMessageConn(conn)
+	br := bufio.NewReader(conn)
+	if sniffBinaryHello(br) {
+		if err := acceptBinaryHello(br, conn); err != nil {
+			return
+		}
+		s.serveBinary(conn, br)
+		return
+	}
+	s.serveGob(conn, br)
+}
 
-	var session SessionHandler
-	stmts := make(map[uint64]StmtHandler)
-	var nextStmt uint64
-	defer func() {
-		for _, st := range stmts {
-			st.Close()
-		}
-		if session != nil {
-			session.Close()
-		}
-	}()
+// serveGob is the legacy one-request-in-flight loop, kept verbatim in
+// behavior for clients that predate the binary protocol (and for the
+// heartbeat side-connection, which pings over gob regardless of the main
+// connection's protocol).
+func (s *Server) serveGob(conn net.Conn, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
+	out := newMessageConn(conn)
+	ss := newServerSession(s.backend)
+	defer ss.close()
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		switch req.Kind {
-		case reqAuth:
-			var resp Response
-			if err := s.backend.Authenticate(req.User, req.Password); err != nil {
-				resp.Err = err.Error()
-				resp.Code = CodeError
-			} else {
-				sess, err := s.backend.OpenSession(req.User, req.Database)
-				if err != nil {
-					resp.Err = err.Error()
-					resp.Code = CodeError
-				} else {
-					session = sess
-				}
-			}
-			if err := out.send(&resp); err != nil {
-				return
-			}
-		case reqPing:
-			if err := out.send(&Response{}); err != nil {
-				return
-			}
-		case reqExec:
-			var resp *Response
-			if session == nil {
-				resp = &Response{Err: "wire: not authenticated", Code: CodeError}
-			} else {
-				r, err := session.Exec(req.SQL, req.Args)
-				if err != nil {
-					resp = errResponse(err)
-				} else {
-					resp = r
-				}
-			}
-			if err := out.send(resp); err != nil {
-				return
-			}
-		case reqPrepare:
-			var resp *Response
-			switch p := session.(type) {
-			case nil:
-				resp = &Response{Err: "wire: not authenticated", Code: CodeError}
-			case Preparer:
-				st, err := p.Prepare(req.SQL)
-				if err != nil {
-					resp = errResponse(err)
-				} else {
-					nextStmt++
-					stmts[nextStmt] = st
-					resp = &Response{StmtID: nextStmt, NumInput: st.NumInput()}
-				}
-			default:
-				resp = &Response{Err: "wire: backend does not support prepared statements", Code: CodeError}
-			}
-			if err := out.send(resp); err != nil {
-				return
-			}
-		case reqExecStmt:
-			var resp *Response
-			if st, ok := stmts[req.StmtID]; ok {
-				r, err := st.Exec(req.Args)
-				if err != nil {
-					resp = errResponse(err)
-				} else {
-					resp = r
-				}
-			} else {
-				resp = &Response{Err: fmt.Sprintf("wire: unknown statement handle %d", req.StmtID), Code: CodeError}
-			}
-			if err := out.send(resp); err != nil {
-				return
-			}
-		case reqCloseStmt:
-			if st, ok := stmts[req.StmtID]; ok {
-				delete(stmts, req.StmtID)
-				st.Close()
-			}
-			if err := out.send(&Response{}); err != nil {
-				return
-			}
-		case reqClose:
+		if req.Kind == reqClose {
 			return
-		default:
+		}
+		resp, ok := ss.handle(req.Kind, &req)
+		if !ok {
+			return
+		}
+		if err := out.send(resp); err != nil {
 			return
 		}
 	}
+}
+
+// serverWindow bounds requests a binary connection may have queued
+// server-side. Combined with the client's own window it caps per-connection
+// memory; a client that ignores its window just blocks in the TCP send
+// buffer (natural backpressure), it cannot balloon the server.
+const serverWindow = 128
+
+// serveBinary is the pipelined loop: a three-stage per-connection pipeline
+// of reader (this goroutine) → executor → writer. Execution stays serial
+// per connection — sessions are stateful — but decode, execute and encode
+// of consecutive pipelined requests overlap, and the writer coalesces
+// bursts of responses into one flush.
+func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
+	type job struct {
+		op  byte
+		id  uint32
+		req request
+	}
+	jobs := make(chan job, serverWindow)
+	type outFrame struct {
+		id   uint32
+		resp *Response
+	}
+	resps := make(chan outFrame, serverWindow)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // executor: owns all session state, strictly serial
+		defer wg.Done()
+		defer close(resps)
+		ss := newServerSession(s.backend)
+		defer ss.close()
+		for j := range jobs {
+			resp, ok := ss.handle(int(j.op), &j.req)
+			if !ok {
+				// Unknown op: stop executing. Closing the conn errors the
+				// reader out; draining jobs keeps it from blocking on a
+				// full channel until it gets there.
+				conn.Close()
+				for range jobs {
+				}
+				return
+			}
+			resps <- outFrame{id: j.id, resp: resp}
+		}
+	}()
+	go func() { // writer: one flush per burst, not per response
+		defer wg.Done()
+		fw := newFrameWriter(conn)
+		for of := range resps {
+			err := fw.writeFrame(opResult, 0, of.id, func(b []byte) []byte { return appendResponse(b, of.resp) })
+			if err == nil && len(resps) == 0 {
+				err = fw.flush()
+			}
+			if err != nil {
+				conn.Close()
+				for range resps { // unblock the executor
+				}
+				return
+			}
+		}
+		_ = fw.flush()
+	}()
+
+	fr := newFrameReader(br)
+	for {
+		op, _, id, payload, err := fr.readFrame()
+		if err != nil {
+			break
+		}
+		if op == byte(reqClose) {
+			break
+		}
+		var req request
+		if op != byte(reqPing) {
+			if err := decodeRequest(payload, &req); err != nil {
+				break // corrupt payload: framing is untrustworthy, hang up
+			}
+		}
+		jobs <- job{op: op, id: id, req: req}
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // errResponse wraps a backend error in its wire form, preserving the
@@ -433,11 +562,35 @@ func errResponse(err error) *Response {
 // detected (by heartbeat or timeout).
 var ErrConnDead = errors.New("wire: connection is dead")
 
+// Protocol selection for DriverConfig.Protocol.
+const (
+	// ProtocolAuto negotiates the binary framed protocol and silently
+	// falls back to gob when the server predates it.
+	ProtocolAuto = ""
+	// ProtocolBinary requires the binary protocol; a server that rejects
+	// the handshake is a dial error, never a fallback.
+	ProtocolBinary = "binary"
+	// ProtocolGob forces the legacy gob encoding (the PR-5 protocol, one
+	// request in flight per connection).
+	ProtocolGob = "gob"
+)
+
+// DefaultPipelineWindow is the in-flight request cap per binary connection
+// when DriverConfig.PipelineWindow is zero.
+const DefaultPipelineWindow = 64
+
 // DriverConfig configures a client connection.
 type DriverConfig struct {
 	User     string
 	Password string
 	Database string
+	// Protocol selects the wire encoding: ProtocolAuto (default),
+	// ProtocolBinary, or ProtocolGob.
+	Protocol string
+	// PipelineWindow bounds in-flight pipelined requests per connection
+	// (binary protocol only); zero means DefaultPipelineWindow. Submitting
+	// past the window blocks until a response frees a slot.
+	PipelineWindow int
 	// ConnectTimeout bounds Dial; zero means 2 s.
 	ConnectTimeout time.Duration
 	// KeepAliveTimeout is the per-request read deadline, modelling the
@@ -458,17 +611,33 @@ type DriverConfig struct {
 	StatementTimeout time.Duration
 }
 
-// Conn is a client connection. Calls are serialized, like a real driver
-// connection. reqMu serializes round trips; stateMu guards liveness so the
-// heartbeat can kill a connection while a call is blocked reading.
+// Conn is a client connection. On the gob transport calls are serialized
+// like a real driver connection (reqMu); on the binary transport many calls
+// may be in flight at once, matched to response frames by request id, with
+// the in-flight count bounded by the pipeline window. stateMu guards
+// liveness so the heartbeat can kill a connection while calls are blocked.
 type Conn struct {
-	cfg  DriverConfig
-	addr string
+	cfg    DriverConfig
+	addr   string
+	binary bool
 
+	// gob transport (reqMu serializes round trips; guards dec/enc).
 	reqMu sync.Mutex
 	conn  net.Conn
 	dec   *gob.Decoder
 	enc   *messageConn
+
+	// binary transport. sendMu serializes frame writes; pendMu guards the
+	// pending map and read-deadline arming; window is the in-flight slot
+	// semaphore; readerDone closes when the read loop exits (after it has
+	// failed every pending call).
+	sendMu     sync.Mutex
+	fw         *frameWriter
+	pendMu     sync.Mutex
+	pending    map[uint32]chan *Response
+	nextID     uint32
+	window     chan struct{}
+	readerDone chan struct{}
 
 	stateMu sync.Mutex
 	dead    error
@@ -478,7 +647,15 @@ type Conn struct {
 	hbOnce sync.Once
 }
 
-// Dial connects and authenticates.
+// Protocol reports the negotiated wire encoding: "binary" or "gob".
+func (c *Conn) Protocol() string {
+	if c.binary {
+		return ProtocolBinary
+	}
+	return ProtocolGob
+}
+
+// Dial connects, negotiates the protocol, and authenticates.
 func Dial(addr string, cfg DriverConfig) (*Conn, error) {
 	if cfg.ConnectTimeout == 0 {
 		cfg.ConnectTimeout = 2 * time.Second
@@ -486,30 +663,196 @@ func Dial(addr string, cfg DriverConfig) (*Conn, error) {
 	if cfg.KeepAliveTimeout == 0 {
 		cfg.KeepAliveTimeout = 30 * time.Second
 	}
-	nc, err := net.DialTimeout("tcp", addr, cfg.ConnectTimeout)
-	if err != nil {
-		return nil, err
+	if cfg.PipelineWindow <= 0 {
+		cfg.PipelineWindow = DefaultPipelineWindow
 	}
-	c := &Conn{cfg: cfg, addr: addr, conn: nc, dec: gob.NewDecoder(nc), enc: newMessageConn(nc)}
-	resp, err := c.roundTrip(request{Kind: reqAuth, User: cfg.User, Password: cfg.Password, Database: cfg.Database})
+	switch cfg.Protocol {
+	case ProtocolGob:
+		return dialGob(addr, cfg)
+	case ProtocolBinary:
+		return dialBinary(addr, cfg)
+	default: // ProtocolAuto: binary first, gob when the server is too old
+		c, err := dialBinary(addr, cfg)
+		if errors.Is(err, errHandshakeRejected) {
+			return dialGob(addr, cfg)
+		}
+		return c, err
+	}
+}
+
+// finishDial authenticates and starts the heartbeat — the protocol-agnostic
+// tail of Dial.
+func (c *Conn) finishDial() (*Conn, error) {
+	resp, err := c.roundTrip(request{Kind: reqAuth, User: c.cfg.User, Password: c.cfg.Password, Database: c.cfg.Database})
 	if err != nil {
-		nc.Close()
+		c.conn.Close()
 		return nil, err
 	}
 	if resp.Err != "" {
-		nc.Close()
+		c.conn.Close()
 		// Keep the server's classification (e.g. CodeOverloaded from the
 		// max-conns guard) so drivers can tell "back off and retry" from
 		// "bad credentials".
 		return nil, resp.Error()
 	}
-	if cfg.HeartbeatInterval > 0 {
+	if c.cfg.HeartbeatInterval > 0 {
 		if err := c.startHeartbeat(); err != nil {
-			nc.Close()
+			c.conn.Close()
 			return nil, err
 		}
 	}
 	return c, nil
+}
+
+func dialGob(addr string, cfg DriverConfig) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, cfg.ConnectTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{cfg: cfg, addr: addr, conn: nc, dec: gob.NewDecoder(nc), enc: newMessageConn(nc)}
+	return c.finishDial()
+}
+
+func dialBinary(addr string, cfg DriverConfig) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, cfg.ConnectTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := clientHello(nc, time.Now().Add(cfg.ConnectTimeout)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	c := &Conn{
+		cfg:        cfg,
+		addr:       addr,
+		binary:     true,
+		conn:       nc,
+		fw:         newFrameWriter(nc),
+		pending:    make(map[uint32]chan *Response),
+		window:     make(chan struct{}, cfg.PipelineWindow),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c.finishDial()
+}
+
+// readLoop is the binary transport's single reader: it dispatches response
+// frames to pending calls by request id and manages the read deadline (armed
+// while anything is in flight, cleared when the connection goes idle). On
+// exit it fails every pending call, so no waiter can hang on a dead conn.
+func (c *Conn) readLoop() {
+	fr := newFrameReader(c.conn)
+	for {
+		_, _, id, payload, err := fr.readFrame()
+		if err != nil {
+			c.markDead(err)
+			break
+		}
+		resp := new(Response)
+		if err := decodeResponse(payload, resp); err != nil {
+			c.markDead(err)
+			break
+		}
+		c.pendMu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		if len(c.pending) == 0 {
+			_ = c.conn.SetReadDeadline(time.Time{})
+		} else {
+			_ = c.conn.SetReadDeadline(time.Now().Add(c.cfg.KeepAliveTimeout))
+		}
+		c.pendMu.Unlock()
+		if !ok {
+			c.markDead(fmt.Errorf("%w: unmatched response id %d", ErrProtocolDesync, id))
+			break
+		}
+		ch <- resp
+	}
+	// Closing readerDone BEFORE draining lets submitters distinguish the
+	// two orders: a call registered before the close is failed by the
+	// drain below; one that arrives after sees readerDone closed under
+	// pendMu and aborts without registering. No window for a lost waiter.
+	close(c.readerDone)
+	c.pendMu.Lock()
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.pendMu.Unlock()
+}
+
+// pendingCall is one in-flight pipelined request; wait must be called
+// exactly once (it releases the window slot).
+type pendingCall struct {
+	c  *Conn
+	ch chan *Response
+}
+
+// submit acquires a window slot, registers the call, and sends its frame.
+func (c *Conn) submit(kind int, req *request) (*pendingCall, error) {
+	select {
+	case c.window <- struct{}{}:
+	case <-c.readerDone:
+		return nil, c.deadErr()
+	}
+	ch := make(chan *Response, 1)
+	c.pendMu.Lock()
+	select {
+	case <-c.readerDone:
+		c.pendMu.Unlock()
+		<-c.window
+		return nil, c.deadErr()
+	default:
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = ch
+	// Arm the read deadline before the frame leaves: the read loop owns
+	// clearing it, and a response can't arrive before the send below.
+	_ = c.conn.SetReadDeadline(time.Now().Add(c.cfg.KeepAliveTimeout))
+	c.pendMu.Unlock()
+
+	c.sendMu.Lock()
+	err := c.fw.writeFrame(byte(kind), 0, id, func(b []byte) []byte { return appendRequest(b, req) })
+	if err == nil {
+		err = c.fw.flush()
+	}
+	c.sendMu.Unlock()
+	if err != nil {
+		c.pendMu.Lock()
+		delete(c.pending, id)
+		if len(c.pending) == 0 {
+			_ = c.conn.SetReadDeadline(time.Time{})
+		}
+		c.pendMu.Unlock()
+		<-c.window
+		if errors.Is(err, ErrFrameTooLarge) {
+			// The size check fires before any byte is buffered, so the
+			// stream is still in sync: surface the typed error and keep
+			// the connection alive.
+			return nil, err
+		}
+		c.markDead(err)
+		return nil, c.deadErr()
+	}
+	return &pendingCall{c: c, ch: ch}, nil
+}
+
+func (p *pendingCall) wait() (*Response, error) {
+	resp, ok := <-p.ch
+	<-p.c.window
+	if !ok {
+		return nil, p.c.deadErr()
+	}
+	return resp, nil
+}
+
+func (c *Conn) callBinary(kind int, req *request) (*Response, error) {
+	p, err := c.submit(kind, req)
+	if err != nil {
+		return nil, err
+	}
+	return p.wait()
 }
 
 // Addr returns the server address this connection targets.
@@ -576,6 +919,9 @@ func (c *Conn) Ping() error {
 }
 
 func (c *Conn) roundTrip(req request) (*Response, error) {
+	if c.binary {
+		return c.callBinary(req.Kind, &req)
+	}
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
 	if err := c.deadErr(); err != nil {
@@ -596,6 +942,65 @@ func (c *Conn) roundTrip(req request) (*Response, error) {
 	return &resp, nil
 }
 
+// Pending is an in-flight pipelined request. Wait must be called exactly
+// once; until then the request occupies one slot of the connection's
+// pipeline window.
+type Pending struct {
+	p    *pendingCall
+	resp *Response // pre-resolved result on the non-pipelining gob path
+	err  error
+}
+
+// Wait blocks for the response. Statement errors surface exactly like
+// Exec's: the Response carries them and the error is typed.
+func (p *Pending) Wait() (*Response, error) {
+	if p.p != nil {
+		resp, err := p.p.wait()
+		p.p = nil
+		if err != nil {
+			return nil, err
+		}
+		if resp.Err != "" {
+			return resp, resp.Error()
+		}
+		return resp, nil
+	}
+	if p.err != nil {
+		return p.resp, p.err
+	}
+	return p.resp, nil
+}
+
+// ExecAsync submits a statement without waiting for its result, pipelining
+// it behind whatever is already in flight. On the gob transport (no
+// pipelining) it degrades to a synchronous call whose result Wait replays.
+func (c *Conn) ExecAsync(sql string, args ...sqltypes.Value) (*Pending, error) {
+	return c.execAsync(request{Kind: reqExec, SQL: sql, Args: args})
+}
+
+// ExecAsync pipelines an execution of the prepared statement.
+func (s *Stmt) ExecAsync(args ...sqltypes.Value) (*Pending, error) {
+	return s.c.execAsync(request{Kind: reqExecStmt, StmtID: s.id, Args: args})
+}
+
+func (c *Conn) execAsync(req request) (*Pending, error) {
+	if c.binary {
+		p, err := c.submit(req.Kind, &req)
+		if err != nil {
+			return nil, err
+		}
+		return &Pending{p: p}, nil
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return &Pending{resp: resp, err: resp.Error()}, nil
+	}
+	return &Pending{resp: resp}, nil
+}
+
 func (c *Conn) deadErr() error {
 	c.stateMu.Lock()
 	defer c.stateMu.Unlock()
@@ -608,7 +1013,9 @@ func (c *Conn) markDead(cause error) {
 	c.stateMu.Lock()
 	defer c.stateMu.Unlock()
 	if c.dead == nil {
-		c.dead = fmt.Errorf("%w: %v", ErrConnDead, cause)
+		// Double-wrap so callers can match both the liveness sentinel and
+		// the typed cause (ErrFrameTooLarge, ErrProtocolDesync, ...).
+		c.dead = fmt.Errorf("%w: %w", ErrConnDead, cause)
 		c.conn.Close()
 	}
 }
@@ -623,8 +1030,19 @@ func (c *Conn) Close() {
 	c.stateMu.Lock()
 	if c.dead == nil {
 		_ = c.conn.SetDeadline(time.Now().Add(100 * time.Millisecond))
-		_ = c.enc.send(&request{Kind: reqClose})
-		c.dead = ErrConnDead
+		if c.binary {
+			c.stateMu.Unlock()
+			c.sendMu.Lock()
+			_ = c.fw.writeFrame(byte(reqClose), 0, 0, func(b []byte) []byte { return b })
+			_ = c.fw.flush()
+			c.sendMu.Unlock()
+			c.stateMu.Lock()
+		} else {
+			_ = c.enc.send(&request{Kind: reqClose})
+		}
+		if c.dead == nil {
+			c.dead = ErrConnDead
+		}
 	}
 	c.stateMu.Unlock()
 	c.conn.Close()

@@ -40,6 +40,15 @@
 //	record_table, record_key, record_val
 //	                 the key-value schema the recorded workload uses
 //	                 (defaults kv/k/v); only valid with record=
+//	protocol         auto | binary | gob — wire transport selection.
+//	                 auto (default) negotiates the binary framed protocol
+//	                 and falls back to gob against pre-PR-9 servers;
+//	                 binary refuses to fall back; gob forces the legacy
+//	                 transport (docs/PROTOCOL.md)
+//	pipeline         per-connection in-flight request window for the
+//	                 binary protocol (default 64). database/sql drives a
+//	                 connection serially, so this mostly matters for
+//	                 explicit wire.Conn users sharing the DSN grammar
 //
 // Example:
 //
@@ -66,6 +75,7 @@ import (
 	"io"
 	"math/rand"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -199,6 +209,25 @@ func parseDSN(dsn string) (cfg wire.DriverConfig, addr, database, consistency st
 			err = fmt.Errorf("sqldriver: bad DSN consistency %q (want any, session or strong)", consistency)
 			return
 		}
+	}
+	switch p := strings.ToLower(q.Get("protocol")); p {
+	case "", "auto":
+		cfg.Protocol = wire.ProtocolAuto
+	case "binary":
+		cfg.Protocol = wire.ProtocolBinary
+	case "gob":
+		cfg.Protocol = wire.ProtocolGob
+	default:
+		err = fmt.Errorf("sqldriver: bad DSN protocol %q (want auto, binary or gob)", p)
+		return
+	}
+	if v := q.Get("pipeline"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 1 {
+			err = fmt.Errorf("sqldriver: bad DSN pipeline %q (want a positive window size)", v)
+			return
+		}
+		cfg.PipelineWindow = n
 	}
 	bo = backoffOpts{base: 4 * time.Millisecond, max: 250 * time.Millisecond}
 	durations := map[string]*time.Duration{

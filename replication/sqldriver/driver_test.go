@@ -53,6 +53,31 @@ func TestParseDSNOverloadOptions(t *testing.T) {
 	}
 }
 
+func TestParseDSNProtocolOptions(t *testing.T) {
+	// Default: auto-negotiate, window defaulted by wire.Dial.
+	cfg, _, _, _, _, _, err := parseDSN("repl://h:1/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Protocol != wire.ProtocolAuto || cfg.PipelineWindow != 0 {
+		t.Fatalf("defaults: protocol=%q pipeline=%d", cfg.Protocol, cfg.PipelineWindow)
+	}
+	cfg, _, _, _, _, _, err = parseDSN("repl://h:1/db?protocol=gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Protocol != wire.ProtocolGob {
+		t.Fatalf("protocol=gob parsed as %q", cfg.Protocol)
+	}
+	cfg, _, _, _, _, _, err = parseDSN("repl://h:1/db?protocol=binary&pipeline=128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Protocol != wire.ProtocolBinary || cfg.PipelineWindow != 128 {
+		t.Fatalf("protocol=%q pipeline=%d", cfg.Protocol, cfg.PipelineWindow)
+	}
+}
+
 func TestBackoffSleepBounded(t *testing.T) {
 	bo := backoffOpts{base: time.Millisecond, max: 8 * time.Millisecond}
 	for fails := 0; fails < 20; fails++ {
@@ -78,6 +103,9 @@ func TestParseDSNErrors(t *testing.T) {
 		"repl://h:1/db?consistency=bad",  // bad level
 		"repl://h:1/db?heartbeat=nonsap", // bad duration
 		"repl://h:1/db?record_table=kv",  // record_* without record=
+		"repl://h:1/db?protocol=grpc",    // unknown transport
+		"repl://h:1/db?pipeline=0",       // window must be positive
+		"repl://h:1/db?pipeline=many",    // window must be a number
 	} {
 		if _, _, _, _, _, _, err := parseDSN(dsn); err == nil {
 			t.Errorf("parseDSN(%q) accepted", dsn)

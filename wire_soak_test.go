@@ -1,0 +1,265 @@
+// Wire protocol soak (PR 9): a fleet of pipelined binary-protocol
+// connections hammers PK lookups (with a write mixed in) against a
+// master-slave cluster over the wire server, with the master killed
+// mid-run. The contract under that stress:
+//
+//   - zero protocol desyncs — request/response id matching never slips, no
+//     connection ever observes a frame meant for another request;
+//   - every failure the fleet sees is typed (retryable or ErrConnDead),
+//     never an untyped error or a hang;
+//   - the fleet as a whole keeps making progress (no collapse).
+//
+// The connection count scales by environment so one test serves three
+// tiers: the in-tree smoke (default, small), the on-PR CI variant
+// (WIRE_SOAK_CONNS=2500) and the scheduled full soak (WIRE_SOAK_CONNS=10000
+// with the file-descriptor limit raised); see docs/CI.md.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sqltypes"
+	"repro/internal/testutil"
+	"repro/internal/wire"
+	"repro/replication"
+)
+
+func soakEnvInt(t *testing.T, name string, def int) int {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("%s=%q: want a positive integer", name, v)
+	}
+	return n
+}
+
+func TestWireSoakPipelined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak; skipped in -short")
+	}
+	conns := soakEnvInt(t, "WIRE_SOAK_CONNS", 64)
+	ops := soakEnvInt(t, "WIRE_SOAK_OPS", 30)
+	const (
+		seedRows = 256
+		window   = 16
+	)
+
+	newRep := func(name string) *replication.Replica {
+		return replication.NewReplica(replication.ReplicaConfig{Name: name})
+	}
+	master := newRep("m")
+	ms := replication.NewMasterSlave(master,
+		[]*replication.Replica{newRep("s1"), newRep("s2")},
+		replication.MasterSlaveConfig{
+			Consistency:         replication.SessionConsistent,
+			TransparentFailover: true,
+		})
+	t.Cleanup(ms.Close)
+	mon := replication.NewMonitor(ms, time.Millisecond)
+	mon.Start()
+	defer mon.Stop()
+
+	srv, err := wire.NewServer("127.0.0.1:0", &wire.ClusterBackend{Cluster: ms},
+		wire.WithMaxConns(2*conns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	stmts := []string{
+		"CREATE DATABASE shop",
+		"USE shop",
+		"CREATE TABLE items (id INTEGER PRIMARY KEY, v INTEGER DEFAULT 0)",
+	}
+	for i := 0; i < seedRows; i += 32 {
+		var vals []string
+		for j := i; j < i+32; j++ {
+			vals = append(vals, fmt.Sprintf("(%d)", j+1))
+		}
+		stmts = append(stmts, "INSERT INTO items (id) VALUES "+joinComma(vals))
+	}
+	testutil.ExecAll(t, ms, stmts...)
+	testutil.WaitForLag(t, ms)
+
+	var (
+		succeeded atomic.Int64
+		retryable atomic.Int64
+		desyncs   atomic.Int64
+		insertID  atomic.Int64
+
+		untypedMu sync.Mutex
+		untyped   []error
+	)
+	insertID.Store(1 << 20)
+
+	// classify buckets one request failure. Desync is checked before
+	// ErrConnDead: a desync kills the connection, so its errors carry both
+	// sentinels, and it is the one failure mode with no excuse.
+	classify := func(err error) {
+		switch {
+		case errors.Is(err, wire.ErrProtocolDesync):
+			desyncs.Add(1)
+		case errors.Is(err, wire.ErrConnDead) || wire.Retryable(err):
+			retryable.Add(1)
+		default:
+			untypedMu.Lock()
+			untyped = append(untyped, err)
+			untypedMu.Unlock()
+		}
+	}
+
+	dial := func() (*wire.Conn, *wire.Stmt, error) {
+		c, err := wire.Dial(srv.Addr(), wire.DriverConfig{
+			User: "soak", Database: "shop",
+			Protocol: wire.ProtocolBinary, PipelineWindow: window,
+			ConnectTimeout: 10 * time.Second, KeepAliveTimeout: 15 * time.Second,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := c.Prepare("SELECT v FROM items WHERE id = ?")
+		if err != nil {
+			c.Close()
+			return nil, nil, err
+		}
+		return c, st, nil
+	}
+
+	// Dial the fleet with bounded parallelism so the accept queue is not
+	// overrun at the 10k tier.
+	fleet := make([]*wire.Conn, conns)
+	fleetStmts := make([]*wire.Stmt, conns)
+	sem := make(chan struct{}, 128)
+	var dialWG sync.WaitGroup
+	dialErr := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		dialWG.Add(1)
+		go func(i int) {
+			defer dialWG.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c, st, err := dial()
+			if err != nil {
+				dialErr <- fmt.Errorf("dial %d: %w", i, err)
+				return
+			}
+			fleet[i], fleetStmts[i] = c, st
+		}(i)
+	}
+	dialWG.Wait()
+	close(dialErr)
+	for err := range dialErr {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range fleet {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+
+	// Kill the master once roughly a third of the fleet has finished.
+	var finished atomic.Int64
+	var killOnce sync.Once
+	maybeKill := func() {
+		if int(finished.Load()) >= conns/3 {
+			killOnce.Do(func() { master.Fail() })
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { finished.Add(1); maybeKill() }()
+			<-start
+			c, st := fleet[i], fleetStmts[i]
+			redials := 0
+			pend := make([]*wire.Pending, 0, window)
+			settle := func(p *wire.Pending) {
+				if _, err := p.Wait(); err != nil {
+					classify(err)
+				} else {
+					succeeded.Add(1)
+				}
+			}
+			drain := func() {
+				for _, p := range pend {
+					settle(p)
+				}
+				pend = pend[:0]
+			}
+			for op := 0; op < ops; op++ {
+				var p *wire.Pending
+				var err error
+				if op%16 == 15 {
+					p, err = c.ExecAsync("INSERT INTO items (id) VALUES (?)",
+						sqltypes.NewInt(insertID.Add(1)))
+				} else {
+					p, err = st.ExecAsync(sqltypes.NewInt(int64(1 + (i*7+op)%seedRows)))
+				}
+				if err != nil {
+					classify(err)
+					// The connection died (master kill lands here): drain
+					// what was in flight, then redial and keep going — the
+					// soak measures the fleet's ability to ride through.
+					drain()
+					if redials >= 3 {
+						return
+					}
+					redials++
+					time.Sleep(50 * time.Millisecond)
+					nc, nst, derr := dial()
+					if derr != nil {
+						classify(derr)
+						return
+					}
+					c.Close()
+					c, st = nc, nst
+					fleet[i], fleetStmts[i] = nc, nst
+					continue
+				}
+				pend = append(pend, p)
+				if len(pend) == window {
+					settle(pend[0])
+					pend = append(pend[:0], pend[1:]...)
+				}
+			}
+			drain()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	total := int64(conns * ops)
+	t.Logf("%d conns x %d ops (window %d): %d ok, %d retryable, %d desyncs, %d untyped",
+		conns, ops, window, succeeded.Load(), retryable.Load(), desyncs.Load(), len(untyped))
+
+	if n := desyncs.Load(); n != 0 {
+		t.Errorf("%d protocol desyncs — request/response id matching slipped", n)
+	}
+	untypedMu.Lock()
+	if len(untyped) > 0 {
+		t.Errorf("%d failures were not typed; first: %v", len(untyped), untyped[0])
+	}
+	untypedMu.Unlock()
+	// Progress floor: the master kill may cost in-flight windows and a
+	// redial round per connection, but the fleet must complete the clear
+	// majority of its work.
+	if ok := succeeded.Load(); ok < total/2 {
+		t.Errorf("fleet completed %d/%d ops — soak collapsed", ok, total)
+	}
+}
