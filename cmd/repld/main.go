@@ -66,7 +66,18 @@ func main() {
 	segmentEntries := flag.Int("segment-entries", 1024, "recovery log entries per segment file")
 	fsyncEvery := flag.Int("fsync-every", 64, "batch size between recovery log fsyncs (1 = every commit)")
 	groupCommit := flag.Duration("group-commit-window", 0, "commit acks wait for a recovery-log fsync, batched over this coalescing window (ms with -data-dir only; 0 keeps async fsync batching)")
+	elastic := flag.Bool("elastic", false, "enable online elasticity (-topology partitioned): virtual-bucket routing plus live split/merge/migration")
+	buckets := flag.Int("buckets", 0, "virtual routing buckets for -elastic (0 = 16x partitions)")
+	autoscale := flag.Bool("autoscale", false, "enable load-driven replica autoscaling (-topology ms; requires -admission-slots)")
+	autoscaleMax := flag.Int("autoscale-max", 8, "replica ceiling for -autoscale")
 	flag.Parse()
+
+	if (*elastic || *buckets > 0) && *topology != "partitioned" {
+		log.Fatalf("repld: -elastic/-buckets need -topology partitioned")
+	}
+	if *autoscale && *topology != "ms" {
+		log.Fatalf("repld: -autoscale is master-slave only (use -topology ms)")
+	}
 
 	cons, err := replication.ParseConsistency(*consistency)
 	if err != nil {
@@ -120,6 +131,10 @@ func main() {
 
 	var cluster replication.Cluster
 	var durable *replication.DurableCluster
+	var msCluster *replication.MasterSlave
+	var lagTracker *replication.LagTracker
+	var rebalancer *replication.Rebalancer
+	var autoscaler *replication.Autoscaler
 	switch *topology {
 	case "ms":
 		msCfg := replication.MasterSlaveConfig{
@@ -146,6 +161,33 @@ func main() {
 		createAuthUser(ms.Master())
 		for _, sl := range ms.Slaves() {
 			createAuthUser(sl)
+		}
+		msCluster = ms
+		if *autoscale || *httpAddr != "" {
+			lagTracker = replication.NewLagTracker(ms, *monitorEvery, 0)
+			defer lagTracker.Close()
+		}
+		if *autoscale {
+			if adm == nil {
+				log.Fatalf("repld: -autoscale needs -admission-slots for its load signals")
+			}
+			spareSeq := 0
+			autoscaler, err = replication.NewAutoscaler(ms, adm, lagTracker, replication.AutoscalerConfig{
+				MinReplicas: *slaves,
+				MaxReplicas: *autoscaleMax,
+				Spare: func() *replication.Replica {
+					spareSeq++
+					tpl := replicaTpl
+					tpl.Name = fmt.Sprintf("auto-%d", spareSeq)
+					r := replication.NewReplica(tpl)
+					createAuthUser(r)
+					return r
+				},
+			})
+			if err != nil {
+				log.Fatalf("repld: %v", err)
+			}
+			defer autoscaler.Close()
 		}
 		cluster = ms
 	case "mm":
@@ -221,11 +263,23 @@ func main() {
 				})
 			}
 		}
-		pc, err := replication.NewPartitioned(parts, rules)
+		var pc *replication.Partitioned
+		if *elastic || *buckets > 0 {
+			nb := *buckets
+			if nb <= 0 {
+				nb = 16 * *partitions
+			}
+			pc, err = replication.NewElasticPartitioned(parts, rules, nb)
+		} else {
+			pc, err = replication.NewPartitioned(parts, rules)
+		}
 		if err != nil {
 			log.Fatalf("repld: %v", err)
 		}
 		pc.SetAdmission(adm)
+		if *elastic {
+			rebalancer = replication.NewRebalancer(pc, replication.RebalancerConfig{})
+		}
 		cluster = pc
 	default:
 		log.Fatalf("repld: unknown -topology %q (want ms, mm or partitioned)", *topology)
@@ -242,7 +296,7 @@ func main() {
 	defer srv.Close()
 
 	if *httpAddr != "" {
-		opsSrv, err := ops.NewServer(*httpAddr, ops.Options{
+		opsOpts := ops.Options{
 			Cluster:      cluster,
 			Admission:    adm,
 			QueryCache:   qc,
@@ -250,11 +304,28 @@ func main() {
 			Extra: func(w io.Writer) {
 				if durable != nil {
 					mon := durable.Monitor()
-					fmt.Fprintf(w, "repl_failovers_total %d\n", mon.Failovers())
+					fmt.Fprintf(w, "repl_monitor_failovers_total %d\n", mon.Failovers())
 					fmt.Fprintf(w, "repl_rejoins_total %d\n", mon.Rejoins())
 				}
 			},
-		})
+		}
+		if msCluster != nil {
+			opsOpts.FailoverHistory = msCluster.FailoverHistory
+		}
+		if lagTracker != nil {
+			opsOpts.LagSeries = lagTracker.Series
+		}
+		if rebalancer != nil || autoscaler != nil {
+			opsOpts.Elastic = func(w io.Writer) {
+				if rebalancer != nil {
+					rebalancer.WriteMetrics(w)
+				}
+				if autoscaler != nil {
+					autoscaler.WriteMetrics(w)
+				}
+			}
+		}
+		opsSrv, err := ops.NewServer(*httpAddr, opsOpts)
 		if err != nil {
 			log.Fatalf("repld: ops endpoint: %v", err)
 		}

@@ -1,0 +1,75 @@
+// Elasticity fault cell for the consistency-certification matrix (PR 10):
+// a live bucket migration — snapshot, binlog tail stream, write fence,
+// routing-epoch flip, scavenge — runs mid-workload on an elastic
+// partitioned cluster. The recorded history must certify at the same level
+// as the fault-free partitioned/session cell, with NOTHING excused: unlike
+// a master kill, a migration is a planned operation and may not lose a
+// single acknowledged write.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/testutil"
+	"repro/replication"
+)
+
+// TestConsistencyCertElasticMigration drives the session-consistent
+// workload across a live Split of partition 0 onto a fresh sub-cluster.
+// Mid-transaction bucket moves surface as typed retryable aborts (recorded
+// as such), never as anomalies; the checker certifies read committed — the
+// partitioned/session ceiling — plus the session guarantees, over the
+// whole run.
+func TestConsistencyCertElasticMigration(t *testing.T) {
+	mk := func(name string) *replication.MasterSlave {
+		m := replication.NewReplica(replication.ReplicaConfig{Name: name + "-m"})
+		s := replication.NewReplica(replication.ReplicaConfig{Name: name + "-s"})
+		ms := replication.NewMasterSlave(m, []*replication.Replica{s},
+			replication.MasterSlaveConfig{Consistency: replication.SessionConsistent})
+		t.Cleanup(ms.Close)
+		return ms
+	}
+	parts := []*replication.MasterSlave{mk("ep0"), mk("ep1")}
+	pc, err := replication.NewElasticPartitioned(parts, kvPartitionRules(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pc.Close)
+	testutil.CreateDB(t, pc, "app")
+
+	r := replication.NewRebalancer(pc, replication.RebalancerConfig{
+		TailBatch: 64, TailDelay: 500 * time.Microsecond, CatchupThreshold: 4,
+		CatchupTimeout: 30 * time.Second,
+	})
+	var faultAt int64
+	var chaosErr error
+	chaos := func(rec *history.Recorder) {
+		if chaosErr = waitCommitted(rec, 60); chaosErr != nil {
+			return
+		}
+		dest := mk("ep2")
+		faultAt = history.Now()
+		if err := r.Split(0, dest); err != nil {
+			chaosErr = fmt.Errorf("live split: %w", err)
+			return
+		}
+		if r.Completed() != 1 {
+			chaosErr = fmt.Errorf("split reported no completed migration")
+		}
+	}
+
+	h := runCertWorkload(t, pc, "SNAPSHOT", certFaultWorkload(certSeed(t, 2005)), chaos)
+	if chaosErr != nil {
+		t.Fatal(chaosErr)
+	}
+	assertWorkloadSpansFault(t, h, faultAt)
+	if moved := pc.RouteTable().Epoch(); moved < 2 {
+		t.Fatalf("routing epoch %d: migration never installed", moved)
+	}
+	level, rt := expectedCheck("partitioned", replication.SessionConsistent, history.SnapshotIsolation)
+	// ex is nil by design: a planned migration excuses nothing.
+	assertCertVerdict(t, h, level, rt, replication.SessionConsistent, nil, nil)
+}

@@ -19,9 +19,16 @@ import (
 // lexically with branch awareness: a Lock inside one arm of an if does not
 // count after the branch rejoins, and an Unlock (not deferred) clears the
 // held state.
+// The same contract covers the routing-epoch convention from the elastic
+// partitioning layer: helpers whose name ends in "Epoch" (installEpoch,
+// advanceEpoch, ...) mutate or read the published routing table and must
+// run under the router's mutex. The bare accessor Epoch() is exempt — it
+// reads an immutable field of an already-published table — as are *Epoch
+// methods on RouteTable or *Snapshot receivers, which are immutable values
+// by construction.
 var LockedCallAnalyzer = &Analyzer{
 	Name: "lockedcall",
-	Doc:  "calls to *Locked helpers must hold the corresponding mutex (or carry a lint:holds annotation)",
+	Doc:  "calls to *Locked and *Epoch helpers must hold the corresponding mutex (or carry a lint:holds annotation)",
 	Run:  runLockedCall,
 }
 
@@ -32,10 +39,10 @@ func runLockedCall(pass *Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			if hasLockedSuffix(fn.Name.Name) {
-				// A *Locked function's own callees inherit its caller's
-				// lock; the contract is discharged at the outermost
-				// non-Locked caller.
+			if hasLockedSuffix(fn.Name.Name) || hasEpochSuffix(fn.Name.Name) {
+				// A *Locked (or *Epoch) function's own callees inherit its
+				// caller's lock; the contract is discharged at the
+				// outermost non-Locked caller.
 				continue
 			}
 			if pass.funcAnnotated(fn, "holds") {
@@ -50,6 +57,13 @@ func runLockedCall(pass *Pass) error {
 
 func hasLockedSuffix(name string) bool {
 	return len(name) > len("Locked") && name[len(name)-len("Locked"):] == "Locked"
+}
+
+// hasEpochSuffix matches routing-epoch helpers (installEpoch, advanceEpoch,
+// ...) but not the bare accessor Epoch(), which reads an immutable field of
+// an already-published routing table.
+func hasEpochSuffix(name string) bool {
+	return len(name) > len("Epoch") && name[len(name)-len("Epoch"):] == "Epoch"
 }
 
 // lockState tracks which mutexes are held at a program point, keyed by the
@@ -302,7 +316,10 @@ func (lw *lockWalker) checkCall(call *ast.CallExpr, state lockState) {
 		}
 	}
 	name := calleeName(call)
-	if !hasLockedSuffix(name) {
+	if !hasLockedSuffix(name) && !hasEpochSuffix(name) {
+		return
+	}
+	if hasEpochSuffix(name) && !hasLockedSuffix(name) && lw.epochExempt(call) {
 		return
 	}
 	if state.anyHeld() {
@@ -313,6 +330,32 @@ func (lw *lockWalker) checkCall(call *ast.CallExpr, state lockState) {
 	}
 	lw.pass.Reportf(call.Pos(),
 		"call to %s without its mutex: caller is neither *Locked nor holds a Lock/RLock on every path here (annotate with // lint:holds <mu> if the lock is taken elsewhere)", name)
+}
+
+// epochExempt reports whether an *Epoch call's receiver is an immutable
+// routing value — a RouteTable or a *Snapshot type — whose epoch field is
+// stamped once at install time and safe to read without the router's
+// mutex. Function-valued and receiver-less calls get no exemption.
+func (lw *lockWalker) epochExempt(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t, ok := lw.pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	typ := t.Type
+	if p, ok := typ.(*types.Pointer); ok {
+		typ = p.Elem()
+	}
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return false
+	}
+	n := named.Obj().Name()
+	return n == "RouteTable" ||
+		(len(n) >= len("Snapshot") && n[len(n)-len("Snapshot"):] == "Snapshot")
 }
 
 func calleeName(call *ast.CallExpr) string {

@@ -80,3 +80,53 @@ func (n *node) badGoroutine() {
 		n.assignLocked() // want "without its mutex"
 	}()
 }
+
+// ---- routing-epoch convention ----
+
+type router struct {
+	mu    sync.Mutex
+	epoch uint64
+}
+
+type RouteTable struct{ epoch uint64 }
+
+type routeSnapshot struct{ epoch uint64 }
+
+// Renamed-in-fixture stand-ins for the core package's RouteTable/Snapshot
+// exemption: immutable values whose epoch is stamped at install time.
+func (rt *RouteTable) NextEpoch() uint64   { return rt.epoch + 1 }
+func (s *routeSnapshot) NextEpoch() uint64 { return s.epoch + 1 }
+func (r *router) installEpoch(next uint64) { r.epoch = next }
+func (r *router) Epoch() uint64            { return r.epoch }
+
+func (r *router) goodInstall(next uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.installEpoch(next)
+}
+
+func (r *router) badInstall(next uint64) {
+	r.installEpoch(next) // want "without its mutex"
+}
+
+func (r *router) badInstallAfterUnlock(next uint64) {
+	r.mu.Lock()
+	r.installEpoch(next)
+	r.mu.Unlock()
+	r.installEpoch(next + 1) // want "without its mutex"
+}
+
+func (r *router) goodBareEpoch() uint64 {
+	// The bare accessor reads a published value; no lock required.
+	return r.Epoch()
+}
+
+func goodImmutableReceivers(rt *RouteTable, s *routeSnapshot) uint64 {
+	// RouteTable and *Snapshot receivers are immutable: exempt.
+	return rt.NextEpoch() + s.NextEpoch()
+}
+
+// lint:holds r.mu — callers install epochs mid-cutover with the router lock pinned.
+func (r *router) annotatedEpochFunc(next uint64) {
+	r.installEpoch(next)
+}

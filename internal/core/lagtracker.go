@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// LagTracker samples per-replica apply lag into ring-buffered time series.
+// The operability endpoint exports the series, and the autoscaler reads the
+// same data to decide when read capacity is falling behind — one measurement
+// path for both consumers (the paper's §3.4 complaint is that these numbers
+// are "practically never measured"; here they are always on).
+type LagTracker struct {
+	ms       *MasterSlave
+	interval time.Duration
+	capacity int
+
+	mu     sync.Mutex
+	series map[string]*metrics.Series
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewLagTracker starts sampling the cluster's slave lag every interval
+// (0 means 100ms), keeping capSamples samples per replica (0 means 1024).
+func NewLagTracker(ms *MasterSlave, interval time.Duration, capSamples int) *LagTracker {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	lt := &LagTracker{
+		ms:       ms,
+		interval: interval,
+		capacity: capSamples,
+		series:   make(map[string]*metrics.Series),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go lt.run()
+	return lt
+}
+
+func (lt *LagTracker) run() {
+	defer close(lt.done)
+	t := time.NewTicker(lt.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-lt.stop:
+			return
+		case <-t.C:
+			lt.sample()
+		}
+	}
+}
+
+func (lt *LagTracker) sample() {
+	now := time.Now()
+	lag := lt.ms.SlaveLag()
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for name, v := range lag {
+		s := lt.series[name]
+		if s == nil {
+			s = metrics.NewSeries(lt.capacity)
+			lt.series[name] = s
+		}
+		s.AddAt(now, float64(v))
+	}
+}
+
+// Series returns a chronological copy of every replica's lag samples.
+// Replicas that left the cluster keep their history until the tracker is
+// closed — a retired replica's trace is exactly what a post-mortem wants.
+func (lt *LagTracker) Series() map[string][]metrics.Sample {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	out := make(map[string][]metrics.Sample, len(lt.series))
+	for name, s := range lt.series {
+		out[name] = s.Samples()
+	}
+	return out
+}
+
+// MaxLag returns the most recent lag sample's maximum across replicas.
+func (lt *LagTracker) MaxLag() float64 {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	var max float64
+	for _, s := range lt.series {
+		if last, ok := s.Last(); ok && last.V > max {
+			max = last.V
+		}
+	}
+	return max
+}
+
+// Close stops sampling.
+func (lt *LagTracker) Close() {
+	select {
+	case <-lt.stop:
+	default:
+		close(lt.stop)
+	}
+	<-lt.done
+}

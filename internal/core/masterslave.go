@@ -165,6 +165,28 @@ type MasterSlave struct {
 	durab atomic.Value // holds durabHolder
 
 	lostOnLastFailover uint64
+	// failoverHist records every promotion this cluster performed, newest
+	// last: the operability surface exports it, and post-mortems need the
+	// exact lost-transaction count per event, not just the last one.
+	failoverHist []FailoverRecord
+}
+
+// FailoverRecord is one completed promotion: when it happened, which master
+// died, which slave was promoted, and how many committed-but-unshipped
+// transactions the 1-safe window lost.
+type FailoverRecord struct {
+	At        time.Time
+	Lost      uint64
+	OldMaster string
+	NewMaster string
+}
+
+// FailoverHistory returns every failover this cluster performed, oldest
+// first.
+func (ms *MasterSlave) FailoverHistory() []FailoverRecord {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return append([]FailoverRecord(nil), ms.failoverHist...)
 }
 
 // durabHolder wraps the DurabilityWaiter for atomic.Value (which requires a
@@ -427,13 +449,20 @@ func applyEvent(s *engine.Session, eng *engine.Engine, ev engine.Event, ship Shi
 	if ship == ShipWriteSets && ev.WriteSet != nil {
 		return eng.ApplyWriteSet(ev.WriteSet, engine.ApplyOptions{})
 	}
+	if len(ev.Stmts) == 0 {
+		// Statement-less events exist only as direct write-set applies (a
+		// migration seeding or tailing rows into this lineage); statement
+		// shipping must still apply them by write-set or the slave would
+		// silently skip the commit and diverge from its master.
+		if ev.WriteSet != nil {
+			return eng.ApplyWriteSet(ev.WriteSet, engine.ApplyOptions{})
+		}
+		return nil
+	}
 	if ev.Database != "" {
 		if _, err := s.ExecStmt(&sqlparse.UseDatabase{Name: ev.Database}); err != nil {
 			return err
 		}
-	}
-	if len(ev.Stmts) == 0 {
-		return nil
 	}
 	if len(ev.Stmts) == 1 {
 		st, err := sqlparse.ParseCached(ev.Stmts[0])
@@ -747,6 +776,12 @@ func (ms *MasterSlave) Failover() (*Replica, error) {
 	} else {
 		ms.lostOnLastFailover = 0
 	}
+	ms.failoverHist = append(ms.failoverHist, FailoverRecord{
+		At:        time.Now(),
+		Lost:      ms.lostOnLastFailover,
+		OldMaster: oldMaster.Name(),
+		NewMaster: best.Name(),
+	})
 	// A slave that drained the dead master's backlog past the promoted
 	// position contains transactions the new lineage lost: its state is
 	// diverged, not merely ahead, and its freshness counter would lie to
@@ -843,6 +878,127 @@ func (ms *MasterSlave) Failback(rep *Replica, from uint64) error {
 	ms.mu.Unlock()
 	ms.startApplier(rep, from)
 	return nil
+}
+
+// Retire detaches the named slave from the cluster: its applier halts and
+// it leaves read routing. The replica itself is returned alive (the
+// autoscaler keeps retired replicas as warm spares). The epoch bump drops
+// connection-level read pins, so no session keeps reading a replica that
+// will never advance again — safe, because retiring changes no positions
+// and routeRead's epoch handling only ever clamps floors downward to the
+// (unchanged) master head.
+func (ms *MasterSlave) Retire(name string) (*Replica, error) {
+	ms.mu.Lock()
+	if ms.failingOver {
+		ms.mu.Unlock()
+		return nil, fmt.Errorf("core: failover in progress; retry retire of %s", name)
+	}
+	var target *Replica
+	remaining := make([]*Replica, 0, len(ms.slaves))
+	for _, sl := range ms.slaves {
+		if sl.Name() == name && target == nil {
+			target = sl
+			continue
+		}
+		remaining = append(remaining, sl)
+	}
+	if target == nil {
+		ms.mu.Unlock()
+		return nil, fmt.Errorf("core: no slave named %s to retire", name)
+	}
+	ms.slaves = remaining
+	a := ms.appliers[name]
+	delete(ms.appliers, name)
+	ms.epoch.Add(1)
+	ms.mu.Unlock()
+	if a != nil {
+		a.halt()
+	}
+	return target, nil
+}
+
+// SeedFrom overwrites every replica of this cluster — master and slaves —
+// with the given backup and restarts shipping from the backup's position.
+// This is the first phase of a live partition migration: the destination
+// sub-cluster becomes a faithful clone of the source at AtSeq, its binlog
+// reset so that applying the source's tail events one-for-one keeps the
+// destination head equal to the last applied source position (the
+// migration's resume cursor). Only sound on a cluster not yet serving
+// client traffic.
+func (ms *MasterSlave) SeedFrom(b *engine.Backup) error {
+	ms.mu.Lock()
+	appliers := ms.appliers
+	ms.appliers = make(map[string]*slaveApplier)
+	master := ms.master
+	slaves := append([]*Replica(nil), ms.slaves...)
+	ms.mu.Unlock()
+	for _, a := range appliers {
+		a.halt()
+	}
+	for _, rep := range append([]*Replica{master}, slaves...) {
+		if err := rep.Engine().Restore(b); err != nil {
+			return fmt.Errorf("core: seed of %s failed: %w", rep.Name(), err)
+		}
+		rep.Engine().Binlog().Reset(b.AtSeq)
+		rep.appliedSeq.Store(b.AtSeq)
+		rep.receivedSeq.Store(b.AtSeq)
+	}
+	if ms.qc != nil {
+		ms.invalMu.Lock()
+		ms.qc.FlushAll()
+		ms.invalCursor = b.AtSeq
+		ms.invalMu.Unlock()
+	}
+	for _, sl := range slaves {
+		ms.startApplier(sl, b.AtSeq)
+	}
+	return nil
+}
+
+// ApplyForeignEvents applies committed binlog events from ANOTHER cluster's
+// lineage to this cluster's master, one event per commit, so the master's
+// own binlog (and therefore its slaves) tracks the foreign stream position
+// — the destination head doubles as the migration's resume cursor after a
+// seed via SeedFrom. It returns how many
+// of the events were applied; on error the prefix before the failing event
+// is committed.
+func (ms *MasterSlave) ApplyForeignEvents(events []engine.Event) (int, error) {
+	if len(events) == 0 {
+		return 0, nil
+	}
+	master := ms.Master()
+	sess := master.Engine().NewSession("rebalance")
+	defer sess.Close()
+	for i, ev := range events {
+		if err := applyEvent(sess, master.Engine(), ev, ShipWriteSets); err != nil {
+			return i, err
+		}
+	}
+	return len(events), nil
+}
+
+// SurvivableSeq returns the highest source position guaranteed to exist in
+// ANY lineage this cluster can fail over to: the max applied position over
+// healthy slaves (promotion always picks the max-applied slave, so events
+// at or below it survive a master kill). A migration tail that never
+// applies beyond this can resume from its contiguous prefix after a source
+// failover without re-cloning. With no healthy slave it falls back to the
+// master head.
+func (ms *MasterSlave) SurvivableSeq() uint64 {
+	var best uint64
+	any := false
+	for _, sl := range ms.Slaves() {
+		if !sl.Healthy() {
+			continue
+		}
+		if a := sl.AppliedSeq(); !any || a > best {
+			best, any = a, true
+		}
+	}
+	if !any {
+		return ms.MasterSeq()
+	}
+	return best
 }
 
 // Close stops all shipping.

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
+)
+
+// ErrPartitionConfig is wrapped by every partition-rule / routing-table
+// validation failure: overlapping or gapped range bounds, a key value listed
+// in two partitions, a bucket assigned to no partition. It is returned both
+// at construction (NewPartitioned / NewElasticPartitioned) and at every
+// routing-table epoch install, so a bad reshape can never be published.
+var ErrPartitionConfig = errors.New("core: invalid partition configuration")
+
+// ErrRangeMoved is wrapped when a statement (or an in-flight transaction)
+// loses its key range to a concurrent partition migration. It is RETRYABLE
+// by contract: the routing table has already cut over, so the identical
+// statement re-routed through a fresh snapshot lands on the new owner. The
+// wire layer maps it to the retryable error code and pooled drivers retry
+// with backoff.
+var ErrRangeMoved = errors.New("core: key range moved by partition migration; retry")
+
+// RouteTable is one immutable, epoch-stamped version of the partition
+// routing state: which sub-cluster owns which of the nbuckets virtual
+// buckets. Sessions pin a snapshot per statement (and per transaction);
+// migrations publish a successor table under the routing lock. Keys map to
+// buckets by rule, buckets to partitions by the assignment vector — moving
+// data is a bucket reassignment, never a rule rewrite, which is what makes
+// split/merge/migrate a constant-size routing change.
+type RouteTable struct {
+	epoch    uint64
+	parts    []*MasterSlave
+	nbuckets int
+	assign   []int // bucket -> index into parts
+	rules    map[string]*PartitionRule
+	refs     refCount
+}
+
+// refCount tracks how many in-flight statements still route through a
+// superseded table; migrations wait for it to drain before scavenging moved
+// rows out of the source (a reader holding the old snapshot may still be
+// mid-scatter against it).
+type refCount struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (rc *refCount) add(d int64) int64 {
+	rc.mu.Lock()
+	rc.n += d
+	n := rc.n
+	rc.mu.Unlock()
+	return n
+}
+
+func (rc *refCount) load() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.n
+}
+
+// Epoch identifies this routing-table version. (Bare Epoch accessors and
+// RouteTable receivers are exempt from the lockedcall *Epoch convention:
+// an immutable snapshot needs no lock.)
+func (rt *RouteTable) Epoch() uint64 { return rt.epoch }
+
+// NumBuckets returns the virtual bucket count (fixed for the table's life).
+func (rt *RouteTable) NumBuckets() int { return rt.nbuckets }
+
+// Partitions returns the member sub-clusters.
+func (rt *RouteTable) Partitions() []*MasterSlave {
+	return append([]*MasterSlave(nil), rt.parts...)
+}
+
+// Rule returns the partitioning rule for a table (nil when the table is
+// fully replicated).
+func (rt *RouteTable) Rule(table string) *PartitionRule { return rt.rules[table] }
+
+// bucketOf maps a key value to its bucket under rule.
+func (rt *RouteTable) bucketOf(rule *PartitionRule, v sqltypes.Value) (int, error) {
+	return rule.partitionFor(v, rt.nbuckets)
+}
+
+// Owner returns the sub-cluster owning a bucket.
+func (rt *RouteTable) Owner(bucket int) *MasterSlave { return rt.parts[rt.assign[bucket]] }
+
+// OwnerIndex returns the partition index owning a bucket.
+func (rt *RouteTable) OwnerIndex(bucket int) int { return rt.assign[bucket] }
+
+// PartIndex returns ms's index in the table, or -1.
+func (rt *RouteTable) PartIndex(ms *MasterSlave) int {
+	for i, p := range rt.parts {
+		if p == ms {
+			return i
+		}
+	}
+	return -1
+}
+
+// OwnedBuckets returns the buckets assigned to partition idx, ascending.
+func (rt *RouteTable) OwnedBuckets(idx int) []int {
+	var out []int
+	for b, p := range rt.assign {
+		if p == idx {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// WithReassign returns a successor table moving the given buckets to dest.
+// A dest not yet in the table is appended; when dropEmpty is set, partitions
+// left owning nothing are removed (the merge path). The successor's epoch is
+// stamped at install time, and InstallRouting re-validates it.
+func (rt *RouteTable) WithReassign(buckets []int, dest *MasterSlave, dropEmpty bool) (*RouteTable, error) {
+	parts := append([]*MasterSlave(nil), rt.parts...)
+	di := -1
+	for i, p := range parts {
+		if p == dest {
+			di = i
+		}
+	}
+	if di < 0 {
+		parts = append(parts, dest)
+		di = len(parts) - 1
+	}
+	assign := append([]int(nil), rt.assign...)
+	for _, b := range buckets {
+		if b < 0 || b >= len(assign) {
+			return nil, fmt.Errorf("%w: bucket %d out of range [0,%d)", ErrPartitionConfig, b, len(assign))
+		}
+		assign[b] = di
+	}
+	if dropEmpty {
+		owned := make([]int, len(parts))
+		for _, p := range assign {
+			owned[p]++
+		}
+		keep := make([]*MasterSlave, 0, len(parts))
+		remap := make([]int, len(parts))
+		for i, p := range parts {
+			if owned[i] > 0 {
+				remap[i] = len(keep)
+				keep = append(keep, p)
+			} else {
+				remap[i] = -1
+			}
+		}
+		for b := range assign {
+			assign[b] = remap[assign[b]]
+		}
+		parts = keep
+	}
+	next := &RouteTable{parts: parts, nbuckets: rt.nbuckets, assign: assign, rules: rt.rules}
+	return next, next.validate()
+}
+
+// validate checks the table's internal consistency; every failure wraps
+// ErrPartitionConfig. This runs at construction AND at every epoch install,
+// so an overlapping range rule or an orphaned bucket can never route a
+// single statement.
+func (rt *RouteTable) validate() error {
+	if len(rt.parts) == 0 {
+		return fmt.Errorf("%w: no partitions", ErrPartitionConfig)
+	}
+	seen := make(map[*MasterSlave]bool, len(rt.parts))
+	for i, p := range rt.parts {
+		if p == nil {
+			return fmt.Errorf("%w: partition %d is nil", ErrPartitionConfig, i)
+		}
+		if seen[p] {
+			return fmt.Errorf("%w: partition %d appears twice", ErrPartitionConfig, i)
+		}
+		seen[p] = true
+	}
+	if rt.nbuckets < 1 {
+		return fmt.Errorf("%w: need at least one bucket", ErrPartitionConfig)
+	}
+	if len(rt.assign) != rt.nbuckets {
+		return fmt.Errorf("%w: %d bucket assignments for %d buckets", ErrPartitionConfig, len(rt.assign), rt.nbuckets)
+	}
+	owned := make([]int, len(rt.parts))
+	for b, p := range rt.assign {
+		if p < 0 || p >= len(rt.parts) {
+			return fmt.Errorf("%w: bucket %d assigned to partition %d of %d", ErrPartitionConfig, b, p, len(rt.parts))
+		}
+		owned[p]++
+	}
+	for i, n := range owned {
+		if n == 0 {
+			return fmt.Errorf("%w: partition %d owns no buckets", ErrPartitionConfig, i)
+		}
+	}
+	for table, r := range rt.rules {
+		if err := validateRule(r, rt.nbuckets); err != nil {
+			return fmt.Errorf("%w: table %s: %v", ErrPartitionConfig, table, err)
+		}
+	}
+	return nil
+}
+
+// validateRule checks one partition rule against the bucket count. The
+// strictly-ascending bounds check is the fix for silently accepted
+// overlapping/gapped range rules: with unsorted bounds, partitionFor's
+// first-match scan sent overlapping key ranges to the lower partition and
+// made the intended one unreachable.
+func validateRule(r *PartitionRule, nbuckets int) error {
+	if r.Table == "" || r.Column == "" {
+		return fmt.Errorf("rule needs a table and key column")
+	}
+	switch r.Strategy {
+	case HashPartition:
+		return nil
+	case RangePartition:
+		if len(r.Bounds) != nbuckets-1 {
+			return fmt.Errorf("need %d range bounds for %d buckets, have %d", nbuckets-1, nbuckets, len(r.Bounds))
+		}
+		for i := 1; i < len(r.Bounds); i++ {
+			if sqltypes.Compare(r.Bounds[i-1], r.Bounds[i]) >= 0 {
+				return fmt.Errorf("range bounds must be strictly ascending: bound %d (%v) >= bound %d (%v) overlaps or gaps the ranges",
+					i-1, r.Bounds[i-1], i, r.Bounds[i])
+			}
+		}
+		return nil
+	case ListPartition:
+		if len(r.Lists) != nbuckets {
+			return fmt.Errorf("need %d lists for %d buckets, have %d", nbuckets, nbuckets, len(r.Lists))
+		}
+		type slot struct {
+			v      sqltypes.Value
+			bucket int
+		}
+		byHash := make(map[uint64][]slot)
+		for b, list := range r.Lists {
+			for _, v := range list {
+				h := sqltypes.HashValue(v)
+				for _, s := range byHash[h] {
+					if sqltypes.Equal(s.v, v) {
+						return fmt.Errorf("key %v listed for both bucket %d and bucket %d", v, s.bucket, b)
+					}
+				}
+				byHash[h] = append(byHash[h], slot{v: v, bucket: b})
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown partition strategy %d", r.Strategy)
+}
+
+// ---- routing snapshot lifecycle ----
+
+// RouteTable returns the current routing table WITHOUT pinning it — for
+// metrics and coordination. Statements route through snapshotTable.
+func (pc *Partitioned) RouteTable() *RouteTable { return pc.table.Load() }
+
+// snapshotTable pins the current routing table for one statement. The
+// pin/re-check loop closes the race with a concurrent install: a snapshot
+// that pinned a table which was superseded mid-pin releases and retries, so
+// quiesce counts never go negative and never miss a reader.
+func (pc *Partitioned) snapshotTable() *RouteTable {
+	for {
+		rt := pc.table.Load()
+		rt.refs.add(1)
+		if pc.table.Load() == rt {
+			return rt
+		}
+		rt.refs.add(-1)
+	}
+}
+
+// release un-pins a snapshot taken with snapshotTable.
+func (rt *RouteTable) release() { rt.refs.add(-1) }
+
+// WaitQuiesce blocks until no in-flight statement still routes through rt
+// (a superseded table). Scavenging moved rows out of the source before the
+// old table quiesces would make a reader that snapshotted before the
+// cutover miss rows on both sides.
+func (pc *Partitioned) WaitQuiesce(rt *RouteTable, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for rt.refs.load() != 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: routing epoch %d did not quiesce within %v (%d refs)", rt.Epoch(), timeout, rt.refs.load())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return nil
+}
+
+// gate returns the per-partition write fence. Binlog-producing operations
+// hold it shared; a migration cutover holds it exclusively for the final
+// drain, which is the ONLY moment writes to the moving range block.
+func (pc *Partitioned) gate(p *MasterSlave) *sync.RWMutex {
+	pc.gateMu.Lock()
+	defer pc.gateMu.Unlock()
+	g := pc.gates[p]
+	if g == nil {
+		g = &sync.RWMutex{}
+		pc.gates[p] = g
+	}
+	return g
+}
+
+// SetContaminated marks (or clears) a partition as physically holding rows
+// of buckets it does not own — a migration destination during the copy, or
+// a source between cutover and scavenge. Scatter reads push an ownership
+// predicate down to contaminated partitions so no row is double-counted.
+func (pc *Partitioned) SetContaminated(p *MasterSlave, on bool) {
+	pc.stateMu.Lock()
+	defer pc.stateMu.Unlock()
+	if on && !pc.marks[p] {
+		pc.marks[p] = true
+		pc.markCount++
+	} else if !on && pc.marks[p] {
+		delete(pc.marks, p)
+		pc.markCount--
+	}
+}
+
+// contaminatedAny reports whether any contamination mark is set (fast-path
+// check before per-partition lookups).
+func (pc *Partitioned) contaminatedAny() bool {
+	pc.stateMu.Lock()
+	defer pc.stateMu.Unlock()
+	return pc.markCount > 0
+}
+
+func (pc *Partitioned) contaminated(p *MasterSlave) bool {
+	pc.stateMu.Lock()
+	defer pc.stateMu.Unlock()
+	return pc.marks[p]
+}
+
+// BeginMigration/EndMigration bracket a live migration. While one is
+// active, scatter (unkeyed) writes to ruled tables are rejected with the
+// retryable ErrRangeMoved: a broadcast write racing the tail stream would
+// be applied twice on the destination (once directly, once via the tail).
+// Keyed writes and all reads continue throughout.
+func (pc *Partitioned) BeginMigration() { pc.stateMu.Lock(); pc.migrating++; pc.stateMu.Unlock() }
+
+// EndMigration closes the bracket opened by BeginMigration.
+func (pc *Partitioned) EndMigration() { pc.stateMu.Lock(); pc.migrating--; pc.stateMu.Unlock() }
+
+// Migrating reports whether a live migration is in progress.
+func (pc *Partitioned) Migrating() bool {
+	pc.stateMu.Lock()
+	defer pc.stateMu.Unlock()
+	return pc.migrating > 0
+}
+
+// InstallRouting atomically publishes a successor routing table, built by
+// build from the current one and validated before anything blocks. When
+// fence is non-nil, its write gate is held exclusively across the install:
+// the gate freezes the fenced partition's binlog head, drain(frozenHead) is
+// called to finish whatever replication the cutover needs (the migration
+// tail + destination catch-up), and only if drain succeeds is the new
+// epoch stored. A drain error aborts with the routing UNCHANGED — the
+// invariant the chaos tests pin down: a destination dying mid-migration
+// never advances the epoch.
+//
+// It returns the superseded table (for WaitQuiesce) and the installed one.
+func (pc *Partitioned) InstallRouting(build func(cur *RouteTable) (*RouteTable, error), fence *MasterSlave, drain func(frozenHead uint64) error) (prev, installed *RouteTable, err error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	cur := pc.table.Load()
+	next, err := build(cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	next.epoch = cur.Epoch() + 1
+	if err := next.validate(); err != nil {
+		return nil, nil, err
+	}
+	if fence != nil {
+		g := pc.gate(fence)
+		g.Lock()
+		defer g.Unlock()
+	}
+	var head uint64
+	if fence != nil {
+		head = fence.MasterSeq()
+	}
+	if drain != nil {
+		if err := drain(head); err != nil {
+			return nil, nil, err
+		}
+	}
+	pc.registerParts(next)
+	pc.installEpoch(next)
+	return cur, next, nil
+}
+
+// installEpoch publishes the next routing table. Callers must hold pc.mu —
+// the repllint lockedcall *Epoch convention enforces it mechanically.
+func (pc *Partitioned) installEpoch(next *RouteTable) {
+	pc.table.Store(next)
+}
+
+// registerParts remembers every sub-cluster that was ever a member, so
+// Close shuts down retired partitions too.
+func (pc *Partitioned) registerParts(rt *RouteTable) {
+	pc.stateMu.Lock()
+	defer pc.stateMu.Unlock()
+	for _, p := range rt.parts {
+		pc.allParts[p] = true
+	}
+}
+
+// ---- ownership predicates ----
+
+// ownershipExpr builds an expression selecting exactly the rows of rule's
+// table whose bucket falls in buckets — the predicate pushed into scatter
+// fragments against contaminated partitions, and (complemented) the
+// scavenge DELETE's WHERE clause. nil means "all rows" (no filtering
+// needed); a constant-false literal means "no rows".
+func ownershipExpr(rule *PartitionRule, nbuckets int, buckets []int) sqlparse.Expr {
+	if len(buckets) >= nbuckets {
+		return nil
+	}
+	if len(buckets) == 0 {
+		return &sqlparse.Literal{Val: sqltypes.NewBool(false)}
+	}
+	sorted := append([]int(nil), buckets...)
+	sort.Ints(sorted)
+	col := &sqlparse.ColumnRef{Name: rule.Column}
+	switch rule.Strategy {
+	case HashPartition:
+		// BUCKET(col, n) IN (b0, b1, ...): the engine-side BUCKET builtin
+		// is the same HashValue % n the router uses, so the predicate and
+		// the routing can never disagree.
+		list := make([]sqlparse.Expr, len(sorted))
+		for i, b := range sorted {
+			list[i] = &sqlparse.Literal{Val: sqltypes.NewInt(int64(b))}
+		}
+		return &sqlparse.InExpr{
+			Left: &sqlparse.FuncExpr{Name: "BUCKET", Args: []sqlparse.Expr{
+				col, &sqlparse.Literal{Val: sqltypes.NewInt(int64(nbuckets))},
+			}},
+			List: list,
+		}
+	case RangePartition:
+		// Bucket b covers [Bounds[b-1], Bounds[b]); OR the intervals.
+		var out sqlparse.Expr
+		for _, b := range sorted {
+			var iv sqlparse.Expr
+			if b > 0 {
+				iv = &sqlparse.BinaryExpr{Op: ">=", Left: col, Right: &sqlparse.Literal{Val: rule.Bounds[b-1]}}
+			}
+			if b < nbuckets-1 {
+				hi := &sqlparse.BinaryExpr{Op: "<", Left: col, Right: &sqlparse.Literal{Val: rule.Bounds[b]}}
+				if iv == nil {
+					iv = hi
+				} else {
+					iv = &sqlparse.BinaryExpr{Op: "AND", Left: iv, Right: hi}
+				}
+			}
+			if iv == nil {
+				return nil // single bucket covering everything
+			}
+			if out == nil {
+				out = iv
+			} else {
+				out = &sqlparse.BinaryExpr{Op: "OR", Left: out, Right: iv}
+			}
+		}
+		return out
+	case ListPartition:
+		var list []sqlparse.Expr
+		for _, b := range sorted {
+			for _, v := range rule.Lists[b] {
+				list = append(list, &sqlparse.Literal{Val: v})
+			}
+		}
+		if len(list) == 0 {
+			return &sqlparse.Literal{Val: sqltypes.NewBool(false)}
+		}
+		return &sqlparse.InExpr{Left: col, List: list}
+	}
+	return nil
+}
+
+// complementBuckets returns [0,nbuckets) minus buckets.
+func complementBuckets(nbuckets int, buckets []int) []int {
+	in := make([]bool, nbuckets)
+	for _, b := range buckets {
+		if b >= 0 && b < nbuckets {
+			in[b] = true
+		}
+	}
+	var out []int
+	for b := 0; b < nbuckets; b++ {
+		if !in[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// OwnershipPredicate exposes ownershipExpr for the rebalancer's scavenge
+// statements: an expression matching rows of rule's table in the given
+// buckets (nil = all rows).
+func OwnershipPredicate(rule *PartitionRule, nbuckets int, buckets []int) sqlparse.Expr {
+	return ownershipExpr(rule, nbuckets, buckets)
+}
+
+// andExpr conjoins two expressions, tolerating nil on either side.
+func andExpr(a, b sqlparse.Expr) sqlparse.Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &sqlparse.BinaryExpr{Op: "AND", Left: a, Right: b}
+}

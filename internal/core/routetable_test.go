@@ -1,0 +1,242 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sqltypes"
+)
+
+// newBareParts builds n single-replica sub-clusters with no schema.
+func newBareParts(t *testing.T, n int) []*MasterSlave {
+	t.Helper()
+	parts := make([]*MasterSlave, n)
+	for i := range parts {
+		rep := NewReplica(ReplicaConfig{Name: fmt.Sprintf("vp%d", i)})
+		parts[i] = NewMasterSlave(rep, nil, MasterSlaveConfig{ReadFromMaster: true})
+		t.Cleanup(parts[i].Close)
+	}
+	return parts
+}
+
+func wantConfigErr(t *testing.T, err error, frag string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want ErrPartitionConfig (%s), got nil", frag)
+	}
+	if !errors.Is(err, ErrPartitionConfig) {
+		t.Fatalf("error %v is not ErrPartitionConfig", err)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not mention %q", err, frag)
+	}
+}
+
+func TestRuleValidationRejectsOverlappingRangeBounds(t *testing.T) {
+	parts := newBareParts(t, 2)
+	// Descending bounds: bucket 0 would swallow bucket 1's range — the
+	// silently-misrouting config this validation exists to reject.
+	_, err := NewElasticPartitioned(parts, []*PartitionRule{{
+		Table: "items", Column: "id", Strategy: RangePartition,
+		Bounds: []sqltypes.Value{sqltypes.NewInt(100), sqltypes.NewInt(50)},
+	}}, 3)
+	wantConfigErr(t, err, "strictly ascending")
+
+	// Equal bounds gap the middle bucket entirely.
+	_, err = NewElasticPartitioned(parts, []*PartitionRule{{
+		Table: "items", Column: "id", Strategy: RangePartition,
+		Bounds: []sqltypes.Value{sqltypes.NewInt(100), sqltypes.NewInt(100)},
+	}}, 3)
+	wantConfigErr(t, err, "strictly ascending")
+}
+
+func TestRuleValidationRejectsWrongBoundCount(t *testing.T) {
+	parts := newBareParts(t, 2)
+	_, err := NewElasticPartitioned(parts, []*PartitionRule{{
+		Table: "items", Column: "id", Strategy: RangePartition,
+		Bounds: []sqltypes.Value{sqltypes.NewInt(10)},
+	}}, 4) // needs 3 bounds
+	wantConfigErr(t, err, "range bounds")
+}
+
+func TestRuleValidationRejectsOverlappingLists(t *testing.T) {
+	parts := newBareParts(t, 2)
+	_, err := NewElasticPartitioned(parts, []*PartitionRule{{
+		Table: "items", Column: "region", Strategy: ListPartition,
+		Lists: [][]sqltypes.Value{
+			{sqltypes.NewString("eu"), sqltypes.NewString("us")},
+			{sqltypes.NewString("us")}, // "us" in two buckets
+		},
+	}}, 2)
+	wantConfigErr(t, err, "listed for both")
+}
+
+func TestRuleValidationRejectsDuplicateRules(t *testing.T) {
+	parts := newBareParts(t, 2)
+	_, err := NewElasticPartitioned(parts, []*PartitionRule{
+		{Table: "items", Column: "id", Strategy: HashPartition},
+		{Table: "items", Column: "other", Strategy: HashPartition},
+	}, 2)
+	wantConfigErr(t, err, "duplicate rule")
+}
+
+func TestValidationRejectsOrphanBuckets(t *testing.T) {
+	parts := newBareParts(t, 3)
+	// 2 buckets across 3 partitions: someone owns nothing.
+	_, err := NewElasticPartitioned(parts, nil, 2)
+	wantConfigErr(t, err, "owns no buckets")
+}
+
+// TestInstallRoutingRevalidates proves the same validation reruns at every
+// epoch install: a build function producing a corrupt table is rejected and
+// the published epoch never advances.
+func TestInstallRoutingRevalidates(t *testing.T) {
+	parts := newBareParts(t, 2)
+	pc, err := NewElasticPartitioned(parts, []*PartitionRule{{
+		Table: "items", Column: "id", Strategy: HashPartition,
+	}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pc.RouteTable().Epoch()
+
+	_, _, err = pc.InstallRouting(func(cur *RouteTable) (*RouteTable, error) {
+		bad := &RouteTable{
+			parts:    cur.parts,
+			nbuckets: cur.nbuckets,
+			assign:   make([]int, cur.nbuckets), // all buckets to partition 0
+			rules:    cur.rules,
+		}
+		return bad, nil
+	}, nil, nil)
+	wantConfigErr(t, err, "owns no buckets")
+	if got := pc.RouteTable().Epoch(); got != before {
+		t.Fatalf("failed install advanced epoch %d -> %d", before, got)
+	}
+
+	// A valid reassign through the same path succeeds and bumps the epoch.
+	dest := newBareParts(t, 1)[0]
+	prev, installed, err := pc.InstallRouting(func(cur *RouteTable) (*RouteTable, error) {
+		return cur.WithReassign([]int{0, 1}, dest, false)
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.Epoch() != before || installed.Epoch() != before+1 {
+		t.Fatalf("epochs: prev=%d installed=%d want %d -> %d", prev.Epoch(), installed.Epoch(), before, before+1)
+	}
+	if installed.Owner(0) != dest || installed.Owner(1) != dest {
+		t.Fatal("reassigned buckets not owned by dest")
+	}
+	if got := pc.RouteTable().Epoch(); got != before+1 {
+		t.Fatalf("published epoch = %d", got)
+	}
+}
+
+func TestWithReassignDropEmptyRemovesPartition(t *testing.T) {
+	parts := newBareParts(t, 2)
+	pc, err := NewElasticPartitioned(parts, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := pc.RouteTable()
+	from := rt.PartIndex(parts[0])
+	next, err := rt.WithReassign(rt.OwnedBuckets(from), parts[1], true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next.Partitions()) != 1 {
+		t.Fatalf("partitions after merge reassign: %d", len(next.Partitions()))
+	}
+	for b := 0; b < next.NumBuckets(); b++ {
+		if next.Owner(b) != parts[1] {
+			t.Fatalf("bucket %d not owned by survivor", b)
+		}
+	}
+}
+
+// TestSnapshotQuiesce pins a snapshot, supersedes it, and checks WaitQuiesce
+// blocks until the pin releases.
+func TestSnapshotQuiesce(t *testing.T) {
+	parts := newBareParts(t, 2)
+	pc, err := NewElasticPartitioned(parts, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := pc.snapshotTable()
+	if err := pc.WaitQuiesce(snap, 20*time.Millisecond); err == nil {
+		t.Fatal("WaitQuiesce returned with a live reader")
+	}
+	done := make(chan error, 1)
+	go func() { done <- pc.WaitQuiesce(snap, 2*time.Second) }()
+	time.Sleep(5 * time.Millisecond)
+	snap.release()
+	if err := <-done; err != nil {
+		t.Fatalf("WaitQuiesce after release: %v", err)
+	}
+}
+
+// TestBucketForMatchesEnginePredicate pins the router's BucketFor to the
+// engine-side BUCKET() builtin through an ownership predicate round trip:
+// rows selected by the predicate are exactly the rows routed to the buckets.
+func TestElasticRoutingSpreadsBuckets(t *testing.T) {
+	parts := newBareParts(t, 2)
+	pc, err := NewElasticPartitioned(parts, []*PartitionRule{{
+		Table: "items", Column: "id", Strategy: HashPartition,
+	}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := pc.NewSession("test")
+	defer sess.Close()
+	mustExecC(t, sess.Exec, "CREATE DATABASE shop")
+	mustExecC(t, sess.Exec, "USE shop")
+	mustExecC(t, sess.Exec, "CREATE TABLE items (id INTEGER PRIMARY KEY, name TEXT)")
+	var values []string
+	for i := 1; i <= 64; i++ {
+		values = append(values, fmt.Sprintf("(%d, 'x')", i))
+	}
+	mustExecC(t, sess.Exec, "INSERT INTO items (id, name) VALUES "+strings.Join(values, ", "))
+
+	rt := pc.RouteTable()
+	rule := rt.Rule("items")
+	total := 0
+	for pi, p := range rt.Partitions() {
+		n, err := p.Master().Engine().RowCount("shop", "items")
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+		// Every row on this partition must hash into one of its buckets.
+		chk := p.NewSession("chk")
+		mustExecC(t, chk.Exec, "USE shop")
+		res, err := chk.Exec("SELECT id FROM items")
+		chk.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned := make(map[int]bool)
+		for _, b := range rt.OwnedBuckets(pi) {
+			owned[b] = true
+		}
+		for _, row := range res.Rows {
+			bk, err := rule.BucketFor(row[0], rt.NumBuckets())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !owned[bk] {
+				t.Fatalf("row id=%v (bucket %d) stored on partition %d which does not own it", row[0], bk, pi)
+			}
+		}
+	}
+	if total != 64 {
+		t.Fatalf("total rows = %d", total)
+	}
+	cnt := mustExecC(t, sess.Exec, "SELECT COUNT(*) FROM items")
+	if cnt.Rows[0][0].Int() != 64 {
+		t.Fatalf("scatter count = %d", cnt.Rows[0][0].Int())
+	}
+}

@@ -387,6 +387,25 @@ func evalFunc(env *evalEnv, e *sqlparse.FuncExpr) (sqltypes.Value, error) {
 			return sqltypes.Null, err
 		}
 		return sqltypes.Arith("%", a, b)
+	case "BUCKET":
+		// BUCKET(v, n) is the router's hash-bucket function (HashValue % n),
+		// exposed to the engine so migration ownership predicates evaluate
+		// with exactly the routing layer's arithmetic.
+		v, err := argVal(0)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		n, err := argVal(1)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if v.IsNull() || n.IsNull() {
+			return sqltypes.Null, nil
+		}
+		if n.Int() <= 0 {
+			return sqltypes.Null, fmt.Errorf("engine: BUCKET needs a positive bucket count, got %d", n.Int())
+		}
+		return sqltypes.NewInt(int64(sqltypes.HashValue(v) % uint64(n.Int()))), nil
 	}
 	return sqltypes.Null, fmt.Errorf("engine: unknown function %q", name)
 }

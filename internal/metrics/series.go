@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Sample is one time-stamped observation in a Series.
+type Sample struct {
+	At time.Time
+	V  float64
+}
+
+// Series is a fixed-capacity ring buffer of time-stamped samples: the
+// cheap time-series the operability surface exports (per-replica lag,
+// autoscaler signals). Old samples are overwritten; readers get a
+// chronological copy. Safe for concurrent use; the zero value is unusable —
+// construct with NewSeries.
+type Series struct {
+	mu   sync.Mutex
+	buf  []Sample
+	next int
+	full bool
+}
+
+// NewSeries creates a series keeping at most capSamples samples (0 means
+// 1024).
+func NewSeries(capSamples int) *Series {
+	if capSamples <= 0 {
+		capSamples = 1024
+	}
+	return &Series{buf: make([]Sample, capSamples)}
+}
+
+// Add records v at time now.
+func (s *Series) Add(v float64) { s.AddAt(time.Now(), v) }
+
+// AddAt records v at an explicit time.
+func (s *Series) AddAt(at time.Time, v float64) {
+	s.mu.Lock()
+	s.buf[s.next] = Sample{At: at, V: v}
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+// Len returns how many samples the series currently holds.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.full {
+		return len(s.buf)
+	}
+	return s.next
+}
+
+// Samples returns the retained samples in chronological order.
+func (s *Series) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		return append([]Sample(nil), s.buf[:s.next]...)
+	}
+	out := make([]Sample, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Last returns the most recent sample, if any.
+func (s *Series) Last() (Sample, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.next == 0 && !s.full {
+		return Sample{}, false
+	}
+	i := s.next - 1
+	if i < 0 {
+		i = len(s.buf) - 1
+	}
+	return s.buf[i], true
+}

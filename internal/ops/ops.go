@@ -12,10 +12,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"time"
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/qcache"
 )
 
@@ -30,6 +32,17 @@ type Options struct {
 	// WireRejected, when non-nil, reports connections refused by the wire
 	// server's max-conns guard.
 	WireRejected func() uint64
+	// FailoverHistory, when non-nil, exports the cluster's failover record:
+	// total count, transactions lost per failover (the paper's
+	// LostTransactions), and the most recent promotion.
+	FailoverHistory func() []core.FailoverRecord
+	// LagSeries, when non-nil, exports per-replica apply-lag time series
+	// (current/avg/max over the retained window) — the same series the
+	// autoscaler consumes.
+	LagSeries func() map[string][]metrics.Sample
+	// Elastic, when non-nil, appends migration/autoscaler state lines
+	// (routing epoch, migrations, replica transitions).
+	Elastic func(w io.Writer)
 	// Extra, when non-nil, appends deployment-specific metric lines (e.g.
 	// failover counts from the durable monitor).
 	Extra func(w io.Writer)
@@ -131,6 +144,51 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 
 	if f := s.opts.WireRejected; f != nil {
 		fmt.Fprintf(w, "repl_wire_rejected_conns_total %d\n", f())
+	}
+
+	if f := s.opts.FailoverHistory; f != nil {
+		hist := f()
+		var lost uint64
+		for _, rec := range hist {
+			lost += rec.Lost
+		}
+		fmt.Fprintf(w, "repl_failovers_total %d\n", len(hist))
+		fmt.Fprintf(w, "repl_failover_lost_total %d\n", lost)
+		if n := len(hist); n > 0 {
+			last := hist[n-1]
+			fmt.Fprintf(w, "repl_failover_last_lost %d\n", last.Lost)
+			fmt.Fprintf(w, "repl_failover_last_unix %d\n", last.At.Unix())
+		}
+	}
+
+	if f := s.opts.LagSeries; f != nil {
+		series := f()
+		names := make([]string, 0, len(series))
+		for name := range series {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			samples := series[name]
+			if len(samples) == 0 {
+				continue
+			}
+			var sum, max float64
+			for _, smp := range samples {
+				sum += smp.V
+				if smp.V > max {
+					max = smp.V
+				}
+			}
+			fmt.Fprintf(w, "repl_lag_current_%s %.0f\n", name, samples[len(samples)-1].V)
+			fmt.Fprintf(w, "repl_lag_avg_%s %.2f\n", name, sum/float64(len(samples)))
+			fmt.Fprintf(w, "repl_lag_max_%s %.0f\n", name, max)
+			fmt.Fprintf(w, "repl_lag_samples_%s %d\n", name, len(samples))
+		}
+	}
+
+	if s.opts.Elastic != nil {
+		s.opts.Elastic(w)
 	}
 
 	if s.opts.Extra != nil {

@@ -94,6 +94,11 @@ func classifyClusterErr(err error) error {
 		return &ServerError{Msg: err.Error(), Code: CodeDeadline}
 	case errors.Is(err, core.ErrReplicaDown):
 		return &ServerError{Msg: err.Error(), Code: CodeRetryable}
+	case errors.Is(err, core.ErrRangeMoved):
+		// A live migration moved the statement's key range mid-flight; the
+		// routing table has already cut over, so an identical retry routes
+		// to the new owner.
+		return &ServerError{Msg: err.Error(), Code: CodeRetryable}
 	}
 	return err
 }

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/elastic"
 	"repro/internal/engine"
 	"repro/internal/gcs"
 	"repro/internal/lb"
@@ -125,6 +126,52 @@ type (
 	// Value is a SQL value (for partition rules and site ownership).
 	Value = core.Value
 )
+
+// Online elasticity types (PR 10): live partition migration and replica
+// autoscaling.
+type (
+	// RouteTable is one immutable epoch-stamped version of the partition
+	// routing state.
+	RouteTable = core.RouteTable
+	// FailoverRecord is one entry of a cluster's failover history.
+	FailoverRecord = core.FailoverRecord
+	// LagTracker samples per-replica apply lag into time series.
+	LagTracker = core.LagTracker
+	// LagSample is one time-stamped lag observation.
+	LagSample = metrics.Sample
+	// Rebalancer migrates buckets between partitions while serving traffic.
+	Rebalancer = elastic.Rebalancer
+	// RebalancerConfig tunes live migrations.
+	RebalancerConfig = elastic.RebalancerConfig
+	// Autoscaler provisions and retires read replicas from load signals.
+	Autoscaler = elastic.Autoscaler
+	// AutoscalerConfig tunes the autoscaler's signals and hysteresis.
+	AutoscalerConfig = elastic.AutoscalerConfig
+)
+
+// NewRebalancer builds a live-migration controller for a partitioned
+// cluster.
+func NewRebalancer(pc *Partitioned, cfg RebalancerConfig) *Rebalancer {
+	return elastic.NewRebalancer(pc, cfg)
+}
+
+// NewAutoscaler starts a replica autoscaler on a master-slave cluster.
+func NewAutoscaler(ms *MasterSlave, adm *AdmissionController, lag *LagTracker, cfg AutoscalerConfig) (*Autoscaler, error) {
+	return elastic.NewAutoscaler(ms, adm, lag, cfg)
+}
+
+// NewLagTracker starts sampling a cluster's per-replica apply lag.
+func NewLagTracker(ms *MasterSlave, interval Duration, capSamples int) *LagTracker {
+	return core.NewLagTracker(ms, interval, capSamples)
+}
+
+// ErrRangeMoved returns the typed retryable sentinel statements receive
+// when a live migration moves their key range mid-flight.
+func ErrRangeMoved() error { return core.ErrRangeMoved }
+
+// ErrPartitionConfig returns the typed sentinel wrapped by partition-rule
+// and routing-table validation failures.
+func ErrPartitionConfig() error { return core.ErrPartitionConfig }
 
 // Engine-level types callers may need directly.
 type (
@@ -231,6 +278,13 @@ func NewMultiMaster(replicas []*Replica, orderers []Orderer, cfg MultiMasterConf
 // NewPartitioned builds a partitioned cluster.
 func NewPartitioned(partitions []*MasterSlave, rules []*PartitionRule) (*Partitioned, error) {
 	return core.NewPartitioned(partitions, rules)
+}
+
+// NewElasticPartitioned builds a partitioned cluster routing through
+// nbuckets virtual buckets, so live migrations (elastic.Rebalancer) can
+// move fractions of a partition's key space between sub-clusters.
+func NewElasticPartitioned(partitions []*MasterSlave, rules []*PartitionRule, nbuckets int) (*Partitioned, error) {
+	return core.NewElasticPartitioned(partitions, rules, nbuckets)
 }
 
 // NewWAN wires geographic sites with asynchronous cross-site replication.
